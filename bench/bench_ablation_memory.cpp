@@ -1,0 +1,87 @@
+// Memory pre-copy convergence ablation: the Xen (NSDI'05) dynamics TPM's
+// freeze phase inherits. Sweeping the guest's page-dirty rate shows the
+// three regimes — converges in one pass, iterates down to a small residual,
+// or hits the dirty-rate abort and eats the residual in downtime.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "scenario/testbed.hpp"
+#include "workloads/memory_hog.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+struct Point {
+  double rate_pps;
+  int iterations;
+  std::uint64_t residual_pages;
+  double downtime_ms;
+  bool aborted;
+  bool consistent;
+};
+
+Point run(double rate_pps, std::uint64_t hot_pages) {
+  sim::Simulator sim;
+  scenario::TestbedConfig bed;
+  bed.vbd_mib = 1024;  // small disk: memory dominates this experiment
+  scenario::Testbed tb{sim, bed};
+  tb.prefill_disk();
+  workload::MemoryHogParams p;
+  p.dirty_rate_pps = rate_pps;
+  p.hot_pages = hot_pages;
+  workload::MemoryHogWorkload hog{sim, tb.vm(), 42, p};
+  auto cfg = tb.paper_migration_config();
+  cfg.mem_max_iterations = 8;
+  const auto rep = tb.run_tpm(&hog, 10_s, 5_s, cfg);
+  Point pt;
+  pt.rate_pps = rate_pps;
+  pt.iterations = rep.mem_iterations;
+  pt.residual_pages = rep.pages_residual;
+  pt.downtime_ms = rep.downtime().to_millis();
+  pt.aborted = false;  // (abort flag tracks the disk; memory abort shows as
+                       // large residual at max iterations)
+  pt.consistent = rep.disk_consistent && rep.memory_consistent;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Memory ablation",
+                "pre-copy convergence vs guest dirty rate (Xen dynamics)");
+
+  std::printf("\n  hot set 2048 pages (8 MiB), GbE transfer ~30k pages/s\n");
+  std::printf("  %14s %12s %16s %14s %6s\n", "dirty (pages/s)", "iterations",
+              "residual pages", "downtime (ms)", "ok");
+  for (const double rate : {1000.0, 5000.0, 20000.0, 60000.0, 200000.0}) {
+    const auto pt = run(rate, 2048);
+    std::printf("  %14.0f %12d %16llu %14.1f %6s\n", pt.rate_pps,
+                pt.iterations,
+                static_cast<unsigned long long>(pt.residual_pages),
+                pt.downtime_ms, pt.consistent ? "yes" : "NO");
+  }
+
+  bench::section("hot-set size sweep at 60k pages/s");
+  std::printf("  %14s %12s %16s %14s\n", "hot pages", "iterations",
+              "residual pages", "downtime (ms)");
+  for (const std::uint64_t hot : {512ull, 2048ull, 8192ull, 32768ull}) {
+    const auto pt = run(60000.0, hot);
+    std::printf("  %14llu %12d %16llu %14.1f\n",
+                static_cast<unsigned long long>(hot), pt.iterations,
+                static_cast<unsigned long long>(pt.residual_pages),
+                pt.downtime_ms);
+  }
+
+  bench::section("reading the curve");
+  std::printf(
+      "  Slow dirtying converges in few iterations with a tiny residual —\n"
+      "  downtime stays at the fixed overheads. Once the hot set rewrites\n"
+      "  itself faster than the link drains it, iterating stops paying and\n"
+      "  the residual (= hot set) rides in the freeze phase: downtime grows\n"
+      "  with hot-set size, exactly the Xen writable-working-set result the\n"
+      "  paper leans on for its memory phase.\n");
+  return 0;
+}

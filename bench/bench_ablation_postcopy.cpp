@@ -1,0 +1,119 @@
+// Ablation of the post-copy design (§IV-A-3): the paper's push+pull versus
+// push-only (reads wait for the sweep) and pull-only (= on-demand, never
+// converges), plus a push-chunk-size sweep. A diabolical writer with the
+// iteration cap forced to 1 leaves a large residue for post-copy to cover.
+
+#include <cstdio>
+
+#include "baselines/on_demand.hpp"
+#include "bench_util.hpp"
+#include "core/migration_manager.hpp"
+#include "scenario/testbed.hpp"
+#include "workloads/diabolical.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+scenario::TestbedConfig bed_config() {
+  scenario::TestbedConfig cfg;
+  cfg.vbd_mib = 8192;
+  return cfg;
+}
+
+struct Result {
+  core::MigrationReport rep;
+};
+
+Result run_tpm_variant(bool pull_enabled, std::uint32_t push_chunk) {
+  sim::Simulator sim;
+  scenario::Testbed tb{sim, bed_config()};
+  tb.prefill_disk();
+  workload::DiabolicalParams p;
+  p.file_mib = 512;
+  workload::DiabolicalWorkload bonnie{sim, tb.vm(), 42, p};
+  auto cfg = tb.paper_migration_config();
+  cfg.disk_max_iterations = 1;  // leave the whole dirtied file to post-copy
+  cfg.postcopy_pull_enabled = pull_enabled;
+  cfg.push_chunk_blocks = push_chunk;
+  Result r;
+  r.rep = tb.run_tpm(&bonnie, 30_s, 60_s, cfg);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "post-copy push+pull vs alternatives (§IV-A-3)");
+
+  const Result push_pull = run_tpm_variant(true, 64);
+  const Result push_only = run_tpm_variant(false, 64);
+
+  std::printf("\n%-18s %12s %12s %10s %12s %14s %14s\n", "variant",
+              "postcopy(s)", "residual", "pulled", "reads-blkd",
+              "stall-total(ms)", "stall-max(ms)");
+  const auto print = [](const char* name, const core::MigrationReport& r) {
+    std::printf("%-18s %12.2f %12llu %10llu %12llu %14.1f %14.1f\n", name,
+                r.postcopy_time().to_seconds(),
+                static_cast<unsigned long long>(r.residual_dirty_blocks),
+                static_cast<unsigned long long>(r.blocks_pulled),
+                static_cast<unsigned long long>(r.postcopy_reads_blocked),
+                r.postcopy_read_stall_total.to_millis(),
+                r.postcopy_read_stall_max.to_millis());
+  };
+  print("push+pull (paper)", push_pull.rep);
+  print("push-only", push_only.rep);
+
+  bench::section("pull-only = on-demand fetching (never converges)");
+  {
+    sim::Simulator sim;
+    scenario::Testbed tb{sim, bed_config()};
+    tb.prefill_disk();
+    workload::DiabolicalParams p;
+    p.file_mib = 512;
+    workload::DiabolicalWorkload bonnie{sim, tb.vm(), 42, p};
+    bonnie.start();
+    sim.run_for(30_s);
+    baseline::BaselineReport rep;
+    sim.spawn([](sim::Simulator& s, scenario::Testbed& tb,
+                 baseline::BaselineReport& out) -> sim::Task<void> {
+      baseline::OnDemandMigration m{s, tb.paper_migration_config(), tb.vm(),
+                                    tb.source(), tb.dest()};
+      out = co_await m.run(/*observe_window=*/120_s);
+    }(sim, tb, rep));
+    sim.run_for(1200_s);
+    bonnie.request_stop();
+    sim.run_for(120_s);
+    std::printf("  after 120 s of Bonnie++ at the destination: fetched=%llu, "
+                "still source-resident=%llu of %llu blocks -> %s\n",
+                static_cast<unsigned long long>(rep.remote_fetches),
+                static_cast<unsigned long long>(rep.remote_blocks_left),
+                static_cast<unsigned long long>(
+                    tb.dest().disk().geometry().block_count),
+                rep.residual_dependency ? "UNBOUNDED source dependency"
+                                        : "converged");
+  }
+
+  bench::section("push chunk size sweep (push+pull)");
+  std::printf("  %10s %14s %10s %14s\n", "chunk", "postcopy(s)", "pulled",
+              "stall-max(ms)");
+  for (const std::uint32_t chunk : {1u, 16u, 64u, 256u}) {
+    const Result r = run_tpm_variant(true, chunk);
+    std::printf("  %10u %14.2f %10llu %14.1f\n", chunk,
+                r.rep.postcopy_time().to_seconds(),
+                static_cast<unsigned long long>(r.rep.blocks_pulled),
+                r.rep.postcopy_read_stall_max.to_millis());
+  }
+
+  bench::section("takeaways");
+  std::printf(
+      "  push guarantees convergence (finite source dependency); pull keeps\n"
+      "  guest read stalls bounded while the sweep is still far away;\n"
+      "  pull-only (on-demand) never releases the source.\n");
+  const bool stall_better =
+      push_pull.rep.postcopy_read_stall_max <= push_only.rep.postcopy_read_stall_max;
+  std::printf("  pull reduces worst-case read stall: %s\n",
+              stall_better ? "yes" : "NO");
+  return 0;
+}

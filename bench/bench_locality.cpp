@@ -1,0 +1,86 @@
+// Reproduces the write-locality measurements of §IV-A-2: the fraction of
+// write operations that rewrite previously-written blocks. This is the
+// paper's argument for bitmap-based synchronization over delta forwarding —
+// every rewrite is a redundant delta but a free bitmap update.
+//
+// Paper: kernel build 11%, SPECweb Banking 25.2%, Bonnie++ 35.6%.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hypervisor/host.hpp"
+#include "scenario/testbed.hpp"
+#include "trace/io_trace.hpp"
+#include "workloads/diabolical.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/web_server.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+trace::WriteLocalityStats run(int which, sim::Duration duration) {
+  sim::Simulator sim;
+  hv::Host host{sim, "h", storage::Geometry::from_mib(8192),
+                scenario::TestbedConfig::paper_disk()};
+  vm::Domain dom{sim, 1, "guest", 512};
+  host.attach_domain(dom);
+  std::unique_ptr<workload::Workload> wl;
+  switch (which) {
+    case 0:
+      wl = std::make_unique<workload::KernelBuildWorkload>(sim, dom, 42);
+      break;
+    case 1:
+      wl = std::make_unique<workload::WebServerWorkload>(sim, dom, 42);
+      break;
+    default: {
+      workload::DiabolicalParams p;
+      p.file_mib = 512;
+      p.max_cycles = 1;  // one run on a fresh FS, as the paper measured
+      wl = std::make_unique<workload::DiabolicalWorkload>(sim, dom, 42, p);
+      break;
+    }
+  }
+  trace::IoTrace tr;
+  wl->attach_trace(&tr);
+  wl->start();
+  sim.run_for(duration);
+  wl->request_stop();
+  sim.run_for(300_s);
+  return tr.analyze_writes(host.disk().geometry().block_count);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§IV-A-2", "Write rewrite ratios per workload");
+
+  struct Row {
+    const char* name;
+    double paper_pct;
+    sim::Duration duration;
+  } rows[] = {
+      {"Linux kernel build", 11.0, 1200_s},
+      {"SPECweb Banking", 25.2, 1200_s},
+      {"Bonnie++", 35.6, 300_s},
+  };
+
+  std::printf("\n%-22s %10s %10s %12s %12s %14s\n", "workload", "paper %",
+              "measured %", "write ops", "distinct blk", "redundant MiB");
+  for (int i = 0; i < 3; ++i) {
+    const auto s = run(i, rows[i].duration);
+    std::printf("%-22s %10.1f %10.1f %12llu %12llu %14.1f\n", rows[i].name,
+                rows[i].paper_pct, s.rewrite_ratio() * 100.0,
+                static_cast<unsigned long long>(s.write_ops),
+                static_cast<unsigned long long>(s.distinct_blocks),
+                static_cast<double>(s.redundant_bytes(4096)) / (1024.0 * 1024.0));
+  }
+
+  bench::section("interpretation");
+  std::printf(
+      "  'redundant MiB' is what a Bradford-style delta-forwarding scheme\n"
+      "  would resend for rewrites during the window; the block-bitmap\n"
+      "  absorbs all of it (a rewrite just leaves the bit set).\n");
+  return 0;
+}

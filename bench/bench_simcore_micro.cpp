@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the simulation kernel itself:
+// raw event throughput, coroutine spawn/await cost, and channel handoff.
+// These bound how large an experiment the simulator can run per wall-second
+// (the paper-scale Table I run is ~400k events).
+
+#include <benchmark/benchmark.h>
+
+#include "simcore/channel.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+
+namespace {
+
+using namespace vmig::sim;
+using namespace vmig::sim::literals;
+
+void BM_ScheduleAndFire(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.schedule_after(1_us, [] {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleAndFire);
+
+void BM_EventQueueDepth1000(benchmark::State& state) {
+  // Sustained throughput with a deep heap.
+  Simulator sim;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(Duration::micros(i % 97), [] {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueDepth1000);
+
+void BM_CancelledTimers(benchmark::State& state) {
+  // Lazy-deletion cost: schedule + cancel without firing.
+  Simulator sim;
+  for (auto _ : state) {
+    const auto id = sim.schedule_after(1_s, [] {});
+    sim.cancel(id);
+  }
+  sim.run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelledTimers);
+
+Task<void> hop(Simulator& s, int n) {
+  for (int i = 0; i < n; ++i) co_await s.delay(1_us);
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.spawn(hop(sim, 100));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CoroutineDelayHops);
+
+Task<int> leaf() { co_return 1; }
+Task<int> chain(int depth) {
+  if (depth == 0) co_return co_await leaf();
+  co_return co_await chain(depth - 1);
+}
+
+void BM_NestedAwaitDepth32(benchmark::State& state) {
+  Simulator sim;
+  int sum = 0;
+  for (auto _ : state) {
+    sim.spawn([](int& sum) -> Task<void> {
+      sum += co_await chain(32);
+    }(sum));
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_NestedAwaitDepth32);
+
+void BM_ChannelHandoff(benchmark::State& state) {
+  // One item through a capacity-1 channel: send + notify + recv.
+  Simulator sim;
+  Channel<int> ch{sim, 1};
+  std::size_t items = 0;
+  for (auto _ : state) {
+    sim.spawn([](Channel<int>& ch) -> Task<void> {
+      co_await ch.send(1);
+    }(ch));
+    sim.spawn([](Channel<int>& ch, std::size_t& n) -> Task<void> {
+      const auto v = co_await ch.recv();
+      n += v.has_value();
+    }(ch, items));
+    sim.run();
+  }
+  benchmark::DoNotOptimize(items);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelHandoff);
+
+void BM_NotifierWake(benchmark::State& state) {
+  Simulator sim;
+  Notifier n{sim};
+  std::size_t wakes = 0;
+  for (auto _ : state) {
+    sim.spawn([](Notifier& n, std::size_t& w) -> Task<void> {
+      co_await n.wait();
+      ++w;
+    }(n, wakes));
+    sim.run();
+    n.notify_all();
+    sim.run();
+  }
+  benchmark::DoNotOptimize(wakes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotifierWake);
+
+}  // namespace
+
+BENCHMARK_MAIN();

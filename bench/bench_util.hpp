@@ -1,0 +1,90 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simcore/stats.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::bench {
+
+inline void header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+/// One paper-vs-measured comparison row.
+inline void paper_vs(const char* metric, double paper, double measured,
+                     const char* unit) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-34s paper=%10.1f  measured=%10.1f %-6s (x%.2f)\n", metric,
+              paper, measured, unit, ratio);
+}
+
+inline void measured_only(const char* metric, double value, const char* unit) {
+  std::printf("  %-34s                 measured=%10.1f %-6s\n", metric, value,
+              unit);
+}
+
+/// Render a time series as a fixed-width ASCII chart (value vs time), with
+/// optional vertical markers (e.g. migration start/end).
+inline void ascii_chart(const sim::TimeSeries& ts, const char* y_label,
+                        double y_scale, std::vector<double> markers_s = {},
+                        int width = 72, int height = 14) {
+  if (ts.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  const double t0 = ts.points().front().t.to_seconds();
+  const double t1 = ts.points().back().t.to_seconds();
+  const double span = std::max(t1 - t0, 1e-9);
+  // Bucket means per column.
+  std::vector<double> sum(static_cast<std::size_t>(width), 0.0);
+  std::vector<int> cnt(static_cast<std::size_t>(width), 0);
+  double vmax = 0;
+  for (const auto& p : ts.points()) {
+    auto col = static_cast<std::size_t>((p.t.to_seconds() - t0) / span *
+                                        (width - 1));
+    col = std::min(col, static_cast<std::size_t>(width - 1));
+    sum[col] += p.value * y_scale;
+    cnt[col] += 1;
+  }
+  std::vector<double> val(static_cast<std::size_t>(width), 0.0);
+  for (std::size_t c = 0; c < val.size(); ++c) {
+    if (cnt[c] > 0) val[c] = sum[c] / cnt[c];
+    vmax = std::max(vmax, val[c]);
+  }
+  if (vmax <= 0) vmax = 1;
+  std::vector<int> marker_cols;
+  for (const double m : markers_s) {
+    if (m >= t0 && m <= t1) {
+      marker_cols.push_back(static_cast<int>((m - t0) / span * (width - 1)));
+    }
+  }
+  for (int row = height; row >= 1; --row) {
+    const double level = vmax * row / height;
+    std::printf("  %8.1f |", level);
+    for (int c = 0; c < width; ++c) {
+      const bool mark =
+          std::find(marker_cols.begin(), marker_cols.end(), c) != marker_cols.end();
+      if (val[static_cast<std::size_t>(c)] >= level - vmax / (2.0 * height)) {
+        std::printf("*");
+      } else if (mark) {
+        std::printf("|");
+      } else {
+        std::printf(" ");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("  %8s +", y_label);
+  for (int c = 0; c < width; ++c) std::printf("-");
+  std::printf("\n  %8s  %-10.0fs%*s%.0fs\n", "", t0, width - 12, "", t1);
+}
+
+}  // namespace vmig::bench

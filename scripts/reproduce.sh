@@ -1,0 +1,13 @@
+#!/bin/sh
+# Reproduce everything: build, run the test suite, regenerate every paper
+# table/figure, and leave the transcripts at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/*; do
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,28 @@
+#include "baselines/baseline_report.hpp"
+
+#include <cstdio>
+
+namespace vmig::baseline {
+
+std::string BaselineReport::str() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s: total=%.1fs downtime=%.1fms data=%.1f MiB%s\n"
+      "  deltas=%llu (%.1f MiB, %.1f MiB redundant, %llu throttled) "
+      "io_block=%.1fms remote_fetches=%llu remote_left=%llu%s",
+      method.c_str(), base.total_time().to_seconds(),
+      base.downtime().to_millis(), base.total_mib(),
+      base.disk_consistent ? "" : " [DISK INCONSISTENT]",
+      static_cast<unsigned long long>(deltas_forwarded),
+      static_cast<double>(delta_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(redundant_delta_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(throttled_writes),
+      io_block_time.to_millis(),
+      static_cast<unsigned long long>(remote_fetches),
+      static_cast<unsigned long long>(remote_blocks_left),
+      residual_dependency ? " [RESIDUAL DEPENDENCY]" : "");
+  return buf;
+}
+
+}  // namespace vmig::baseline

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/migration_metrics.hpp"
+
+namespace vmig::baseline {
+
+/// Report for a baseline migration scheme: the common TPM metrics plus the
+/// pathologies each related-work approach exhibits (paper §II).
+struct BaselineReport {
+  std::string method;
+  core::MigrationReport base;
+
+  // ---- Bradford et al. (VEE'07) delta forwarding ----
+  /// Time after resume during which all guest I/O was blocked waiting for
+  /// the forwarded-delta queue to drain.
+  sim::Duration io_block_time{};
+  std::uint64_t deltas_forwarded = 0;
+  std::uint64_t delta_bytes = 0;
+  /// Bytes re-sent because a later delta rewrote the same block — the
+  /// redundancy the block-bitmap design eliminates.
+  std::uint64_t redundant_delta_bytes = 0;
+  /// Guest writes stalled by forward-queue backpressure (write throttling).
+  std::uint64_t throttled_writes = 0;
+
+  // ---- On-demand fetching ----
+  std::uint64_t remote_fetches = 0;      ///< post-resume reads served remotely
+  std::uint64_t remote_blocks_left = 0;  ///< still source-resident at the end
+  /// True if the source machine cannot be shut down when the experiment
+  /// ends (unbounded residual dependency).
+  bool residual_dependency = false;
+
+  std::string str() const;
+};
+
+}  // namespace vmig::baseline

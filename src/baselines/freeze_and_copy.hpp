@@ -1,0 +1,37 @@
+#pragma once
+
+#include "baselines/baseline_report.hpp"
+#include "core/migration_config.hpp"
+#include "core/protocol.hpp"
+#include "hypervisor/checkpoint.hpp"
+#include "hypervisor/host.hpp"
+#include "simcore/simulator.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::baseline {
+
+/// Freeze-and-copy whole-system migration (Internet Suspend/Resume style,
+/// paper §II-B): stop the VM, copy its entire state — disk, memory, CPU —
+/// to the destination, restart it there. Zero redundancy, but the downtime
+/// is the whole transfer: tens of minutes for a 40 GB disk.
+class FreezeAndCopyMigration {
+ public:
+  FreezeAndCopyMigration(sim::Simulator& sim, core::MigrationConfig cfg,
+                         vm::Domain& domain, hv::Host& source, hv::Host& dest);
+
+  sim::Task<BaselineReport> run();
+
+ private:
+  sim::Task<void> receiver_loop();
+
+  sim::Simulator& sim_;
+  core::MigrationConfig cfg_;
+  vm::Domain& domain_;
+  hv::Host& src_;
+  hv::Host& dst_;
+  hv::MigStream fwd_;
+  vm::GuestMemory shadow_mem_;
+  BaselineReport rep_;
+};
+
+}  // namespace vmig::baseline

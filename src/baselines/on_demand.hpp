@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/baseline_report.hpp"
+#include "core/migration_config.hpp"
+#include "core/post_copy.hpp"
+#include "hypervisor/checkpoint.hpp"
+#include "hypervisor/host.hpp"
+#include "simcore/simulator.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::baseline {
+
+/// On-demand fetching (Kozuch et al., paper §II-B): migrate memory + CPU
+/// only; resume immediately; fetch disk blocks from the source over the
+/// network when (and only when) the guest touches them.
+///
+/// Downtime matches shared-storage migration, but there is no push — so the
+/// source can never be shut down: an unbounded residual dependency, the
+/// availability-p² problem the paper's push-and-pull post-copy fixes.
+class OnDemandMigration {
+ public:
+  OnDemandMigration(sim::Simulator& sim, core::MigrationConfig cfg,
+                    vm::Domain& domain, hv::Host& source, hv::Host& dest);
+
+  /// Migrate, then let the guest run at the destination for
+  /// `observe_window` while counting remote fetches; finally force-sync the
+  /// remaining blocks (experiment teardown) and report.
+  sim::Task<BaselineReport> run(sim::Duration observe_window);
+
+ private:
+  sim::Task<void> mem_receiver_loop();
+  sim::Task<void> fetch_responder_loop();
+  sim::Task<void> block_receiver_loop();
+
+  sim::Simulator& sim_;
+  core::MigrationConfig cfg_;
+  vm::Domain& domain_;
+  hv::Host& src_;
+  hv::Host& dst_;
+  hv::MigStream fwd_;  ///< source -> dest: memory, fetched blocks
+  hv::MigStream rev_;  ///< dest -> source: fetch requests
+  vm::GuestMemory shadow_mem_;
+  std::unique_ptr<core::PostCopyDestination> fetcher_;
+  BaselineReport rep_;
+};
+
+}  // namespace vmig::baseline

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "baselines/baseline_report.hpp"
+#include "core/migration_config.hpp"
+#include "hypervisor/checkpoint.hpp"
+#include "hypervisor/host.hpp"
+#include "simcore/simulator.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::baseline {
+
+/// Classic shared-storage live migration (Xen NSDI'05 / VMotion, paper
+/// §II-A): iterative memory pre-copy, freeze, ship residual pages + CPU,
+/// resume. The disk never moves — both hosts see the same storage (modeled
+/// by leaving the frontend bound to the source host's backend, the "SAN").
+///
+/// This is the downtime yardstick the paper compares TPM against: TPM's
+/// goal is whole-system migration with downtime "close to shared-storage".
+class SharedStorageMigration {
+ public:
+  SharedStorageMigration(sim::Simulator& sim, core::MigrationConfig cfg,
+                         vm::Domain& domain, hv::Host& source, hv::Host& dest)
+      : sim_{sim},
+        cfg_{cfg},
+        domain_{domain},
+        src_{source},
+        dst_{dest},
+        fwd_{sim, source.link_to(dest)},
+        shadow_mem_{domain.memory().total_bytes() / (1024 * 1024),
+                    domain.memory().page_size()} {
+    rep_.method = "shared-storage";
+  }
+
+  sim::Task<BaselineReport> run();
+
+ private:
+  sim::Task<void> receiver_loop();
+
+  sim::Simulator& sim_;
+  core::MigrationConfig cfg_;
+  vm::Domain& domain_;
+  hv::Host& src_;
+  hv::Host& dst_;
+  hv::MigStream fwd_;
+  vm::GuestMemory shadow_mem_;
+  BaselineReport rep_;
+};
+
+}  // namespace vmig::baseline

@@ -1,0 +1,101 @@
+#include "core/block_bitmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmig::core {
+
+BlockBitmap::BlockBitmap(std::uint64_t size_bits, bool initially_set)
+    : size_{size_bits}, words_((size_bits + 63) / 64, 0) {
+  if (initially_set) fill(true);
+}
+
+void BlockBitmap::set_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  // Head: partial word.
+  while (i < end && (i & 63) != 0) set(i++);
+  // Body: whole words.
+  while (i + 64 <= end) {
+    std::uint64_t& w = words_[i >> 6];
+    set_count_ += 64 - static_cast<std::uint64_t>(std::popcount(w));
+    w = ~std::uint64_t{0};
+    i += 64;
+  }
+  // Tail.
+  while (i < end) set(i++);
+}
+
+void BlockBitmap::clear_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  while (i < end && (i & 63) != 0) clear(i++);
+  while (i + 64 <= end) {
+    std::uint64_t& w = words_[i >> 6];
+    set_count_ -= static_cast<std::uint64_t>(std::popcount(w));
+    w = 0;
+    i += 64;
+  }
+  while (i < end) clear(i++);
+}
+
+void BlockBitmap::fill(bool value) {
+  if (!value) {
+    std::fill(words_.begin(), words_.end(), 0);
+    set_count_ = 0;
+    return;
+  }
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  // Mask off bits beyond size_ in the last word so count/iteration stay exact.
+  if (const std::uint64_t tail = size_ & 63; tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  set_count_ = size_;
+}
+
+std::optional<std::uint64_t> BlockBitmap::next_set(std::uint64_t from) const {
+  if (from >= size_) return std::nullopt;
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (w != 0) {
+      return static_cast<std::uint64_t>(wi) * 64 +
+             static_cast<std::uint64_t>(std::countr_zero(w));
+    }
+    if (++wi >= words_.size()) return std::nullopt;
+    w = words_[wi];
+  }
+}
+
+std::uint64_t BlockBitmap::run_length(std::uint64_t from, std::uint64_t max_len) const {
+  assert(test(from));
+  std::uint64_t n = 0;
+  std::uint64_t i = from;
+  while (n < max_len && i < size_ && test(i)) {
+    ++n;
+    ++i;
+  }
+  return n;
+}
+
+void BlockBitmap::or_with(const BlockBitmap& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  recount();
+}
+
+void BlockBitmap::and_with(const BlockBitmap& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  recount();
+}
+
+void BlockBitmap::recount() {
+  std::uint64_t n = 0;
+  for (const std::uint64_t w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+  set_count_ = n;
+}
+
+}  // namespace vmig::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "core/block_bitmap.hpp"
+#include "core/layered_bitmap.hpp"
+
+namespace vmig::core {
+
+enum class BitmapKind : std::uint8_t { kFlat, kLayered };
+
+inline const char* to_string(BitmapKind k) {
+  return k == BitmapKind::kFlat ? "flat" : "layered";
+}
+
+/// Value-semantic dirty-block bitmap, flat or layered per configuration.
+///
+/// This is the object the split driver (`vmig::vm::BlkBackend`) maintains,
+/// `blkd` snapshots each pre-copy iteration, and the freeze phase ships to
+/// the destination. `take_and_reset()` implements the paper's
+/// copy-then-reset at the start of each iteration.
+class DirtyBitmap {
+ public:
+  DirtyBitmap() : impl_{BlockBitmap{}} {}
+  DirtyBitmap(BitmapKind kind, std::uint64_t size_bits, bool initially_set = false)
+      : impl_{kind == BitmapKind::kFlat
+                  ? Impl{BlockBitmap{size_bits, initially_set}}
+                  : Impl{LayeredBitmap{size_bits, LayeredBitmap::kDefaultPartBits,
+                                       initially_set}}} {}
+
+  BitmapKind kind() const noexcept {
+    return std::holds_alternative<BlockBitmap>(impl_) ? BitmapKind::kFlat
+                                                      : BitmapKind::kLayered;
+  }
+
+  std::uint64_t size() const {
+    return std::visit([](const auto& b) { return b.size(); }, impl_);
+  }
+  bool test(std::uint64_t i) const {
+    return std::visit([i](const auto& b) { return b.test(i); }, impl_);
+  }
+  void set(std::uint64_t i) {
+    std::visit([i](auto& b) { b.set(i); }, impl_);
+  }
+  void clear(std::uint64_t i) {
+    std::visit([i](auto& b) { b.clear(i); }, impl_);
+  }
+  void set_range(std::uint64_t start, std::uint64_t count) {
+    std::visit([=](auto& b) { b.set_range(start, count); }, impl_);
+  }
+  void fill(bool value) {
+    std::visit([value](auto& b) { b.fill(value); }, impl_);
+  }
+  std::uint64_t count_set() const {
+    return std::visit([](const auto& b) { return b.count_set(); }, impl_);
+  }
+  bool any() const { return count_set() > 0; }
+  bool none() const { return count_set() == 0; }
+  std::optional<std::uint64_t> next_set(std::uint64_t from) const {
+    return std::visit([from](const auto& b) { return b.next_set(from); }, impl_);
+  }
+  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const {
+    return std::visit(
+        [=](const auto& b) { return b.run_length(from, max_len); }, impl_);
+  }
+  template <typename F>
+  void for_each_set(F&& f) const {
+    std::visit([&](const auto& b) { b.for_each_set(std::forward<F>(f)); }, impl_);
+  }
+  std::uint64_t bytes() const {
+    return std::visit([](const auto& b) { return b.bytes(); }, impl_);
+  }
+  std::uint64_t wire_bytes() const {
+    return std::visit([](const auto& b) { return b.wire_bytes(); }, impl_);
+  }
+
+  /// Snapshot the current contents and reset this bitmap to all-clean.
+  /// (blkd's per-iteration "copy to blkd, then reset for the next round".)
+  DirtyBitmap take_and_reset() {
+    DirtyBitmap copy = *this;
+    fill(false);
+    return copy;
+  }
+
+  /// In-place union; works across kinds (cost is o's set-bit count).
+  void or_with(const DirtyBitmap& o) {
+    o.for_each_set([this](std::uint64_t i) { set(i); });
+  }
+
+ private:
+  using Impl = std::variant<BlockBitmap, LayeredBitmap>;
+  Impl impl_;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,53 @@
+#include "core/disruption.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vmig::core {
+
+DisruptionStats measure_disruption(const sim::TimeSeries& throughput,
+                                   sim::TimePoint baseline_from,
+                                   sim::TimePoint baseline_to,
+                                   sim::TimePoint window_from,
+                                   sim::TimePoint window_to, double threshold) {
+  DisruptionStats out;
+  out.window = window_to - window_from;
+  out.baseline = throughput.mean_in(baseline_from, baseline_to);
+  if (out.baseline <= 0.0) return out;
+
+  // Collect window samples with their spacing (RateMeter emits fixed-width
+  // windows, but be robust to irregular series).
+  const auto& pts = throughput.points();
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].t >= window_from && pts[i].t <= window_to) idx.push_back(i);
+  }
+  out.samples = idx.size();
+  if (idx.empty()) return out;
+
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const auto& p = pts[idx[k]];
+    const double ratio = p.value / out.baseline;
+    out.worst_ratio = std::min(out.worst_ratio, ratio);
+    if (ratio < threshold) {
+      ++out.samples_below;
+      // Charge this sample's interval: distance to the next sample, or the
+      // trailing mean spacing for the last one.
+      sim::Duration dt;
+      if (k + 1 < idx.size()) {
+        dt = pts[idx[k + 1]].t - p.t;
+      } else if (idx.size() >= 2) {
+        dt = sim::Duration::from_seconds(
+            (pts[idx.back()].t - pts[idx.front()].t).to_seconds() /
+            static_cast<double>(idx.size() - 1));
+      } else {
+        dt = out.window;
+      }
+      out.disrupted_time += dt;
+    }
+  }
+  out.disrupted_time = std::min(out.disrupted_time, out.window);
+  return out;
+}
+
+}  // namespace vmig::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "simcore/stats.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::core {
+
+/// Disruption-time analysis (paper §III-A): "the time interval during which
+/// clients ... observe degradation of service responsiveness".
+///
+/// Computed from a client-visible throughput series: baseline = mean over an
+/// undisturbed reference window; every sample inside the observation window
+/// below `threshold * baseline` counts its sampling interval as disrupted.
+struct DisruptionStats {
+  sim::Duration disrupted_time{};  ///< total degraded time in the window
+  sim::Duration window{};          ///< observation window length
+  double baseline = 0.0;           ///< reference throughput (units of input)
+  double worst_ratio = 1.0;        ///< min(sample/baseline) in the window
+  std::size_t samples = 0;
+  std::size_t samples_below = 0;
+
+  double disrupted_fraction() const {
+    return window > sim::Duration::zero() ? disrupted_time / window : 0.0;
+  }
+};
+
+DisruptionStats measure_disruption(const sim::TimeSeries& throughput,
+                                   sim::TimePoint baseline_from,
+                                   sim::TimePoint baseline_to,
+                                   sim::TimePoint window_from,
+                                   sim::TimePoint window_to,
+                                   double threshold = 0.9);
+
+}  // namespace vmig::core

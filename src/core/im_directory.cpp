@@ -1,0 +1,25 @@
+#include "core/im_directory.hpp"
+
+namespace vmig::core {
+
+void ImDirectory::on_migrated(const hv::Host& source, const hv::Host& dest,
+                              const DirtyBitmap& writes_at_source,
+                              bool writes_known) {
+  if (!writes_known) {
+    // No record of what changed while the VM lived on the source: every
+    // previously-known copy may be stale anywhere. Full invalidation.
+    for (auto& [host, bm] : divergence_) {
+      if (host != &source && host != &dest) bm.fill(true);
+    }
+  } else {
+    for (auto& [host, bm] : divergence_) {
+      if (host != &source && host != &dest) bm.or_with(writes_at_source);
+    }
+  }
+  // Both endpoints hold the freeze-time truth when the migration completes
+  // (the destination exactly; the source modulo nothing — it stopped).
+  divergence_[&source] = DirtyBitmap{kind_, block_count_};
+  divergence_[&dest] = DirtyBitmap{kind_, block_count_};
+}
+
+}  // namespace vmig::core

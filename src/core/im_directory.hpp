@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/dirty_bitmap.hpp"
+#include "hypervisor/host.hpp"
+
+namespace vmig::core {
+
+/// Multi-host incremental-migration directory — the paper's §VII future
+/// work ("local disk storage version maintenance to facilitate IM ... among
+/// any recently used physical machines"), implemented.
+///
+/// For one domain, tracks a *divergence bitmap* per previously-visited host:
+/// the set of blocks whose copy on that host no longer matches the VM's
+/// current disk. Invariant maintenance:
+///   - when the VM leaves a source, every write made during its tenancy
+///     there (the backend's tracked set plus writes observed mid-migration)
+///     joins every *other* host's divergence set;
+///   - the migration's destination ends fully synchronized (divergence ∅);
+///   - the source holds the freeze-time image (divergence ∅ too; writes made
+///     later at the destination will join it on the next hop).
+///
+/// `seed_for` then answers: migrating to host H, which blocks must move?
+class ImDirectory {
+ public:
+  ImDirectory(std::uint64_t block_count, BitmapKind kind)
+      : block_count_{block_count}, kind_{kind} {}
+
+  /// The first-pass seed for migrating to `dest`: its divergence set, or
+  /// nullopt if `dest` has never held this VM's disk (full copy needed).
+  std::optional<DirtyBitmap> seed_for(const hv::Host& dest) const {
+    const auto it = divergence_.find(&dest);
+    if (it == divergence_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Record a completed migration. `writes_at_source` is every block
+  /// written while the VM lived on `source` (tracking snapshot taken at
+  /// migration start, unioned with the writes the migration itself
+  /// observed). If the source's history is unknown (`writes_known` false —
+  /// e.g. tracking was off), all divergence knowledge is invalidated.
+  void on_migrated(const hv::Host& source, const hv::Host& dest,
+                   const DirtyBitmap& writes_at_source, bool writes_known);
+
+  std::size_t known_hosts() const noexcept { return divergence_.size(); }
+  bool knows(const hv::Host& h) const { return divergence_.contains(&h); }
+  /// Blocks that would need to move to `h` right now (pre-tenancy writes).
+  std::uint64_t divergent_blocks(const hv::Host& h) const {
+    const auto it = divergence_.find(&h);
+    return it == divergence_.end() ? block_count_ : it->second.count_set();
+  }
+
+ private:
+  std::uint64_t block_count_;
+  BitmapKind kind_;
+  std::unordered_map<const hv::Host*, DirtyBitmap> divergence_;
+};
+
+}  // namespace vmig::core

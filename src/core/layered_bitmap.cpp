@@ -1,0 +1,138 @@
+#include "core/layered_bitmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmig::core {
+
+LayeredBitmap::LayeredBitmap(std::uint64_t size_bits, std::uint64_t part_bits,
+                             bool initially_set)
+    : size_{size_bits},
+      part_bits_{part_bits == 0 ? kDefaultPartBits : part_bits} {
+  const std::uint64_t nparts = (size_bits + part_bits_ - 1) / part_bits_;
+  parts_.resize(nparts);
+  upper_ = BlockBitmap{nparts};
+  if (initially_set) fill(true);
+}
+
+LayeredBitmap& LayeredBitmap::operator=(const LayeredBitmap& o) {
+  if (this == &o) return *this;
+  size_ = o.size_;
+  part_bits_ = o.part_bits_;
+  set_count_ = o.set_count_;
+  allocated_parts_ = o.allocated_parts_;
+  upper_ = o.upper_;
+  parts_.clear();
+  parts_.resize(o.parts_.size());
+  for (std::size_t i = 0; i < o.parts_.size(); ++i) {
+    if (o.parts_[i]) parts_[i] = std::make_unique<BlockBitmap>(*o.parts_[i]);
+  }
+  return *this;
+}
+
+bool LayeredBitmap::test(std::uint64_t i) const {
+  assert(i < size_);
+  const std::uint64_t pi = i / part_bits_;
+  if (!upper_.test(pi)) return false;
+  const auto& part = parts_[pi];
+  return part && part->test(i % part_bits_);
+}
+
+BlockBitmap& LayeredBitmap::ensure_part(std::uint64_t pi) {
+  auto& part = parts_[pi];
+  if (!part) {
+    const std::uint64_t this_part_bits =
+        std::min(part_bits_, size_ - pi * part_bits_);
+    part = std::make_unique<BlockBitmap>(this_part_bits);
+    ++allocated_parts_;
+  }
+  return *part;
+}
+
+void LayeredBitmap::set(std::uint64_t i) {
+  assert(i < size_);
+  const std::uint64_t pi = i / part_bits_;
+  BlockBitmap& part = ensure_part(pi);
+  const std::uint64_t before = part.count_set();
+  part.set(i % part_bits_);
+  if (part.count_set() != before) {
+    ++set_count_;
+    if (before == 0) upper_.set(pi);
+  }
+}
+
+void LayeredBitmap::clear(std::uint64_t i) {
+  assert(i < size_);
+  const std::uint64_t pi = i / part_bits_;
+  auto& part = parts_[pi];
+  if (!part) return;
+  const std::uint64_t before = part->count_set();
+  part->clear(i % part_bits_);
+  if (part->count_set() != before) {
+    --set_count_;
+    if (part->count_set() == 0) upper_.clear(pi);
+  }
+}
+
+void LayeredBitmap::set_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  while (i < end) {
+    const std::uint64_t pi = i / part_bits_;
+    const std::uint64_t part_start = pi * part_bits_;
+    const std::uint64_t in_part = i - part_start;
+    const std::uint64_t n = std::min(end - i, part_bits_ - in_part);
+    BlockBitmap& part = ensure_part(pi);
+    const std::uint64_t before = part.count_set();
+    part.set_range(in_part, n);
+    set_count_ += part.count_set() - before;
+    if (before == 0 && part.count_set() > 0) upper_.set(pi);
+    i += n;
+  }
+}
+
+void LayeredBitmap::fill(bool value) {
+  if (!value) {
+    // Drop all leaves: matches the paper's "reset at iteration start", and
+    // returns the memory (lazy reallocation on next write burst).
+    for (auto& p : parts_) p.reset();
+    allocated_parts_ = 0;
+    set_count_ = 0;
+    upper_.fill(false);
+    return;
+  }
+  set_range(0, size_);
+}
+
+std::optional<std::uint64_t> LayeredBitmap::next_set(std::uint64_t from) const {
+  if (from >= size_) return std::nullopt;
+  std::uint64_t pi = from / part_bits_;
+  // First candidate part: the one containing `from`, then upper-level scan.
+  for (;;) {
+    const auto next_part = upper_.next_set(pi);
+    if (!next_part) return std::nullopt;
+    pi = *next_part;
+    const auto& part = parts_[pi];
+    const std::uint64_t base = pi * part_bits_;
+    const std::uint64_t local_from = base >= from ? 0 : from - base;
+    if (part) {
+      if (const auto hit = part->next_set(local_from)) return base + *hit;
+    }
+    ++pi;  // nothing at/after `from` in this part; try the next dirty part
+    if (pi >= parts_.size()) return std::nullopt;
+  }
+}
+
+std::uint64_t LayeredBitmap::run_length(std::uint64_t from, std::uint64_t max_len) const {
+  assert(test(from));
+  std::uint64_t n = 0;
+  std::uint64_t i = from;
+  while (n < max_len && i < size_ && test(i)) {
+    ++n;
+    ++i;
+  }
+  return n;
+}
+
+}  // namespace vmig::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/block_bitmap.hpp"
+
+namespace vmig::core {
+
+/// Two-level block-bitmap (paper §IV-A-2, "Layered-Bitmap").
+///
+/// The bit space is split into fixed-size *parts*. An upper bitmap records
+/// which parts contain any dirty bit; leaf parts are allocated lazily on
+/// first write. Because disk writes are highly local, the dirty set clusters
+/// into few parts, so:
+///   - scanning skips clean parts entirely (upper-level word scan), and
+///   - memory and freeze-phase wire size shrink to upper + dirty parts.
+class LayeredBitmap {
+ public:
+  /// Default part size: 2^15 bits = 32768 blocks = 128 MiB of disk per part
+  /// at 4 KB blocks (4 KiB of bitmap per part).
+  static constexpr std::uint64_t kDefaultPartBits = 1ull << 15;
+
+  LayeredBitmap() = default;
+  explicit LayeredBitmap(std::uint64_t size_bits,
+                         std::uint64_t part_bits = kDefaultPartBits,
+                         bool initially_set = false);
+
+  LayeredBitmap(const LayeredBitmap& o) { *this = o; }
+  LayeredBitmap& operator=(const LayeredBitmap& o);
+  LayeredBitmap(LayeredBitmap&&) noexcept = default;
+  LayeredBitmap& operator=(LayeredBitmap&&) noexcept = default;
+
+  std::uint64_t size() const noexcept { return size_; }
+  std::uint64_t part_bits() const noexcept { return part_bits_; }
+  std::uint64_t part_count() const noexcept { return parts_.size(); }
+
+  bool test(std::uint64_t i) const;
+  void set(std::uint64_t i);
+  void clear(std::uint64_t i);
+  void set_range(std::uint64_t start, std::uint64_t count);
+  void fill(bool value);
+
+  std::uint64_t count_set() const noexcept { return set_count_; }
+  bool any() const noexcept { return set_count_ > 0; }
+  bool none() const noexcept { return set_count_ == 0; }
+
+  std::optional<std::uint64_t> next_set(std::uint64_t from) const;
+  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const;
+
+  /// Invoke f(index) for each set bit, ascending; clean parts are skipped
+  /// via the upper level (the layered bitmap's raison d'etre).
+  template <typename F>
+  void for_each_set(F&& f) const {
+    upper_.for_each_set([&](std::uint64_t pi) {
+      const auto& part = parts_[pi];
+      if (!part) return;
+      const std::uint64_t base = pi * part_bits_;
+      part->for_each_set([&](std::uint64_t off) { f(base + off); });
+    });
+  }
+
+  std::uint64_t allocated_parts() const noexcept { return allocated_parts_; }
+  std::uint64_t dirty_parts() const noexcept { return upper_.count_set(); }
+
+  /// Resident memory: upper bitmap + allocated leaf parts.
+  std::uint64_t bytes() const noexcept {
+    return upper_.bytes() + allocated_parts_ * ((part_bits_ + 7) / 8);
+  }
+  /// Freeze-phase wire size: upper bitmap + parts that are actually dirty.
+  std::uint64_t wire_bytes() const noexcept {
+    return upper_.wire_bytes() + upper_.count_set() * ((part_bits_ + 7) / 8);
+  }
+
+ private:
+  BlockBitmap& ensure_part(std::uint64_t pi);
+
+  std::uint64_t size_ = 0;
+  std::uint64_t part_bits_ = kDefaultPartBits;
+  std::uint64_t set_count_ = 0;
+  std::uint64_t allocated_parts_ = 0;
+  BlockBitmap upper_;
+  std::vector<std::unique_ptr<BlockBitmap>> parts_;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/dirty_bitmap.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::core {
+
+/// Tunables of the three-phase migration (paper §IV) and its memory stage.
+struct MigrationConfig {
+  // ---- Block-bitmap ----
+  BitmapKind bitmap_kind = BitmapKind::kLayered;
+
+  // ---- Disk pre-copy (blkd) ----
+  /// Blocks per transfer chunk (256 x 4 KB = 1 MiB).
+  std::uint32_t disk_chunk_blocks = 256;
+  /// Hard cap on pre-copy iterations ("we limit the maximum number of
+  /// iterations to avoid endless migration").
+  int disk_max_iterations = 4;
+  /// Stop iterating once an iteration leaves at most this many dirty blocks;
+  /// the residue is synchronized by post-copy.
+  std::uint64_t disk_residual_target_blocks = 256;
+  /// Proactive stop: if blocks dirtied during an iteration exceed this
+  /// fraction of blocks transferred in it, the dirty rate is outrunning the
+  /// transfer rate and further iterations cannot converge.
+  double disk_dirty_rate_abort_ratio = 0.9;
+  /// CPU cost the user-space migration daemon (blkd) pays per MiB moved
+  /// through it — /proc copies, context switches, protocol work. Applied on
+  /// both the sending and receiving side. Zero by default; the calibrated
+  /// paper testbed (scenario::Testbed) sets it so the end-to-end pre-copy
+  /// rate lands near the paper's ~49 MB/s over GbE.
+  sim::Duration blkd_cpu_per_mib = sim::Duration::zero();
+
+  // ---- Memory pre-copy (xc_linux_save) ----
+  std::uint32_t mem_chunk_pages = 256;
+  int mem_max_iterations = 5;
+  /// Freeze once the dirty set is at most this many pages.
+  std::uint64_t mem_residual_target_pages = 256;
+  double mem_dirty_rate_abort_ratio = 0.9;
+
+  // ---- Rate limiting (§VI-C-3) ----
+  /// Shaping rate for the migration stream in MiB/s; <= 0 means unlimited.
+  double rate_limit_mibps = 0.0;
+  /// Rate limiting applies only to the pre-copy phases (as in the paper's
+  /// experiment); the freeze-phase residual is always sent at full speed.
+  bool rate_limit_postcopy = false;
+
+  // ---- Post-copy ----
+  /// Blocks per push chunk. Small chunks bound the delay before a
+  /// preferential pull response can enter the link.
+  std::uint32_t push_chunk_blocks = 64;
+  /// Ablation: disable the destination's pull path (guest reads of dirty
+  /// blocks then wait for the push sweep to reach them).
+  bool postcopy_pull_enabled = true;
+
+  // ---- Fixed per-migration overheads (hypercalls, device teardown/setup) ----
+  sim::Duration suspend_overhead = sim::Duration::millis(12);
+  sim::Duration resume_overhead = sim::Duration::millis(20);
+
+  /// Track writes at the destination after resume so a later migration back
+  /// can be incremental (paper §V). Leave on; benches switch it off to
+  /// quantify the tracking overhead (Table III).
+  bool track_for_incremental = true;
+  /// Per-write bitmap update cost charged by blkback while tracking.
+  sim::Duration tracking_overhead = sim::Duration::micros(2);
+
+  // ---- §VII extensions (the paper's future work, implemented) ----
+  /// Guest-assisted free-block map: the guest reports never-used blocks, so
+  /// the first pre-copy pass skips them ("if the Guest OS can tell the
+  /// migration process which part is not used, the amount of migrated data
+  /// can be reduced further").
+  bool skip_unused_blocks = false;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,77 @@
+#include "core/migration_manager.hpp"
+
+#include <memory>
+
+#include "core/tpm.hpp"
+
+namespace vmig::core {
+
+sim::Task<MigrationReport> MigrationManager::migrate(vm::Domain& domain,
+                                                     hv::Host& from,
+                                                     hv::Host& to,
+                                                     MigrationConfig cfg) {
+  const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
+  if (progress_) tpm->set_progress_listener(progress_);
+
+  // §VII multi-host IM: seed the first pass from the version directory and
+  // fold the source's tenancy writes into every other host's divergence.
+  DirtyBitmap tenancy_writes;
+  bool tenancy_known = false;
+  ImDirectory* dir = nullptr;
+  if (multi_host_im_) {
+    auto& slot = directories_[domain.id()];
+    if (!slot) {
+      slot = std::make_unique<ImDirectory>(from.vbd_for(domain.id()).geometry().block_count,
+                                           cfg.bitmap_kind);
+    }
+    dir = slot.get();
+    if (from.backend_for(domain.id()).tracking()) {
+      tenancy_writes = from.backend_for(domain.id()).snapshot_dirty_and_reset();
+      tenancy_known = true;
+    } else {
+      tenancy_writes =
+          DirtyBitmap{cfg.bitmap_kind, from.vbd_for(domain.id()).geometry().block_count};
+    }
+    if (auto seed = dir->seed_for(to)) {
+      seed->or_with(tenancy_writes);
+      tpm->set_first_pass_seed(std::move(*seed));
+    } else if (tenancy_known) {
+      // Unknown destination: full first pass (the consumed tracking is a
+      // subset of all-set, so nothing is lost).
+      DirtyBitmap all{cfg.bitmap_kind, from.vbd_for(domain.id()).geometry().block_count,
+                      /*initially_set=*/true};
+      tpm->set_first_pass_seed(std::move(all), /*mark_incremental=*/false);
+    }
+  } else {
+    // Pairwise IM (the paper's prototype, §V/§VII): a migration is
+    // incremental only back to the machine the VM last came from. If the
+    // source backend is still tracking but the destination never held this
+    // VM's base image, the bitmap must NOT seed the first pass — force a
+    // full copy (the paper notes its IM "can only act between the primary
+    // destination and the source machine"; acting anyway would silently
+    // corrupt the disk).
+    const auto it = last_source_.find(domain.id());
+    const bool dest_has_base = it != last_source_.end() && it->second == &to;
+    if (from.backend_for(domain.id()).tracking() && !dest_has_base) {
+      (void)from.backend_for(domain.id()).snapshot_dirty_and_reset();
+      DirtyBitmap all{cfg.bitmap_kind, from.vbd_for(domain.id()).geometry().block_count,
+                      /*initially_set=*/true};
+      tpm->set_first_pass_seed(std::move(all), /*mark_incremental=*/false);
+    }
+    last_source_[domain.id()] = &from;
+  }
+
+  MigrationReport rep = co_await tpm->run();
+
+  if (dir != nullptr) {
+    tenancy_writes.or_with(tpm->observed_source_writes());
+    // tenancy_known is false only when the source had no tracking (a first
+    // departure); any already-known host copies must then be invalidated.
+    dir->on_migrated(from, to, tenancy_writes, tenancy_known);
+  }
+
+  history_.push_back(rep);
+  co_return rep;
+}
+
+}  // namespace vmig::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/im_directory.hpp"
+#include "core/tpm.hpp"
+#include "core/migration_config.hpp"
+#include "core/migration_metrics.hpp"
+#include "hypervisor/host.hpp"
+#include "simcore/simulator.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::core {
+
+/// Public facade of the migration library.
+///
+/// Usage:
+///   MigrationManager mgr{sim};
+///   sim.spawn(run());                 // where run() does:
+///     auto rep = co_await mgr.migrate(vm, office, home);
+///     ... work at home ...
+///     auto back = co_await mgr.migrate(vm, home, office);  // incremental
+///
+/// A second migration back to a machine the VM came from is automatically
+/// incremental: the destination-side write tracking started by the first
+/// migration seeds the first pre-copy iteration (paper §V).
+class MigrationManager {
+ public:
+  explicit MigrationManager(sim::Simulator& sim) : sim_{sim} {}
+
+  /// Whole-system live migration of `domain` between two interconnected
+  /// hosts. Completes when source and destination are fully synchronized.
+  sim::Task<MigrationReport> migrate(vm::Domain& domain, hv::Host& from,
+                                     hv::Host& to, MigrationConfig cfg = {});
+
+  /// Observe phase transitions and disk pre-copy progress of every
+  /// migration this manager runs (see TpmMigration::ProgressListener).
+  void set_progress_listener(TpmMigration::ProgressListener l) {
+    progress_ = std::move(l);
+  }
+
+  /// §VII extension: maintain per-host disk-version bitmaps so migrations
+  /// are incremental to *any* recently-visited host, not just the previous
+  /// one. Off by default (the paper's prototype is strictly pairwise).
+  void set_multi_host_im(bool enabled) noexcept { multi_host_im_ = enabled; }
+  bool multi_host_im() const noexcept { return multi_host_im_; }
+
+  /// The version directory for a domain (nullptr until it migrated once
+  /// with multi-host IM enabled).
+  const ImDirectory* directory(const vm::Domain& domain) const {
+    const auto it = directories_.find(domain.id());
+    return it == directories_.end() ? nullptr : it->second.get();
+  }
+
+  /// Reports of every completed migration, oldest first.
+  const std::vector<MigrationReport>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  TpmMigration::ProgressListener progress_;
+  bool multi_host_im_ = false;
+  std::unordered_map<vm::DomainId, std::unique_ptr<ImDirectory>> directories_;
+  /// Pairwise-IM validity: the host each domain last migrated away from
+  /// (the only machine whose disk holds this VM's base image).
+  std::unordered_map<vm::DomainId, const hv::Host*> last_source_;
+  std::vector<MigrationReport> history_;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,49 @@
+#include "core/migration_metrics.hpp"
+
+#include <cstdio>
+
+namespace vmig::core {
+
+std::string MigrationReport::str() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "migration: total=%.1fs downtime=%.1fms precopy=%.1fs postcopy=%.1fms\n"
+      "  data: %.1f MiB (disk first=%.1f retx=%.1f mem=%.1f residual=%.3f "
+      "bitmap=%.3f push=%.3f pull=%.3f ctrl=%.3f)\n"
+      "  disk: %d iters, first=%llu retx=%llu residual=%llu "
+      "push=%llu pull=%llu drop=%llu%s%s\n"
+      "  mem: %d iters, precopied=%llu residual=%llu pages\n"
+      "  verified: disk=%s memory=%s",
+      total_time().to_seconds(), downtime().to_millis(),
+      precopy_time().to_seconds(), postcopy_time().to_millis(), total_mib(),
+      static_cast<double>(bytes_disk_first_pass) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_disk_retransfer) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_memory_precopy) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_freeze_residual) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_bitmap) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_postcopy_push) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_postcopy_pull) / (1024.0 * 1024.0),
+      static_cast<double>(bytes_control) / (1024.0 * 1024.0), disk_iterations,
+      static_cast<unsigned long long>(blocks_first_pass),
+      static_cast<unsigned long long>(blocks_retransferred),
+      static_cast<unsigned long long>(residual_dirty_blocks),
+      static_cast<unsigned long long>(blocks_pushed),
+      static_cast<unsigned long long>(blocks_pulled),
+      static_cast<unsigned long long>(blocks_dropped),
+      incremental ? " [incremental]" : "",
+      aborted_precopy_dirty_rate ? " [dirty-rate abort]" : "", mem_iterations,
+      static_cast<unsigned long long>(pages_precopied),
+      static_cast<unsigned long long>(pages_residual),
+      disk_consistent ? "ok" : "FAIL", memory_consistent ? "ok" : "FAIL");
+  return buf;
+}
+
+std::string MigrationReport::row() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%8.1f %10.0f %12.1f",
+                total_time().to_seconds(), downtime().to_millis(), total_mib());
+  return buf;
+}
+
+}  // namespace vmig::core

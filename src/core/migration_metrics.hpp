@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace vmig::core {
+
+/// Everything measured about one migration, aligned with the paper's §III-A
+/// metrics: downtime, total migration time, amount of migrated data, plus
+/// per-phase detail the evaluation section quotes (iterations, retransferred
+/// blocks, pulled/pushed counts, post-copy duration).
+struct MigrationReport {
+  // ---- Phase boundaries ----
+  sim::TimePoint started{};
+  sim::TimePoint disk_precopy_done{};  ///< storage pre-copy iterations over
+  sim::TimePoint suspended{};     ///< guest frozen on the source
+  sim::TimePoint resumed{};       ///< guest running on the destination
+  sim::TimePoint synchronized{};  ///< post-copy drained; source releasable
+
+  // ---- §III-A headline metrics ----
+  sim::Duration total_time() const { return synchronized - started; }
+  sim::Duration downtime() const { return resumed - suspended; }
+  sim::Duration precopy_time() const { return suspended - started; }
+  sim::Duration postcopy_time() const { return synchronized - resumed; }
+  /// Storage-only migration time: disk pre-copy plus the post-copy
+  /// synchronization (what the paper's Table II appears to report for IM —
+  /// memory pre-copy time excluded).
+  sim::Duration storage_time() const {
+    return (disk_precopy_done - started) + postcopy_time();
+  }
+
+  // ---- Data volumes (bytes) ----
+  std::uint64_t bytes_disk_first_pass = 0;   ///< iteration 1 (full disk or IM seed)
+  std::uint64_t bytes_disk_retransfer = 0;   ///< later iterations
+  std::uint64_t bytes_memory_precopy = 0;
+  std::uint64_t bytes_freeze_residual = 0;   ///< residual pages + CPU state
+  std::uint64_t bytes_bitmap = 0;
+  std::uint64_t bytes_postcopy_push = 0;
+  std::uint64_t bytes_postcopy_pull = 0;
+  std::uint64_t bytes_control = 0;
+
+  std::uint64_t total_bytes() const {
+    return bytes_disk_first_pass + bytes_disk_retransfer + bytes_memory_precopy +
+           bytes_freeze_residual + bytes_bitmap + bytes_postcopy_push +
+           bytes_postcopy_pull + bytes_control;
+  }
+  double total_mib() const {
+    return static_cast<double>(total_bytes()) / (1024.0 * 1024.0);
+  }
+
+  // ---- Counters the paper quotes per workload ----
+  int disk_iterations = 0;
+  int mem_iterations = 0;
+  std::uint64_t blocks_first_pass = 0;
+  std::uint64_t blocks_retransferred = 0;   ///< dirty blocks resent in pre-copy
+  std::uint64_t residual_dirty_blocks = 0;  ///< left for post-copy at freeze
+  std::uint64_t blocks_pushed = 0;
+  std::uint64_t blocks_pulled = 0;
+  std::uint64_t blocks_dropped = 0;         ///< pushed but overwritten locally
+  std::uint64_t postcopy_reads_blocked = 0; ///< guest reads that waited
+  sim::Duration postcopy_read_stall_total{};
+  sim::Duration postcopy_read_stall_max{};
+  std::uint64_t pages_precopied = 0;
+  std::uint64_t pages_residual = 0;
+  bool incremental = false;                 ///< first pass seeded from IM bitmap
+  bool aborted_precopy_dirty_rate = false;  ///< proactive stop fired
+  std::uint64_t blocks_skipped_unused = 0;  ///< guest-reported free blocks
+
+  // ---- End-state verification (simulation-only ground truth) ----
+  bool disk_consistent = false;
+  bool memory_consistent = false;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+  /// One table row: "total_s downtime_ms data_MB".
+  std::string row() const;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,190 @@
+#include "core/post_copy.hpp"
+
+#include <vector>
+
+namespace vmig::core {
+
+PostCopyDestination::PostCopyDestination(sim::Simulator& sim,
+                                         storage::VirtualDisk& disk,
+                                         DirtyBitmap transferred,
+                                         vm::DomainId migrated,
+                                         MigStream& to_source, bool pull_enabled)
+    : sim_{sim},
+      disk_{disk},
+      transferred_{std::move(transferred)},
+      migrated_{migrated},
+      to_source_{to_source},
+      done_{sim},
+      pull_enabled_{pull_enabled} {
+  check_done();  // a zero-residue migration is already synchronized
+}
+
+sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
+                                                storage::IoOp op,
+                                                storage::BlockRange range) {
+  // Line 3: requests from domains other than the migrated VM pass through.
+  if (domain != migrated_) co_return;
+
+  if (op == storage::IoOp::kWrite) {
+    // Lines 5-10: a whole-block overwrite supersedes the source copy; the
+    // block no longer needs synchronization. (BM_3 marking happens in
+    // blkback's write tracking.) Pending reads of the block — possible only
+    // from concurrent guest contexts — see the freshly written data.
+    for (storage::BlockId b = range.start; b < range.end(); ++b) {
+      if (transferred_.test(b)) {
+        transferred_.clear(b);
+        release_waiters(b);
+      }
+    }
+    check_done();
+    co_return;
+  }
+
+  // Lines 11-13: reads of clean blocks submit directly; dirty blocks are
+  // pulled from the source and the request parks in the pending list.
+  const sim::TimePoint entered = sim_.now();
+  bool blocked = false;
+  if (pull_enabled_) {
+    for (storage::BlockId b = range.start; b < range.end(); ++b) {
+      if (transferred_.test(b) && !requested_.contains(b)) {
+        requested_.insert(b);
+        ++stats_.pull_requests;
+        co_await to_source_.send(MigrationMessage{PullRequestMsg{b}});
+      }
+    }
+  }
+  for (storage::BlockId b = range.start; b < range.end(); ++b) {
+    while (transferred_.test(b)) {
+      blocked = true;
+      auto& gate = pending_[b];
+      if (!gate) gate = std::make_unique<sim::Gate>(sim_);
+      co_await gate->wait();
+    }
+  }
+  if (blocked) {
+    ++reads_blocked_;
+    const sim::Duration stall = sim_.now() - entered;
+    total_stall_ += stall;
+    if (stall > max_stall_) max_stall_ = stall;
+  }
+}
+
+sim::Task<void> PostCopyDestination::on_block_received(const DiskBlocksMsg& msg) {
+  // Apply only the still-inconsistent sub-runs; drop blocks a local write
+  // superseded (paper receive-algorithm lines 2-3).
+  const storage::BlockRange range = msg.range;
+  storage::BlockId i = range.start;
+  while (i < range.end()) {
+    if (!transferred_.test(i)) {
+      ++stats_.blocks_dropped;
+      ++i;
+      continue;
+    }
+    // Coalesce a contiguous applicable run for one disk write.
+    storage::BlockId j = i;
+    while (j < range.end() && transferred_.test(j)) ++j;
+    const std::uint32_t n = static_cast<std::uint32_t>(j - i);
+    const std::size_t off = static_cast<std::size_t>(i - range.start);
+    const std::span<const storage::ContentToken> toks{msg.tokens.data() + off, n};
+    co_await disk_.write_tokens(storage::BlockRange{i, n}, toks,
+                                storage::IoSource::kMigration);
+    if (!msg.payloads.empty()) {
+      disk_.apply_payloads(
+          storage::BlockRange{i, n},
+          std::span<const std::byte>{msg.payloads.data() + off * msg.block_size,
+                                     static_cast<std::size_t>(n) * msg.block_size});
+    }
+    for (storage::BlockId b = i; b < j; ++b) {
+      transferred_.clear(b);
+      release_waiters(b);
+      requested_.erase(b);
+      if (msg.pull_response) {
+        ++stats_.blocks_pulled;
+      } else {
+        ++stats_.blocks_pushed;
+      }
+    }
+    i = j;
+  }
+  if (msg.pull_response) {
+    stats_.bytes_pull += msg.wire_bytes();
+  } else {
+    stats_.bytes_push += msg.wire_bytes();
+  }
+  check_done();
+}
+
+void PostCopyDestination::force_complete(
+    const storage::VirtualDisk& source_of_truth) {
+  transferred_.for_each_set([&](std::uint64_t b) {
+    disk_.poke_token(b, source_of_truth.token(b));
+  });
+  transferred_.fill(false);
+  for (auto& [b, gate] : pending_) gate->open();
+  pending_.clear();
+  requested_.clear();
+  check_done();
+}
+
+void PostCopyDestination::release_waiters(storage::BlockId b) {
+  const auto it = pending_.find(b);
+  if (it == pending_.end()) return;
+  it->second->open();
+  pending_.erase(it);
+}
+
+void PostCopyDestination::check_done() {
+  if (transferred_.none() && !done_.is_open()) done_.open();
+}
+
+PostCopySource::PostCopySource(sim::Simulator& sim, storage::VirtualDisk& disk,
+                               DirtyBitmap remaining, MigStream& to_dest,
+                               std::uint32_t push_chunk_blocks,
+                               net::TokenBucket* shaper)
+    : sim_{sim},
+      disk_{disk},
+      remaining_{std::move(remaining)},
+      to_dest_{to_dest},
+      push_chunk_{push_chunk_blocks == 0 ? 1 : push_chunk_blocks},
+      shaper_{shaper} {}
+
+void PostCopySource::enqueue_pull(storage::BlockId b) { pulls_.push_back(b); }
+
+sim::Task<void> PostCopySource::run() {
+  while (!stop_requested_ && (remaining_.any() || !pulls_.empty())) {
+    // Pull requests are served preferentially (paper §IV-A-3).
+    if (!pulls_.empty()) {
+      const storage::BlockId b = pulls_.front();
+      pulls_.pop_front();
+      if (!remaining_.test(b)) continue;  // already pushed; response in flight
+      const storage::BlockRange r{b, 1};
+      co_await disk_.read(r, storage::IoSource::kMigration);
+      remaining_.clear(b);
+      DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/true);
+      ++stats_.blocks_pulled;
+      stats_.bytes_pull += msg.wire_bytes();
+      co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
+      continue;
+    }
+
+    auto next = remaining_.next_set(cursor_);
+    if (!next) {
+      cursor_ = 0;
+      next = remaining_.next_set(0);
+      if (!next) continue;  // drained; loop condition re-checks pulls
+    }
+    const std::uint64_t len = remaining_.run_length(*next, push_chunk_);
+    const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
+    co_await disk_.read(r, storage::IoSource::kMigration);
+    for (storage::BlockId b = r.start; b < r.end(); ++b) remaining_.clear(b);
+    cursor_ = r.end();
+    DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
+    stats_.blocks_pushed += r.count;
+    stats_.bytes_push += msg.wire_bytes();
+    co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
+  }
+  finished_ = true;
+  co_await to_dest_.send(MigrationMessage{ControlMsg{Control::kPushComplete}});
+}
+
+}  // namespace vmig::core

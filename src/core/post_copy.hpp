@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/dirty_bitmap.hpp"
+#include "core/protocol.hpp"
+#include "net/message_stream.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+#include "storage/virtual_disk.hpp"
+#include "vm/blk_backend.hpp"
+
+namespace vmig::core {
+
+using MigStream = net::MessageStream<MigrationMessage>;
+
+/// Post-copy statistics shared by both ends.
+struct PostCopyStats {
+  std::uint64_t blocks_pushed = 0;   ///< blocks sent/applied via push
+  std::uint64_t blocks_pulled = 0;   ///< blocks sent/applied via pull
+  std::uint64_t blocks_dropped = 0;  ///< received but locally overwritten
+  std::uint64_t pull_requests = 0;
+  std::uint64_t bytes_push = 0;
+  std::uint64_t bytes_pull = 0;
+};
+
+/// Destination half of post-copy (paper §IV-A-3 destination rules).
+///
+/// Installed as the I/O interceptor on the destination's blkback when the
+/// VM resumes. Holds the `transferred_block_bitmap` (blocks still
+/// inconsistent with the source):
+///   - guest WRITE to a dirty block: whole-block overwrite — clear the bit,
+///     no pull needed (the new-bitmap mark for IM happens in blkback);
+///   - guest READ of a dirty block: send a pull request and hold the read in
+///     the pending list until the block arrives;
+///   - received block: apply and release pending reads, or drop it if a
+///     local write already superseded it.
+class PostCopyDestination final : public vm::IoInterceptor {
+ public:
+  PostCopyDestination(sim::Simulator& sim, storage::VirtualDisk& disk,
+                      DirtyBitmap transferred, vm::DomainId migrated,
+                      MigStream& to_source, bool pull_enabled = true);
+
+  // vm::IoInterceptor
+  sim::Task<void> on_request(vm::DomainId domain, storage::IoOp op,
+                             storage::BlockRange range) override;
+
+  /// Apply one received block message (push or pull response).
+  sim::Task<void> on_block_received(const DiskBlocksMsg& msg);
+
+  bool complete() const { return transferred_.none(); }
+  /// Opens when every inconsistent block has been synchronized.
+  sim::Gate& done_gate() noexcept { return done_; }
+
+  /// Experiment teardown: install every still-missing block instantly
+  /// (untimed) from `source_of_truth` and release all pending reads. Used
+  /// by the on-demand baseline, which never converges on its own.
+  void force_complete(const storage::VirtualDisk& source_of_truth);
+
+  const DirtyBitmap& transferred() const noexcept { return transferred_; }
+  const PostCopyStats& stats() const noexcept { return stats_; }
+  /// Guest reads that had to wait on synchronization (disruption).
+  std::uint64_t reads_blocked() const noexcept { return reads_blocked_; }
+  sim::Duration total_read_stall() const noexcept { return total_stall_; }
+  sim::Duration max_read_stall() const noexcept { return max_stall_; }
+
+ private:
+  void release_waiters(storage::BlockId b);
+  void check_done();
+
+  sim::Simulator& sim_;
+  storage::VirtualDisk& disk_;
+  DirtyBitmap transferred_;
+  vm::DomainId migrated_;
+  MigStream& to_source_;
+  // The paper's pending list P, realized as per-block gates holding the
+  // suspended guest-read coroutines.
+  std::unordered_map<storage::BlockId, std::unique_ptr<sim::Gate>> pending_;
+  std::unordered_set<storage::BlockId> requested_;
+  sim::Gate done_;
+  PostCopyStats stats_;
+  bool pull_enabled_;
+  std::uint64_t reads_blocked_ = 0;
+  sim::Duration total_stall_{};
+  sim::Duration max_stall_{};
+};
+
+/// Source half of post-copy: pushes dirty blocks continuously (finite
+/// dependency on the source), serving pull requests preferentially.
+class PostCopySource {
+ public:
+  PostCopySource(sim::Simulator& sim, storage::VirtualDisk& disk,
+                 DirtyBitmap remaining, MigStream& to_dest,
+                 std::uint32_t push_chunk_blocks,
+                 net::TokenBucket* shaper = nullptr);
+
+  /// A pull request arrived from the destination.
+  void enqueue_pull(storage::BlockId b);
+
+  /// Push until every remaining block is sent; then announce kPushComplete.
+  sim::Task<void> run();
+
+  /// The destination reported sync-complete (every remaining block was
+  /// overwritten locally): stop pushing blocks nobody needs.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  bool finished() const noexcept { return finished_; }
+  const PostCopyStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  storage::VirtualDisk& disk_;
+  DirtyBitmap remaining_;
+  MigStream& to_dest_;
+  std::uint32_t push_chunk_;
+  net::TokenBucket* shaper_;
+  std::deque<storage::BlockId> pulls_;
+  storage::BlockId cursor_ = 0;
+  bool finished_ = false;
+  bool stop_requested_ = false;
+  PostCopyStats stats_;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,101 @@
+#include "core/report_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vmig::core {
+
+namespace {
+
+void field(std::ostringstream& os, const char* key, double v, bool first = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  if (!first) os << ",";
+  os << "\n  \"" << key << "\": " << buf;
+}
+
+void field(std::ostringstream& os, const char* key, std::uint64_t v) {
+  os << ",\n  \"" << key << "\": " << v;
+}
+
+void field(std::ostringstream& os, const char* key, bool v) {
+  os << ",\n  \"" << key << "\": " << (v ? "true" : "false");
+}
+
+}  // namespace
+
+std::string to_json(const MigrationReport& r) {
+  std::ostringstream os;
+  os << "{";
+  field(os, "total_time_s", r.total_time().to_seconds(), /*first=*/true);
+  field(os, "downtime_s", r.downtime().to_seconds());
+  field(os, "precopy_time_s", r.precopy_time().to_seconds());
+  field(os, "postcopy_time_s", r.postcopy_time().to_seconds());
+  field(os, "storage_time_s", r.storage_time().to_seconds());
+  field(os, "bytes_total", static_cast<std::uint64_t>(r.total_bytes()));
+  field(os, "bytes_disk_first_pass", r.bytes_disk_first_pass);
+  field(os, "bytes_disk_retransfer", r.bytes_disk_retransfer);
+  field(os, "bytes_memory_precopy", r.bytes_memory_precopy);
+  field(os, "bytes_freeze_residual", r.bytes_freeze_residual);
+  field(os, "bytes_bitmap", r.bytes_bitmap);
+  field(os, "bytes_postcopy_push", r.bytes_postcopy_push);
+  field(os, "bytes_postcopy_pull", r.bytes_postcopy_pull);
+  field(os, "bytes_control", r.bytes_control);
+  field(os, "disk_iterations", static_cast<std::uint64_t>(r.disk_iterations));
+  field(os, "mem_iterations", static_cast<std::uint64_t>(r.mem_iterations));
+  field(os, "blocks_first_pass", r.blocks_first_pass);
+  field(os, "blocks_retransferred", r.blocks_retransferred);
+  field(os, "residual_dirty_blocks", r.residual_dirty_blocks);
+  field(os, "blocks_pushed", r.blocks_pushed);
+  field(os, "blocks_pulled", r.blocks_pulled);
+  field(os, "blocks_dropped", r.blocks_dropped);
+  field(os, "blocks_skipped_unused", r.blocks_skipped_unused);
+  field(os, "pages_precopied", r.pages_precopied);
+  field(os, "pages_residual", r.pages_residual);
+  field(os, "postcopy_reads_blocked", r.postcopy_reads_blocked);
+  field(os, "postcopy_read_stall_max_s",
+        r.postcopy_read_stall_max.to_seconds());
+  field(os, "incremental", r.incremental);
+  field(os, "aborted_precopy_dirty_rate", r.aborted_precopy_dirty_rate);
+  field(os, "disk_consistent", r.disk_consistent);
+  field(os, "memory_consistent", r.memory_consistent);
+  os << "\n}";
+  return os.str();
+}
+
+std::string csv_header() {
+  return "total_time_s,downtime_s,precopy_time_s,postcopy_time_s,"
+         "bytes_total,bytes_disk_first_pass,bytes_disk_retransfer,"
+         "disk_iterations,blocks_retransferred,residual_dirty_blocks,"
+         "blocks_pulled,incremental,disk_consistent,memory_consistent";
+}
+
+std::string to_csv_row(const MigrationReport& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "%.6f,%.6f,%.6f,%.6f,%llu,%llu,%llu,%d,%llu,%llu,%llu,%d,%d,%d",
+                r.total_time().to_seconds(), r.downtime().to_seconds(),
+                r.precopy_time().to_seconds(), r.postcopy_time().to_seconds(),
+                static_cast<unsigned long long>(r.total_bytes()),
+                static_cast<unsigned long long>(r.bytes_disk_first_pass),
+                static_cast<unsigned long long>(r.bytes_disk_retransfer),
+                r.disk_iterations,
+                static_cast<unsigned long long>(r.blocks_retransferred),
+                static_cast<unsigned long long>(r.residual_dirty_blocks),
+                static_cast<unsigned long long>(r.blocks_pulled),
+                r.incremental ? 1 : 0, r.disk_consistent ? 1 : 0,
+                r.memory_consistent ? 1 : 0);
+  return buf;
+}
+
+std::string to_csv(const sim::TimeSeries& ts) {
+  std::string out = "t_seconds,value\n";
+  char buf[64];
+  for (const auto& p : ts.points()) {
+    std::snprintf(buf, sizeof buf, "%.6f,%.6f\n", p.t.to_seconds(), p.value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace vmig::core

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "core/migration_metrics.hpp"
+#include "simcore/stats.hpp"
+
+namespace vmig::core {
+
+/// Machine-readable report serialization, for piping migration results into
+/// external plotting/analysis (the CLI's --json flag uses this).
+///
+/// The JSON is flat, stable-keyed, and self-describing; times are seconds,
+/// sizes are bytes.
+std::string to_json(const MigrationReport& r);
+
+/// One-line CSV row matching csv_header() (times s, sizes bytes).
+std::string csv_header();
+std::string to_csv_row(const MigrationReport& r);
+
+/// Two-column CSV ("t_seconds,value") of a time series.
+std::string to_csv(const sim::TimeSeries& ts);
+
+}  // namespace vmig::core

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/migration_config.hpp"
+#include "core/migration_metrics.hpp"
+#include "core/post_copy.hpp"
+#include "core/protocol.hpp"
+#include "hypervisor/checkpoint.hpp"
+#include "hypervisor/host.hpp"
+#include "net/message_stream.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::core {
+
+/// Three-Phase Migration: whole-system live migration of a VM — local disk,
+/// memory, and CPU state — between two hosts with no shared storage
+/// (paper §IV), with Incremental Migration (§V) applied automatically when
+/// the source backend is still tracking writes from a previous migration.
+///
+/// Phases, exactly as in Fig. 1/2 of the paper:
+///   1. *Pre-copy*: prepare a VBD at the destination; iteratively pre-copy
+///      the local disk with blkback tracking writes in a block-bitmap
+///      (first iteration = whole disk, or just the IM bitmap); then
+///      iteratively pre-copy memory Xen-style.
+///   2. *Freeze-and-copy*: suspend the VM, ship residual dirty pages, vCPU
+///      context, and the block-bitmap.
+///   3. *Post-copy*: resume at the destination immediately; synchronize the
+///      remaining dirty blocks by source push + destination pull.
+///
+/// One TpmMigration instance models both daemons (the source's and
+/// destination's blkd + xc_linux_save/restore); messages still pay full
+/// network and disk costs on both sides.
+class TpmMigration {
+ public:
+  /// Migration phases, in order, for progress reporting.
+  enum class Phase : std::uint8_t {
+    kPreparing,
+    kDiskPrecopy,
+    kMemoryPrecopy,
+    kFreeze,
+    kPostCopy,
+    kDone,
+  };
+  static const char* phase_name(Phase p);
+
+  /// Called on every phase transition and periodically within the disk
+  /// pre-copy; `fraction` is the disk pre-copy progress in [0,1] (0 for the
+  /// other phases, 1 at kDone).
+  using ProgressListener = std::function<void(Phase, double fraction)>;
+
+  TpmMigration(sim::Simulator& sim, MigrationConfig cfg, vm::Domain& domain,
+               hv::Host& source, hv::Host& dest);
+
+  void set_progress_listener(ProgressListener l) { progress_ = std::move(l); }
+
+  TpmMigration(const TpmMigration&) = delete;
+  TpmMigration& operator=(const TpmMigration&) = delete;
+
+  /// Execute the whole migration; returns when source and destination are
+  /// fully synchronized (end of post-copy).
+  sim::Task<MigrationReport> run();
+
+  const MigrationReport& report() const noexcept { return rep_; }
+
+  /// Override the first pre-copy pass with an externally-maintained seed
+  /// (multi-host IM directory, or a forced full copy when the destination
+  /// does not hold this VM's base image). Must be called before run(); the
+  /// caller is responsible for having consumed the source backend's
+  /// tracking bitmap into the seed. `mark_incremental` controls whether the
+  /// report counts this as an incremental migration.
+  void set_first_pass_seed(DirtyBitmap seed, bool mark_incremental = true) {
+    explicit_seed_ = std::move(seed);
+    explicit_seed_incremental_ = mark_incremental;
+  }
+
+  /// Every source-side write the migration observed being consumed from the
+  /// backend's tracking bitmap (iteration snapshots + the freeze snapshot).
+  /// Used by ImDirectory to keep per-host divergence maps current.
+  const DirtyBitmap& observed_source_writes() const noexcept {
+    return observed_writes_;
+  }
+
+ private:
+  // ---- Source side ----
+  sim::Task<void> disk_precopy();
+  sim::Task<std::uint64_t> transfer_by_bitmap(const DirtyBitmap& bm,
+                                              std::uint64_t* blocks_out);
+  sim::Task<void> memory_precopy();
+  sim::Task<void> freeze_and_copy();
+  sim::Task<void> source_recv_loop();
+  sim::Task<void> await_control(Control kind);
+
+  // ---- Destination side ----
+  sim::Task<void> dest_recv_loop();
+  sim::Task<void> handle_enter_postcopy();
+
+  void verify_consistency();
+  void notify_progress(Phase p, double fraction) {
+    if (progress_) progress_(p, fraction);
+  }
+
+  ProgressListener progress_;
+  sim::Simulator& sim_;
+  MigrationConfig cfg_;
+  vm::Domain& domain_;
+  hv::Host& src_;
+  hv::Host& dst_;
+  MigStream fwd_;  ///< source -> destination (data plane)
+  MigStream rev_;  ///< destination -> source (pulls, acks)
+  net::TokenBucket shaper_;
+  hv::MemoryMigrator mem_migrator_;
+  MigrationReport rep_;
+
+  std::optional<DirtyBitmap> explicit_seed_;
+  bool explicit_seed_incremental_ = true;
+  DirtyBitmap observed_writes_;
+
+  // Destination-side state.
+  vm::GuestMemory shadow_mem_;  ///< pages as received over the wire
+  std::optional<vm::VCpuState> received_cpu_;
+  std::optional<DirtyBitmap> received_bitmap_;
+  std::unique_ptr<PostCopyDestination> pc_dst_;
+  std::unique_ptr<PostCopySource> pc_src_;
+
+  // Control-plane rendezvous.
+  sim::Notifier control_notify_;
+  std::uint64_t control_seen_[8] = {};  ///< per-Control receive counters
+  std::uint64_t control_waited_[8] = {};
+  bool source_done_ = false;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,94 @@
+#include "hypervisor/checkpoint.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace vmig::hv {
+
+using core::MemPagesMsg;
+using core::MigrationMessage;
+
+sim::Task<std::uint64_t> MemoryMigrator::send_pages(
+    vm::Domain& domain, const core::BlockBitmap& pages, MigStream& stream,
+    net::TokenBucket* shaper, bool final_residual, std::uint64_t* pages_sent) {
+  std::uint64_t bytes = 0;
+  MemPagesMsg msg;
+  msg.page_size = domain.memory().page_size();
+  msg.pages.reserve(cfg_.mem_chunk_pages);
+
+  std::vector<vm::PageId> ids;
+  ids.reserve(pages.count_set());
+  pages.for_each_set([&](std::uint64_t p) { ids.push_back(p); });
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    // Version snapshot happens at send time, like reading the live page.
+    msg.pages.emplace_back(ids[i], domain.memory().version(ids[i]));
+    const bool last = i + 1 == ids.size();
+    if (msg.pages.size() >= cfg_.mem_chunk_pages || last) {
+      msg.final_residual = final_residual && last;
+      if (pages_sent != nullptr) *pages_sent += msg.pages.size();
+      MigrationMessage wire{std::move(msg)};
+      bytes += wire.wire_bytes();
+      co_await stream.send(std::move(wire), shaper);
+      msg = MemPagesMsg{};
+      msg.page_size = domain.memory().page_size();
+      msg.pages.reserve(cfg_.mem_chunk_pages);
+    }
+  }
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> MemoryMigrator::send_all_pages(
+    vm::Domain& domain, MigStream& stream, net::TokenBucket* shaper,
+    std::uint64_t* pages_sent) {
+  core::BlockBitmap all{domain.memory().page_count(), /*initially_set=*/true};
+  co_return co_await send_pages(domain, all, stream, shaper,
+                                /*final_residual=*/false, pages_sent);
+}
+
+sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
+    vm::Domain& domain, MigStream& stream, net::TokenBucket* shaper) {
+  PrecopyResult res;
+  domain.memory().enable_dirty_log();
+
+  // Iteration 1: every page.
+  res.bytes_sent += co_await send_all_pages(domain, stream, shaper, &res.pages_sent);
+  res.iterations = 1;
+  std::uint64_t last_iter_pages = domain.memory().page_count();
+
+  while (res.iterations < cfg_.mem_max_iterations) {
+    const std::uint64_t dirty = domain.memory().dirty_page_count();
+    if (dirty <= cfg_.mem_residual_target_pages) break;  // small enough: freeze
+    if (static_cast<double>(dirty) >=
+        static_cast<double>(last_iter_pages) * cfg_.mem_dirty_rate_abort_ratio) {
+      // Dirtying as fast as we send: another round cannot shrink the set.
+      res.aborted_dirty_rate = true;
+      break;
+    }
+    const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
+    std::uint64_t sent = 0;
+    res.bytes_sent +=
+        co_await send_pages(domain, snap, stream, shaper, false, &sent);
+    res.pages_sent += sent;
+    last_iter_pages = sent;
+    ++res.iterations;
+  }
+  co_return res;
+}
+
+sim::Task<MemoryMigrator::ResidualResult> MemoryMigrator::send_residual(
+    vm::Domain& domain, MigStream& stream) {
+  ResidualResult res;
+  const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
+  res.pages = snap.count_set();
+  // Residual is always sent unshaped: it happens inside the downtime.
+  res.bytes += co_await send_pages(domain, snap, stream, /*shaper=*/nullptr,
+                                   /*final_residual=*/true, nullptr);
+  MigrationMessage cpu{core::CpuStateMsg{domain.cpu()}};
+  res.bytes += cpu.wire_bytes();
+  co_await stream.send(std::move(cpu));
+  domain.memory().disable_dirty_log();
+  co_return res;
+}
+
+}  // namespace vmig::hv

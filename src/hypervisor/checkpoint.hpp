@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/migration_config.hpp"
+#include "core/protocol.hpp"
+#include "net/message_stream.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::hv {
+
+/// The migration data plane between two hosts.
+using MigStream = net::MessageStream<core::MigrationMessage>;
+
+/// Source-side memory checkpointing — the `xc_linux_save` half of Xen live
+/// migration: iterative dirty-page pre-copy, then the frozen residual.
+///
+/// The destination side (applying pages into memory) is a few lines in the
+/// migration receiver; the source holds all the policy (iteration bounds,
+/// dirty-rate abort), so it gets the class.
+class MemoryMigrator {
+ public:
+  struct PrecopyResult {
+    int iterations = 0;
+    std::uint64_t pages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    bool aborted_dirty_rate = false;
+  };
+  struct ResidualResult {
+    std::uint64_t pages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  MemoryMigrator(sim::Simulator& sim, const core::MigrationConfig& cfg)
+      : sim_{sim}, cfg_{cfg} {}
+
+  /// Iterative pre-copy while the guest runs. Enables the dirty log and
+  /// leaves it enabled (the freeze phase consumes the final residue).
+  sim::Task<PrecopyResult> precopy(vm::Domain& domain, MigStream& stream,
+                                   net::TokenBucket* shaper);
+
+  /// Freeze-phase transfer: remaining dirty pages + vCPU context.
+  /// The domain must already be suspended. Disables the dirty log.
+  sim::Task<ResidualResult> send_residual(vm::Domain& domain, MigStream& stream);
+
+ private:
+  /// Send the pages set in `pages` in config-sized chunks; returns bytes.
+  sim::Task<std::uint64_t> send_pages(vm::Domain& domain,
+                                      const core::BlockBitmap& pages,
+                                      MigStream& stream, net::TokenBucket* shaper,
+                                      bool final_residual,
+                                      std::uint64_t* pages_sent);
+  /// Send every page of the domain (first iteration).
+  sim::Task<std::uint64_t> send_all_pages(vm::Domain& domain, MigStream& stream,
+                                          net::TokenBucket* shaper,
+                                          std::uint64_t* pages_sent);
+
+  sim::Simulator& sim_;
+  const core::MigrationConfig& cfg_;
+};
+
+}  // namespace vmig::hv

@@ -1,0 +1,101 @@
+#include "hypervisor/host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmig::hv {
+
+Host::Host(sim::Simulator& sim, std::string name, storage::Geometry vbd_geometry,
+           storage::DiskModelParams disk_params, bool store_payloads)
+    : sim_{sim},
+      name_{std::move(name)},
+      store_payloads_{store_payloads},
+      physical_{sim, storage::DiskModel{disk_params}},
+      disk_{sim, vbd_geometry, physical_, store_payloads} {}
+
+storage::VirtualDisk& Host::vbd_for(vm::DomainId domain) {
+  if (disk_owner_ == domain) return disk_;
+  for (auto& [id, vbd] : extra_vbds_) {
+    if (id == domain) return *vbd;
+  }
+  // First domain claims the primary VBD; later ones get their own slice of
+  // the physical disk.
+  if (disk_owner_ == vm::kDomain0) {
+    disk_owner_ = domain;
+    return disk_;
+  }
+  extra_vbds_.emplace_back(
+      domain, std::make_unique<storage::VirtualDisk>(
+                  sim_, disk_.geometry(), physical_, store_payloads_));
+  return *extra_vbds_.back().second;
+}
+
+vm::BlkBackend* Host::ensure_default_backend() {
+  if (backends_.empty()) {
+    backends_.push_back(
+        std::make_unique<vm::BlkBackend>(sim_, disk_, vm::kDomain0));
+  }
+  return backends_.front().get();
+}
+
+vm::BlkBackend* Host::find_backend(vm::DomainId domain) {
+  for (auto& be : backends_) {
+    if (be->served_domain() == domain) return be.get();
+  }
+  return nullptr;
+}
+
+vm::BlkBackend& Host::backend_for(vm::DomainId domain) {
+  if (auto* be = find_backend(domain)) return *be;
+  storage::VirtualDisk& vbd = vbd_for(domain);
+  // Claim an unassigned default backend if it is bound to this VBD;
+  // otherwise create a fresh per-VBD backend.
+  if (!backends_.empty() && backends_.front()->served_domain() == vm::kDomain0 &&
+      &backends_.front()->disk() == &vbd) {
+    backends_.front()->set_served(domain);
+    return *backends_.front();
+  }
+  backends_.push_back(std::make_unique<vm::BlkBackend>(sim_, vbd, domain));
+  return *backends_.back();
+}
+
+void Host::attach_domain(vm::Domain& d) {
+  domains_.push_back(&d);
+  d.frontend().connect(&backend_for(d.id()));
+}
+
+void Host::detach_domain(vm::Domain& d) {
+  std::erase(domains_, &d);
+  auto* be = find_backend(d.id());
+  if (be != nullptr && d.frontend().backend() == be) d.frontend().disconnect();
+}
+
+bool Host::hosts_domain(const vm::Domain& d) const {
+  return std::find(domains_.begin(), domains_.end(), &d) != domains_.end();
+}
+
+net::Link& Host::connect_to(Host& peer, net::LinkParams params) {
+  auto& slot = links_[&peer];
+  slot = std::make_unique<net::Link>(sim_, params);
+  return *slot;
+}
+
+net::Link& Host::link_to(const Host& peer) {
+  const auto it = links_.find(&peer);
+  if (it == links_.end()) {
+    throw std::out_of_range("Host '" + name_ + "' has no link to '" +
+                            peer.name() + "'");
+  }
+  return *it->second;
+}
+
+bool Host::connected_to(const Host& peer) const {
+  return links_.contains(&peer);
+}
+
+void Host::interconnect(Host& a, Host& b, net::LinkParams params) {
+  a.connect_to(b, params);
+  b.connect_to(a, params);
+}
+
+}  // namespace vmig::hv

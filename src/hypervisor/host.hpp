@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "simcore/simulator.hpp"
+#include "storage/virtual_disk.hpp"
+#include "vm/blk_backend.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::hv {
+
+/// A physical machine: local disk, the Domain0 block backend serving the
+/// guest's VBD, resident domains, and NICs (directed links to peers).
+///
+/// Matches the paper's testbed shape: each host runs Domain0 plus at most a
+/// handful of DomainUs whose VBDs live on the host's local SATA disk.
+class Host {
+ public:
+  Host(sim::Simulator& sim, std::string name, storage::Geometry vbd_geometry,
+       storage::DiskModelParams disk_params = {}, bool store_payloads = false);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  sim::Simulator& sim() noexcept { return sim_; }
+
+  /// The host's primary VBD (first domain's virtual disk). Additional
+  /// DomUs get their own VBDs — see vbd_for() — all sharing this host's
+  /// one physical disk, so they contend for its time but have independent
+  /// block spaces (as Xen VBD files on one spindle do).
+  storage::VirtualDisk& disk() noexcept { return disk_; }
+  const storage::VirtualDisk& disk() const noexcept { return disk_; }
+
+  /// The VBD backing `domain`'s storage on this host. Created lazily with
+  /// the host's geometry; persists across detach/attach (the IM base image
+  /// and tracking bitmap live exactly as long as the VBD does).
+  storage::VirtualDisk& vbd_for(vm::DomainId domain);
+
+  /// The host's primary block backend (first VBD). Hosts serving several
+  /// DomUs have one backend per domain — see backend_for().
+  vm::BlkBackend& backend() noexcept { return *ensure_default_backend(); }
+  const vm::BlkBackend& backend() const noexcept {
+    return *const_cast<Host*>(this)->ensure_default_backend();
+  }
+
+  /// The backend serving `domain` (per-VBD split driver instance). The
+  /// backend persists across detach/attach cycles, which is what keeps the
+  /// IM tracking bitmap alive while the VM is away. Creates one on demand.
+  vm::BlkBackend& backend_for(vm::DomainId domain);
+  /// Null if this host never served `domain`.
+  vm::BlkBackend* find_backend(vm::DomainId domain);
+
+  // ---- Domain placement ----
+
+  /// Place a domain on this host and connect its disk frontend to the local
+  /// backend. (At migration resume time, this is the frontend rebind.)
+  void attach_domain(vm::Domain& d);
+  void detach_domain(vm::Domain& d);
+  bool hosts_domain(const vm::Domain& d) const;
+  const std::vector<vm::Domain*>& domains() const noexcept { return domains_; }
+
+  // ---- Networking ----
+
+  /// Create the directed link this -> peer.
+  net::Link& connect_to(Host& peer, net::LinkParams params = {});
+  /// Directed link to peer; throws std::out_of_range if not connected.
+  net::Link& link_to(const Host& peer);
+  bool connected_to(const Host& peer) const;
+
+  /// Create both directions between a and b with the same parameters.
+  static void interconnect(Host& a, Host& b, net::LinkParams params = {});
+
+ private:
+  vm::BlkBackend* ensure_default_backend();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  bool store_payloads_;
+  /// The physical disk (shared service time for every VBD on this host).
+  storage::DiskScheduler physical_;
+  storage::VirtualDisk disk_;  ///< primary VBD, on the physical disk
+  vm::DomainId disk_owner_ = vm::kDomain0;  ///< domain the primary VBD serves
+  /// Additional per-domain VBDs, created lazily, never destroyed.
+  std::vector<std::pair<vm::DomainId, std::unique_ptr<storage::VirtualDisk>>>
+      extra_vbds_;
+  /// One backend per served DomU, created lazily; index 0 is the default.
+  std::vector<std::unique_ptr<vm::BlkBackend>> backends_;
+  std::vector<vm::Domain*> domains_;
+  std::unordered_map<const Host*, std::unique_ptr<net::Link>> links_;
+};
+
+}  // namespace vmig::hv

@@ -1,0 +1,47 @@
+#include "net/link.hpp"
+
+namespace vmig::net {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}
+
+sim::Task<void> TokenBucket::acquire(std::uint64_t bytes) {
+  if (unlimited()) co_return;
+  const double rate_bps = rate_mibps_ * kMiB;
+  const auto cost = sim::Duration::from_seconds(static_cast<double>(bytes) / rate_bps);
+  const auto burst_window =
+      sim::Duration::from_seconds(burst_mib_ * kMiB / rate_bps);
+  // Virtual-clock shaping: reserved_until_ tracks when all conforming bytes
+  // so far would finish at the shaped rate. Idle time earns credit up to one
+  // burst window, and a sender may run up to one burst window ahead.
+  const sim::TimePoint floor = sim_.now() - burst_window;
+  if (reserved_until_ < floor) reserved_until_ = floor;
+  reserved_until_ += cost;
+  const sim::TimePoint release = reserved_until_ - burst_window;
+  if (release > sim_.now()) {
+    co_await sim_.delay(release - sim_.now());
+  }
+}
+
+sim::Task<void> Link::transmit(std::uint64_t bytes, TokenBucket* shaper) {
+  if (shaper != nullptr) co_await shaper->acquire(bytes);
+  const sim::TimePoint arrival = sim_.now();
+  const auto serialize = sim::Duration::from_seconds(
+      static_cast<double>(bytes) / (p_.bandwidth_mibps * kMiB));
+  const sim::TimePoint start = std::max(arrival, busy_until_);
+  busy_until_ = start + serialize;
+  busy_time_ += serialize;
+  bytes_sent_ += bytes;
+  ++messages_sent_;
+  const sim::TimePoint delivered = busy_until_ + p_.latency;
+  co_await sim_.delay(delivered - arrival);
+}
+
+double Link::utilization() const {
+  const auto elapsed = sim_.now() - sim::TimePoint::origin();
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  return std::min(1.0, busy_time_ / elapsed);
+}
+
+}  // namespace vmig::net

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simcore/simulator.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/task.hpp"
+
+namespace vmig::net {
+
+/// One direction of a network path (full-duplex = two links).
+///
+/// Defaults model the paper's Gigabit LAN: ~119 MiB/s of payload bandwidth
+/// and sub-millisecond latency.
+struct LinkParams {
+  double bandwidth_mibps = 119.0;          ///< payload bandwidth, MiB/s
+  sim::Duration latency = sim::Duration::micros(200);  ///< propagation + stack
+};
+
+/// Token-bucket traffic shaper (virtual-clock pacing).
+///
+/// Used to rate-limit the migration stream (paper §VI-C-3): limiting network
+/// send rate correspondingly throttles the disk reads feeding it, giving the
+/// guest its disk bandwidth back at the cost of a longer pre-copy.
+class TokenBucket {
+ public:
+  /// rate_mibps <= 0 means unlimited.
+  TokenBucket(sim::Simulator& sim, double rate_mibps, double burst_mib = 1.0)
+      : sim_{sim}, rate_mibps_{rate_mibps}, burst_mib_{burst_mib} {}
+
+  bool unlimited() const noexcept { return rate_mibps_ <= 0; }
+  double rate_mibps() const noexcept { return rate_mibps_; }
+  void set_rate_mibps(double r) noexcept { rate_mibps_ = r; }
+
+  /// Wait until `bytes` conform to the shaping rate.
+  sim::Task<void> acquire(std::uint64_t bytes);
+
+ private:
+  sim::Simulator& sim_;
+  double rate_mibps_;
+  double burst_mib_;
+  sim::TimePoint reserved_until_{};
+};
+
+/// FIFO serializing link: transmissions queue behind each other at the
+/// bandwidth, then arrive after the propagation latency.
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkParams params = {}) : sim_{sim}, p_{params} {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  const LinkParams& params() const noexcept { return p_; }
+
+  /// Transmit `bytes`; resumes the caller when the last byte has arrived at
+  /// the far end. If `shaper` is non-null, bytes first conform to it.
+  sim::Task<void> transmit(std::uint64_t bytes, TokenBucket* shaper = nullptr);
+
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  sim::Duration busy_time() const noexcept { return busy_time_; }
+  double utilization() const;
+
+ private:
+  sim::Simulator& sim_;
+  LinkParams p_;
+  sim::TimePoint busy_until_{};
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  sim::Duration busy_time_{};
+};
+
+}  // namespace vmig::net

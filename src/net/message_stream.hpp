@@ -1,0 +1,67 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "net/link.hpp"
+#include "simcore/channel.hpp"
+#include "simcore/task.hpp"
+
+namespace vmig::net {
+
+/// A message that knows its size on the wire.
+template <typename M>
+concept WireMessage = requires(const M& m) {
+  { m.wire_bytes() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Reliable, ordered, typed message pipe over a `Link` (a TCP connection, at
+/// the level of abstraction migration daemons care about).
+///
+/// `send` pays the link's serialization + latency cost for the message's
+/// wire size, then delivers the message into the receiver's inbox. Multiple
+/// concurrent senders serialize FIFO on the underlying link.
+template <WireMessage M>
+class MessageStream {
+  // See sim::Channel: GCC 12 double-destroys elided aggregate coroutine
+  // arguments; message types must not be aggregates with non-trivial members.
+  static_assert(std::is_trivially_destructible_v<M> || !std::is_aggregate_v<M>,
+                "give M a user-declared constructor (GCC 12 coroutine "
+                "parameter double-destruction workaround)");
+
+ public:
+  MessageStream(sim::Simulator& sim, Link& link) : link_{link}, inbox_{sim} {}
+
+  MessageStream(const MessageStream&) = delete;
+  MessageStream& operator=(const MessageStream&) = delete;
+
+  /// Transmit and deliver. Returns false if the stream was closed.
+  sim::Task<bool> send(M msg, TokenBucket* shaper = nullptr) {
+    if (inbox_.closed()) co_return false;
+    co_await link_.transmit(msg.wire_bytes(), shaper);
+    if (inbox_.closed()) co_return false;
+    ++delivered_;
+    inbox_.try_send(std::move(msg));
+    co_return true;
+  }
+
+  /// Receive the next message (nullopt once closed and drained).
+  sim::Task<std::optional<M>> recv() { return inbox_.recv(); }
+
+  std::optional<M> try_recv() { return inbox_.try_recv(); }
+
+  void close() { inbox_.close(); }
+  bool closed() const noexcept { return inbox_.closed(); }
+  std::size_t pending() const noexcept { return inbox_.size(); }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  Link& link() noexcept { return link_; }
+
+ private:
+  Link& link_;
+  sim::Channel<M> inbox_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace vmig::net

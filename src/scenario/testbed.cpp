@@ -1,0 +1,117 @@
+#include "scenario/testbed.hpp"
+
+namespace vmig::scenario {
+
+using namespace vmig::sim::literals;
+
+storage::DiskModelParams TestbedConfig::paper_disk() {
+  storage::DiskModelParams p;
+  p.seq_read_mbps = 88.0;
+  p.seq_write_mbps = 82.0;
+  p.seek = 4_ms;  // effective: elevator/NCQ merge absorbs half the raw 8 ms
+  p.request_overhead = 80_us;
+  p.seq_gap_blocks = 64;
+  return p;
+}
+
+net::LinkParams TestbedConfig::paper_lan() {
+  net::LinkParams p;
+  p.bandwidth_mibps = 119.0;  // GbE payload
+  p.latency = 200_us;
+  return p;
+}
+
+Testbed::Testbed(sim::Simulator& sim, TestbedConfig cfg)
+    : sim_{sim}, cfg_{cfg}, manager_{sim} {
+  source_ = std::make_unique<hv::Host>(
+      sim, "source", storage::Geometry::from_mib(cfg.vbd_mib), cfg.disk,
+      cfg.payloads);
+  dest_ = std::make_unique<hv::Host>(
+      sim, "dest", storage::Geometry::from_mib(cfg.vbd_mib), cfg.disk,
+      cfg.payloads);
+  hv::Host::interconnect(*source_, *dest_, cfg.lan);
+  vm_ = std::make_unique<vm::Domain>(sim, 1, "guest", cfg.guest_mem_mib);
+  source_->attach_domain(*vm_);
+}
+
+core::MigrationConfig Testbed::paper_migration_config() const {
+  core::MigrationConfig cfg;
+  // Calibration: source-side chunk cost = disk read (1 MiB / 88 MiB/s ≈
+  // 11.6 ms) + blkd user-space cost (8.8 ms) ≈ 20.4 ms/MiB → ~49 MiB/s,
+  // matching the paper's 39070 MB / 796 s steady rate. The link (8.4
+  // ms/MiB) overlaps and is not the bottleneck, so guest LAN traffic still
+  // fits beside the migration stream.
+  cfg.blkd_cpu_per_mib = sim::Duration::micros(7900);
+  cfg.disk_max_iterations = 4;
+  cfg.disk_residual_target_blocks = 256;
+  cfg.bitmap_kind = core::BitmapKind::kFlat;  // the paper's prototype ships the
+  // plain 1.2 MB bitmap; the layered bitmap is its proposed optimization
+  // (compared in the ablation bench)
+  // Xen suspend/resume plus device teardown/reattach on 2008-era hardware.
+  cfg.suspend_overhead = sim::Duration::millis(20);
+  cfg.resume_overhead = sim::Duration::millis(30);
+  return cfg;
+}
+
+void Testbed::prefill_disk() {
+  auto& disk = source_->disk();
+  const std::uint64_t n = disk.geometry().block_count;
+  for (std::uint64_t b = 0; b < n; ++b) {
+    disk.poke_token(b, 0x5000000000000000ull + b);
+  }
+}
+
+sim::Task<void> Testbed::tpm_script(workload::Workload* wl, sim::Duration warmup,
+                                    sim::Duration post,
+                                    core::MigrationConfig cfg,
+                                    core::MigrationReport* out) {
+  if (wl != nullptr) wl->start();
+  co_await sim_.delay(warmup);
+  *out = co_await manager_.migrate(*vm_, *source_, *dest_, cfg);
+  co_await sim_.delay(post);
+  if (wl != nullptr) {
+    wl->request_stop();
+    co_await wl->handle();
+    wl->finish_metrics();
+  }
+}
+
+sim::Task<void> Testbed::im_script(workload::Workload* wl, sim::Duration warmup,
+                                   sim::Duration dwell, sim::Duration post,
+                                   core::MigrationConfig cfg,
+                                   core::MigrationReport* primary,
+                                   core::MigrationReport* incremental) {
+  if (wl != nullptr) wl->start();
+  co_await sim_.delay(warmup);
+  *primary = co_await manager_.migrate(*vm_, *source_, *dest_, cfg);
+  co_await sim_.delay(dwell);
+  *incremental = co_await manager_.migrate(*vm_, *dest_, *source_, cfg);
+  co_await sim_.delay(post);
+  if (wl != nullptr) {
+    wl->request_stop();
+    co_await wl->handle();
+    wl->finish_metrics();
+  }
+}
+
+core::MigrationReport Testbed::run_tpm(workload::Workload* wl,
+                                       sim::Duration warmup, sim::Duration post,
+                                       core::MigrationConfig cfg) {
+  core::MigrationReport rep;
+  sim_.spawn(tpm_script(wl, warmup, post, cfg, &rep), "tpm-experiment");
+  sim_.run();
+  return rep;
+}
+
+std::pair<core::MigrationReport, core::MigrationReport> Testbed::run_tpm_then_im(
+    workload::Workload* wl, sim::Duration warmup, sim::Duration dwell,
+    sim::Duration post, core::MigrationConfig cfg) {
+  core::MigrationReport primary;
+  core::MigrationReport incremental;
+  sim_.spawn(im_script(wl, warmup, dwell, post, cfg, &primary, &incremental),
+             "im-experiment");
+  sim_.run();
+  return {primary, incremental};
+}
+
+}  // namespace vmig::scenario

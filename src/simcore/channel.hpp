@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "simcore/notifier.hpp"
+#include "simcore/task.hpp"
+
+namespace vmig::sim {
+
+/// Bounded FIFO channel between coroutines (CSP-style message passing).
+///
+/// `send` suspends while the channel is full (backpressure — used, e.g., by
+/// the Bradford delta-forwarding baseline to model write throttling);
+/// `recv` suspends while it is empty. `close()` wakes everyone: pending and
+/// future `recv`s drain remaining items then return nullopt; `send`s on a
+/// closed channel return false.
+template <typename T>
+class Channel {
+  // GCC 12's coroutine ramp double-destroys an elided aggregate prvalue
+  // argument bound to a coroutine's by-value parameter, freeing buffers that
+  // were already moved out (observed as heap-use-after-free under ASan).
+  // Requiring message types to be non-aggregate (any user-declared
+  // constructor suffices) or trivially destructible sidesteps the bug.
+  static_assert(std::is_trivially_destructible_v<T> || !std::is_aggregate_v<T>,
+                "give T a user-declared constructor (GCC 12 coroutine "
+                "parameter double-destruction workaround)");
+
+ public:
+  static constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+  explicit Channel(Simulator& sim, std::size_t capacity = kUnbounded)
+      : capacity_{capacity == 0 ? 1 : capacity},
+        not_empty_{sim},
+        not_full_{sim} {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Non-suspending send. Fails when full or closed.
+  bool try_send(T v) {
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Suspending send; returns false if the channel was closed.
+  Task<bool> send(T v) {
+    while (!closed_ && items_.size() >= capacity_) {
+      co_await not_full_.wait();
+    }
+    if (closed_) co_return false;
+    items_.push_back(std::move(v));
+    not_empty_.notify_one();
+    co_return true;
+  }
+
+  /// Non-suspending receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Suspending receive; nullopt means closed-and-drained.
+  Task<std::optional<T>> recv() {
+    while (items_.empty()) {
+      if (closed_) co_return std::nullopt;
+      co_await not_empty_.wait();
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    co_return v;
+  }
+
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const noexcept { return closed_; }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  Notifier not_empty_;
+  Notifier not_full_;
+  bool closed_ = false;
+};
+
+}  // namespace vmig::sim

@@ -1,0 +1,34 @@
+#include "simcore/log.hpp"
+
+#include <cstdio>
+
+namespace vmig::sim {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void Log::write(LogLevel l, TimePoint t, const std::string& component,
+                const std::string& message) {
+  std::fprintf(stderr, "[%10.4fs] %s %s: %s\n", t.to_seconds(), level_name(l),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace vmig::sim

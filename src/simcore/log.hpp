@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace vmig::sim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Minimal sim-time-stamped logger. Off by default so tests and benches stay
+/// quiet; examples turn it on to narrate the migration phases.
+class Log {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel l) noexcept { level_ = l; }
+  static bool enabled(LogLevel l) noexcept { return l >= level_; }
+
+  /// Emit one line: "[  12.345s] component: message".
+  static void write(LogLevel l, TimePoint t, const std::string& component,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+/// Streaming helper: LogLine(LogLevel::kInfo, now, "tpm") << "iteration " << i;
+class LogLine {
+ public:
+  LogLine(LogLevel l, TimePoint t, std::string component)
+      : level_{l}, t_{t}, component_{std::move(component)} {}
+  ~LogLine() {
+    if (Log::enabled(level_)) Log::write(level_, t_, component_, ss_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Log::enabled(level_)) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  TimePoint t_;
+  std::string component_;
+  std::ostringstream ss_;
+};
+
+}  // namespace vmig::sim

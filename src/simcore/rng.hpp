@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vmig::sim {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded by splitmix64).
+///
+/// Every stochastic component of the simulation draws from an `Rng` owned by
+/// that component, so experiments are exactly reproducible from a single
+/// top-level seed and independent components can be re-seeded without
+/// perturbing each other (a requirement for A/B ablation benches).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Bounded Pareto-like heavy tail on [lo, hi] with shape alpha (> 0).
+  /// Used for request-size and think-time modeling.
+  double pareto(double lo, double hi, double alpha);
+
+  /// Zipf-like rank selection over [0, n): lower ranks more popular.
+  /// theta in (0, 1) is skew; implemented by inverse-power transform
+  /// (approximate but monotone and cheap), good enough for locality modeling.
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+/// splitmix64 step — exposed for deterministic hashing elsewhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace vmig::sim

@@ -1,0 +1,182 @@
+#include "simcore/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vmig::sim {
+
+namespace {
+/// Opt-in event tracing for debugging simulations: VMIG_SIM_TRACE=1.
+bool trace_enabled() {
+  static const bool on = std::getenv("VMIG_SIM_TRACE") != nullptr;
+  return on;
+}
+}  // namespace
+
+const std::string& SpawnHandle::name() const {
+  static const std::string kEmpty;
+  return st_ ? st_->name : kEmpty;
+}
+
+DelayAwaiter::~DelayAwaiter() {
+  if (scheduled_ && !fired_) sim_.cancel(timer_);
+}
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  const Duration d = d_ < Duration::zero() ? Duration::zero() : d_;
+  timer_ = sim_.schedule_after(d, [this, h] {
+    fired_ = true;
+    h.resume();  // `this` may be destroyed past this point
+  });
+  scheduled_ = true;
+}
+
+Simulator::~Simulator() {
+  tearing_down_ = true;
+  // Destroy root frames first: their awaiter destructors may cancel timers,
+  // which touches handlers_, so roots_ must go before the timer structures.
+  roots_.clear();
+  handlers_.clear();
+  heap_.clear();
+}
+
+Simulator::TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const TimerId id = next_timer_++;
+  if (trace_enabled()) {
+    std::fprintf(stderr, "sim: schedule %llu at %.6f\n",
+                 static_cast<unsigned long long>(id), t.to_seconds());
+  }
+  heap_.push_back(HeapEntry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+Simulator::TimerId Simulator::schedule_after(Duration d, std::function<void()> fn) {
+  if (d < Duration::zero()) d = Duration::zero();
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(TimerId id) {
+  if (trace_enabled()) {
+    std::fprintf(stderr, "sim: cancel %llu\n",
+                 static_cast<unsigned long long>(id));
+  }
+  return handlers_.erase(id) > 0;
+}
+
+bool Simulator::step() {
+  rethrow_pending();
+  for (;;) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;  // cancelled: lazy deletion
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.t;
+    ++events_processed_;
+    if (trace_enabled()) {
+      std::fprintf(stderr, "sim: fire %llu at %.6f\n",
+                   static_cast<unsigned long long>(e.id), now_.to_seconds());
+    }
+    fn();
+    rethrow_pending();
+    return true;
+  }
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  reap_finished_roots();
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  std::size_t n = 0;
+  for (;;) {
+    rethrow_pending();
+    // Peek at the earliest live event without firing it.
+    bool found = false;
+    TimePoint next{};
+    // The heap front is earliest but may be cancelled; scan by popping
+    // cancelled entries eagerly.
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      if (handlers_.find(top.id) == handlers_.end()) {
+        std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+        heap_.pop_back();
+        continue;
+      }
+      next = top.t;
+      found = true;
+      break;
+    }
+    if (!found || next > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  reap_finished_roots();
+  return n;
+}
+
+std::size_t Simulator::run_for(Duration d) { return run_until(now_ + d); }
+
+Task<void> Simulator::root_runner(Task<void> inner,
+                                  std::shared_ptr<detail::JoinState> st) {
+  try {
+    co_await std::move(inner);
+  } catch (...) {
+    st->error = std::current_exception();
+    if (st->sim && !st->sim->pending_error_) {
+      st->sim->pending_error_ = st->error;
+    }
+  }
+  st->done = true;
+  auto joiners = std::move(st->joiners);
+  st->joiners.clear();
+  for (auto h : joiners) h.resume();
+}
+
+SpawnHandle Simulator::spawn(Task<void> task, std::string name) {
+  // NOTE: no reaping here. spawn() can be called from inside a running
+  // coroutine whose root entry is in roots_ with done already set (a joiner
+  // resumed inline by root_runner); destroying that frame mid-execution
+  // would be UB. Reaping happens only from run()/run_until(), where no
+  // coroutine is on the stack.
+  auto st = std::make_shared<detail::JoinState>();
+  st->sim = this;
+  st->name = std::move(name);
+  Task<void> wrapper = root_runner(std::move(task), st);
+  roots_.push_back(RootTask{std::move(wrapper), st});
+  roots_.back().wrapper.start();
+  return SpawnHandle{st};
+}
+
+std::size_t Simulator::live_root_count() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_) {
+    if (!r.state->done) ++n;
+  }
+  return n;
+}
+
+void Simulator::reap_finished_roots() {
+  std::erase_if(roots_, [](const RootTask& r) { return r.state->done; });
+}
+
+void Simulator::rethrow_pending() {
+  if (pending_error_) {
+    std::exception_ptr e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace vmig::sim

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::sim {
+
+class Simulator;
+
+namespace detail {
+
+/// Completion record shared between a spawned root task and its handle.
+struct JoinState {
+  Simulator* sim = nullptr;
+  std::string name;
+  bool done = false;
+  std::exception_ptr error;
+  // Join is implemented by polling + notification through the simulator's
+  // timer queue; see SpawnHandle::join.
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+}  // namespace detail
+
+/// Handle to a task running under `Simulator::spawn`.
+///
+/// Copies share the same underlying completion state. `join()` suspends the
+/// calling coroutine until the spawned task finishes.
+class SpawnHandle {
+ public:
+  SpawnHandle() = default;
+
+  bool valid() const noexcept { return static_cast<bool>(st_); }
+  bool done() const noexcept { return !st_ || st_->done; }
+  const std::string& name() const;
+
+  /// Awaitable: suspends until the spawned task completes.
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      std::shared_ptr<detail::JoinState> st;
+      bool await_ready() const noexcept { return !st || st->done; }
+      void await_suspend(std::coroutine_handle<> h) { st->joiners.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{st_};
+  }
+
+ private:
+  friend class Simulator;
+  explicit SpawnHandle(std::shared_ptr<detail::JoinState> st) : st_{std::move(st)} {}
+  std::shared_ptr<detail::JoinState> st_;
+};
+
+/// Awaitable returned by `Simulator::delay`.
+///
+/// Cancels its timer if the awaiting coroutine frame is destroyed before the
+/// timer fires, so tearing down a simulation mid-flight is safe.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator& sim, Duration d) : sim_{sim}, d_{d} {}
+  DelayAwaiter(const DelayAwaiter&) = delete;
+  DelayAwaiter& operator=(const DelayAwaiter&) = delete;
+  ~DelayAwaiter();
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() noexcept {}
+
+ private:
+  Simulator& sim_;
+  Duration d_;
+  std::uint64_t timer_ = 0;
+  bool scheduled_ = false;
+  bool fired_ = false;
+};
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// Events fire in (time, insertion-order) order, so runs are exactly
+/// reproducible. Timers are cancellable; coroutine tasks are spawned as
+/// "root" processes whose frames the simulator owns until completion.
+class Simulator {
+ public:
+  using TimerId = std::uint64_t;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
+  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+  /// Schedule `fn` after `d` (clamped to zero if negative).
+  TimerId schedule_after(Duration d, std::function<void()> fn);
+  /// Cancel a pending timer. Returns false if already fired or cancelled.
+  bool cancel(TimerId id);
+
+  /// Process the single earliest pending event. Returns false if none.
+  bool step();
+  /// Run until the event queue is empty. Returns events processed.
+  std::size_t run();
+  /// Run events with time <= t; the clock lands on exactly t.
+  std::size_t run_until(TimePoint t);
+  /// Run events for the next `d` of simulated time.
+  std::size_t run_for(Duration d);
+
+  bool has_pending() const noexcept { return !handlers_.empty(); }
+  std::size_t pending_count() const noexcept { return handlers_.size(); }
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Launch a coroutine as a root process. The simulator owns the frame;
+  /// uncaught exceptions are rethrown from run()/step().
+  SpawnHandle spawn(Task<void> task, std::string name = {});
+
+  /// Awaitable pause of simulated time. `delay(Duration::zero())` yields
+  /// through the event queue (other ready events run first).
+  [[nodiscard]] DelayAwaiter delay(Duration d) { return DelayAwaiter{*this, d}; }
+
+  /// Number of live (unfinished) root tasks.
+  std::size_t live_root_count() const;
+
+ private:
+  struct HeapEntry {
+    TimePoint t;
+    std::uint64_t seq;
+    TimerId id;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      // std::push_heap builds a max-heap; invert for earliest-first.
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  struct RootTask {
+    Task<void> wrapper;
+    std::shared_ptr<detail::JoinState> state;
+  };
+
+  Task<void> root_runner(Task<void> inner, std::shared_ptr<detail::JoinState> st);
+  void reap_finished_roots();
+  void rethrow_pending();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  TimerId next_timer_ = 1;
+  std::vector<HeapEntry> heap_;
+  std::unordered_map<TimerId, std::function<void()>> handlers_;
+  std::vector<RootTask> roots_;
+  std::exception_ptr pending_error_;
+  std::uint64_t events_processed_ = 0;
+  bool tearing_down_ = false;
+};
+
+}  // namespace vmig::sim

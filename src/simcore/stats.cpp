@@ -1,0 +1,164 @@
+#include "simcore/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace vmig::sim {
+
+void SummaryStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SummaryStats::merge(const SummaryStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void SummaryStats::reset() { *this = SummaryStats{}; }
+
+double SummaryStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string SummaryStats::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu mean=%.3g sd=%.3g min=%.3g max=%.3g",
+                n_, mean(), stddev(), min(), max());
+  return buf;
+}
+
+SummaryStats TimeSeries::summarize() const {
+  SummaryStats s;
+  for (const auto& p : points_) s.add(p.value);
+  return s;
+}
+
+SummaryStats TimeSeries::summarize(TimePoint from, TimePoint to) const {
+  SummaryStats s;
+  for (const auto& p : points_) {
+    if (p.t >= from && p.t <= to) s.add(p.value);
+  }
+  return s;
+}
+
+double TimeSeries::mean_in(TimePoint from, TimePoint to) const {
+  return summarize(from, to).mean();
+}
+
+std::string TimeSeries::to_text(int max_rows) const {
+  std::string out;
+  const std::size_t n = points_.size();
+  std::size_t stride = 1;
+  if (max_rows > 0 && n > static_cast<std::size_t>(max_rows)) {
+    stride = (n + static_cast<std::size_t>(max_rows) - 1) /
+             static_cast<std::size_t>(max_rows);
+  }
+  char buf[64];
+  for (std::size_t i = 0; i < n; i += stride) {
+    std::snprintf(buf, sizeof buf, "%.3f\t%.3f\n", points_[i].t.to_seconds(),
+                  points_[i].value);
+    out += buf;
+  }
+  return out;
+}
+
+void RateMeter::add(TimePoint t, double amount) {
+  roll_to(t);
+  window_sum_ += amount;
+  total_ += amount;
+}
+
+void RateMeter::finish(TimePoint t) {
+  roll_to(t);
+  if (t > window_start_) {
+    const double secs = (t - window_start_).to_seconds();
+    if (secs > 0) {
+      series_.add(window_start_ + (t - window_start_) / 2, window_sum_ / secs);
+    }
+  }
+  window_sum_ = 0.0;
+  window_start_ = t;
+}
+
+void RateMeter::roll_to(TimePoint t) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = t;
+    return;
+  }
+  while (t >= window_start_ + window_) {
+    const double secs = window_.to_seconds();
+    series_.add(window_start_ + window_ / 2, window_sum_ / secs);
+    window_sum_ = 0.0;
+    window_start_ += window_;
+  }
+}
+
+void LatencyHistogram::add(Duration d) {
+  std::int64_t ns = d.ns();
+  if (ns < 0) ns = 0;
+  const int b = ns == 0
+                    ? 0
+                    : std::bit_width(static_cast<std::uint64_t>(ns));
+  buckets_[std::min(b, kBuckets - 1)]++;
+  ++count_;
+  min_ns_ = std::min(min_ns_, ns);
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+Duration LatencyHistogram::min() const noexcept {
+  return count_ > 0 ? Duration::nanos(min_ns_) : Duration::zero();
+}
+
+Duration LatencyHistogram::max() const noexcept {
+  return Duration::nanos(max_ns_);
+}
+
+Duration LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return Duration::zero();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::llround(q * static_cast<double>(count_ - 1)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (seen + buckets_[b] > target) {
+      // Midpoint of bucket b: values in [2^(b-1), 2^b).
+      const std::int64_t lo = b == 0 ? 0 : (std::int64_t{1} << (b - 1));
+      const std::int64_t hi = std::int64_t{1} << b;
+      return Duration::nanos(std::clamp((lo + hi) / 2, min_ns_, max_ns_));
+    }
+    seen += buckets_[b];
+  }
+  return Duration::nanos(max_ns_);
+}
+
+std::string LatencyHistogram::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu min=%s p50=%s p99=%s max=%s", count_,
+                min().str().c_str(), quantile(0.5).str().c_str(),
+                quantile(0.99).str().c_str(), max().str().c_str());
+  return buf;
+}
+
+}  // namespace vmig::sim

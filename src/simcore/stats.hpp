@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace vmig::sim {
+
+/// Online summary statistics (Welford's algorithm): count, mean, variance,
+/// min, max — numerically stable, O(1) memory.
+class SummaryStats {
+ public:
+  void add(double x);
+  void merge(const SummaryStats& o);
+  void reset();
+
+  std::size_t count() const noexcept { return n_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+  std::string str() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A (time, value) series sampled during a run; the raw data behind
+/// throughput-over-time figures (paper Figs. 5 and 6).
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint t;
+    double value;
+  };
+
+  void add(TimePoint t, double value) { points_.push_back({t, value}); }
+  void clear() { points_.clear(); }
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t size() const noexcept { return points_.size(); }
+
+  SummaryStats summarize() const;
+  /// Summary restricted to samples with t in [from, to].
+  SummaryStats summarize(TimePoint from, TimePoint to) const;
+
+  /// Mean value over samples in [from, to]; 0 if none.
+  double mean_in(TimePoint from, TimePoint to) const;
+
+  /// Render as two-column text (seconds, value), for EXPERIMENTS.md plots.
+  std::string to_text(int max_rows = 0) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Windowed rate meter: feed byte/op counts with timestamps, periodically
+/// flush a window into a TimeSeries as a rate (units/second).
+class RateMeter {
+ public:
+  RateMeter(Duration window, std::string unit = "B/s")
+      : window_{window}, unit_{std::move(unit)} {}
+
+  /// Account `amount` happening at time `t`. Windows are flushed as time
+  /// advances (samples must be fed in nondecreasing time order).
+  void add(TimePoint t, double amount);
+
+  /// Flush the current partial window at end of run.
+  void finish(TimePoint t);
+
+  const TimeSeries& series() const noexcept { return series_; }
+  const std::string& unit() const noexcept { return unit_; }
+  double total() const noexcept { return total_; }
+
+ private:
+  void roll_to(TimePoint t);
+
+  Duration window_;
+  std::string unit_;
+  TimePoint window_start_{};
+  double window_sum_ = 0.0;
+  double total_ = 0.0;
+  bool started_ = false;
+  TimeSeries series_;
+};
+
+/// Log-scaled latency histogram (power-of-two buckets over nanoseconds).
+class LatencyHistogram {
+ public:
+  void add(Duration d);
+
+  std::size_t count() const noexcept { return count_; }
+  Duration min() const noexcept;
+  Duration max() const noexcept;
+  /// Approximate quantile (q in [0,1]) from bucket interpolation.
+  Duration quantile(double q) const;
+
+  std::string str() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::size_t count_ = 0;
+  std::int64_t min_ns_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ns_ = 0;
+};
+
+}  // namespace vmig::sim

@@ -1,0 +1,33 @@
+#include "simcore/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vmig::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = static_cast<double>(std::llabs(ns));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) * 1e-6);
+  } else if (a < 120e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fmin", static_cast<double>(ns) / 60e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::str() const { return format_ns(ns_); }
+
+std::string TimePoint::str() const { return format_ns(ns_); }
+
+}  // namespace vmig::sim

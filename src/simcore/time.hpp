@@ -1,0 +1,123 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vmig::sim {
+
+/// A span of simulated time, stored as signed 64-bit nanoseconds.
+///
+/// Nanosecond resolution over int64 covers ~292 years of simulated time,
+/// which is far beyond any migration experiment while keeping all arithmetic
+/// exact (no floating-point drift in the event queue).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+
+  /// Build from fractional seconds. Rounds to the nearest nanosecond.
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  /// Scale by a real factor, rounding to the nearest nanosecond.
+  constexpr Duration scaled(double f) const {
+    return from_seconds(to_seconds() * f);
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an adaptive unit ("12.5ms", "3.2s", ...).
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_{n} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant on the simulated clock, as nanoseconds since simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint{}; }
+  static constexpr TimePoint from_ns(std::int64_t n) { return TimePoint{n}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t n) : ns_{n} {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(long double s) {
+  return Duration::from_seconds(static_cast<double>(s));
+}
+constexpr Duration operator""_min(unsigned long long n) {
+  return Duration::minutes(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace vmig::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmig::storage {
+
+/// Index of a fixed-size block on a virtual block device (VBD).
+using BlockId = std::uint64_t;
+
+/// The paper's preferred bitmap granularity: modern OSes issue 4 KB blocks.
+inline constexpr std::uint32_t kDefaultBlockSize = 4096;
+/// Physical sector size, the alternative (8x more bitmap memory; §IV-A-2).
+inline constexpr std::uint32_t kSectorSize = 512;
+
+inline constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Shape of a virtual disk: how many blocks of what size.
+struct Geometry {
+  std::uint64_t block_count = 0;
+  std::uint32_t block_size = kDefaultBlockSize;
+
+  constexpr std::uint64_t total_bytes() const {
+    return block_count * block_size;
+  }
+  constexpr double total_mib() const {
+    return static_cast<double>(total_bytes()) / static_cast<double>(kMiB);
+  }
+
+  static constexpr Geometry from_mib(std::uint64_t mib,
+                                     std::uint32_t block_size = kDefaultBlockSize) {
+    return Geometry{mib * kMiB / block_size, block_size};
+  }
+  static constexpr Geometry from_blocks(std::uint64_t blocks,
+                                        std::uint32_t block_size = kDefaultBlockSize) {
+    return Geometry{blocks, block_size};
+  }
+
+  constexpr bool contains(BlockId b) const { return b < block_count; }
+};
+
+/// A contiguous run of blocks [start, start + count).
+struct BlockRange {
+  BlockId start = 0;
+  std::uint32_t count = 0;
+
+  constexpr BlockId end() const { return start + count; }
+  constexpr bool empty() const { return count == 0; }
+  constexpr std::uint64_t bytes(std::uint32_t block_size) const {
+    return static_cast<std::uint64_t>(count) * block_size;
+  }
+};
+
+enum class IoOp : std::uint8_t { kRead, kWrite };
+
+inline const char* to_string(IoOp op) {
+  return op == IoOp::kRead ? "read" : "write";
+}
+
+}  // namespace vmig::storage

@@ -1,0 +1,25 @@
+#include "storage/disk_model.hpp"
+
+#include <cstdlib>
+
+namespace vmig::storage {
+
+sim::Duration DiskModel::transfer_time(IoOp op, std::uint64_t bytes) const {
+  const double mbps = op == IoOp::kRead ? p_.seq_read_mbps : p_.seq_write_mbps;
+  const double seconds = static_cast<double>(bytes) / (mbps * static_cast<double>(kMiB));
+  return sim::Duration::from_seconds(seconds);
+}
+
+bool DiskModel::is_sequential(BlockId start, BlockId last_end) const {
+  const auto distance = start >= last_end ? start - last_end : last_end - start;
+  return distance <= p_.seq_gap_blocks;
+}
+
+sim::Duration DiskModel::service_time(IoOp op, BlockRange range, BlockId last_end,
+                                      std::uint32_t block_size) const {
+  sim::Duration t = p_.request_overhead + transfer_time(op, range.bytes(block_size));
+  if (!is_sequential(range.start, last_end)) t += p_.seek;
+  return t;
+}
+
+}  // namespace vmig::storage

@@ -1,0 +1,34 @@
+#include "storage/disk_scheduler.hpp"
+
+#include <algorithm>
+
+namespace vmig::storage {
+
+sim::Task<void> DiskScheduler::execute(IoOp op, BlockRange range,
+                                       std::uint32_t block_size, IoSource source) {
+  const sim::TimePoint arrival = sim_.now();
+  const sim::TimePoint start = std::max(arrival, busy_until_);
+  // Head position at dispatch time is wherever the previous request left it.
+  const sim::Duration service = model_.service_time(op, range, head_pos_, block_size);
+  const sim::TimePoint completion = start + service;
+
+  busy_until_ = completion;
+  head_pos_ = range.end();
+  busy_time_ += service;
+  bytes_[static_cast<int>(source)] += range.bytes(block_size);
+  ++requests_;
+  ++queue_depth_;
+
+  co_await sim_.delay(completion - arrival);
+
+  --queue_depth_;
+  latency_.add(completion - arrival);
+}
+
+double DiskScheduler::utilization() const {
+  const auto elapsed = sim_.now() - sim::TimePoint::origin();
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  return std::min(1.0, busy_time_ / elapsed);
+}
+
+}  // namespace vmig::storage

@@ -1,0 +1,159 @@
+#include "storage/virtual_disk.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "simcore/rng.hpp"
+
+namespace vmig::storage {
+
+namespace {
+/// Process-wide monotone token source. The simulation is single-threaded and
+/// deterministic, so a plain counter keeps tokens unique across all disks —
+/// including a block written at the destination after migration, which must
+/// never collide with any token the source ever produced.
+ContentToken g_next_token = 1;
+}  // namespace
+
+VirtualDisk::VirtualDisk(sim::Simulator& sim, Geometry geometry,
+                         DiskModelParams model, bool store_payloads)
+    : sim_{sim},
+      geometry_{geometry},
+      owned_scheduler_{std::make_unique<DiskScheduler>(sim, DiskModel{model})},
+      scheduler_{owned_scheduler_.get()},
+      store_payloads_{store_payloads},
+      tokens_(geometry.block_count, kZeroBlockToken) {}
+
+VirtualDisk::VirtualDisk(sim::Simulator& sim, Geometry geometry,
+                         DiskScheduler& shared, bool store_payloads)
+    : sim_{sim},
+      geometry_{geometry},
+      scheduler_{&shared},
+      store_payloads_{store_payloads},
+      tokens_(geometry.block_count, kZeroBlockToken) {}
+
+ContentToken VirtualDisk::fresh_token() { return g_next_token++; }
+
+sim::Task<void> VirtualDisk::read(BlockRange range, IoSource source) {
+  assert(range.end() <= geometry_.block_count);
+  co_await scheduler_->execute(IoOp::kRead, range, geometry_.block_size, source);
+}
+
+sim::Task<void> VirtualDisk::write(BlockRange range, IoSource source) {
+  assert(range.end() <= geometry_.block_count);
+  for (BlockId b = range.start; b < range.end(); ++b) {
+    tokens_[b] = fresh_token();
+    if (store_payloads_) {
+      // Synthesize distinguishable content from the token.
+      std::vector<std::byte> data(geometry_.block_size);
+      std::uint64_t s = tokens_[b];
+      for (std::size_t i = 0; i + 8 <= data.size(); i += 8) {
+        const std::uint64_t v = sim::splitmix64(s);
+        std::memcpy(data.data() + i, &v, 8);
+      }
+      payloads_[b] = std::move(data);
+    }
+  }
+  ++write_count_;
+  co_await scheduler_->execute(IoOp::kWrite, range, geometry_.block_size, source);
+}
+
+sim::Task<void> VirtualDisk::write_tokens(BlockRange range,
+                                          std::span<const ContentToken> tokens,
+                                          IoSource source) {
+  assert(range.end() <= geometry_.block_count);
+  assert(tokens.size() == range.count);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    tokens_[range.start + i] = tokens[i];
+  }
+  ++write_count_;
+  co_await scheduler_->execute(IoOp::kWrite, range, geometry_.block_size, source);
+}
+
+sim::Task<void> VirtualDisk::write_bytes(BlockRange range,
+                                         std::span<const std::byte> bytes,
+                                         IoSource source) {
+  assert(range.end() <= geometry_.block_count);
+  assert(bytes.size() == static_cast<std::size_t>(range.count) * geometry_.block_size);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    const auto chunk = bytes.subspan(
+        static_cast<std::size_t>(i) * geometry_.block_size, geometry_.block_size);
+    tokens_[range.start + i] = hash_bytes(chunk);
+    if (store_payloads_) {
+      payloads_[range.start + i].assign(chunk.begin(), chunk.end());
+    }
+  }
+  ++write_count_;
+  co_await scheduler_->execute(IoOp::kWrite, range, geometry_.block_size, source);
+}
+
+std::vector<ContentToken> VirtualDisk::snapshot_tokens(BlockRange range) const {
+  assert(range.end() <= geometry_.block_count);
+  return {tokens_.begin() + static_cast<std::ptrdiff_t>(range.start),
+          tokens_.begin() + static_cast<std::ptrdiff_t>(range.end())};
+}
+
+std::span<const std::byte> VirtualDisk::payload(BlockId b) const {
+  const auto it = payloads_.find(b);
+  if (it == payloads_.end()) return {};
+  return it->second;
+}
+
+void VirtualDisk::poke_payload(BlockId b, std::span<const std::byte> bytes) {
+  payloads_[b].assign(bytes.begin(), bytes.end());
+}
+
+std::vector<std::byte> VirtualDisk::snapshot_payloads(BlockRange range) const {
+  if (!store_payloads_) return {};
+  std::vector<std::byte> out;
+  out.resize(static_cast<std::size_t>(range.count) * geometry_.block_size);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    const auto p = payload(range.start + i);
+    if (!p.empty()) {
+      std::memcpy(out.data() + static_cast<std::size_t>(i) * geometry_.block_size,
+                  p.data(), std::min<std::size_t>(p.size(), geometry_.block_size));
+    }
+  }
+  return out;
+}
+
+void VirtualDisk::apply_payloads(BlockRange range,
+                                 std::span<const std::byte> bytes) {
+  if (!store_payloads_ || bytes.empty()) return;
+  assert(bytes.size() >=
+         static_cast<std::size_t>(range.count) * geometry_.block_size);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    poke_payload(range.start + i,
+                 bytes.subspan(static_cast<std::size_t>(i) * geometry_.block_size,
+                               geometry_.block_size));
+  }
+}
+
+bool VirtualDisk::content_equals(const VirtualDisk& other) const {
+  return tokens_ == other.tokens_;
+}
+
+std::vector<BlockId> VirtualDisk::diff_blocks(const VirtualDisk& other) const {
+  std::vector<BlockId> out;
+  const std::size_t n = std::min(tokens_.size(), other.tokens_.size());
+  for (std::size_t b = 0; b < n; ++b) {
+    if (tokens_[b] != other.tokens_[b]) out.push_back(b);
+  }
+  for (std::size_t b = n; b < std::max(tokens_.size(), other.tokens_.size()); ++b) {
+    out.push_back(b);
+  }
+  return out;
+}
+
+ContentToken VirtualDisk::hash_bytes(std::span<const std::byte> bytes) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  // Avoid colliding with the zero-block sentinel.
+  return h == kZeroBlockToken ? 1 : h;
+}
+
+}  // namespace vmig::storage

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "storage/block.hpp"
+#include "storage/disk_scheduler.hpp"
+
+namespace vmig::storage {
+
+/// Content identity of one block.
+///
+/// Real 4 KB payloads for a 40 GB disk would need 40 GB of host RAM, so the
+/// disk stores a 64-bit *content token* per block instead: every write stamps
+/// a globally unique token, and two disks hold identical data at a block iff
+/// their tokens match. For small disks, an optional payload side-store keeps
+/// the real bytes as well (token = content hash), so integrity tests can
+/// verify the protocol byte-for-byte, not just token-for-token.
+using ContentToken = std::uint64_t;
+
+/// Initial token of a never-written block (all-zero content).
+inline constexpr ContentToken kZeroBlockToken = 0;
+
+/// A virtual block device: token state + timed access through a
+/// FIFO-contended `DiskScheduler`. This is the raw device; interception and
+/// dirty tracking live in the split driver (`vm::BlkBackend`), exactly as in
+/// the paper's Xen implementation.
+class VirtualDisk {
+ public:
+  /// Standalone VBD with its own physical disk (scheduler).
+  VirtualDisk(sim::Simulator& sim, Geometry geometry, DiskModelParams model = {},
+              bool store_payloads = false);
+  /// VBD sharing an existing physical disk: several DomUs' VBDs on one
+  /// spindle contend for its time but have independent block spaces.
+  VirtualDisk(sim::Simulator& sim, Geometry geometry, DiskScheduler& shared,
+              bool store_payloads = false);
+
+  VirtualDisk(const VirtualDisk&) = delete;
+  VirtualDisk& operator=(const VirtualDisk&) = delete;
+
+  const Geometry& geometry() const noexcept { return geometry_; }
+  DiskScheduler& scheduler() noexcept { return *scheduler_; }
+  const DiskScheduler& scheduler() const noexcept { return *scheduler_; }
+  bool stores_payloads() const noexcept { return store_payloads_; }
+
+  // ---- Timed I/O (contends on the disk with everything else) ----
+
+  /// Timed read of a block range (no state change).
+  sim::Task<void> read(BlockRange range, IoSource source = IoSource::kGuest);
+
+  /// Timed guest-style write: every block in the range gets a fresh token.
+  sim::Task<void> write(BlockRange range, IoSource source = IoSource::kGuest);
+
+  /// Timed write that installs the given tokens (migration receive path).
+  /// `tokens.size()` must equal `range.count`.
+  sim::Task<void> write_tokens(BlockRange range, std::span<const ContentToken> tokens,
+                               IoSource source = IoSource::kMigration);
+
+  /// Timed write of real bytes (payload mode); token = content hash.
+  /// `bytes.size()` must equal `range.count * block_size`.
+  sim::Task<void> write_bytes(BlockRange range, std::span<const std::byte> bytes,
+                              IoSource source = IoSource::kGuest);
+
+  // ---- Untimed state access (bookkeeping, assertions, transfers) ----
+
+  ContentToken token(BlockId b) const { return tokens_[b]; }
+  std::span<const ContentToken> tokens() const noexcept { return tokens_; }
+  /// Copy `range.count` tokens out (what a migration sender transmits).
+  std::vector<ContentToken> snapshot_tokens(BlockRange range) const;
+  /// Directly set a token without timing (test fixture setup).
+  void poke_token(BlockId b, ContentToken t) { tokens_[b] = t; }
+
+  /// Payload of block b (empty span if none stored).
+  std::span<const std::byte> payload(BlockId b) const;
+  /// Install payload bytes untimed (paired with write_tokens on receive).
+  void poke_payload(BlockId b, std::span<const std::byte> bytes);
+  /// Concatenated payload bytes for a range (what a migration sender ships
+  /// in payload mode); empty when payloads are not stored.
+  std::vector<std::byte> snapshot_payloads(BlockRange range) const;
+  /// Install concatenated payloads for a range (migration receive path).
+  /// No-op when `bytes` is empty or payloads are not stored.
+  void apply_payloads(BlockRange range, std::span<const std::byte> bytes);
+
+  /// True iff every block token matches.
+  bool content_equals(const VirtualDisk& other) const;
+  /// Blocks whose tokens differ from `other` (diagnostics).
+  std::vector<BlockId> diff_blocks(const VirtualDisk& other) const;
+
+  /// Number of timed guest/other/migration writes that have modified state.
+  std::uint64_t write_count() const noexcept { return write_count_; }
+
+  /// Hash bytes to a content token (stable; used in payload mode).
+  static ContentToken hash_bytes(std::span<const std::byte> bytes);
+
+ private:
+  ContentToken fresh_token();
+
+  sim::Simulator& sim_;
+  Geometry geometry_;
+  std::unique_ptr<DiskScheduler> owned_scheduler_;  ///< standalone mode only
+  DiskScheduler* scheduler_;
+  bool store_payloads_;
+  std::vector<ContentToken> tokens_;
+  std::unordered_map<BlockId, std::vector<std::byte>> payloads_;
+  std::uint64_t write_count_ = 0;
+};
+
+}  // namespace vmig::storage

@@ -1,0 +1,74 @@
+#include "trace/io_trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmig::trace {
+
+std::uint64_t IoTrace::count(storage::IoOp op) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) n += (e.op == op);
+  return n;
+}
+
+std::uint64_t IoTrace::bytes(storage::IoOp op, std::uint32_t block_size) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.op == op) n += e.range.bytes(block_size);
+  }
+  return n;
+}
+
+WriteLocalityStats IoTrace::analyze_writes(std::uint64_t block_count) const {
+  WriteLocalityStats s;
+  core::BlockBitmap seen{block_count};
+  for (const auto& e : events_) {
+    if (e.op != storage::IoOp::kWrite) continue;
+    ++s.write_ops;
+    bool any_rewrite = false;
+    for (storage::BlockId b = e.range.start; b < e.range.end(); ++b) {
+      ++s.blocks_written;
+      if (seen.test(b)) {
+        any_rewrite = true;
+        ++s.rewritten_blocks;
+      } else {
+        seen.set(b);
+      }
+    }
+    s.rewrite_ops += any_rewrite;
+  }
+  s.distinct_blocks = seen.count_set();
+  return s;
+}
+
+void IoTrace::save(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << e.t.to_seconds() << ' '
+       << (e.op == storage::IoOp::kWrite ? 'W' : 'R') << ' ' << e.range.start
+       << ' ' << e.range.count << '\n';
+  }
+}
+
+IoTrace IoTrace::load(std::istream& is) {
+  IoTrace t;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    double secs = 0;
+    char op = 0;
+    storage::BlockId start = 0;
+    std::uint32_t count = 0;
+    if (!(ls >> secs >> op >> start >> count) || (op != 'R' && op != 'W')) {
+      throw std::runtime_error("IoTrace::load: malformed line: " + line);
+    }
+    t.record(sim::TimePoint::origin() + sim::Duration::from_seconds(secs),
+             op == 'W' ? storage::IoOp::kWrite : storage::IoOp::kRead,
+             storage::BlockRange{start, count});
+  }
+  return t;
+}
+
+}  // namespace vmig::trace

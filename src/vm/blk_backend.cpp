@@ -1,0 +1,64 @@
+#include "vm/blk_backend.hpp"
+
+namespace vmig::vm {
+
+sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
+                                               storage::BlockRange range,
+                                               std::span<const std::byte> bytes) {
+  if (interceptor_ != nullptr) {
+    co_await interceptor_->on_request(domain, storage::IoOp::kWrite, range);
+  }
+  if (tracking_ && domain == served_) {
+    dirty_.set_range(range.start, range.count);
+    if (tracking_overhead_ > sim::Duration::zero()) {
+      co_await sim_.delay(tracking_overhead_);
+    }
+  }
+  ++writes_;
+  write_bytes_ += range.bytes(disk_.geometry().block_size);
+  co_await disk_.write_bytes(range, bytes, storage::IoSource::kGuest);
+  if (write_observer_ && domain == served_) write_observer_(range);
+}
+
+sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
+                                   storage::BlockRange range) {
+  // Post-copy interception gets first crack: it may hold the request until
+  // the accessed blocks are synchronized (paper §IV-A-3 destination rules).
+  if (interceptor_ != nullptr) {
+    co_await interceptor_->on_request(domain, op, range);
+  }
+
+  if (op == storage::IoOp::kWrite) {
+    if (tracking_ && domain == served_) {
+      // The paper's blkback splits the written area into 4 KB blocks and
+      // sets the corresponding bits.
+      dirty_.set_range(range.start, range.count);
+      if (tracking_overhead_ > sim::Duration::zero()) {
+        co_await sim_.delay(tracking_overhead_);
+      }
+    }
+    ++writes_;
+    write_bytes_ += range.bytes(disk_.geometry().block_size);
+    co_await disk_.write(range, storage::IoSource::kGuest);
+    if (write_observer_ && domain == served_) write_observer_(range);
+  } else {
+    ++reads_;
+    read_bytes_ += range.bytes(disk_.geometry().block_size);
+    co_await disk_.read(range, storage::IoSource::kGuest);
+  }
+}
+
+void BlkBackend::start_write_tracking(core::BitmapKind kind) {
+  dirty_ = core::DirtyBitmap{kind, disk_.geometry().block_count};
+  tracking_ = true;
+}
+
+void BlkBackend::stop_write_tracking() { tracking_ = false; }
+
+core::DirtyBitmap BlkBackend::snapshot_dirty_and_reset() {
+  return dirty_.take_and_reset();
+}
+
+core::DirtyBitmap BlkBackend::snapshot_dirty() const { return dirty_; }
+
+}  // namespace vmig::vm

@@ -1,0 +1,47 @@
+#include "vm/domain.hpp"
+
+namespace vmig::vm {
+
+void Domain::suspend() {
+  if (state_ == State::kSuspended) return;
+  state_ = State::kSuspended;
+  suspended_at_ = sim_.now();
+}
+
+void Domain::resume() {
+  if (state_ == State::kRunning) return;
+  state_ = State::kRunning;
+  suspended_total_ += sim_.now() - suspended_at_;
+  cpu_.touch();  // context restore
+  resume_notifier_.notify_all();
+}
+
+sim::Duration Domain::total_suspended_time() const {
+  sim::Duration t = suspended_total_;
+  if (state_ == State::kSuspended) t += sim_.now() - suspended_at_;
+  return t;
+}
+
+sim::Task<void> Domain::barrier() {
+  while (state_ == State::kSuspended) {
+    co_await resume_notifier_.wait();
+  }
+}
+
+sim::Task<void> Domain::disk_read(storage::BlockRange range) {
+  co_await barrier();
+  co_await frontend_.submit(storage::IoOp::kRead, range);
+}
+
+sim::Task<void> Domain::disk_write(storage::BlockRange range) {
+  co_await barrier();
+  co_await frontend_.submit(storage::IoOp::kWrite, range);
+}
+
+sim::Task<void> Domain::disk_write_bytes(storage::BlockRange range,
+                                         std::span<const std::byte> bytes) {
+  co_await barrier();
+  co_await frontend_.submit_write_bytes(range, bytes);
+}
+
+}  // namespace vmig::vm

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "vm/blk_backend.hpp"
+#include "vm/guest_memory.hpp"
+#include "vm/types.hpp"
+#include "vm/vcpu.hpp"
+
+namespace vmig::vm {
+
+/// The DomainU half of the split block driver: a thin proxy that forwards
+/// ring requests to whichever backend the domain is currently connected to.
+/// Rebinding the frontend to the destination host's backend is how a
+/// migrated VM transparently starts using the migrated VBD.
+class BlkFrontend {
+ public:
+  explicit BlkFrontend(DomainId owner) : owner_{owner} {}
+
+  void connect(BlkBackend* be) noexcept { backend_ = be; }
+  void disconnect() noexcept { backend_ = nullptr; }
+  bool connected() const noexcept { return backend_ != nullptr; }
+  BlkBackend* backend() const noexcept { return backend_; }
+
+  sim::Task<void> submit(storage::IoOp op, storage::BlockRange range) {
+    assert(backend_ != nullptr && "frontend not connected to a backend");
+    return backend_->submit(owner_, op, range);
+  }
+
+  sim::Task<void> submit_write_bytes(storage::BlockRange range,
+                                     std::span<const std::byte> bytes) {
+    assert(backend_ != nullptr && "frontend not connected to a backend");
+    return backend_->submit_write_bytes(owner_, range, bytes);
+  }
+
+ private:
+  DomainId owner_;
+  BlkBackend* backend_ = nullptr;
+};
+
+/// An unprivileged guest VM (Xen DomainU): vCPU + memory + virtual disk
+/// frontend, with a run/suspend lifecycle.
+///
+/// Workload coroutines drive the domain; every guest-visible operation
+/// passes a `barrier()` that holds while the domain is suspended, so the
+/// freeze-and-copy phase stops the guest exactly as Xen's suspend does, and
+/// resume at the destination lets it continue where it stopped.
+class Domain {
+ public:
+  enum class State : std::uint8_t { kRunning, kSuspended };
+
+  Domain(sim::Simulator& sim, DomainId id, std::string name,
+         std::uint64_t memory_mib)
+      : sim_{sim},
+        id_{id},
+        name_{std::move(name)},
+        memory_{memory_mib},
+        frontend_{id},
+        resume_notifier_{sim} {}
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  DomainId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  GuestMemory& memory() noexcept { return memory_; }
+  const GuestMemory& memory() const noexcept { return memory_; }
+  VCpuState& cpu() noexcept { return cpu_; }
+  const VCpuState& cpu() const noexcept { return cpu_; }
+  BlkFrontend& frontend() noexcept { return frontend_; }
+
+  State state() const noexcept { return state_; }
+  bool running() const noexcept { return state_ == State::kRunning; }
+
+  /// Freeze the guest (start of the freeze-and-copy phase).
+  void suspend();
+  /// Unfreeze (resume on the destination — or abort back on the source).
+  void resume();
+
+  /// Wall-clock the guest has spent frozen (downtime accounting cross-check).
+  sim::Duration total_suspended_time() const;
+
+  /// Completes immediately while running; holds while suspended.
+  sim::Task<void> barrier();
+
+  // ---- Guest-side operations used by workload drivers ----
+
+  sim::Task<void> disk_read(storage::BlockRange range);
+  sim::Task<void> disk_write(storage::BlockRange range);
+  /// Write real bytes (payload-backed disks); tracked like any guest write.
+  sim::Task<void> disk_write_bytes(storage::BlockRange range,
+                                   std::span<const std::byte> bytes);
+
+  /// Guest store to a memory page (dirty-logged during pre-copy).
+  void touch_memory(PageId p) { memory_.write_page(p); }
+
+ private:
+  sim::Simulator& sim_;
+  DomainId id_;
+  std::string name_;
+  GuestMemory memory_;
+  VCpuState cpu_;
+  BlkFrontend frontend_;
+  State state_ = State::kRunning;
+  sim::Notifier resume_notifier_;
+  sim::TimePoint suspended_at_{};
+  sim::Duration suspended_total_{};
+};
+
+}  // namespace vmig::vm

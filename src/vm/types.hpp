@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace vmig::vm {
+
+/// Xen-style domain identifier. Domain 0 is the privileged control domain
+/// that owns physical devices and runs the migration daemons.
+using DomainId = std::uint32_t;
+
+inline constexpr DomainId kDomain0 = 0;
+
+/// Guest physical page frame number.
+using PageId = std::uint64_t;
+
+}  // namespace vmig::vm

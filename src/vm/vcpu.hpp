@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace vmig::vm {
+
+/// Architectural state of a virtual CPU — what the freeze-and-copy phase
+/// ships alongside the residual dirty pages. Contents are modeled as an
+/// opaque blob with a version stamp; the size is what matters for downtime.
+struct VCpuState {
+  /// Xen shipped a few KB of per-vCPU context (registers, FPU, MSRs).
+  static constexpr std::uint64_t kWireBytes = 8 * 1024;
+
+  std::uint64_t version = 0;
+
+  /// Guest execution mutates CPU state continuously.
+  void touch() { ++version; }
+
+  std::uint64_t wire_bytes() const { return kWireBytes; }
+
+  bool operator==(const VCpuState&) const = default;
+};
+
+}  // namespace vmig::vm

@@ -1,0 +1,69 @@
+#pragma once
+
+/// Umbrella header: the whole public API of the vmig library.
+///
+///   #include "vmig.hpp"
+///
+/// Pulls in the simulation kernel, the host/guest substrates, the TPM/IM
+/// migration engine, the related-work baselines, the evaluation workloads,
+/// and the calibrated paper testbed. Fine-grained headers remain available
+/// for faster builds (see docs/API.md for the layer-by-layer tour).
+
+// Simulation kernel.
+#include "simcore/channel.hpp"
+#include "simcore/log.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/task.hpp"
+#include "simcore/time.hpp"
+
+// Storage and network substrates.
+#include "net/link.hpp"
+#include "net/message_stream.hpp"
+#include "storage/block.hpp"
+#include "storage/disk_model.hpp"
+#include "storage/disk_scheduler.hpp"
+#include "storage/virtual_disk.hpp"
+
+// Guest and hypervisor.
+#include "hypervisor/checkpoint.hpp"
+#include "hypervisor/host.hpp"
+#include "vm/blk_backend.hpp"
+#include "vm/domain.hpp"
+#include "vm/guest_memory.hpp"
+#include "vm/types.hpp"
+#include "vm/vcpu.hpp"
+
+// The paper's contribution: block-bitmaps, TPM, IM, post-copy.
+#include "core/block_bitmap.hpp"
+#include "core/dirty_bitmap.hpp"
+#include "core/disruption.hpp"
+#include "core/im_directory.hpp"
+#include "core/layered_bitmap.hpp"
+#include "core/migration_config.hpp"
+#include "core/migration_manager.hpp"
+#include "core/migration_metrics.hpp"
+#include "core/post_copy.hpp"
+#include "core/protocol.hpp"
+#include "core/report_io.hpp"
+#include "core/tpm.hpp"
+
+// Related-work baselines.
+#include "baselines/baseline_report.hpp"
+#include "baselines/delta_forward.hpp"
+#include "baselines/freeze_and_copy.hpp"
+#include "baselines/on_demand.hpp"
+#include "baselines/shared_storage.hpp"
+
+// Evaluation workloads, tracing, and the calibrated testbed.
+#include "scenario/testbed.hpp"
+#include "trace/io_trace.hpp"
+#include "workloads/diabolical.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/memory_hog.hpp"
+#include "workloads/streaming.hpp"
+#include "workloads/trace_replay.hpp"
+#include "workloads/web_server.hpp"
+#include "workloads/workload.hpp"

@@ -1,0 +1,56 @@
+#include "workloads/kernel_build.hpp"
+
+#include <algorithm>
+
+namespace vmig::workload {
+
+using namespace vmig::sim::literals;
+
+sim::Task<void> KernelBuildWorkload::run() {
+  const std::uint64_t blocks = disk_blocks();
+  source_start_ = blocks / 8;
+  source_blocks_ = std::max<std::uint64_t>(blocks / 8, 4096);
+  object_start_ = blocks / 2;
+  object_region_blocks_ = std::max<std::uint64_t>(blocks / 8, 4096);
+  object_cursor_ = 0;
+
+  for (int j = 0; j < p_.parallel_jobs; ++j) {
+    ++live_jobs_;
+    sim_.spawn(job(), "make-job");
+  }
+  while (live_jobs_ > 0) co_await sim_.delay(50_ms);
+}
+
+sim::Task<void> KernelBuildWorkload::job() {
+  while (!stop_requested()) {
+    co_await domain_.barrier();
+    // Read the translation unit + headers.
+    const std::uint64_t src =
+        source_start_ + rng_.uniform_u64(source_blocks_ - p_.source_read_blocks);
+    co_await read_blocks(storage::BlockRange{src, p_.source_read_blocks});
+    // Compile.
+    co_await sim_.delay(sim::Duration::from_seconds(
+        rng_.exponential(p_.compile_mean.to_seconds())));
+    if (stop_requested()) break;
+    co_await domain_.barrier();
+    touch_pages(p_.pages_per_compile);
+    domain_.cpu().touch();
+    // Emit the object file: usually fresh blocks, sometimes a rebuild.
+    const auto n = static_cast<std::uint32_t>(
+        rng_.uniform_i64(p_.object_write_min, p_.object_write_max));
+    std::uint64_t target;
+    if (object_cursor_ > n && rng_.bernoulli(p_.rebuild_probability)) {
+      target = object_start_ + rng_.uniform_u64(object_cursor_ - n);
+    } else {
+      target = object_start_ + object_cursor_ % object_region_blocks_;
+      object_cursor_ =
+          std::min(object_cursor_ + n, object_region_blocks_ - 1);
+    }
+    co_await write_blocks(storage::BlockRange{target, n});
+    account(static_cast<double>(n) * 4096.0);
+    ++units_;
+  }
+  --live_jobs_;
+}
+
+}  // namespace vmig::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace vmig::workload {
+
+/// Kernel-build-like workload: read sources, burn CPU compiling, write
+/// object files. Mostly fresh writes with occasional regeneration of
+/// already-built objects — the paper measured ~11% of kernel-build writes
+/// rewriting previously-written blocks, the lowest of its three workloads.
+struct KernelBuildParams {
+  /// Mean compile time per translation unit.
+  sim::Duration compile_mean = sim::Duration::millis(400);
+  /// Source blocks read per translation unit.
+  std::uint32_t source_read_blocks = 8;
+  /// Object blocks written per translation unit.
+  std::uint32_t object_write_min = 1;
+  std::uint32_t object_write_max = 6;
+  /// Probability a write regenerates an existing object (rewrite).
+  double rebuild_probability = 0.11;
+  int parallel_jobs = 2;  ///< make -j2 on the paper's Core 2 Duo
+  int pages_per_compile = 16;
+};
+
+class KernelBuildWorkload final : public Workload {
+ public:
+  KernelBuildWorkload(sim::Simulator& sim, vm::Domain& domain, std::uint64_t seed,
+                      KernelBuildParams params = {})
+      : Workload{sim, domain, seed}, p_{params} {}
+
+  std::string name() const override { return "kernel-build"; }
+
+  std::uint64_t units_compiled() const noexcept { return units_; }
+
+ protected:
+  sim::Task<void> run() override;
+
+ private:
+  sim::Task<void> job();
+
+  KernelBuildParams p_;
+  std::uint64_t units_ = 0;
+  std::uint64_t source_start_ = 0;
+  std::uint64_t source_blocks_ = 0;
+  std::uint64_t object_start_ = 0;
+  std::uint64_t object_cursor_ = 0;
+  std::uint64_t object_region_blocks_ = 0;
+  int live_jobs_ = 0;
+};
+
+}  // namespace vmig::workload

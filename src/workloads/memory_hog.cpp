@@ -1,0 +1,30 @@
+#include "workloads/memory_hog.hpp"
+
+#include <algorithm>
+
+namespace vmig::workload {
+
+sim::Task<void> MemoryHogWorkload::run() {
+  const std::uint64_t pages = domain_.memory().page_count();
+  const std::uint64_t hot = std::min(p_.hot_pages, pages);
+  const auto batch_period = sim::Duration::from_seconds(
+      static_cast<double>(p_.batch) / p_.dirty_rate_pps);
+
+  while (!stop_requested()) {
+    co_await domain_.barrier();
+    for (int i = 0; i < p_.batch; ++i) {
+      vm::PageId page;
+      if (hot < pages && rng_.bernoulli(p_.cold_fraction)) {
+        page = hot + rng_.uniform_u64(pages - hot);
+      } else {
+        page = rng_.uniform_u64(hot);
+      }
+      domain_.touch_memory(page);
+      ++writes_;
+    }
+    domain_.cpu().touch();
+    co_await sim_.delay(batch_period);
+  }
+}
+
+}  // namespace vmig::workload

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace vmig::workload {
+
+/// Pure memory-dirtying workload with a writable-working-set shape: a hot
+/// set of pages rewritten constantly plus a cold tail touched occasionally.
+/// This is the knob for studying memory pre-copy convergence (the Xen
+/// NSDI'05 dynamics the paper builds on): hot-set size and dirty rate
+/// decide iterations, residual pages, and hence downtime.
+struct MemoryHogParams {
+  /// Pages in the hot set (rewritten uniformly).
+  std::uint64_t hot_pages = 2048;
+  /// Page writes per second.
+  double dirty_rate_pps = 20000.0;
+  /// Fraction of writes that land outside the hot set.
+  double cold_fraction = 0.05;
+  /// Batch size per wakeup (simulation efficiency).
+  int batch = 64;
+};
+
+class MemoryHogWorkload final : public Workload {
+ public:
+  MemoryHogWorkload(sim::Simulator& sim, vm::Domain& domain, std::uint64_t seed,
+                    MemoryHogParams params = {})
+      : Workload{sim, domain, seed}, p_{params} {}
+
+  std::string name() const override { return "memory-hog"; }
+
+  std::uint64_t writes_issued() const noexcept { return writes_; }
+
+ protected:
+  sim::Task<void> run() override;
+
+ private:
+  MemoryHogParams p_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace vmig::workload

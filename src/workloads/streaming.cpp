@@ -1,0 +1,69 @@
+#include "workloads/streaming.hpp"
+
+#include <algorithm>
+
+namespace vmig::workload {
+
+using namespace vmig::sim::literals;
+
+sim::Task<void> StreamingWorkload::run() {
+  live_tasks_ = 2;
+  sim_.spawn(streamer(), "stream-reader");
+  sim_.spawn(logger(), "stream-logger");
+  while (live_tasks_ > 0) co_await sim_.delay(50_ms);
+}
+
+sim::Task<void> StreamingWorkload::streamer() {
+  const std::uint64_t blocks = disk_blocks();
+  const std::uint32_t block_size = 4096;
+  const std::uint64_t video_start = blocks / 4;
+  const std::uint64_t video_blocks =
+      std::max<std::uint64_t>(p_.video_mib * 1024 * 1024 / block_size, 16);
+
+  // Stream in 16-block (64 KiB) chunks paced to the bitrate, looping the
+  // file like a long playlist.
+  const std::uint32_t chunk_blocks = 16;
+  const double chunk_bytes = static_cast<double>(chunk_blocks) * block_size;
+  const auto period =
+      sim::Duration::from_seconds(chunk_bytes * 8.0 / p_.bitrate_bps);
+
+  std::uint64_t offset = 0;
+  sim::TimePoint deadline = sim_.now() + period;
+  while (!stop_requested()) {
+    co_await domain_.barrier();
+    const std::uint64_t b =
+        video_start + (offset % (video_blocks - chunk_blocks + 1));
+    co_await read_blocks(storage::BlockRange{b, chunk_blocks});
+    offset += chunk_blocks;
+    ++chunks_;
+    account(chunk_bytes);
+    domain_.cpu().touch();
+    // Deadline bookkeeping: how late is this chunk vs real-time playback?
+    const sim::TimePoint done = sim_.now();
+    if (done > deadline + p_.stall_tolerance) {
+      ++stalls_;
+      worst_late_ = std::max(worst_late_, done - deadline);
+    }
+    if (done < deadline) co_await sim_.delay(deadline - done);
+    deadline += period;
+  }
+  --live_tasks_;
+}
+
+sim::Task<void> StreamingWorkload::logger() {
+  const std::uint64_t blocks = disk_blocks();
+  const std::uint64_t log_start = blocks * 7 / 8;
+  std::uint64_t cursor = 0;
+  while (!stop_requested()) {
+    co_await sim_.delay(sim::Duration::from_seconds(
+        rng_.exponential(p_.log_interval.to_seconds())));
+    if (stop_requested()) break;
+    co_await domain_.barrier();
+    co_await write_blocks(storage::BlockRange{log_start + cursor % 4096, 1});
+    ++cursor;
+    touch_pages(1);
+  }
+  --live_tasks_;
+}
+
+}  // namespace vmig::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace vmig::workload {
+
+/// Low-latency streaming server (the paper's Samba video share): a client
+/// plays a video file at under 500 kbps — continuous sequential reads at a
+/// gentle rate, plus the occasional log write. Latency-sensitive: the bench
+/// watches for stream stalls (missed deadlines) during migration, the
+/// paper's "video plays fluently, no observable intermission" claim.
+struct StreamingParams {
+  /// Stream bitrate (payload delivered to the player).
+  double bitrate_bps = 480.0 * 1000.0;
+  /// Size of the shared video file.
+  std::uint64_t video_mib = 210;
+  /// One log append roughly this often.
+  sim::Duration log_interval = sim::Duration::millis(1300);
+  /// A chunk is "late" if its disk read finishes more than this past its
+  /// play deadline (client-side buffer depth).
+  sim::Duration stall_tolerance = sim::Duration::millis(2000);
+};
+
+class StreamingWorkload final : public Workload {
+ public:
+  StreamingWorkload(sim::Simulator& sim, vm::Domain& domain, std::uint64_t seed,
+                    StreamingParams params = {})
+      : Workload{sim, domain, seed}, p_{params} {}
+
+  std::string name() const override { return "streaming"; }
+
+  std::uint64_t chunks_streamed() const noexcept { return chunks_; }
+  /// Chunks delivered later than the client buffer could hide.
+  std::uint64_t stalls() const noexcept { return stalls_; }
+  sim::Duration worst_lateness() const noexcept { return worst_late_; }
+
+ protected:
+  sim::Task<void> run() override;
+
+ private:
+  sim::Task<void> streamer();
+  sim::Task<void> logger();
+
+  StreamingParams p_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t stalls_ = 0;
+  sim::Duration worst_late_{};
+  int live_tasks_ = 0;
+};
+
+}  // namespace vmig::workload

@@ -1,0 +1,46 @@
+#include "workloads/trace_replay.hpp"
+
+#include <algorithm>
+
+namespace vmig::workload {
+
+sim::Task<void> TraceReplayWorkload::run() {
+  const auto& events = src_.events();
+  if (events.empty()) co_return;
+  const std::uint64_t disk = disk_blocks();
+
+  do {
+    const sim::TimePoint pass_start = sim_.now();
+    const sim::TimePoint trace_origin = events.front().t;
+    for (const auto& e : events) {
+      if (stop_requested()) co_return;
+      // Honor the recorded schedule (scaled); if we're behind, catch up
+      // without sleeping.
+      const auto offset =
+          (e.t - trace_origin).scaled(p_.time_scale);
+      const sim::TimePoint due = pass_start + offset;
+      if (due > sim_.now()) co_await sim_.delay(due - sim_.now());
+
+      co_await domain_.barrier();
+      // Clamp into this disk in case the trace came from a larger one.
+      storage::BlockRange r = e.range;
+      if (r.count == 0 || disk == 0) continue;
+      if (r.end() > disk) {
+        r.start = r.start % disk;
+        r.count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(r.count, disk - r.start));
+      }
+      if (e.op == storage::IoOp::kWrite) {
+        co_await write_blocks(r);
+        touch_pages(p_.pages_per_write);
+      } else {
+        co_await read_blocks(r);
+      }
+      account(r.bytes(4096));
+      ++replayed_;
+    }
+    ++passes_;
+  } while (p_.loop && !stop_requested());
+}
+
+}  // namespace vmig::workload

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "trace/io_trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace vmig::workload {
+
+/// Replays a recorded I/O trace against the domain, preserving the original
+/// inter-request timing (optionally time-scaled). This is how users bring
+/// real application traces to the simulator: record once (attach_trace on
+/// any workload, or convert an external trace to the text format), then
+/// replay under different migration configurations.
+struct TraceReplayParams {
+  /// <1 replays faster than recorded, >1 slower.
+  double time_scale = 1.0;
+  /// Loop the trace until stopped (single pass when false).
+  bool loop = false;
+  int pages_per_write = 1;
+};
+
+class TraceReplayWorkload final : public Workload {
+ public:
+  /// The trace must outlive the workload.
+  TraceReplayWorkload(sim::Simulator& sim, vm::Domain& domain,
+                      const trace::IoTrace& trace, std::uint64_t seed = 1,
+                      TraceReplayParams params = {})
+      : Workload{sim, domain, seed}, src_{trace}, p_{params} {}
+
+  std::string name() const override { return "trace-replay"; }
+
+  std::uint64_t events_replayed() const noexcept { return replayed_; }
+  std::uint64_t passes_completed() const noexcept { return passes_; }
+
+ protected:
+  sim::Task<void> run() override;
+
+ private:
+  const trace::IoTrace& src_;
+  TraceReplayParams p_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t passes_ = 0;
+};
+
+}  // namespace vmig::workload

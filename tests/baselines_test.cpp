@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/delta_forward.hpp"
+#include "baselines/freeze_and_copy.hpp"
+#include "baselines/on_demand.hpp"
+#include "baselines/shared_storage.hpp"
+#include "core/migration_manager.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::baseline {
+namespace {
+
+using hv::Host;
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+using storage::BlockRange;
+using storage::Geometry;
+using namespace vmig::sim::literals;
+
+struct Bed {
+  explicit Bed(Simulator& sim, std::uint64_t disk_mib = 64,
+               double link_mibps = 1000.0)
+      : a{sim, "A", Geometry::from_mib(disk_mib), disk()},
+        b{sim, "B", Geometry::from_mib(disk_mib), disk()},
+        vm{sim, 1, "guest", 4} {
+    net::LinkParams lan;
+    lan.bandwidth_mibps = link_mibps;
+    lan.latency = 50_us;
+    Host::interconnect(a, b, lan);
+    a.attach_domain(vm);
+    // Populate the disk so "content moved" is observable.
+    for (storage::BlockId blk = 0; blk < a.disk().geometry().block_count; ++blk) {
+      a.disk().poke_token(blk, 0x9000000000000000ull + blk);
+    }
+  }
+  static storage::DiskModelParams disk() {
+    storage::DiskModelParams p;
+    p.seq_read_mbps = 800.0;
+    p.seq_write_mbps = 700.0;
+    p.seek = 100_us;
+    p.request_overhead = 5_us;
+    return p;
+  }
+  Host a;
+  Host b;
+  vm::Domain vm;
+};
+
+core::MigrationConfig cfg() { return core::MigrationConfig{}; }
+
+TEST(FreezeAndCopyTest, ConsistentButDowntimeIsTotalTime) {
+  Simulator sim;
+  Bed bed{sim};
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    FreezeAndCopyMigration fc{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await fc.run();
+  }(sim, bed, rep));
+  sim.run();
+  EXPECT_TRUE(rep.base.disk_consistent);
+  EXPECT_TRUE(rep.base.memory_consistent);
+  EXPECT_TRUE(bed.b.hosts_domain(bed.vm));
+  // The defining pathology: downtime ~ total migration time.
+  EXPECT_GT(rep.base.downtime(), rep.base.total_time().scaled(0.95));
+  EXPECT_GT(rep.base.downtime(), 50_ms);  // far beyond live-migration range
+  EXPECT_EQ(rep.base.blocks_first_pass, bed.a.disk().geometry().block_count);
+}
+
+TEST(FreezeAndCopyTest, SuspendedThroughout) {
+  Simulator sim;
+  Bed bed{sim};
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    FreezeAndCopyMigration fc{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await fc.run();
+  }(sim, bed, rep));
+  sim.run();
+  EXPECT_EQ(bed.vm.total_suspended_time(), rep.base.downtime());
+  EXPECT_TRUE(bed.vm.running());
+}
+
+TEST(SharedStorageTest, ShortDowntimeNoDiskTransfer) {
+  Simulator sim;
+  Bed bed{sim};
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    SharedStorageMigration ss{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await ss.run();
+  }(sim, bed, rep));
+  sim.run();
+  EXPECT_TRUE(rep.base.memory_consistent);
+  EXPECT_LT(rep.base.downtime(), 200_ms);
+  EXPECT_EQ(rep.base.bytes_disk_first_pass, 0u);
+  EXPECT_TRUE(bed.b.hosts_domain(bed.vm));
+  // Disk I/O still lands on the shared (source-side) storage.
+  EXPECT_EQ(bed.vm.frontend().backend(), &bed.a.backend());
+}
+
+TEST(SharedStorageTest, GuestWritesLandOnSharedDiskAfterMove) {
+  Simulator sim;
+  Bed bed{sim};
+  sim.spawn([](Simulator& s, Bed& bed) -> Task<void> {
+    SharedStorageMigration ss{s, cfg(), bed.vm, bed.a, bed.b};
+    (void)co_await ss.run();
+    co_await bed.vm.disk_write(BlockRange{5, 1});
+  }(sim, bed));
+  sim.run();
+  EXPECT_NE(bed.a.disk().token(5), 0x9000000000000005ull);  // rewritten
+}
+
+TEST(OnDemandTest, FetchesOnlyWhatIsTouched) {
+  Simulator sim;
+  Bed bed{sim};
+  BaselineReport rep;
+  // After resume at the destination, the guest reads a handful of blocks.
+  sim.spawn([](Simulator& s, Bed& bed) -> Task<void> {
+    while (!bed.b.hosts_domain(bed.vm)) co_await s.delay(1_ms);
+    for (int i = 0; i < 20; ++i) {
+      co_await bed.vm.disk_read(BlockRange{static_cast<storage::BlockId>(i * 100), 2});
+    }
+  }(sim, bed));
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    OnDemandMigration od{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await od.run(2_s);
+  }(sim, bed, rep));
+  sim.run();
+  EXPECT_TRUE(rep.base.memory_consistent);
+  EXPECT_TRUE(rep.base.disk_consistent);  // after forced teardown sync
+  EXPECT_GE(rep.remote_fetches, 20u);
+  // Residual dependency: nearly the whole disk still lives on the source.
+  EXPECT_TRUE(rep.residual_dependency);
+  EXPECT_GT(rep.remote_blocks_left, bed.a.disk().geometry().block_count / 2);
+  // But downtime was short (memory-only freeze).
+  EXPECT_LT(rep.base.downtime(), 200_ms);
+}
+
+TEST(OnDemandTest, WritesDoNotFetch) {
+  Simulator sim;
+  Bed bed{sim};
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed) -> Task<void> {
+    while (!bed.b.hosts_domain(bed.vm)) co_await s.delay(1_ms);
+    for (int i = 0; i < 50; ++i) {
+      co_await bed.vm.disk_write(BlockRange{static_cast<storage::BlockId>(i * 50), 4});
+    }
+  }(sim, bed));
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    OnDemandMigration od{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await od.run(2_s);
+  }(sim, bed, rep));
+  sim.run();
+  EXPECT_TRUE(rep.base.disk_consistent);
+  EXPECT_EQ(rep.remote_fetches, 0u);  // whole-block overwrites need no fetch
+}
+
+/// Writer with heavy rewrite locality, to expose delta redundancy.
+Task<void> rewriting_writer(Simulator& sim, vm::Domain& vm, bool& stop) {
+  sim::Rng rng{99};
+  while (!stop) {
+    // 80% of writes hit the same hot 64-block region.
+    const storage::BlockId b = rng.bernoulli(0.8)
+                                   ? rng.uniform_u64(64)
+                                   : 64 + rng.uniform_u64(4000);
+    co_await vm.disk_write(BlockRange{b, 2});
+    co_await sim.delay(150_us);
+  }
+}
+
+TEST(DeltaForwardTest, ConsistentWithForwardedWrites) {
+  Simulator sim;
+  Bed bed{sim};
+  bool stop = false;
+  sim.spawn(rewriting_writer(sim, bed.vm, stop));
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out, bool& stop)
+                -> Task<void> {
+    DeltaForwardMigration df{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await df.run();
+    stop = true;
+  }(sim, bed, rep, stop));
+  sim.run();
+  EXPECT_TRUE(rep.base.disk_consistent);
+  EXPECT_TRUE(rep.base.memory_consistent);
+  EXPECT_TRUE(bed.b.hosts_domain(bed.vm));
+  EXPECT_GT(rep.deltas_forwarded, 0u);
+  // The paper's criticism: rewrites make a sizable fraction of delta bytes
+  // redundant.
+  EXPECT_GT(rep.redundant_delta_bytes, rep.delta_bytes / 10);
+  EXPECT_LT(rep.base.downtime(), 500_ms);
+}
+
+TEST(DeltaForwardTest, ReplayBlocksIoAfterResume) {
+  Simulator sim;
+  Bed bed{sim, /*disk_mib=*/128};
+  bool stop = false;
+  // Very fast writer => long delta queue at freeze => measurable block time.
+  sim.spawn([](Simulator& s, vm::Domain& vm, bool& stop) -> Task<void> {
+    sim::Rng rng{5};
+    while (!stop) {
+      co_await vm.disk_write(BlockRange{rng.uniform_u64(20000), 8});
+      co_await s.delay(50_us);
+    }
+  }(sim, bed.vm, stop));
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, BaselineReport& out, bool& stop)
+                -> Task<void> {
+    DeltaForwardMigration df{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await df.run();
+    stop = true;
+  }(sim, bed, rep, stop));
+  sim.run();
+  EXPECT_TRUE(rep.base.disk_consistent);
+  EXPECT_GT(rep.io_block_time, Duration::zero());
+}
+
+TEST(DeltaForwardTest, ThrottlingEngagesForFastWriters) {
+  Simulator sim;
+  // Slow WAN-ish link: the disk can dirty data faster than the network can
+  // forward it — exactly when Bradford et al. need write throttling.
+  Bed bed{sim, /*disk_mib=*/128, /*link_mibps=*/50.0};
+  bool stop = false;
+  sim.spawn([](Simulator& s, vm::Domain& vm, bool& stop) -> Task<void> {
+    sim::Rng rng{6};
+    while (!stop) {
+      co_await vm.disk_write(BlockRange{rng.uniform_u64(20000), 16});
+      co_await s.delay(10_us);
+    }
+  }(sim, bed.vm, stop));
+  DeltaForwardParams params;
+  params.throttle_queue_depth = 64;  // tiny queue: throttle early
+  BaselineReport rep;
+  sim.spawn([](Simulator& s, Bed& bed, DeltaForwardParams params,
+               BaselineReport& out, bool& stop) -> Task<void> {
+    DeltaForwardMigration df{s, cfg(), bed.vm, bed.a, bed.b, params};
+    out = co_await df.run();
+    stop = true;
+  }(sim, bed, params, rep, stop));
+  sim.run();
+  EXPECT_TRUE(rep.base.disk_consistent);
+  EXPECT_GT(rep.throttled_writes, 0u);
+}
+
+TEST(ComparisonTest, TpmBeatsBaselinesOnTheirWeaknesses) {
+  // One scenario, four schemes: TPM must combine short downtime (vs
+  // freeze-and-copy), whole-disk movement (vs shared-storage), finite
+  // source dependency (vs on-demand) and no replay block (vs delta-forward).
+  auto run_writer = [](Simulator& sim, Bed& bed, bool& stop) {
+    sim.spawn(rewriting_writer(sim, bed.vm, stop));
+  };
+
+  Simulator s1;
+  Bed b1{s1};
+  bool stop1 = false;
+  run_writer(s1, b1, stop1);
+  core::MigrationReport tpm;
+  s1.spawn([](Simulator& s, Bed& bed, core::MigrationReport& out,
+              bool& stop) -> Task<void> {
+    core::MigrationManager mgr{s};
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg());
+    stop = true;
+  }(s1, b1, tpm, stop1));
+  s1.run();
+
+  Simulator s2;
+  Bed b2{s2};
+  BaselineReport fc;
+  s2.spawn([](Simulator& s, Bed& bed, BaselineReport& out) -> Task<void> {
+    FreezeAndCopyMigration m{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await m.run();
+  }(s2, b2, fc));
+  s2.run();
+
+  Simulator s3;
+  Bed b3{s3, /*disk_mib=*/64, /*link_mibps=*/120.0};
+  bool stop3 = false;
+  run_writer(s3, b3, stop3);
+  BaselineReport df;
+  s3.spawn([](Simulator& s, Bed& bed, BaselineReport& out, bool& stop)
+               -> Task<void> {
+    DeltaForwardMigration m{s, cfg(), bed.vm, bed.a, bed.b};
+    out = co_await m.run();
+    stop = true;
+  }(s3, b3, df, stop3));
+  s3.run();
+
+  EXPECT_TRUE(tpm.disk_consistent);
+  EXPECT_TRUE(df.base.disk_consistent);
+  // Downtime: TPM orders of magnitude below freeze-and-copy.
+  EXPECT_LT(tpm.downtime(), fc.base.downtime() / 5);
+  // Data: TPM's bitmap dedups rewrites, so it moves less than delta-forward
+  // under a rewriting workload (which resends every rewrite as a delta).
+  EXPECT_LT(tpm.total_bytes(), df.base.total_bytes());
+  EXPECT_GT(df.redundant_delta_bytes, 0u);
+  // (The post-resume I/O replay block is covered by
+  // DeltaForwardTest.ReplayBlocksIoAfterResume.)
+}
+
+}  // namespace
+}  // namespace vmig::baseline

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/block_bitmap.hpp"
+#include "core/dirty_bitmap.hpp"
+#include "core/layered_bitmap.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::core {
+namespace {
+
+TEST(BlockBitmapTest, StartsClean) {
+  BlockBitmap bm{1000};
+  EXPECT_EQ(bm.size(), 1000u);
+  EXPECT_EQ(bm.count_set(), 0u);
+  EXPECT_TRUE(bm.none());
+  for (std::uint64_t i = 0; i < 1000; i += 97) EXPECT_FALSE(bm.test(i));
+}
+
+TEST(BlockBitmapTest, InitiallySet) {
+  BlockBitmap bm{1000, /*initially_set=*/true};
+  EXPECT_EQ(bm.count_set(), 1000u);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(999));
+}
+
+TEST(BlockBitmapTest, SetClearTest) {
+  BlockBitmap bm{128};
+  bm.set(5);
+  bm.set(64);
+  bm.set(127);
+  EXPECT_TRUE(bm.test(5));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(127));
+  EXPECT_FALSE(bm.test(6));
+  EXPECT_EQ(bm.count_set(), 3u);
+  bm.clear(64);
+  EXPECT_FALSE(bm.test(64));
+  EXPECT_EQ(bm.count_set(), 2u);
+}
+
+TEST(BlockBitmapTest, DoubleSetCountsOnce) {
+  BlockBitmap bm{64};
+  bm.set(3);
+  bm.set(3);
+  EXPECT_EQ(bm.count_set(), 1u);
+  bm.clear(3);
+  bm.clear(3);
+  EXPECT_EQ(bm.count_set(), 0u);
+}
+
+TEST(BlockBitmapTest, SetRangeCrossesWords) {
+  BlockBitmap bm{512};
+  bm.set_range(60, 200);  // spans word boundaries
+  EXPECT_EQ(bm.count_set(), 200u);
+  EXPECT_FALSE(bm.test(59));
+  EXPECT_TRUE(bm.test(60));
+  EXPECT_TRUE(bm.test(259));
+  EXPECT_FALSE(bm.test(260));
+}
+
+TEST(BlockBitmapTest, SetRangeOverlapCountsOnce) {
+  BlockBitmap bm{256};
+  bm.set_range(0, 100);
+  bm.set_range(50, 100);
+  EXPECT_EQ(bm.count_set(), 150u);
+}
+
+TEST(BlockBitmapTest, ClearRange) {
+  BlockBitmap bm{512, true};
+  bm.clear_range(100, 300);
+  EXPECT_EQ(bm.count_set(), 212u);
+  EXPECT_TRUE(bm.test(99));
+  EXPECT_FALSE(bm.test(100));
+  EXPECT_FALSE(bm.test(399));
+  EXPECT_TRUE(bm.test(400));
+}
+
+TEST(BlockBitmapTest, FillRespectsTailBits) {
+  BlockBitmap bm{70};  // not a multiple of 64
+  bm.fill(true);
+  EXPECT_EQ(bm.count_set(), 70u);
+  std::uint64_t seen = 0;
+  bm.for_each_set([&](std::uint64_t i) {
+    EXPECT_LT(i, 70u);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 70u);
+}
+
+TEST(BlockBitmapTest, NextSet) {
+  BlockBitmap bm{300};
+  bm.set(10);
+  bm.set(100);
+  bm.set(299);
+  EXPECT_EQ(bm.next_set(0), std::optional<std::uint64_t>{10});
+  EXPECT_EQ(bm.next_set(10), std::optional<std::uint64_t>{10});
+  EXPECT_EQ(bm.next_set(11), std::optional<std::uint64_t>{100});
+  EXPECT_EQ(bm.next_set(101), std::optional<std::uint64_t>{299});
+  EXPECT_EQ(bm.next_set(300), std::nullopt);
+  bm.clear(299);
+  EXPECT_EQ(bm.next_set(101), std::nullopt);
+}
+
+TEST(BlockBitmapTest, RunLength) {
+  BlockBitmap bm{200};
+  bm.set_range(50, 80);
+  EXPECT_EQ(bm.run_length(50, 1000), 80u);
+  EXPECT_EQ(bm.run_length(50, 10), 10u);
+  EXPECT_EQ(bm.run_length(129, 10), 1u);
+}
+
+TEST(BlockBitmapTest, ForEachSetAscending) {
+  BlockBitmap bm{1000};
+  const std::vector<std::uint64_t> want{0, 63, 64, 65, 500, 999};
+  for (auto i : want) bm.set(i);
+  std::vector<std::uint64_t> got;
+  bm.for_each_set([&](std::uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BlockBitmapTest, OrAndWith) {
+  BlockBitmap a{128}, b{128};
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  BlockBitmap u = a;
+  u.or_with(b);
+  EXPECT_EQ(u.count_set(), 3u);
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(3));
+  BlockBitmap n = a;
+  n.and_with(b);
+  EXPECT_EQ(n.count_set(), 1u);
+  EXPECT_TRUE(n.test(2));
+}
+
+TEST(BlockBitmapTest, PaperMemoryCostNumbers) {
+  // §IV-A-2: 32 GB disk at 4 KB blocks => 1 MB bitmap; at 512 B => 8 MB.
+  const std::uint64_t blocks_4k = 32ull * 1024 * 1024 * 1024 / 4096;
+  const std::uint64_t sectors = 32ull * 1024 * 1024 * 1024 / 512;
+  EXPECT_EQ(BlockBitmap{blocks_4k}.wire_bytes(), 1024u * 1024u);
+  EXPECT_EQ(BlockBitmap{sectors}.wire_bytes(), 8u * 1024u * 1024u);
+}
+
+TEST(LayeredBitmapTest, BasicSetTestClear) {
+  LayeredBitmap bm{100000};
+  EXPECT_FALSE(bm.test(54321));
+  bm.set(54321);
+  EXPECT_TRUE(bm.test(54321));
+  EXPECT_EQ(bm.count_set(), 1u);
+  bm.clear(54321);
+  EXPECT_FALSE(bm.test(54321));
+  EXPECT_EQ(bm.count_set(), 0u);
+}
+
+TEST(LayeredBitmapTest, LazyAllocation) {
+  LayeredBitmap bm{1ull << 20, 1ull << 10};  // 1024 parts
+  EXPECT_EQ(bm.allocated_parts(), 0u);
+  bm.set(5);
+  EXPECT_EQ(bm.allocated_parts(), 1u);
+  bm.set(6);
+  EXPECT_EQ(bm.allocated_parts(), 1u);  // same part
+  bm.set((1ull << 20) - 1);
+  EXPECT_EQ(bm.allocated_parts(), 2u);
+  EXPECT_EQ(bm.dirty_parts(), 2u);
+}
+
+TEST(LayeredBitmapTest, ClearOnUnallocatedPartIsNoop) {
+  LayeredBitmap bm{10000};
+  bm.clear(5000);
+  EXPECT_EQ(bm.count_set(), 0u);
+  EXPECT_EQ(bm.allocated_parts(), 0u);
+}
+
+TEST(LayeredBitmapTest, UpperTracksDirtyParts) {
+  LayeredBitmap bm{4096, 1024};
+  bm.set(0);
+  bm.set(2048);
+  EXPECT_EQ(bm.dirty_parts(), 2u);
+  bm.clear(0);
+  EXPECT_EQ(bm.dirty_parts(), 1u);
+  bm.clear(2048);
+  EXPECT_EQ(bm.dirty_parts(), 0u);
+  EXPECT_EQ(bm.allocated_parts(), 2u);  // memory retained until fill(false)
+}
+
+TEST(LayeredBitmapTest, FillFalseReleasesMemory) {
+  LayeredBitmap bm{100000};
+  for (std::uint64_t i = 0; i < 100000; i += 1000) bm.set(i);
+  EXPECT_GT(bm.allocated_parts(), 0u);
+  bm.fill(false);
+  EXPECT_EQ(bm.allocated_parts(), 0u);
+  EXPECT_EQ(bm.count_set(), 0u);
+}
+
+TEST(LayeredBitmapTest, FillTrue) {
+  LayeredBitmap bm{5000, 1024};
+  bm.fill(true);
+  EXPECT_EQ(bm.count_set(), 5000u);
+  EXPECT_TRUE(bm.test(4999));
+}
+
+TEST(LayeredBitmapTest, SetRangeAcrossParts) {
+  LayeredBitmap bm{10000, 1024};
+  bm.set_range(1000, 3000);
+  EXPECT_EQ(bm.count_set(), 3000u);
+  EXPECT_FALSE(bm.test(999));
+  EXPECT_TRUE(bm.test(1000));
+  EXPECT_TRUE(bm.test(3999));
+  EXPECT_FALSE(bm.test(4000));
+  EXPECT_EQ(bm.allocated_parts(), 4u);  // parts 0..3 touched
+}
+
+TEST(LayeredBitmapTest, NextSetSkipsCleanParts) {
+  LayeredBitmap bm{1ull << 20, 1ull << 12};
+  bm.set(100);
+  bm.set(900000);
+  EXPECT_EQ(bm.next_set(0), std::optional<std::uint64_t>{100});
+  EXPECT_EQ(bm.next_set(101), std::optional<std::uint64_t>{900000});
+  EXPECT_EQ(bm.next_set(900001), std::nullopt);
+}
+
+TEST(LayeredBitmapTest, NextSetWithinSamePart) {
+  LayeredBitmap bm{8192, 4096};
+  bm.set(10);
+  bm.set(20);
+  EXPECT_EQ(bm.next_set(11), std::optional<std::uint64_t>{20});
+}
+
+TEST(LayeredBitmapTest, WireBytesSmallerThanFlatWhenSparse) {
+  const std::uint64_t bits = 10ull * 1024 * 1024;  // 40 GiB disk at 4 KB
+  LayeredBitmap lb{bits};
+  BlockBitmap fb{bits};
+  // Localized dirt: one hot region.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    lb.set(500000 + i);
+    fb.set(500000 + i);
+  }
+  EXPECT_LT(lb.wire_bytes(), fb.wire_bytes() / 10);
+}
+
+TEST(LayeredBitmapTest, CopyIsDeep) {
+  LayeredBitmap a{10000};
+  a.set(42);
+  LayeredBitmap b = a;
+  b.set(43);
+  EXPECT_TRUE(b.test(42));
+  EXPECT_FALSE(a.test(43));
+  EXPECT_EQ(a.count_set(), 1u);
+  EXPECT_EQ(b.count_set(), 2u);
+}
+
+class BitmapEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: layered and flat bitmaps agree under arbitrary operation streams.
+TEST_P(BitmapEquivalenceTest, RandomOpsMatchFlat) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng{seed};
+  const std::uint64_t size = 1 + rng.uniform_u64(200000);
+  BlockBitmap flat{size};
+  LayeredBitmap layered{size, 1ull << (6 + seed % 8)};
+
+  for (int op = 0; op < 3000; ++op) {
+    const auto what = rng.uniform_u64(5);
+    const std::uint64_t i = rng.uniform_u64(size);
+    switch (what) {
+      case 0:
+      case 1: {
+        flat.set(i);
+        layered.set(i);
+        break;
+      }
+      case 2: {
+        flat.clear(i);
+        layered.clear(i);
+        break;
+      }
+      case 3: {
+        const std::uint64_t n = std::min(size - i, rng.uniform_u64(300));
+        flat.set_range(i, n);
+        layered.set_range(i, n);
+        break;
+      }
+      case 4: {
+        ASSERT_EQ(flat.test(i), layered.test(i)) << "bit " << i;
+        break;
+      }
+    }
+    ASSERT_EQ(flat.count_set(), layered.count_set());
+  }
+
+  // Full iteration agreement.
+  std::vector<std::uint64_t> f, l;
+  flat.for_each_set([&](std::uint64_t i) { f.push_back(i); });
+  layered.for_each_set([&](std::uint64_t i) { l.push_back(i); });
+  EXPECT_EQ(f, l);
+
+  // next_set agreement at random probes.
+  for (int p = 0; p < 200; ++p) {
+    const std::uint64_t from = rng.uniform_u64(size + 10);
+    ASSERT_EQ(flat.next_set(from), layered.next_set(from)) << "from " << from;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(DirtyBitmapTest, KindSelection) {
+  DirtyBitmap flat{BitmapKind::kFlat, 1000};
+  DirtyBitmap layered{BitmapKind::kLayered, 1000};
+  EXPECT_EQ(flat.kind(), BitmapKind::kFlat);
+  EXPECT_EQ(layered.kind(), BitmapKind::kLayered);
+  EXPECT_EQ(flat.size(), 1000u);
+  EXPECT_EQ(layered.size(), 1000u);
+}
+
+TEST(DirtyBitmapTest, ForwardingOps) {
+  for (const auto kind : {BitmapKind::kFlat, BitmapKind::kLayered}) {
+    DirtyBitmap bm{kind, 5000};
+    bm.set(7);
+    bm.set_range(100, 50);
+    EXPECT_TRUE(bm.test(7));
+    EXPECT_TRUE(bm.test(149));
+    EXPECT_EQ(bm.count_set(), 51u);
+    EXPECT_EQ(bm.next_set(8), std::optional<std::uint64_t>{100});
+    EXPECT_EQ(bm.run_length(100, 500), 50u);
+    bm.clear(7);
+    EXPECT_EQ(bm.count_set(), 50u);
+    std::uint64_t n = 0;
+    bm.for_each_set([&](std::uint64_t) { ++n; });
+    EXPECT_EQ(n, 50u);
+  }
+}
+
+TEST(DirtyBitmapTest, TakeAndReset) {
+  DirtyBitmap bm{BitmapKind::kLayered, 10000};
+  bm.set(1);
+  bm.set(9999);
+  DirtyBitmap snap = bm.take_and_reset();
+  EXPECT_EQ(snap.count_set(), 2u);
+  EXPECT_TRUE(snap.test(9999));
+  EXPECT_EQ(bm.count_set(), 0u);
+  bm.set(5);
+  EXPECT_FALSE(snap.test(5));  // snapshot is independent
+}
+
+TEST(DirtyBitmapTest, InitiallySetAllBlocks) {
+  // IM seeds the first iteration from an all-set bitmap on primal migration.
+  DirtyBitmap bm{BitmapKind::kFlat, 123, true};
+  EXPECT_EQ(bm.count_set(), 123u);
+}
+
+TEST(DirtyBitmapTest, WireBytesLayeredAdvantage) {
+  DirtyBitmap flat{BitmapKind::kFlat, 1ull << 23};
+  DirtyBitmap layered{BitmapKind::kLayered, 1ull << 23};
+  flat.set(12345);
+  layered.set(12345);
+  EXPECT_LT(layered.wire_bytes(), flat.wire_bytes());
+}
+
+}  // namespace
+}  // namespace vmig::core

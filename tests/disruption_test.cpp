@@ -1,0 +1,89 @@
+#include "core/disruption.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmig::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+using sim::TimeSeries;
+using namespace vmig::sim::literals;
+
+TimePoint at(double s) {
+  return TimePoint::origin() + Duration::from_seconds(s);
+}
+
+/// 1 Hz series: `base` outside [lo, hi), `dip` inside.
+TimeSeries make_series(double base, double dip, double lo, double hi,
+                       double total = 100.0) {
+  TimeSeries ts;
+  for (double t = 0; t < total; t += 1.0) {
+    ts.add(at(t), (t >= lo && t < hi) ? dip : base);
+  }
+  return ts;
+}
+
+TEST(DisruptionTest, NoDipMeansNoDisruption) {
+  const auto ts = make_series(100, 100, 0, 0);
+  const auto d = measure_disruption(ts, at(0), at(20), at(20), at(80));
+  EXPECT_DOUBLE_EQ(d.baseline, 100.0);
+  EXPECT_EQ(d.disrupted_time, Duration::zero());
+  EXPECT_DOUBLE_EQ(d.worst_ratio, 1.0);
+  EXPECT_EQ(d.samples_below, 0u);
+}
+
+TEST(DisruptionTest, DipDurationIsMeasured) {
+  // 20 s dip to half throughput inside the window.
+  const auto ts = make_series(100, 50, 40, 60);
+  const auto d = measure_disruption(ts, at(0), at(30), at(30), at(90));
+  EXPECT_NEAR(d.baseline, 100.0, 1e-9);
+  EXPECT_NEAR(d.disrupted_time.to_seconds(), 20.0, 1.5);
+  EXPECT_NEAR(d.worst_ratio, 0.5, 1e-9);
+  EXPECT_NEAR(d.disrupted_fraction(), 20.0 / 60.0, 0.03);
+}
+
+TEST(DisruptionTest, ThresholdControlsSensitivity) {
+  // A mild 5% dip: invisible at the default 0.9 threshold, visible at 0.99.
+  const auto ts = make_series(100, 95, 40, 60);
+  const auto strict = measure_disruption(ts, at(0), at(30), at(30), at(90), 0.99);
+  const auto lax = measure_disruption(ts, at(0), at(30), at(30), at(90), 0.90);
+  EXPECT_GT(strict.disrupted_time, 10_s);
+  EXPECT_EQ(lax.disrupted_time, Duration::zero());
+}
+
+TEST(DisruptionTest, WorstRatioFindsDeepestPoint) {
+  TimeSeries ts;
+  for (double t = 0; t < 50; t += 1.0) ts.add(at(t), 100);
+  ts.add(at(50), 10);  // one catastrophic second
+  for (double t = 51; t < 100; t += 1.0) ts.add(at(t), 100);
+  const auto d = measure_disruption(ts, at(0), at(30), at(30), at(95));
+  EXPECT_NEAR(d.worst_ratio, 0.1, 1e-9);
+  EXPECT_GT(d.disrupted_time, Duration::zero());
+  EXPECT_LT(d.disrupted_time, 3_s);
+}
+
+TEST(DisruptionTest, EmptyWindowOrBaselineIsSafe) {
+  TimeSeries empty;
+  const auto d = measure_disruption(empty, at(0), at(10), at(10), at(20));
+  EXPECT_DOUBLE_EQ(d.baseline, 0.0);
+  EXPECT_EQ(d.disrupted_time, Duration::zero());
+  const auto ts = make_series(100, 100, 0, 0, 10.0);
+  const auto d2 = measure_disruption(ts, at(0), at(10), at(50), at(60));
+  EXPECT_EQ(d2.samples, 0u);
+}
+
+TEST(DisruptionTest, DisruptionCappedAtWindow) {
+  const auto ts = make_series(100, 1, 0, 100);  // everything is degraded
+  const auto d = measure_disruption(ts, at(0), at(0), at(10), at(20));
+  // baseline computed over a degraded window is the dip itself -> ratio 1.
+  EXPECT_EQ(d.disrupted_time, Duration::zero());
+  // With an honest baseline:
+  TimeSeries ts2 = make_series(100, 1, 20, 100);
+  const auto d2 = measure_disruption(ts2, at(0), at(20), at(20), at(90));
+  EXPECT_LE(d2.disrupted_time, d2.window);
+  EXPECT_NEAR(d2.disrupted_fraction(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace vmig::core

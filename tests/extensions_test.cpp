@@ -1,0 +1,343 @@
+// Tests for the §VII future-work features implemented as extensions:
+// guest-assisted unused-block skipping and the multi-host IM directory.
+
+#include <gtest/gtest.h>
+
+#include "core/im_directory.hpp"
+#include "core/migration_manager.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::core {
+namespace {
+
+using hv::Host;
+using sim::Simulator;
+using sim::Task;
+using storage::BlockRange;
+using storage::Geometry;
+using namespace vmig::sim::literals;
+
+storage::DiskModelParams fast_disk() {
+  storage::DiskModelParams p;
+  p.seq_read_mbps = 800.0;
+  p.seq_write_mbps = 700.0;
+  p.seek = 100_us;
+  p.request_overhead = 5_us;
+  return p;
+}
+
+net::LinkParams fast_lan() {
+  net::LinkParams p;
+  p.bandwidth_mibps = 1000.0;
+  p.latency = 50_us;
+  return p;
+}
+
+TEST(SparseMigrationTest, SkipsNeverWrittenBlocks) {
+  Simulator sim;
+  Host a{sim, "A", Geometry::from_mib(256), fast_disk()};
+  Host b{sim, "B", Geometry::from_mib(256), fast_disk()};
+  Host::interconnect(a, b, fast_lan());
+  vm::Domain vm{sim, 1, "guest", 4};
+  a.attach_domain(vm);
+  // Populate only the first quarter of the disk.
+  const auto blocks = a.disk().geometry().block_count;
+  for (storage::BlockId blk = 0; blk < blocks / 4; ++blk) {
+    a.disk().poke_token(blk, 0x7000 + blk);
+  }
+
+  MigrationConfig cfg;
+  cfg.skip_unused_blocks = true;
+  MigrationManager mgr{sim};
+  MigrationReport rep;
+  sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
+               MigrationConfig cfg, MigrationReport& out) -> Task<void> {
+    out = co_await mgr.migrate(vm, a, b, cfg);
+  }(mgr, vm, a, b, cfg, rep));
+  sim.run();
+
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_TRUE(rep.memory_consistent);
+  EXPECT_EQ(rep.blocks_skipped_unused, blocks * 3 / 4);
+  EXPECT_EQ(rep.blocks_first_pass, blocks / 4);
+  EXPECT_TRUE(a.disk().content_equals(b.disk()));  // zeros match trivially
+}
+
+TEST(SparseMigrationTest, QuartersTransferTimeOnQuarterFullDisk) {
+  auto run = [](bool sparse) {
+    Simulator sim;
+    Host a{sim, "A", Geometry::from_mib(256), fast_disk()};
+    Host b{sim, "B", Geometry::from_mib(256), fast_disk()};
+    Host::interconnect(a, b, fast_lan());
+    vm::Domain vm{sim, 1, "guest", 4};
+    a.attach_domain(vm);
+    for (storage::BlockId blk = 0; blk < a.disk().geometry().block_count / 4;
+         ++blk) {
+      a.disk().poke_token(blk, 0x7000 + blk);
+    }
+    MigrationConfig cfg;
+    cfg.skip_unused_blocks = sparse;
+    MigrationManager mgr{sim};
+    MigrationReport rep;
+    sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
+                 MigrationConfig cfg, MigrationReport& out) -> Task<void> {
+      out = co_await mgr.migrate(vm, a, b, cfg);
+    }(mgr, vm, a, b, cfg, rep));
+    sim.run();
+    return rep;
+  };
+  const auto full = run(false);
+  const auto sparse = run(true);
+  EXPECT_TRUE(sparse.disk_consistent);
+  EXPECT_LT(sparse.total_bytes(), full.total_bytes() / 2);
+  EXPECT_LT(sparse.total_time(), full.total_time().scaled(0.6));
+}
+
+TEST(SparseMigrationTest, BlocksWrittenDuringMigrationStillMove) {
+  Simulator sim;
+  Host a{sim, "A", Geometry::from_mib(256), fast_disk()};
+  Host b{sim, "B", Geometry::from_mib(256), fast_disk()};
+  Host::interconnect(a, b, fast_lan());
+  vm::Domain vm{sim, 1, "guest", 4};
+  a.attach_domain(vm);
+  // Empty disk; the guest writes into the "unused" region mid-migration.
+  bool stop = false;
+  sim.spawn([](Simulator& s, vm::Domain& vm, bool& stop) -> Task<void> {
+    storage::BlockId blk = 40000;
+    while (!stop) {
+      co_await vm.disk_write(BlockRange{blk, 4});
+      blk += 4;
+      co_await s.delay(500_us);
+    }
+  }(sim, vm, stop));
+
+  MigrationConfig cfg;
+  cfg.skip_unused_blocks = true;
+  MigrationManager mgr{sim};
+  MigrationReport rep;
+  sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
+               MigrationConfig cfg, MigrationReport& out,
+               bool& stop) -> Task<void> {
+    out = co_await mgr.migrate(vm, a, b, cfg);
+    stop = true;
+  }(mgr, vm, a, b, cfg, rep, stop));
+  sim.run();
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_GT(rep.blocks_retransferred + rep.residual_dirty_blocks, 0u);
+}
+
+/// Three hosts in a triangle, one domain commuting among them.
+struct Tri {
+  explicit Tri(Simulator& sim)
+      : a{sim, "A", Geometry::from_mib(128), fast_disk()},
+        b{sim, "B", Geometry::from_mib(128), fast_disk()},
+        c{sim, "C", Geometry::from_mib(128), fast_disk()},
+        vm{sim, 1, "guest", 4} {
+    Host::interconnect(a, b, fast_lan());
+    Host::interconnect(b, c, fast_lan());
+    Host::interconnect(a, c, fast_lan());
+    a.attach_domain(vm);
+    for (storage::BlockId blk = 0; blk < a.disk().geometry().block_count; ++blk) {
+      a.disk().poke_token(blk, 0xa000 + blk);
+    }
+  }
+  Host a, b, c;
+  vm::Domain vm;
+};
+
+Task<void> dirty_some(Simulator& sim, vm::Domain& vm, storage::BlockId base,
+                      int blocks) {
+  for (int i = 0; i < blocks; ++i) {
+    co_await vm.disk_write(BlockRange{base + static_cast<storage::BlockId>(i), 1});
+    co_await sim.delay(100_us);
+  }
+}
+
+TEST(MultiHostImTest, ThirdHopToKnownHostIsIncremental) {
+  Simulator sim;
+  Tri tri{sim};
+  MigrationManager mgr{sim};
+  mgr.set_multi_host_im(true);
+  std::vector<MigrationReport> reps;
+
+  sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
+               std::vector<MigrationReport>& reps) -> Task<void> {
+    // A -> B (full), work at B; B -> C (full: C unknown), work at C;
+    // C -> A: with the directory this is INCREMENTAL even though A was two
+    // hops ago — the paper's pairwise prototype would re-copy everything.
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));
+    co_await dirty_some(sim, tri.vm, 100, 50);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.c));
+    co_await dirty_some(sim, tri.vm, 5000, 30);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.c, tri.a));
+  }(sim, tri, mgr, reps));
+  sim.run();
+
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_FALSE(reps[0].incremental);
+  // B -> C: C never seen; full copy expected.
+  EXPECT_EQ(reps[1].blocks_first_pass, tri.a.disk().geometry().block_count);
+  // C -> A: incremental; only blocks written at B and C move.
+  EXPECT_TRUE(reps[2].incremental);
+  EXPECT_LE(reps[2].blocks_first_pass, 50u + 30u + 64u);
+  EXPECT_GT(reps[2].blocks_first_pass, 0u);
+  for (const auto& r : reps) {
+    EXPECT_TRUE(r.disk_consistent);
+    EXPECT_TRUE(r.memory_consistent);
+  }
+  EXPECT_TRUE(tri.a.hosts_domain(tri.vm));
+
+  const auto* dir = mgr.directory(tri.vm);
+  ASSERT_NE(dir, nullptr);
+  EXPECT_EQ(dir->known_hosts(), 3u);
+}
+
+TEST(MultiHostImTest, DivergenceAccumulatesAcrossHops) {
+  Simulator sim;
+  Tri tri{sim};
+  MigrationManager mgr{sim};
+  mgr.set_multi_host_im(true);
+  std::vector<MigrationReport> reps;
+
+  sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
+               std::vector<MigrationReport>& reps) -> Task<void> {
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));  // full
+    co_await dirty_some(sim, tri.vm, 100, 20);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.a));  // IM back
+    co_await dirty_some(sim, tri.vm, 200, 20);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));  // IM again
+    co_await dirty_some(sim, tri.vm, 300, 20);
+    // B -> A once more: A's copy misses only the writes at B since hop 3.
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.a));
+  }(sim, tri, mgr, reps));
+  sim.run();
+
+  ASSERT_EQ(reps.size(), 4u);
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    EXPECT_TRUE(reps[i].incremental) << "hop " << i;
+    EXPECT_TRUE(reps[i].disk_consistent) << "hop " << i;
+    EXPECT_LT(reps[i].blocks_first_pass, 200u) << "hop " << i;
+  }
+  EXPECT_TRUE(tri.a.disk().content_equals(tri.b.disk()));
+}
+
+class MultiHostRandomWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: any random walk over three hosts stays consistent, and every
+// hop to a previously-visited host is incremental.
+TEST_P(MultiHostRandomWalk, StaysConsistent) {
+  Simulator sim;
+  Tri tri{sim};
+  MigrationManager mgr{sim};
+  mgr.set_multi_host_im(true);
+  const std::uint64_t seed = GetParam();
+  std::vector<MigrationReport> reps;
+  bool walk_ok = true;
+
+  sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
+               std::vector<MigrationReport>& reps, std::uint64_t seed,
+               bool& ok) -> Task<void> {
+    sim::Rng rng{seed};
+    Host* hosts[3] = {&tri.a, &tri.b, &tri.c};
+    Host* at = &tri.a;
+    std::set<Host*> visited{&tri.a};
+    for (int hop = 0; hop < 6; ++hop) {
+      Host* next = hosts[rng.uniform_u64(3)];
+      if (next == at) next = hosts[(rng.uniform_u64(2) + 1 +
+                                    (next - hosts[0])) % 3];
+      co_await dirty_some(sim, tri.vm, rng.uniform_u64(20000), 10);
+      const auto rep = co_await mgr.migrate(tri.vm, *at, *next);
+      reps.push_back(rep);
+      if (!rep.disk_consistent || !rep.memory_consistent) ok = false;
+      if (visited.contains(next) && !rep.incremental) ok = false;
+      visited.insert(next);
+      at = next;
+    }
+  }(sim, tri, mgr, reps, seed, walk_ok));
+  sim.run();
+
+  EXPECT_TRUE(walk_ok);
+  EXPECT_EQ(reps.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiHostRandomWalk,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(PairwiseImSafetyTest, ThirdHostHopForcesFullCopy) {
+  // The paper's prototype IM "can only act between the primary destination
+  // and the source machine". Without the version directory, a hop to a
+  // third host must NOT consume the tracking bitmap as a seed — the third
+  // host has no base image, and an incremental pass would corrupt it.
+  Simulator sim;
+  Tri tri{sim};
+  MigrationManager mgr{sim};  // pairwise mode (default)
+  std::vector<MigrationReport> reps;
+  sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
+               std::vector<MigrationReport>& reps) -> Task<void> {
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));
+    co_await dirty_some(sim, tri.vm, 100, 20);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.c));  // 3rd host!
+    co_await dirty_some(sim, tri.vm, 200, 20);
+    reps.push_back(co_await mgr.migrate(tri.vm, tri.c, tri.b));  // back: IM ok
+  }(sim, tri, mgr, reps));
+  sim.run();
+
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_FALSE(reps[1].incremental);  // full copy forced
+  EXPECT_EQ(reps[1].blocks_first_pass, tri.a.disk().geometry().block_count);
+  EXPECT_TRUE(reps[1].disk_consistent);
+  EXPECT_TRUE(reps[2].incremental);  // pairwise back-hop still works
+  EXPECT_TRUE(reps[2].disk_consistent);
+}
+
+TEST(ImDirectoryTest, SeedForUnknownHostIsNull) {
+  Simulator sim;
+  Host h{sim, "h", Geometry::from_mib(16)};
+  ImDirectory dir{4096, BitmapKind::kLayered};
+  EXPECT_FALSE(dir.seed_for(h).has_value());
+  EXPECT_EQ(dir.divergent_blocks(h), 4096u);  // everything would move
+}
+
+TEST(ImDirectoryTest, OnMigratedUpdatesDivergence) {
+  Simulator sim;
+  Host a{sim, "a", Geometry::from_mib(16)};
+  Host b{sim, "b", Geometry::from_mib(16)};
+  Host c{sim, "c", Geometry::from_mib(16)};
+  ImDirectory dir{4096, BitmapKind::kFlat};
+
+  DirtyBitmap w1{BitmapKind::kFlat, 4096};
+  w1.set_range(0, 10);
+  dir.on_migrated(a, b, w1, true);
+  EXPECT_EQ(dir.divergent_blocks(a), 0u);
+  EXPECT_EQ(dir.divergent_blocks(b), 0u);
+
+  DirtyBitmap w2{BitmapKind::kFlat, 4096};
+  w2.set_range(100, 5);
+  dir.on_migrated(b, c, w2, true);
+  // A's copy misses the blocks written at B (w2); B and C are current.
+  EXPECT_EQ(dir.divergent_blocks(a), 5u);
+  EXPECT_EQ(dir.divergent_blocks(b), 0u);
+  EXPECT_EQ(dir.divergent_blocks(c), 0u);
+  const auto seed = dir.seed_for(a);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_TRUE(seed->test(100));
+  EXPECT_FALSE(seed->test(0));
+}
+
+TEST(ImDirectoryTest, UnknownWritesInvalidateEverything) {
+  Simulator sim;
+  Host a{sim, "a", Geometry::from_mib(16)};
+  Host b{sim, "b", Geometry::from_mib(16)};
+  Host c{sim, "c", Geometry::from_mib(16)};
+  ImDirectory dir{4096, BitmapKind::kFlat};
+  dir.on_migrated(a, b, DirtyBitmap{BitmapKind::kFlat, 4096}, true);
+  dir.on_migrated(b, c, DirtyBitmap{BitmapKind::kFlat, 4096}, true);
+  // Now a hop with unknown write history: A's knowledge must be wiped.
+  dir.on_migrated(c, b, DirtyBitmap{BitmapKind::kFlat, 4096}, false);
+  EXPECT_EQ(dir.divergent_blocks(a), 4096u);
+  EXPECT_EQ(dir.divergent_blocks(b), 0u);
+  EXPECT_EQ(dir.divergent_blocks(c), 0u);
+}
+
+}  // namespace
+}  // namespace vmig::core

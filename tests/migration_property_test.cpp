@@ -1,0 +1,161 @@
+// Parameterized property sweep: whole-system migration must preserve the
+// §III-B requirements — consistency, bounded downtime, finite source
+// dependency — across the cross product of workload shapes, bitmap kinds,
+// sparse mode, and RNG seeds, at miniature scale for speed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/migration_manager.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::core {
+namespace {
+
+using hv::Host;
+using sim::Simulator;
+using sim::Task;
+using storage::BlockRange;
+using storage::Geometry;
+using namespace vmig::sim::literals;
+
+enum class Wl { kIdle, kSteadyWriter, kBurstyWriter, kScanner, kHammer };
+
+const char* wl_name(Wl w) {
+  switch (w) {
+    case Wl::kIdle:
+      return "idle";
+    case Wl::kSteadyWriter:
+      return "steady";
+    case Wl::kBurstyWriter:
+      return "bursty";
+    case Wl::kScanner:
+      return "scanner";
+    default:
+      return "hammer";
+  }
+}
+
+/// Drive the guest per shape until stop flips.
+Task<void> drive(Simulator& sim, vm::Domain& vm, Wl shape, std::uint64_t seed,
+                 bool& stop) {
+  sim::Rng rng{seed};
+  const std::uint64_t blocks = 16384;  // 64 MiB at 4 KiB
+  while (!stop) {
+    switch (shape) {
+      case Wl::kIdle:
+        co_await sim.delay(10_ms);
+        break;
+      case Wl::kSteadyWriter:
+        co_await vm.disk_write(BlockRange{rng.uniform_u64(blocks - 4), 4});
+        vm.touch_memory(rng.uniform_u64(vm.memory().page_count()));
+        co_await sim.delay(300_us);
+        break;
+      case Wl::kBurstyWriter:
+        for (int i = 0; i < 20 && !stop; ++i) {
+          co_await vm.disk_write(BlockRange{rng.uniform_u64(2048), 2});
+        }
+        co_await sim.delay(20_ms);
+        break;
+      case Wl::kScanner:
+        co_await vm.disk_read(BlockRange{rng.uniform_u64(blocks - 16), 16});
+        co_await sim.delay(200_us);
+        break;
+      case Wl::kHammer:
+        co_await vm.disk_write(BlockRange{(rng.uniform_u64(64)) * 16, 16});
+        co_await sim.delay(50_us);
+        break;
+    }
+  }
+}
+
+using Param = std::tuple<int /*Wl*/, int /*BitmapKind*/, bool /*sparse*/,
+                         std::uint64_t /*seed*/>;
+
+class MigrationSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MigrationSweep, RequirementsHold) {
+  const auto [wl_i, kind_i, sparse, seed] = GetParam();
+  const auto shape = static_cast<Wl>(wl_i);
+  const auto kind = static_cast<BitmapKind>(kind_i);
+
+  Simulator sim;
+  storage::DiskModelParams disk;
+  disk.seq_read_mbps = 800.0;
+  disk.seq_write_mbps = 700.0;
+  disk.seek = 100_us;
+  disk.request_overhead = 5_us;
+  Host a{sim, "A", Geometry::from_mib(64), disk};
+  Host b{sim, "B", Geometry::from_mib(64), disk};
+  net::LinkParams lan;
+  lan.bandwidth_mibps = 1000.0;
+  lan.latency = 50_us;
+  Host::interconnect(a, b, lan);
+  vm::Domain vm{sim, 1, "guest", 8};
+  a.attach_domain(vm);
+  // Populate 40% of the disk so sparse mode has something to skip.
+  for (storage::BlockId blk = 0; blk < 6554; ++blk) {
+    a.disk().poke_token(blk, 0x5eed000000000000ull + blk);
+  }
+
+  bool stop = false;
+  sim.spawn(drive(sim, vm, shape, seed, stop), wl_name(shape));
+
+  MigrationConfig cfg;
+  cfg.bitmap_kind = kind;
+  cfg.skip_unused_blocks = sparse;
+  MigrationManager mgr{sim};
+  MigrationReport out, back;
+  sim.spawn([](Simulator& sim, MigrationManager& mgr, vm::Domain& vm, Host& a,
+               Host& b, MigrationConfig cfg, MigrationReport& out,
+               MigrationReport& back, bool& stop) -> Task<void> {
+    co_await sim.delay(50_ms);
+    out = co_await mgr.migrate(vm, a, b, cfg);
+    co_await sim.delay(200_ms);  // dwell
+    back = co_await mgr.migrate(vm, b, a, cfg);
+    stop = true;
+  }(sim, mgr, vm, a, b, cfg, out, back, stop));
+  sim.run();
+
+  // Requirement: consistency (§III-B), both directions.
+  EXPECT_TRUE(out.disk_consistent) << wl_name(shape);
+  EXPECT_TRUE(out.memory_consistent) << wl_name(shape);
+  EXPECT_TRUE(back.disk_consistent) << wl_name(shape);
+  EXPECT_TRUE(back.memory_consistent) << wl_name(shape);
+  // Requirement: live migration with minimal downtime — the guest was
+  // suspended only for the freeze phases.
+  EXPECT_EQ(vm.total_suspended_time(), out.downtime() + back.downtime());
+  EXPECT_LT(out.downtime(), 1_s);
+  EXPECT_LT(back.downtime(), 1_s);
+  // Requirement: finite dependency — both migrations synchronized fully.
+  EXPECT_GE(out.synchronized, out.resumed);
+  EXPECT_GE(back.synchronized, back.resumed);
+  // Return trip is incremental (pairwise back-hop).
+  EXPECT_TRUE(back.incremental);
+  // The guest ended up home and running.
+  EXPECT_TRUE(a.hosts_domain(vm));
+  EXPECT_TRUE(vm.running());
+  // Simulation drained completely (no leaked waiters).
+  EXPECT_FALSE(sim.has_pending());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MigrationSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),  // workload shapes
+                       ::testing::Values(0, 1),           // flat, layered
+                       ::testing::Bool(),                 // sparse
+                       ::testing::Values(101u, 202u)),    // seeds
+    [](const ::testing::TestParamInfo<Param>& info) {
+      // No structured bindings here: the preprocessor would split the
+      // macro argument on the commas inside the bracket list.
+      std::string name = wl_name(static_cast<Wl>(std::get<0>(info.param)));
+      name += std::get<1>(info.param) == 0 ? "_flat" : "_layered";
+      name += std::get<2>(info.param) ? "_sparse" : "_full";
+      name += "_s" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace vmig::core

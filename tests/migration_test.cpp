@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/migration_manager.hpp"
+#include "core/tpm.hpp"
+#include "hypervisor/host.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::core {
+namespace {
+
+using hv::Host;
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+using storage::BlockRange;
+using storage::Geometry;
+using namespace vmig::sim::literals;
+
+/// Small, fast testbed: 64 MiB disks, 4 MiB guest memory, 1000 MiB/s LAN.
+struct MiniBed {
+  explicit MiniBed(Simulator& sim, std::uint64_t disk_mib = 64,
+                   std::uint64_t mem_mib = 4)
+      : a{sim, "A", Geometry::from_mib(disk_mib), fast_disk()},
+        b{sim, "B", Geometry::from_mib(disk_mib), fast_disk()},
+        vm{sim, 1, "guest", mem_mib} {
+    net::LinkParams lan;
+    lan.bandwidth_mibps = 1000.0;
+    lan.latency = 50_us;
+    Host::interconnect(a, b, lan);
+    a.attach_domain(vm);
+  }
+
+  static storage::DiskModelParams fast_disk() {
+    storage::DiskModelParams p;
+    p.seq_read_mbps = 800.0;
+    p.seq_write_mbps = 700.0;
+    p.seek = 100_us;
+    p.request_overhead = 5_us;
+    return p;
+  }
+
+  Host a;
+  Host b;
+  vm::Domain vm;
+};
+
+MigrationConfig test_config() {
+  MigrationConfig cfg;
+  cfg.disk_residual_target_blocks = 64;
+  return cfg;
+}
+
+TEST(TpmMigrationTest, IdleVmMigratesConsistently) {
+  Simulator sim;
+  MiniBed bed{sim};
+  // Give the disk some content first.
+  sim.spawn([](vm::Domain& vm) -> Task<void> {
+    co_await vm.disk_write(BlockRange{0, 1024});
+    co_await vm.disk_write(BlockRange{8000, 512});
+  }(bed.vm));
+  sim.run();
+
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+               MigrationReport& out) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+  }(mgr, bed, test_config(), rep));
+  sim.run();
+
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_TRUE(rep.memory_consistent);
+  EXPECT_TRUE(bed.b.hosts_domain(bed.vm));
+  EXPECT_FALSE(bed.a.hosts_domain(bed.vm));
+  EXPECT_TRUE(bed.vm.running());
+  EXPECT_TRUE(bed.a.disk().content_equals(bed.b.disk()));
+  // Idle guest: exactly one disk iteration, whole disk in the first pass.
+  EXPECT_EQ(rep.disk_iterations, 1);
+  EXPECT_EQ(rep.blocks_first_pass, bed.a.disk().geometry().block_count);
+  EXPECT_EQ(rep.blocks_retransferred, 0u);
+  EXPECT_EQ(rep.residual_dirty_blocks, 0u);
+  EXPECT_FALSE(rep.incremental);
+  // Downtime = overheads + residual + bitmap, far below a second.
+  EXPECT_LT(rep.downtime(), 200_ms);
+  EXPECT_GT(rep.downtime(), Duration::zero());
+  // Amount of data is at least the disk + memory, but not wildly more.
+  EXPECT_GE(rep.total_bytes(), bed.a.disk().geometry().total_bytes());
+  EXPECT_LT(rep.total_mib(), 64 + 4 + 8);
+  EXPECT_EQ(rep.blocks_pulled, 0u);
+  EXPECT_EQ(mgr.history().size(), 1u);
+}
+
+TEST(TpmMigrationTest, TimelineOrdering) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed,
+               MigrationReport& out) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+  }(mgr, bed, rep));
+  sim.run();
+  EXPECT_LT(rep.started, rep.suspended);
+  EXPECT_LT(rep.suspended, rep.resumed);
+  EXPECT_LE(rep.resumed, rep.synchronized);
+  EXPECT_EQ(rep.downtime(), bed.vm.total_suspended_time());
+}
+
+/// A writer that keeps dirtying disk and memory until told to stop.
+Task<void> writer(Simulator& sim, vm::Domain& vm, bool& stop,
+                  Duration period = 200_us) {
+  sim::Rng rng{123};
+  while (!stop) {
+    const auto blocks = vm.frontend().connected()
+                            ? vm.frontend().backend()->disk().geometry().block_count
+                            : 0;
+    if (blocks > 0) {
+      const auto b = rng.uniform_u64(blocks / 4);  // hot quarter of the disk
+      co_await vm.disk_write(BlockRange{b, 4});
+    }
+    vm.touch_memory(rng.uniform_u64(vm.memory().page_count()));
+    co_await sim.delay(period);
+  }
+}
+
+TEST(TpmMigrationTest, LiveWriterStaysConsistent) {
+  Simulator sim;
+  MiniBed bed{sim};
+  bool stop = false;
+  sim.spawn(writer(sim, bed.vm, stop));
+
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+               MigrationReport& out, bool& stop) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    stop = true;
+  }(mgr, bed, test_config(), rep, stop));
+  sim.run();
+
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_TRUE(rep.memory_consistent);
+  EXPECT_GT(rep.disk_iterations, 1);        // dirty blocks forced re-iteration
+  EXPECT_GT(rep.blocks_retransferred, 0u);
+  EXPECT_TRUE(bed.vm.running());
+  // The guest kept running: suspension was only the freeze phase.
+  EXPECT_EQ(bed.vm.total_suspended_time(), rep.downtime());
+  EXPECT_LT(rep.downtime(), 500_ms);
+}
+
+TEST(TpmMigrationTest, WriterDirtyDataMovesViaPostCopyOrRetransfer) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationConfig cfg = test_config();
+  cfg.disk_max_iterations = 1;  // force everything after iter 1 into post-copy
+  bool stop = false;
+  sim.spawn(writer(sim, bed.vm, stop));
+
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+               MigrationReport& out, bool& stop) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    stop = true;
+  }(mgr, bed, cfg, rep, stop));
+  sim.run();
+
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_EQ(rep.disk_iterations, 1);
+  EXPECT_GT(rep.residual_dirty_blocks, 0u);
+  // Every residual block was accounted for: applied via push/pull, dropped
+  // because a local write superseded it, or still in flight when the
+  // destination declared itself synchronized (local writes drained the
+  // bitmap early). Never more applied than the residue.
+  EXPECT_GT(rep.blocks_pushed + rep.blocks_pulled + rep.blocks_dropped, 0u);
+  EXPECT_LE(rep.blocks_pushed + rep.blocks_pulled,
+            rep.residual_dirty_blocks);
+}
+
+TEST(TpmMigrationTest, PostCopyPullServesGuestReads) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationConfig cfg = test_config();
+  cfg.disk_max_iterations = 1;
+  cfg.push_chunk_blocks = 1;  // slow push so reads beat it to most blocks
+
+  // Keep dirtying a known region until the VM resumes at the destination
+  // (so those blocks sit in the freeze bitmap), then immediately read the
+  // region back: reads of still-dirty blocks must trigger pulls.
+  sim.spawn([](Simulator& sim, MiniBed& bed) -> Task<void> {
+    // Dirty an ever-growing region until resume, leaving a sizable residue;
+    // pushing it one block at a time takes a while.
+    std::uint64_t i = 0;
+    while (!bed.b.hosts_domain(bed.vm)) {
+      co_await bed.vm.disk_write(
+          BlockRange{static_cast<storage::BlockId>((i % 1000) * 16), 16});
+      ++i;
+      co_await sim.delay(100_us);
+    }
+    // Read the most recently dirtied blocks first, in reverse: the pusher
+    // walks the bitmap ascending, so these are the last blocks it will
+    // reach — exactly the case the pull path exists for.
+    const std::uint64_t hi = i > 1000 ? 1000 : i;
+    for (std::uint64_t j = hi; j-- > 0;) {
+      co_await bed.vm.disk_read(
+          BlockRange{static_cast<storage::BlockId>(j * 16), 2});
+    }
+  }(sim, bed));
+
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+               MigrationReport& out) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+  }(mgr, bed, cfg, rep));
+  sim.run();
+
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_GT(rep.residual_dirty_blocks, 0u);
+  EXPECT_GT(rep.blocks_pulled, 0u);  // at least one read raced ahead of push
+}
+
+TEST(TpmMigrationTest, DirtyRateAbortTriggersProactiveStop) {
+  Simulator sim;
+  MiniBed bed{sim, /*disk_mib=*/16};
+  MigrationConfig cfg = test_config();
+  cfg.disk_max_iterations = 10;
+  cfg.disk_residual_target_blocks = 4;
+
+  // Rewrite the whole disk continuously — iterations can never converge.
+  bool stop = false;
+  sim.spawn([](Simulator& sim, vm::Domain& vm, bool& stop) -> Task<void> {
+    std::uint64_t base = 0;
+    while (!stop) {
+      co_await vm.disk_write(BlockRange{base % 4000, 64});
+      base += 64;
+      co_await sim.delay(20_us);
+    }
+  }(sim, bed.vm, stop));
+
+  MigrationReport rep;
+  MigrationManager mgr{sim};
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+               MigrationReport& out, bool& stop) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    stop = true;
+  }(mgr, bed, cfg, rep, stop));
+  sim.run();
+
+  EXPECT_TRUE(rep.aborted_precopy_dirty_rate);
+  EXPECT_LT(rep.disk_iterations, 10);
+  EXPECT_TRUE(rep.disk_consistent);
+}
+
+TEST(TpmMigrationTest, IncrementalMigrationBackMovesOnlyDelta) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationManager mgr{sim};
+  MigrationReport first, back;
+
+  sim.spawn([](Simulator& sim, MigrationManager& mgr, MiniBed& bed,
+               MigrationReport& first, MigrationReport& back) -> Task<void> {
+    // Prime the disk, migrate A -> B.
+    co_await bed.vm.disk_write(BlockRange{0, 2048});
+    first = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    // Work at B for a while: dirty a modest set of blocks.
+    for (int i = 0; i < 100; ++i) {
+      co_await bed.vm.disk_write(
+          BlockRange{static_cast<storage::BlockId>(i * 13), 3});
+      co_await sim.delay(100_us);
+    }
+    // Migrate back B -> A: must be incremental.
+    back = co_await mgr.migrate(bed.vm, bed.b, bed.a, MigrationConfig{});
+  }(sim, mgr, bed, first, back));
+  sim.run();
+
+  EXPECT_FALSE(first.incremental);
+  EXPECT_TRUE(back.incremental);
+  EXPECT_TRUE(back.disk_consistent);
+  EXPECT_TRUE(back.memory_consistent);
+  EXPECT_TRUE(bed.a.hosts_domain(bed.vm));
+  // IM's first pass is the dirtied delta, not the whole disk.
+  EXPECT_LT(back.blocks_first_pass, first.blocks_first_pass / 10);
+  EXPECT_LE(back.blocks_first_pass, 100u * 4u);  // <= writes (range may merge)
+  EXPECT_GT(back.blocks_first_pass, 0u);
+  EXPECT_LT(back.total_bytes(), first.total_bytes() / 4);
+  EXPECT_LT(back.total_time(), first.total_time());
+  // Disks fully agree after the quiesced return.
+  EXPECT_TRUE(bed.a.disk().content_equals(bed.b.disk()));
+}
+
+TEST(TpmMigrationTest, RoundTripTwiceRemainsIncremental) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationManager mgr{sim};
+  std::vector<MigrationReport> reps;
+
+  sim.spawn([](Simulator& sim, MigrationManager& mgr, MiniBed& bed,
+               std::vector<MigrationReport>& reps) -> Task<void> {
+    reps.push_back(co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{}));
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < 20; ++i) {
+        co_await bed.vm.disk_write(
+            BlockRange{static_cast<storage::BlockId>(500 + i), 1});
+        co_await sim.delay(50_us);
+      }
+      Host& from = (round % 2 == 0) ? bed.b : bed.a;
+      Host& to = (round % 2 == 0) ? bed.a : bed.b;
+      reps.push_back(co_await mgr.migrate(bed.vm, from, to, MigrationConfig{}));
+    }
+  }(sim, mgr, bed, reps));
+  sim.run();
+
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_FALSE(reps[0].incremental);
+  EXPECT_TRUE(reps[1].incremental);
+  EXPECT_TRUE(reps[2].incremental);
+  for (const auto& r : reps) {
+    EXPECT_TRUE(r.disk_consistent);
+    EXPECT_TRUE(r.memory_consistent);
+  }
+  EXPECT_LT(reps[2].total_bytes(), reps[0].total_bytes() / 10);
+}
+
+TEST(TpmMigrationTest, RateLimitSlowsPrecopy) {
+  Simulator sim1, sim2;
+  auto run_one = [](Simulator& sim, double limit) {
+    auto bed = std::make_unique<MiniBed>(sim, 32);
+    MigrationConfig cfg;
+    cfg.rate_limit_mibps = limit;
+    MigrationReport rep;
+    MigrationManager mgr{sim};
+    sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+                 MigrationReport& out) -> Task<void> {
+      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    }(mgr, *bed, cfg, rep));
+    sim.run();
+    return rep;
+  };
+  const auto unlimited = run_one(sim1, 0.0);
+  const auto limited = run_one(sim2, 100.0);
+  EXPECT_TRUE(limited.disk_consistent);
+  EXPECT_GT(limited.precopy_time(), unlimited.precopy_time() * 2);
+}
+
+TEST(TpmMigrationTest, FlatAndLayeredBitmapsBehaveIdentically) {
+  // 1 GiB disk with writes confined to one hot region: the layered bitmap
+  // ships only the dirty leaf parts in the freeze phase, the flat one ships
+  // the whole 32 KiB map.
+  auto run_kind = [](BitmapKind kind) {
+    Simulator sim;
+    MiniBed bed{sim, /*disk_mib=*/1024};
+    bool stop = false;
+    sim.spawn([](Simulator& sim, vm::Domain& vm, bool& stop) -> Task<void> {
+      sim::Rng rng{7};
+      while (!stop) {
+        co_await vm.disk_write(BlockRange{rng.uniform_u64(4096), 4});
+        co_await sim.delay(200_us);
+      }
+    }(sim, bed.vm, stop));
+    MigrationConfig cfg;
+    cfg.bitmap_kind = kind;
+    MigrationReport rep;
+    MigrationManager mgr{sim};
+    sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
+                 MigrationReport& out, bool& stop) -> Task<void> {
+      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+      stop = true;
+    }(mgr, bed, cfg, rep, stop));
+    sim.run();
+    return rep;
+  };
+  const auto flat = run_kind(BitmapKind::kFlat);
+  const auto layered = run_kind(BitmapKind::kLayered);
+  EXPECT_TRUE(flat.disk_consistent);
+  EXPECT_TRUE(layered.disk_consistent);
+  // Same deterministic workload: identical transfer counts.
+  EXPECT_EQ(flat.blocks_first_pass, layered.blocks_first_pass);
+  EXPECT_EQ(flat.blocks_retransferred, layered.blocks_retransferred);
+  EXPECT_EQ(flat.residual_dirty_blocks, layered.residual_dirty_blocks);
+  // The layered bitmap ships much smaller in the freeze phase.
+  EXPECT_LT(layered.bytes_bitmap, flat.bytes_bitmap / 2);
+}
+
+TEST(TpmMigrationTest, ProgressListenerSeesOrderedPhases) {
+  Simulator sim;
+  MiniBed bed{sim};
+  MigrationManager mgr{sim};
+  std::vector<TpmMigration::Phase> phases;
+  std::vector<double> fractions;
+  mgr.set_progress_listener(
+      [&](TpmMigration::Phase p, double f) {
+        phases.push_back(p);
+        fractions.push_back(f);
+      });
+  MigrationReport rep;
+  sim.spawn([](MigrationManager& mgr, MiniBed& bed,
+               MigrationReport& out) -> Task<void> {
+    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+  }(mgr, bed, rep));
+  sim.run();
+
+  ASSERT_GE(phases.size(), 6u);
+  EXPECT_EQ(phases.front(), TpmMigration::Phase::kPreparing);
+  EXPECT_EQ(phases.back(), TpmMigration::Phase::kDone);
+  EXPECT_DOUBLE_EQ(fractions.back(), 1.0);
+  // Phases never go backwards.
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_LE(static_cast<int>(phases[i - 1]), static_cast<int>(phases[i]));
+  }
+  // Disk pre-copy fractions are nondecreasing and end near 1.
+  double last = 0.0;
+  double max_seen = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (phases[i] == TpmMigration::Phase::kDiskPrecopy) {
+      EXPECT_GE(fractions[i], last);
+      last = fractions[i];
+      max_seen = std::max(max_seen, fractions[i]);
+    }
+  }
+  EXPECT_GT(max_seen, 0.9);
+  EXPECT_EQ(std::string{"disk-precopy"},
+            TpmMigration::phase_name(TpmMigration::Phase::kDiskPrecopy));
+}
+
+TEST(TpmMigrationTest, DowntimeExcludesDiskSize) {
+  // Doubling the disk size must not move downtime (the whole point of TPM).
+  auto run_size = [](std::uint64_t disk_mib) {
+    Simulator sim;
+    MiniBed bed{sim, disk_mib};
+    MigrationReport rep;
+    MigrationManager mgr{sim};
+    sim.spawn([](MigrationManager& mgr, MiniBed& bed,
+                 MigrationReport& out) -> Task<void> {
+      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    }(mgr, bed, rep));
+    sim.run();
+    return rep;
+  };
+  const auto small = run_size(32);
+  const auto large = run_size(128);
+  EXPECT_GT(large.total_time(), small.total_time() * 2);
+  EXPECT_LT(large.downtime(), small.downtime() * 2 + 20_ms);
+}
+
+}  // namespace
+}  // namespace vmig::core

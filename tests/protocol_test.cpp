@@ -1,0 +1,105 @@
+// Wire-protocol unit tests: message sizes (what the paper's "amount of
+// migrated data" is made of), variant dispatch, and disk capture helpers.
+
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmig::core {
+namespace {
+
+using storage::BlockRange;
+using storage::Geometry;
+
+TEST(ProtocolTest, DiskBlocksWireIsBlockData) {
+  DiskBlocksMsg m{BlockRange{0, 256}, std::vector<storage::ContentToken>(256),
+                  4096, false};
+  EXPECT_EQ(m.wire_bytes(), kMsgHeaderBytes + 256ull * 4096ull);
+  DiskBlocksMsg sector{BlockRange{0, 8}, std::vector<storage::ContentToken>(8),
+                       512, false};
+  EXPECT_EQ(sector.wire_bytes(), kMsgHeaderBytes + 8ull * 512ull);
+}
+
+TEST(ProtocolTest, MemPagesWireIncludesFrameHeaders) {
+  MemPagesMsg m;
+  m.page_size = 4096;
+  for (int i = 0; i < 10; ++i) m.pages.emplace_back(i, 1);
+  EXPECT_EQ(m.wire_bytes(), kMsgHeaderBytes + 10ull * (4096 + 8));
+}
+
+TEST(ProtocolTest, BitmapWireTracksBitmapKind) {
+  BlockBitmapMsg flat{DirtyBitmap{BitmapKind::kFlat, 1ull << 20}};
+  BlockBitmapMsg layered{DirtyBitmap{BitmapKind::kLayered, 1ull << 20}};
+  EXPECT_EQ(flat.wire_bytes(), kMsgHeaderBytes + (1ull << 20) / 8);
+  EXPECT_LT(layered.wire_bytes(), flat.wire_bytes());  // all-clean: upper only
+}
+
+TEST(ProtocolTest, SmallMessagesAreHeaderSized) {
+  EXPECT_EQ(PullRequestMsg{42}.wire_bytes(), kMsgHeaderBytes);
+  EXPECT_EQ(ControlMsg{Control::kVbdReady}.wire_bytes(), kMsgHeaderBytes);
+  EXPECT_EQ(CpuStateMsg{vm::VCpuState{}}.wire_bytes(),
+            kMsgHeaderBytes + vm::VCpuState::kWireBytes);
+}
+
+TEST(ProtocolTest, VariantDispatch) {
+  MigrationMessage m{PullRequestMsg{7}};
+  EXPECT_TRUE(m.is<PullRequestMsg>());
+  EXPECT_FALSE(m.is<ControlMsg>());
+  ASSERT_NE(m.get_if<PullRequestMsg>(), nullptr);
+  EXPECT_EQ(m.get_if<PullRequestMsg>()->block, 7u);
+  EXPECT_EQ(m.get_if<DiskBlocksMsg>(), nullptr);
+  EXPECT_EQ(m.wire_bytes(), kMsgHeaderBytes);
+}
+
+TEST(ProtocolTest, FromDiskCapturesTokens) {
+  sim::Simulator sim;
+  storage::VirtualDisk disk{sim, Geometry::from_blocks(64)};
+  disk.poke_token(10, 111);
+  disk.poke_token(11, 222);
+  const auto m = DiskBlocksMsg::from_disk(disk, BlockRange{10, 2}, false);
+  ASSERT_EQ(m.tokens.size(), 2u);
+  EXPECT_EQ(m.tokens[0], 111u);
+  EXPECT_EQ(m.tokens[1], 222u);
+  EXPECT_TRUE(m.payloads.empty());  // token-only disk
+  EXPECT_FALSE(m.pull_response);
+  EXPECT_FALSE(m.delta);
+}
+
+TEST(ProtocolTest, FromDiskCapturesPayloadsInPayloadMode) {
+  sim::Simulator sim;
+  storage::VirtualDisk disk{sim, Geometry::from_blocks(8, 512), {}, true};
+  std::vector<std::byte> data(512, std::byte{0x5a});
+  disk.poke_payload(3, data);
+  disk.poke_token(3, storage::VirtualDisk::hash_bytes(data));
+  const auto m = DiskBlocksMsg::from_disk(disk, BlockRange{3, 1}, true);
+  ASSERT_EQ(m.payloads.size(), 512u);
+  EXPECT_EQ(m.payloads[0], std::byte{0x5a});
+  EXPECT_TRUE(m.pull_response);
+
+  // Round-trip onto another payload disk.
+  storage::VirtualDisk dst{sim, Geometry::from_blocks(8, 512), {}, true};
+  m.apply_payloads_to(dst);
+  ASSERT_EQ(dst.payload(3).size(), 512u);
+  EXPECT_EQ(dst.payload(3)[511], std::byte{0x5a});
+}
+
+TEST(ProtocolTest, ApplyPayloadsIsNoopForTokenOnlyDisks) {
+  sim::Simulator sim;
+  storage::VirtualDisk src{sim, Geometry::from_blocks(8, 512), {}, true};
+  storage::VirtualDisk dst{sim, Geometry::from_blocks(8, 512)};  // token-only
+  std::vector<std::byte> data(512, std::byte{1});
+  src.poke_payload(0, data);
+  const auto m = DiskBlocksMsg::from_disk(src, BlockRange{0, 1}, false);
+  m.apply_payloads_to(dst);  // must not crash or store
+  EXPECT_TRUE(dst.payload(0).empty());
+}
+
+TEST(ProtocolTest, DeltaFlagSurvivesConstruction) {
+  DiskBlocksMsg d{BlockRange{0, 1}, {1}, 4096, false, /*is_delta=*/true};
+  EXPECT_TRUE(d.delta);
+  MigrationMessage m{std::move(d)};
+  EXPECT_TRUE(m.get_if<DiskBlocksMsg>()->delta);
+}
+
+}  // namespace
+}  // namespace vmig::core

@@ -1,0 +1,81 @@
+#include "core/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmig::core {
+namespace {
+
+using namespace vmig::sim::literals;
+
+MigrationReport sample_report() {
+  MigrationReport r;
+  r.started = sim::TimePoint::origin() + 10_s;
+  r.disk_precopy_done = r.started + 100_s;
+  r.suspended = r.started + 120_s;
+  r.resumed = r.suspended + 60_ms;
+  r.synchronized = r.resumed + 500_ms;
+  r.bytes_disk_first_pass = 1'000'000;
+  r.bytes_disk_retransfer = 50'000;
+  r.bytes_memory_precopy = 200'000;
+  r.bytes_bitmap = 1'024;
+  r.disk_iterations = 3;
+  r.mem_iterations = 2;
+  r.blocks_retransferred = 12;
+  r.residual_dirty_blocks = 3;
+  r.blocks_pulled = 1;
+  r.incremental = true;
+  r.disk_consistent = true;
+  r.memory_consistent = true;
+  return r;
+}
+
+TEST(ReportIoTest, JsonContainsHeadlineMetrics) {
+  const auto j = to_json(sample_report());
+  EXPECT_NE(j.find("\"total_time_s\": 120.56"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"downtime_s\": 0.06"), std::string::npos);
+  EXPECT_NE(j.find("\"bytes_disk_first_pass\": 1000000"), std::string::npos);
+  EXPECT_NE(j.find("\"disk_iterations\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"incremental\": true"), std::string::npos);
+  EXPECT_NE(j.find("\"disk_consistent\": true"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(ReportIoTest, JsonIsWellFormedEnough) {
+  // Poor man's structural check: balanced braces, no trailing comma.
+  const auto j = to_json(sample_report());
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 1);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '}'), 1);
+  EXPECT_EQ(j.find(",\n}"), std::string::npos);
+  // Every key appears exactly once.
+  EXPECT_EQ(j.find("\"downtime_s\""), j.rfind("\"downtime_s\""));
+}
+
+TEST(ReportIoTest, CsvRowMatchesHeaderArity) {
+  const auto header = csv_header();
+  const auto row = to_csv_row(sample_report());
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_NE(row.find("120.56"), std::string::npos);
+  EXPECT_NE(row.find(",1,1,1"), std::string::npos);  // flags at the end
+}
+
+TEST(ReportIoTest, TimeSeriesCsv) {
+  sim::TimeSeries ts;
+  ts.add(sim::TimePoint::origin() + 1_s, 10.5);
+  ts.add(sim::TimePoint::origin() + 2_s, 20.25);
+  const auto csv = to_csv(ts);
+  EXPECT_EQ(csv.find("t_seconds,value\n"), 0u);
+  EXPECT_NE(csv.find("1.000000,10.500000"), std::string::npos);
+  EXPECT_NE(csv.find("2.000000,20.250000"), std::string::npos);
+}
+
+TEST(ReportIoTest, EmptySeriesCsvIsJustHeader) {
+  sim::TimeSeries ts;
+  EXPECT_EQ(to_csv(ts), "t_seconds,value\n");
+}
+
+}  // namespace
+}  // namespace vmig::core

@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simcore/channel.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+
+namespace vmig::sim {
+namespace {
+
+using namespace vmig::sim::literals;
+
+TEST(CoroutineTest, SpawnRunsToCompletion) {
+  Simulator sim;
+  bool done = false;
+  auto h = sim.spawn([](Simulator& s, bool& flag) -> Task<void> {
+    co_await s.delay(10_ms);
+    flag = true;
+  }(sim, done));
+  EXPECT_FALSE(done);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(h.done());
+}
+
+TEST(CoroutineTest, DelayAdvancesClock) {
+  Simulator sim;
+  TimePoint after{};
+  sim.spawn([](Simulator& s, TimePoint& out) -> Task<void> {
+    co_await s.delay(1_s);
+    co_await s.delay(500_ms);
+    out = s.now();
+  }(sim, after));
+  sim.run();
+  EXPECT_EQ(after, TimePoint::origin() + 1500_ms);
+}
+
+TEST(CoroutineTest, ZeroDelayYields) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn([](Simulator& s, std::vector<int>& o) -> Task<void> {
+    o.push_back(1);
+    co_await s.delay(Duration::zero());
+    o.push_back(3);
+  }(sim, order));
+  order.push_back(2);  // spawn returned at first suspension
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CoroutineTest, NestedTaskAwait) {
+  Simulator sim;
+  std::vector<std::string> log;
+
+  struct Helper {
+    static Task<int> child(Simulator& s, std::vector<std::string>& log) {
+      log.push_back("child-start");
+      co_await s.delay(5_ms);
+      log.push_back("child-end");
+      co_return 42;
+    }
+    static Task<void> parent(Simulator& s, std::vector<std::string>& log) {
+      log.push_back("parent-start");
+      const int v = co_await child(s, log);
+      log.push_back("parent-got-" + std::to_string(v));
+    }
+  };
+
+  sim.spawn(Helper::parent(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-got-42"}));
+}
+
+TEST(CoroutineTest, TaskReturnsValueTypes) {
+  Simulator sim;
+  std::string out;
+  struct Helper {
+    static Task<std::string> make(Simulator& s) {
+      co_await s.delay(1_ms);
+      co_return "hello";
+    }
+    static Task<void> run(Simulator& s, std::string& out) {
+      out = co_await make(s);
+    }
+  };
+  sim.spawn(Helper::run(sim, out));
+  sim.run();
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(CoroutineTest, ExceptionPropagatesThroughAwait) {
+  Simulator sim;
+  bool caught = false;
+  struct Helper {
+    static Task<void> thrower(Simulator& s) {
+      co_await s.delay(1_ms);
+      throw std::runtime_error("boom");
+    }
+    static Task<void> outer(Simulator& s, bool& caught) {
+      try {
+        co_await thrower(s);
+      } catch (const std::runtime_error& e) {
+        caught = std::string{e.what()} == "boom";
+      }
+    }
+  };
+  sim.spawn(Helper::outer(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(CoroutineTest, UncaughtRootExceptionSurfacesFromRun) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.delay(1_ms);
+    throw std::logic_error("unhandled");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(CoroutineTest, JoinWaitsForCompletion) {
+  Simulator sim;
+  std::vector<int> order;
+  auto worker = sim.spawn([](Simulator& s, std::vector<int>& o) -> Task<void> {
+    co_await s.delay(10_ms);
+    o.push_back(1);
+  }(sim, order));
+  sim.spawn([](Simulator& s, SpawnHandle w, std::vector<int>& o) -> Task<void> {
+    co_await w;
+    o.push_back(2);
+    co_await s.delay(1_ms);
+    o.push_back(3);
+  }(sim, worker, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CoroutineTest, JoinOnFinishedTaskReturnsImmediately) {
+  Simulator sim;
+  auto worker = sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.delay(1_ms);
+  }(sim));
+  sim.run();
+  ASSERT_TRUE(worker.done());
+  bool resumed = false;
+  sim.spawn([](SpawnHandle w, bool& r) -> Task<void> {
+    co_await w;
+    r = true;
+  }(worker, resumed));
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(CoroutineTest, ManyConcurrentTasksInterleave) {
+  Simulator sim;
+  std::vector<int> done_order;
+  for (int i = 0; i < 20; ++i) {
+    sim.spawn([](Simulator& s, int id, std::vector<int>& out) -> Task<void> {
+      // Task i finishes at (20 - i) ms: reverse completion order.
+      co_await s.delay(Duration::millis(20 - id));
+      out.push_back(id);
+    }(sim, i, done_order));
+  }
+  sim.run();
+  ASSERT_EQ(done_order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(done_order[static_cast<size_t>(i)], 19 - i);
+}
+
+TEST(CoroutineTest, LiveRootCountTracksCompletion) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Task<void> { co_await s.delay(10_ms); }(sim));
+  sim.spawn([](Simulator& s) -> Task<void> { co_await s.delay(20_ms); }(sim));
+  EXPECT_EQ(sim.live_root_count(), 2u);
+  sim.run_until(TimePoint::origin() + 15_ms);
+  EXPECT_EQ(sim.live_root_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.live_root_count(), 0u);
+}
+
+TEST(CoroutineTest, TeardownWithSuspendedTasksIsSafe) {
+  // Tasks left suspended on delays when the simulator is destroyed must not
+  // crash or leak (awaiter destructors cancel their timers).
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn([](Simulator& s) -> Task<void> {
+      for (;;) co_await s.delay(1_s);
+    }(sim));
+  }
+  sim.run_until(TimePoint::origin() + 2500_ms);
+  // Destructor runs here.
+}
+
+TEST(NotifierTest, NotifyOneWakesOldestWaiter) {
+  Simulator sim;
+  Notifier n{sim};
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Notifier& n, int id, std::vector<int>& w) -> Task<void> {
+      co_await n.wait();
+      w.push_back(id);
+    }(n, i, woke));
+  }
+  sim.run();
+  EXPECT_TRUE(woke.empty());
+  EXPECT_EQ(n.waiter_count(), 3u);
+  EXPECT_EQ(n.notify_one(), 1u);
+  sim.run();
+  EXPECT_EQ(woke, (std::vector<int>{0}));
+  EXPECT_EQ(n.notify_all(), 2u);
+  sim.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NotifierTest, NotifyWithNoWaitersIsLost) {
+  Simulator sim;
+  Notifier n{sim};
+  EXPECT_EQ(n.notify_all(), 0u);
+  bool woke = false;
+  sim.spawn([](Notifier& n, bool& w) -> Task<void> {
+    co_await n.wait();
+    w = true;
+  }(n, woke));
+  sim.run();
+  EXPECT_FALSE(woke);  // edge-triggered: earlier notify does not count
+  n.notify_one();
+  sim.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(NotifierTest, WaiterDestroyedWhileQueuedDeregisters) {
+  Simulator sim;
+  Notifier n{sim};
+  {
+    Simulator inner;
+    // Spawn into `sim`, then destroy via scope? Instead: spawn a waiter and
+    // tear down the simulator while it is queued; notifier outlives it.
+    (void)inner;
+  }
+  {
+    Simulator sim2;
+    Notifier n2{sim2};
+    sim2.spawn([](Notifier& n) -> Task<void> { co_await n.wait(); }(n2));
+    sim2.run();
+    EXPECT_EQ(n2.waiter_count(), 1u);
+    // sim2 destroyed first would orphan... here n2 outlives sim2's roots:
+    // destruction order is n2 then sim2 (reverse declaration), which is the
+    // dangerous order — Notifier::~Notifier orphans the queued waiter, and
+    // the frame is destroyed later by ~Simulator without touching n2.
+  }
+  SUCCEED();
+}
+
+TEST(GateTest, WaitPassesOnceOpen) {
+  Simulator sim;
+  Gate g{sim};
+  std::vector<int> order;
+  sim.spawn([](Gate& g, std::vector<int>& o) -> Task<void> {
+    co_await g.wait();
+    o.push_back(1);
+  }(g, order));
+  sim.run();
+  EXPECT_TRUE(order.empty());
+  g.open();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  // Late waiter passes immediately.
+  sim.spawn([](Gate& g, std::vector<int>& o) -> Task<void> {
+    co_await g.wait();
+    o.push_back(2);
+  }(g, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, SendThenRecv) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  int got = 0;
+  sim.spawn([](Channel<int>& ch, int& out) -> Task<void> {
+    const auto v = co_await ch.recv();
+    out = v.value_or(-1);
+  }(ch, got));
+  sim.spawn([](Channel<int>& ch) -> Task<void> {
+    co_await ch.send(7);
+  }(ch));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  bool received = false;
+  sim.spawn([](Channel<int>& ch, bool& r) -> Task<void> {
+    (void)co_await ch.recv();
+    r = true;
+  }(ch, received));
+  sim.run();
+  EXPECT_FALSE(received);
+  EXPECT_TRUE(ch.try_send(1));
+  sim.run();
+  EXPECT_TRUE(received);
+}
+
+TEST(ChannelTest, FifoOrder) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& out) -> Task<void> {
+    for (;;) {
+      const auto v = co_await ch.recv();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  }(ch, got));
+  sim.spawn([](Simulator& s, Channel<int>& ch) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await ch.send(i);
+      co_await s.delay(1_ms);
+    }
+    ch.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, BoundedSendBackpressure) {
+  Simulator sim;
+  Channel<int> ch{sim, 2};
+  std::vector<std::int64_t> send_times;
+  sim.spawn([](Simulator& s, Channel<int>& ch,
+               std::vector<std::int64_t>& times) -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await ch.send(i);
+      times.push_back(s.now().ns());
+    }
+  }(sim, ch, send_times));
+  // Slow consumer: one item per 10ms starting at 10ms.
+  sim.spawn([](Simulator& s, Channel<int>& ch) -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await s.delay(10_ms);
+      (void)co_await ch.recv();
+    }
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(send_times.size(), 4u);
+  EXPECT_EQ(send_times[0], 0);               // fits in capacity
+  EXPECT_EQ(send_times[1], 0);               // fits in capacity
+  EXPECT_EQ(send_times[2], (10_ms).ns());    // waits for first recv
+  EXPECT_EQ(send_times[3], (20_ms).ns());    // waits for second recv
+}
+
+TEST(ChannelTest, TrySendRespectsCapacity) {
+  Simulator sim;
+  Channel<int> ch{sim, 2};
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, TryRecv) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+  ch.try_send(9);
+  EXPECT_EQ(ch.try_recv(), std::optional<int>{9});
+}
+
+TEST(ChannelTest, CloseDrainsThenNullopt) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  ch.try_send(1);
+  ch.try_send(2);
+  ch.close();
+  std::vector<int> got;
+  bool saw_end = false;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& out, bool& end) -> Task<void> {
+    for (;;) {
+      const auto v = co_await ch.recv();
+      if (!v) {
+        end = true;
+        break;
+      }
+      out.push_back(*v);
+    }
+  }(ch, got, saw_end));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(ChannelTest, CloseWakesBlockedSender) {
+  Simulator sim;
+  Channel<int> ch{sim, 1};
+  ch.try_send(0);
+  bool send_result = true;
+  sim.spawn([](Channel<int>& ch, bool& res) -> Task<void> {
+    res = co_await ch.send(1);
+  }(ch, send_result));
+  sim.run();
+  EXPECT_TRUE(send_result);  // still suspended... (not yet completed)
+  ch.close();
+  sim.run();
+  EXPECT_FALSE(send_result);
+}
+
+TEST(ChannelTest, SendOnClosedFails) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  ch.close();
+  EXPECT_FALSE(ch.try_send(1));
+  bool res = true;
+  sim.spawn([](Channel<int>& ch, bool& r) -> Task<void> {
+    r = co_await ch.send(5);
+  }(ch, res));
+  sim.run();
+  EXPECT_FALSE(res);
+}
+
+TEST(ChannelTest, MultipleProducersOneConsumer) {
+  Simulator sim;
+  Channel<int> ch{sim};
+  int sum = 0;
+  int count = 0;
+  sim.spawn([](Channel<int>& ch, int& sum, int& count) -> Task<void> {
+    for (;;) {
+      const auto v = co_await ch.recv();
+      if (!v) break;
+      sum += *v;
+      ++count;
+    }
+  }(ch, sum, count));
+  for (int p = 0; p < 4; ++p) {
+    sim.spawn([](Simulator& s, Channel<int>& ch, int base) -> Task<void> {
+      for (int i = 0; i < 10; ++i) {
+        co_await s.delay(Duration::micros(100 + base));
+        co_await ch.send(base);
+      }
+    }(sim, ch, p));
+  }
+  sim.spawn([](Simulator& s, Channel<int>& ch) -> Task<void> {
+    co_await s.delay(1_s);
+    ch.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(count, 40);
+  EXPECT_EQ(sum, 10 * (0 + 1 + 2 + 3));
+}
+
+}  // namespace
+}  // namespace vmig::sim

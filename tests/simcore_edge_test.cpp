@@ -1,0 +1,300 @@
+// Edge cases of the simulation kernel that the protocol code leans on:
+// timer cancellation races, teardown ordering, notifier wake ordering,
+// channel close semantics, and determinism under heavy interleaving.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/channel.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig::sim {
+namespace {
+
+using namespace vmig::sim::literals;
+
+TEST(SimulatorEdgeTest, CancelFromInsideAnEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  Simulator::TimerId victim{};
+  victim = sim.schedule_after(10_ms, [&] { fired = true; });
+  sim.schedule_after(5_ms, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorEdgeTest, CancelSelfWhileFiringIsHarmless) {
+  Simulator sim;
+  Simulator::TimerId self{};
+  int count = 0;
+  self = sim.schedule_after(1_ms, [&] {
+    ++count;
+    EXPECT_FALSE(sim.cancel(self));  // already fired: erase returns false
+  });
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorEdgeTest, RescheduleChainFromHandler) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) sim.schedule_after(1_ms, hop);
+  };
+  sim.schedule_after(1_ms, hop);
+  sim.run();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 100_ms);
+}
+
+TEST(SimulatorEdgeTest, RunUntilWithOnlyCancelledEventsAdvancesClock) {
+  Simulator sim;
+  const auto id = sim.schedule_after(5_ms, [] {});
+  sim.cancel(id);
+  sim.run_until(TimePoint::origin() + 50_ms);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 50_ms);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(SimulatorEdgeTest, SpawnFromInsideRootTask) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn([](Simulator& s, std::vector<int>& o) -> Task<void> {
+    o.push_back(1);
+    s.spawn([](Simulator& s2, std::vector<int>& o2) -> Task<void> {
+      o2.push_back(2);
+      co_await s2.delay(1_ms);
+      o2.push_back(4);
+    }(s, o));
+    co_await s.delay(2_ms);
+    o.push_back(5);
+    (void)s;
+  }(sim, order));
+  order.push_back(3);  // after outer spawn returns control
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SimulatorEdgeTest, JoinerSpawnsAnotherTaskOnWake) {
+  // Exercises the reap-safety path: a joiner resumed inline by a finishing
+  // root immediately spawns; the finishing root's frame must survive.
+  Simulator sim;
+  bool inner_done = false;
+  auto worker = sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.delay(5_ms);
+  }(sim));
+  sim.spawn([](Simulator& s, SpawnHandle w, bool& inner) -> Task<void> {
+    co_await w;
+    s.spawn([](Simulator& s2, bool& inner2) -> Task<void> {
+      co_await s2.delay(1_ms);
+      inner2 = true;
+    }(s, inner));
+  }(sim, worker, inner_done));
+  sim.run();
+  EXPECT_TRUE(inner_done);
+}
+
+TEST(SimulatorEdgeTest, ManyRootsTearDownSafely) {
+  // Roots suspended across every primitive at destruction time.
+  auto make_world = [] {
+    auto sim = std::make_unique<Simulator>();
+    static Notifier* leak_n = nullptr;  // intentionally ordered inside
+    auto n = std::make_unique<Notifier>(*sim);
+    auto ch = std::make_unique<Channel<int>>(*sim, 1);
+    ch->try_send(0);  // make sends block
+    for (int i = 0; i < 5; ++i) {
+      sim->spawn([](Simulator& s) -> Task<void> {
+        for (;;) co_await s.delay(1_s);
+      }(*sim));
+      sim->spawn([](Notifier& n) -> Task<void> { co_await n.wait(); }(*n));
+      sim->spawn([](Channel<int>& c) -> Task<void> {
+        (void)co_await c.send(1);
+      }(*ch));
+    }
+    sim->run_for(100_ms);
+    (void)leak_n;
+    // Destruction order: channel, notifier, then simulator (roots last).
+    ch.reset();
+    n.reset();
+    sim.reset();
+  };
+  make_world();
+  SUCCEED();
+}
+
+TEST(NotifierEdgeTest, NotifyAllWakesInFifoOrder) {
+  Simulator sim;
+  Notifier n{sim};
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Notifier& n, int id, std::vector<int>& o) -> Task<void> {
+      co_await n.wait();
+      o.push_back(id);
+    }(n, i, order));
+  }
+  sim.run();
+  n.notify_all();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(NotifierEdgeTest, NotifyOneDuringDrainIsNotLostForQueuedWaiter) {
+  Simulator sim;
+  Notifier n{sim};
+  int woken = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Notifier& n, int& w) -> Task<void> {
+      co_await n.wait();
+      ++w;
+    }(n, woken));
+  }
+  sim.run();
+  EXPECT_EQ(n.notify_one(), 1u);
+  EXPECT_EQ(n.notify_one(), 1u);
+  EXPECT_EQ(n.notify_one(), 0u);  // queue drained
+  sim.run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(NotifierEdgeTest, WaiterCanRewaitImmediately) {
+  Simulator sim;
+  Notifier n{sim};
+  int wakes = 0;
+  sim.spawn([](Notifier& n, int& wakes) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await n.wait();
+      ++wakes;
+    }
+  }(n, wakes));
+  sim.run();
+  for (int i = 0; i < 3; ++i) {
+    n.notify_all();
+    sim.run();
+  }
+  EXPECT_EQ(wakes, 3);
+}
+
+TEST(GateEdgeTest, OpenThenImmediateDestroyIsSafe) {
+  // The post-copy pending list destroys gates right after opening them;
+  // the queued wakeups must not touch the dead gate.
+  Simulator sim;
+  bool resumed = false;
+  auto gate = std::make_unique<Gate>(sim);
+  sim.spawn([](Gate& g, bool& r) -> Task<void> {
+    co_await g.wait();
+    r = true;
+  }(*gate, resumed));
+  sim.run();
+  gate->open();
+  gate.reset();  // destroyed before the waiter resumes
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(GateEdgeTest, DoubleOpenIsIdempotent) {
+  Simulator sim;
+  Gate g{sim};
+  g.open();
+  g.open();
+  bool passed = false;
+  sim.spawn([](Gate& g, bool& p) -> Task<void> {
+    co_await g.wait();
+    p = true;
+  }(g, passed));
+  sim.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(ChannelEdgeTest, CloseDuringBlockedSendDeliversNothingExtra) {
+  Simulator sim;
+  Channel<int> ch{sim, 1};
+  ch.try_send(1);
+  bool send_ok = true;
+  sim.spawn([](Channel<int>& ch, bool& ok) -> Task<void> {
+    ok = co_await ch.send(2);
+  }(ch, send_ok));
+  sim.run();
+  ch.close();
+  sim.run();
+  EXPECT_FALSE(send_ok);
+  EXPECT_EQ(ch.size(), 1u);  // only the pre-close item remains
+}
+
+TEST(ChannelEdgeTest, RecvAfterCloseDrainsEverything) {
+  Simulator sim;
+  Channel<int> ch{sim, 8};
+  for (int i = 0; i < 5; ++i) ch.try_send(i);
+  ch.close();
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& g) -> Task<void> {
+    for (;;) {
+      auto v = co_await ch.recv();
+      if (!v) break;
+      g.push_back(*v);
+    }
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelEdgeTest, CapacityOneHandoffPingPong) {
+  Simulator sim;
+  Channel<int> ping{sim, 1};
+  Channel<int> pong{sim, 1};
+  int rounds = 0;
+  sim.spawn([](Channel<int>& in, Channel<int>& out, int& r) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      const auto v = co_await in.recv();
+      if (!v) co_return;
+      ++r;
+      co_await out.send(*v + 1);
+    }
+  }(ping, pong, rounds));
+  sim.spawn([](Channel<int>& out, Channel<int>& in) -> Task<void> {
+    co_await out.send(0);
+    for (int i = 0; i < 50; ++i) {
+      const auto v = co_await in.recv();
+      if (!v) co_return;
+      if (i < 49) co_await out.send(*v + 1);
+    }
+  }(ping, pong));
+  sim.run();
+  EXPECT_EQ(rounds, 50);
+}
+
+TEST(DeterminismEdgeTest, FullStackReplayIsBitIdentical) {
+  auto trace = [](std::uint64_t seed) {
+    Simulator sim;
+    Channel<std::uint64_t> ch{sim, 3};
+    Notifier n{sim};
+    Rng rng{seed};
+    std::vector<std::uint64_t> events;
+    for (int p = 0; p < 3; ++p) {
+      sim.spawn([](Simulator& s, Channel<std::uint64_t>& ch, Rng rng,
+                   int id) -> Task<void> {
+        for (int i = 0; i < 40; ++i) {
+          co_await s.delay(Duration::micros(rng.uniform_u64(500)));
+          co_await ch.send(static_cast<std::uint64_t>(id) * 1000 + i);
+        }
+      }(sim, ch, rng.fork(), p));
+    }
+    sim.spawn([](Simulator& s, Channel<std::uint64_t>& ch,
+                 std::vector<std::uint64_t>& ev) -> Task<void> {
+      for (int i = 0; i < 120; ++i) {
+        const auto v = co_await ch.recv();
+        if (!v) break;
+        ev.push_back(*v ^ static_cast<std::uint64_t>(s.now().ns()));
+      }
+    }(sim, ch, events));
+    sim.run();
+    return events;
+  };
+  EXPECT_EQ(trace(77), trace(77));
+  EXPECT_NE(trace(77), trace(78));
+}
+
+}  // namespace
+}  // namespace vmig::sim

@@ -1,0 +1,202 @@
+#include "simcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace vmig::sim {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r{0};
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 95u);  // not stuck
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent{7};
+  Rng child = parent.fork();
+  // Child stream should not be a shifted copy of parent stream.
+  std::vector<std::uint64_t> p, c;
+  for (int i = 0; i < 50; ++i) {
+    p.push_back(parent.next_u64());
+    c.push_back(child.next_u64());
+  }
+  EXPECT_NE(p, c);
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng r{3};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_u64(17), 17u);
+  }
+  EXPECT_EQ(r.uniform_u64(1), 0u);
+  EXPECT_EQ(r.uniform_u64(0), 0u);
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng r{5};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformI64Inclusive) {
+  Rng r{9};
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_i64(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng r{11};
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, UniformDoubleBounds) {
+  Rng r{13};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_double(5.0, 6.0);
+    ASSERT_GE(v, 5.0);
+    ASSERT_LT(v, 6.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng r{17};
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-1.0));
+  EXPECT_TRUE(r.bernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng r{19};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r{23};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(4.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r{29};
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ParetoBounds) {
+  Rng r{31};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.pareto(1.0, 100.0, 1.2);
+    ASSERT_GE(v, 0.99);
+    ASSERT_LE(v, 100.01);
+  }
+}
+
+TEST(RngTest, ParetoSkewsLow) {
+  Rng r{37};
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.pareto(1.0, 100.0, 1.5) < 10.0) ++low;
+  }
+  EXPECT_GT(low, n / 2);  // heavy head
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng r{41};
+  const std::uint64_t n = 1000;
+  std::uint64_t first_decile = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = r.zipf(n, 0.8);
+    ASSERT_LT(v, n);
+    if (v < n / 10) ++first_decile;
+  }
+  // Skewed: far more than 10% of draws land in the first decile.
+  EXPECT_GT(first_decile, static_cast<std::uint64_t>(draws) / 4);
+}
+
+TEST(RngTest, ZipfDegenerate) {
+  Rng r{43};
+  EXPECT_EQ(r.zipf(0, 0.5), 0u);
+  EXPECT_EQ(r.zipf(1, 0.5), 0u);
+}
+
+TEST(RngTest, WorksWithStdShuffle) {
+  Rng r{47};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  std::shuffle(v.begin(), v.end(), r);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace vmig::sim

@@ -1,0 +1,186 @@
+#include "simcore/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vmig::sim {
+namespace {
+
+using namespace vmig::sim::literals;
+
+TEST(SimulatorTest, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(30_ms, [&] { order.push_back(3); });
+  sim.schedule_after(10_ms, [&] { order.push_back(1); });
+  sim.schedule_after(20_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 30_ms);
+}
+
+TEST(SimulatorTest, SameTimeFiresInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule_after(42_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + 42_ms);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_after(10_ms, [&] {
+    times.push_back(sim.now().to_seconds());
+    sim.schedule_after(10_ms, [&] { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.010);
+  EXPECT_DOUBLE_EQ(times[1], 0.020);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.schedule_after(10_ms, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule_at(TimePoint::origin(), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 10_ms);  // time never goes back
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::millis(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_after(10_ms, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_after(10_ms, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_after(10_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(1_ms, [&] { ++count; });
+  sim.schedule_after(2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtLimit) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_after(10_ms, [&] { fired.push_back(1); });
+  sim.schedule_after(20_ms, [&] { fired.push_back(2); });
+  sim.schedule_after(30_ms, [&] { fired.push_back(3); });
+  sim.run_until(TimePoint::origin() + 20_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 20_ms);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithNoEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint::origin() + 5_s);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_s);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(1_s);
+  sim.run_for(2_s);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 3_s);
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(Duration::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_after(1_ms, [] {});
+  const auto id = sim.schedule_after(2_ms, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  std::vector<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    // Deliberately scrambled insertion order.
+    const auto d = Duration::micros((i * 7919) % 10007);
+    sim.schedule_after(d, [&seen, &sim] { seen.push_back(sim.now().ns()); });
+  }
+  sim.run();
+  ASSERT_EQ(seen.size(), 10000u);
+  for (size_t i = 1; i < seen.size(); ++i) ASSERT_LE(seen[i - 1], seen[i]);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto trace = [] {
+    Simulator sim;
+    std::vector<std::int64_t> t;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_after(Duration::micros((i * 37) % 101),
+                         [&t, &sim] { t.push_back(sim.now().ns()); });
+    }
+    sim.run();
+    return t;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace vmig::sim

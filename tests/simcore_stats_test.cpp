@@ -1,0 +1,175 @@
+#include "simcore/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmig::sim {
+namespace {
+
+using namespace vmig::sim::literals;
+
+TEST(SummaryStatsTest, Empty) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, KnownMoments) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombined) {
+  SummaryStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(SummaryStatsTest, Reset) {
+  SummaryStats s;
+  s.add(10);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(TimeSeriesTest, AddAndSummarize) {
+  TimeSeries ts;
+  ts.add(TimePoint::origin() + 1_s, 10.0);
+  ts.add(TimePoint::origin() + 2_s, 20.0);
+  ts.add(TimePoint::origin() + 3_s, 30.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.summarize().mean(), 20.0);
+}
+
+TEST(TimeSeriesTest, WindowedSummary) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) {
+    ts.add(TimePoint::origin() + Duration::seconds(i), static_cast<double>(i));
+  }
+  const auto s =
+      ts.summarize(TimePoint::origin() + 3_s, TimePoint::origin() + 5_s);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      ts.mean_in(TimePoint::origin() + 8_s, TimePoint::origin() + 100_s), 9.0);
+}
+
+TEST(TimeSeriesTest, ToTextDownsamples) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) {
+    ts.add(TimePoint::origin() + Duration::millis(i), 1.0);
+  }
+  const auto text = ts.to_text(10);
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 11);
+  EXPECT_GE(lines, 9);
+}
+
+TEST(RateMeterTest, SteadyRate) {
+  RateMeter rm{1_s};
+  // 100 units every 100ms => 1000 units/s.
+  for (int i = 0; i <= 50; ++i) {
+    rm.add(TimePoint::origin() + Duration::millis(100 * i), 100.0);
+  }
+  rm.finish(TimePoint::origin() + 5100_ms);
+  ASSERT_GE(rm.series().size(), 4u);
+  for (const auto& p : rm.series().points()) {
+    EXPECT_NEAR(p.value, 1000.0, 101.0);
+  }
+  EXPECT_DOUBLE_EQ(rm.total(), 5100.0);
+}
+
+TEST(RateMeterTest, IdleWindowsAreZero) {
+  RateMeter rm{1_s};
+  rm.add(TimePoint::origin(), 500.0);
+  rm.add(TimePoint::origin() + 4_s, 500.0);  // 3 idle windows between
+  rm.finish(TimePoint::origin() + 5_s);
+  const auto& pts = rm.series().points();
+  ASSERT_GE(pts.size(), 4u);
+  EXPECT_GT(pts.front().value, 0.0);
+  bool saw_zero = false;
+  for (const auto& p : pts) saw_zero |= (p.value == 0.0);
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(RateMeterTest, FinishFlushesPartialWindow) {
+  RateMeter rm{10_s};
+  rm.add(TimePoint::origin(), 100.0);
+  rm.finish(TimePoint::origin() + 2_s);
+  ASSERT_EQ(rm.series().size(), 1u);
+  EXPECT_NEAR(rm.series().points()[0].value, 50.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, Quantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(1_ms);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1_ms);
+  EXPECT_EQ(h.max(), 1_ms);
+  // Bucketed quantile is within a power-of-two of the truth.
+  const auto p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 512_us);
+  EXPECT_LE(p50, 2_ms);
+}
+
+TEST(LatencyHistogramTest, MixedValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(100_us);
+  h.add(100_ms);
+  EXPECT_EQ(h.min(), 100_us);
+  EXPECT_EQ(h.max(), 100_ms);
+  EXPECT_LT(h.quantile(0.5), 1_ms);
+  EXPECT_GT(h.quantile(0.999), 10_ms);
+}
+
+TEST(LatencyHistogramTest, EmptyAndZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), Duration::zero());
+  h.add(Duration::zero());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), Duration::zero());
+}
+
+}  // namespace
+}  // namespace vmig::sim

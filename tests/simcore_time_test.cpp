@@ -1,0 +1,95 @@
+#include "simcore/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmig::sim {
+namespace {
+
+using namespace vmig::sim::literals;
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(5).ns(), 5000);
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::seconds(5).ns(), 5'000'000'000LL);
+  EXPECT_EQ(Duration::minutes(2).ns(), 120'000'000'000LL);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000LL);
+  EXPECT_EQ(Duration::from_seconds(0.5e-9).ns(), 1);       // rounds up
+  EXPECT_EQ(Duration::from_seconds(0.4e-9).ns(), 0);       // rounds down
+  EXPECT_EQ(Duration::from_seconds(-1.5).ns(), -1'500'000'000LL);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((5_ns).ns(), 5);
+  EXPECT_EQ((5_us).ns(), 5000);
+  EXPECT_EQ((5_ms).ns(), 5'000'000);
+  EXPECT_EQ((5_s).ns(), 5'000'000'000LL);
+  EXPECT_EQ((1.5_s).ns(), 1'500'000'000LL);
+  EXPECT_EQ((2_min).ns(), 120'000'000'000LL);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((3_ms + 2_ms).ns(), (5_ms).ns());
+  EXPECT_EQ((3_ms - 2_ms).ns(), (1_ms).ns());
+  EXPECT_EQ((3_ms * 4).ns(), (12_ms).ns());
+  EXPECT_EQ((12_ms / 4).ns(), (3_ms).ns());
+  EXPECT_DOUBLE_EQ(10_s / 4_s, 2.5);
+  Duration d = 1_s;
+  d += 500_ms;
+  EXPECT_EQ(d, 1500_ms);
+  d -= 1_s;
+  EXPECT_EQ(d, 500_ms);
+  EXPECT_EQ(-d, Duration::millis(-500));
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(3_ms, 2_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_NE(999_us, 1_ms);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).to_millis(), 1.5);
+}
+
+TEST(DurationTest, Scaled) {
+  EXPECT_EQ((10_s).scaled(0.5), 5_s);
+  EXPECT_EQ((10_s).scaled(1.37), Duration::from_seconds(13.7));
+}
+
+TEST(DurationTest, StrPicksUnit) {
+  EXPECT_EQ((5_ns).str(), "5ns");
+  EXPECT_NE((5_us).str().find("us"), std::string::npos);
+  EXPECT_NE((5_ms).str().find("ms"), std::string::npos);
+  EXPECT_NE((5_s).str().find("s"), std::string::npos);
+  EXPECT_NE((10_min).str().find("min"), std::string::npos);
+}
+
+TEST(TimePointTest, Basics) {
+  TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.ns(), 0);
+  TimePoint t1 = t0 + 5_s;
+  EXPECT_EQ(t1.ns(), 5'000'000'000LL);
+  EXPECT_EQ(t1 - t0, 5_s);
+  EXPECT_EQ(t1 - 2_s, t0 + 3_s);
+  EXPECT_LT(t0, t1);
+  TimePoint t2 = t1;
+  t2 += 1_s;
+  EXPECT_EQ(t2 - t1, 1_s);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 6.0);
+}
+
+TEST(TimePointTest, FromNs) {
+  EXPECT_EQ(TimePoint::from_ns(123).ns(), 123);
+  EXPECT_GT(TimePoint::max(), TimePoint::from_ns(1LL << 62));
+}
+
+}  // namespace
+}  // namespace vmig::sim

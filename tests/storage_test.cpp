@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/block.hpp"
+#include "storage/disk_model.hpp"
+#include "storage/disk_scheduler.hpp"
+#include "storage/virtual_disk.hpp"
+
+namespace vmig::storage {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::Task;
+using sim::TimePoint;
+using namespace vmig::sim::literals;
+
+TEST(GeometryTest, Sizes) {
+  const auto g = Geometry::from_mib(40960);  // 40 GiB
+  EXPECT_EQ(g.block_size, 4096u);
+  EXPECT_EQ(g.block_count, 10485760u);
+  EXPECT_EQ(g.total_bytes(), 40ull * kGiB);
+  EXPECT_DOUBLE_EQ(g.total_mib(), 40960.0);
+  EXPECT_TRUE(g.contains(g.block_count - 1));
+  EXPECT_FALSE(g.contains(g.block_count));
+}
+
+TEST(GeometryTest, SectorGranularity) {
+  const auto g = Geometry::from_mib(32768, kSectorSize);
+  EXPECT_EQ(g.block_count, 32ull * kGiB / 512);
+}
+
+TEST(BlockRangeTest, Basics) {
+  BlockRange r{100, 50};
+  EXPECT_EQ(r.end(), 150u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.bytes(4096), 50u * 4096u);
+  EXPECT_TRUE((BlockRange{0, 0}).empty());
+}
+
+TEST(DiskModelTest, SequentialTransferTime) {
+  DiskModelParams p;
+  p.seq_read_mbps = 100.0;
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::millis(10);
+  DiskModel m{p};
+  // 100 MiB at 100 MiB/s = 1 s.
+  EXPECT_EQ(m.transfer_time(IoOp::kRead, 100 * kMiB), 1_s);
+}
+
+TEST(DiskModelTest, SeekChargedOnlyWhenNonSequential) {
+  DiskModelParams p;
+  p.seq_read_mbps = 100.0;
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::millis(10);
+  p.seq_gap_blocks = 4;
+  DiskModel m{p};
+  const BlockRange r{1000, 1};
+  const auto seq = m.service_time(IoOp::kRead, r, /*last_end=*/1000, 4096);
+  const auto near = m.service_time(IoOp::kRead, r, /*last_end=*/997, 4096);
+  const auto far = m.service_time(IoOp::kRead, r, /*last_end=*/0, 4096);
+  EXPECT_EQ(seq, near);
+  EXPECT_EQ(far - seq, Duration::millis(10));
+}
+
+TEST(DiskModelTest, WriteSlowerThanRead) {
+  DiskModelParams p;
+  p.seq_read_mbps = 100.0;
+  p.seq_write_mbps = 50.0;
+  DiskModel m{p};
+  EXPECT_GT(m.transfer_time(IoOp::kWrite, kMiB), m.transfer_time(IoOp::kRead, kMiB));
+}
+
+TEST(DiskSchedulerTest, SequentialStreamHitsModelBandwidth) {
+  Simulator sim;
+  DiskModelParams p;
+  p.seq_read_mbps = 64.0;
+  p.request_overhead = Duration::zero();
+  DiskScheduler sched{sim, DiskModel{p}};
+  // Read 64 MiB in 1 MiB requests, back to back.
+  sim.spawn([](Simulator& s, DiskScheduler& d) -> Task<void> {
+    for (int i = 0; i < 64; ++i) {
+      co_await d.execute(IoOp::kRead, BlockRange{static_cast<BlockId>(i) * 256, 256},
+                         4096, IoSource::kMigration);
+    }
+    (void)s;
+  }(sim, sched));
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds(), 1.0, 0.01);
+  EXPECT_EQ(sched.bytes_transferred(IoSource::kMigration), 64 * kMiB);
+  EXPECT_EQ(sched.requests_completed(), 64u);
+}
+
+TEST(DiskSchedulerTest, ContentionSharesBandwidth) {
+  // Two streams each wanting full bandwidth finish in ~2x the solo time.
+  Simulator sim;
+  DiskModelParams p;
+  p.seq_read_mbps = 100.0;
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::zero();
+  DiskScheduler sched{sim, DiskModel{p}};
+  TimePoint done_a{}, done_b{};
+  auto stream = [](DiskScheduler& d, Simulator& s, BlockId base,
+                   TimePoint& done) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      co_await d.execute(IoOp::kRead, BlockRange{base + static_cast<BlockId>(i) * 256, 256},
+                         4096, IoSource::kGuest);
+    }
+    done = s.now();
+  };
+  sim.spawn(stream(sched, sim, 0, done_a));
+  sim.spawn(stream(sched, sim, 1u << 20, done_b));
+  sim.run();
+  // 100 MiB total at 100 MiB/s => ~1s, both finish near the end.
+  EXPECT_NEAR(sim.now().to_seconds(), 1.0, 0.05);
+  EXPECT_GT(done_a.to_seconds(), 0.9);
+  EXPECT_GT(done_b.to_seconds(), 0.9);
+}
+
+TEST(DiskSchedulerTest, QueueingDelaysLaterRequest) {
+  Simulator sim;
+  DiskModelParams p;
+  p.seq_read_mbps = 1.0;  // 1 MiB/s: 1 MiB takes 1 s
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::zero();
+  DiskScheduler sched{sim, DiskModel{p}};
+  TimePoint first{}, second{};
+  sim.spawn([](DiskScheduler& d, Simulator& s, TimePoint& t) -> Task<void> {
+    co_await d.execute(IoOp::kRead, BlockRange{0, 256}, 4096, IoSource::kGuest);
+    t = s.now();
+  }(sched, sim, first));
+  sim.spawn([](DiskScheduler& d, Simulator& s, TimePoint& t) -> Task<void> {
+    co_await d.execute(IoOp::kRead, BlockRange{256, 256}, 4096, IoSource::kGuest);
+    t = s.now();
+  }(sched, sim, second));
+  sim.run();
+  EXPECT_NEAR(first.to_seconds(), 1.0, 1e-6);
+  EXPECT_NEAR(second.to_seconds(), 2.0, 1e-6);
+}
+
+TEST(DiskSchedulerTest, UtilizationAndBusyTime) {
+  Simulator sim;
+  DiskModelParams p;
+  p.seq_read_mbps = 10.0;
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::zero();
+  DiskScheduler sched{sim, DiskModel{p}};
+  sim.spawn([](DiskScheduler& d) -> Task<void> {
+    co_await d.execute(IoOp::kRead, BlockRange{0, 2560}, 4096, IoSource::kGuest);
+  }(sched));
+  sim.run();
+  EXPECT_NEAR(sched.busy_time().to_seconds(), 1.0, 1e-6);
+  EXPECT_NEAR(sched.utilization(), 1.0, 1e-6);
+  EXPECT_EQ(sched.latency().count(), 1u);
+  EXPECT_NEAR(sched.latency().max().to_seconds(), 1.0, 0.5);
+}
+
+TEST(VirtualDiskTest, FreshDiskIsZero) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(100)};
+  for (BlockId b = 0; b < 100; ++b) EXPECT_EQ(d.token(b), kZeroBlockToken);
+}
+
+TEST(VirtualDiskTest, WriteStampsFreshTokens) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(100)};
+  sim.spawn([](VirtualDisk& d) -> Task<void> {
+    co_await d.write(BlockRange{10, 5});
+  }(d));
+  sim.run();
+  std::set<ContentToken> toks;
+  for (BlockId b = 10; b < 15; ++b) {
+    EXPECT_NE(d.token(b), kZeroBlockToken);
+    toks.insert(d.token(b));
+  }
+  EXPECT_EQ(toks.size(), 5u);  // all distinct
+  EXPECT_EQ(d.token(9), kZeroBlockToken);
+  EXPECT_EQ(d.token(15), kZeroBlockToken);
+}
+
+TEST(VirtualDiskTest, RewriteChangesToken) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(10)};
+  sim.spawn([](VirtualDisk& d) -> Task<void> {
+    co_await d.write(BlockRange{0, 1});
+  }(d));
+  sim.run();
+  const auto t1 = d.token(0);
+  sim.spawn([](VirtualDisk& d) -> Task<void> {
+    co_await d.write(BlockRange{0, 1});
+  }(d));
+  sim.run();
+  EXPECT_NE(d.token(0), t1);
+}
+
+TEST(VirtualDiskTest, TokensUniqueAcrossDisks) {
+  Simulator sim;
+  VirtualDisk a{sim, Geometry::from_blocks(10)};
+  VirtualDisk b{sim, Geometry::from_blocks(10)};
+  sim.spawn([](VirtualDisk& a, VirtualDisk& b) -> Task<void> {
+    co_await a.write(BlockRange{0, 1});
+    co_await b.write(BlockRange{0, 1});
+  }(a, b));
+  sim.run();
+  EXPECT_NE(a.token(0), b.token(0));
+}
+
+TEST(VirtualDiskTest, WriteTokensInstallsContent) {
+  Simulator sim;
+  VirtualDisk src{sim, Geometry::from_blocks(20)};
+  VirtualDisk dst{sim, Geometry::from_blocks(20)};
+  sim.spawn([](VirtualDisk& src, VirtualDisk& dst) -> Task<void> {
+    co_await src.write(BlockRange{0, 20});
+    const auto toks = src.snapshot_tokens(BlockRange{0, 20});
+    co_await dst.write_tokens(BlockRange{0, 20}, toks);
+  }(src, dst));
+  sim.run();
+  EXPECT_TRUE(src.content_equals(dst));
+  EXPECT_TRUE(dst.diff_blocks(src).empty());
+}
+
+TEST(VirtualDiskTest, DiffBlocksFindsDivergence) {
+  Simulator sim;
+  VirtualDisk a{sim, Geometry::from_blocks(10)};
+  VirtualDisk b{sim, Geometry::from_blocks(10)};
+  sim.spawn([](VirtualDisk& a) -> Task<void> {
+    co_await a.write(BlockRange{3, 2});
+  }(a));
+  sim.run();
+  const auto diff = a.diff_blocks(b);
+  EXPECT_EQ(diff, (std::vector<BlockId>{3, 4}));
+  EXPECT_FALSE(a.content_equals(b));
+}
+
+TEST(VirtualDiskTest, PayloadModeRoundTrip) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(10, 512), {}, /*store_payloads=*/true};
+  std::vector<std::byte> data(512 * 2);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i & 0xff);
+  sim.spawn([](VirtualDisk& d, std::span<const std::byte> bytes) -> Task<void> {
+    co_await d.write_bytes(BlockRange{4, 2}, bytes);
+  }(d, data));
+  sim.run();
+  const auto p0 = d.payload(4);
+  const auto p1 = d.payload(5);
+  ASSERT_EQ(p0.size(), 512u);
+  ASSERT_EQ(p1.size(), 512u);
+  EXPECT_TRUE(std::equal(p0.begin(), p0.end(), data.begin()));
+  EXPECT_TRUE(std::equal(p1.begin(), p1.end(), data.begin() + 512));
+  EXPECT_EQ(d.token(4), VirtualDisk::hash_bytes({data.data(), 512}));
+}
+
+TEST(VirtualDiskTest, IdenticalPayloadsGiveIdenticalTokens) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(4, 512), {}, true};
+  std::vector<std::byte> data(512, std::byte{7});
+  sim.spawn([](VirtualDisk& d, std::span<const std::byte> bytes) -> Task<void> {
+    co_await d.write_bytes(BlockRange{0, 1}, bytes);
+    co_await d.write_bytes(BlockRange{2, 1}, bytes);
+  }(d, data));
+  sim.run();
+  EXPECT_EQ(d.token(0), d.token(2));
+  EXPECT_NE(d.token(0), kZeroBlockToken);
+}
+
+TEST(VirtualDiskTest, GuestWritesGenerateDistinctPayloads) {
+  Simulator sim;
+  VirtualDisk d{sim, Geometry::from_blocks(4, 512), {}, true};
+  sim.spawn([](VirtualDisk& d) -> Task<void> {
+    co_await d.write(BlockRange{0, 2});
+  }(d));
+  sim.run();
+  const auto p0 = d.payload(0);
+  const auto p1 = d.payload(1);
+  ASSERT_EQ(p0.size(), 512u);
+  EXPECT_FALSE(std::equal(p0.begin(), p0.end(), p1.begin()));
+}
+
+TEST(VirtualDiskTest, HashAvoidsZeroSentinel) {
+  // Any real content hash must differ from the never-written sentinel.
+  std::vector<std::byte> data(64, std::byte{0});
+  EXPECT_NE(VirtualDisk::hash_bytes(data), kZeroBlockToken);
+}
+
+TEST(VirtualDiskTest, TimedIoContendsThroughScheduler) {
+  Simulator sim;
+  DiskModelParams p;
+  p.seq_read_mbps = 4.0;
+  p.seq_write_mbps = 4.0;
+  p.request_overhead = Duration::zero();
+  p.seek = Duration::zero();
+  VirtualDisk d{sim, Geometry::from_blocks(4096), p};
+  sim.spawn([](VirtualDisk& d) -> Task<void> {
+    co_await d.write(BlockRange{0, 1024});  // 4 MiB at 4 MiB/s = 1 s
+  }(d));
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds(), 1.0, 1e-6);
+  EXPECT_EQ(d.scheduler().bytes_transferred(IoSource::kGuest), 4 * kMiB);
+}
+
+}  // namespace
+}  // namespace vmig::storage

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io_trace.hpp"
+
+namespace vmig::trace {
+namespace {
+
+using storage::BlockRange;
+using storage::IoOp;
+using namespace vmig::sim::literals;
+
+sim::TimePoint at(double s) {
+  return sim::TimePoint::origin() + sim::Duration::from_seconds(s);
+}
+
+TEST(IoTraceTest, RecordAndCount) {
+  IoTrace t;
+  t.record(at(0.1), IoOp::kRead, BlockRange{0, 4});
+  t.record(at(0.2), IoOp::kWrite, BlockRange{10, 2});
+  t.record(at(0.3), IoOp::kWrite, BlockRange{12, 1});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(IoOp::kRead), 1u);
+  EXPECT_EQ(t.count(IoOp::kWrite), 2u);
+  EXPECT_EQ(t.bytes(IoOp::kWrite, 4096), 3u * 4096u);
+  EXPECT_EQ(t.bytes(IoOp::kRead, 4096), 4u * 4096u);
+}
+
+TEST(IoTraceTest, LocalityNoRewrites) {
+  IoTrace t;
+  t.record(at(0), IoOp::kWrite, BlockRange{0, 4});
+  t.record(at(1), IoOp::kWrite, BlockRange{4, 4});
+  const auto s = t.analyze_writes(100);
+  EXPECT_EQ(s.write_ops, 2u);
+  EXPECT_EQ(s.rewrite_ops, 0u);
+  EXPECT_DOUBLE_EQ(s.rewrite_ratio(), 0.0);
+  EXPECT_EQ(s.distinct_blocks, 8u);
+  EXPECT_EQ(s.blocks_written, 8u);
+}
+
+TEST(IoTraceTest, LocalityFullRewrite) {
+  IoTrace t;
+  t.record(at(0), IoOp::kWrite, BlockRange{0, 4});
+  t.record(at(1), IoOp::kWrite, BlockRange{0, 4});
+  t.record(at(2), IoOp::kWrite, BlockRange{0, 4});
+  const auto s = t.analyze_writes(100);
+  EXPECT_EQ(s.write_ops, 3u);
+  EXPECT_EQ(s.rewrite_ops, 2u);
+  EXPECT_NEAR(s.rewrite_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.distinct_blocks, 4u);
+  EXPECT_EQ(s.rewritten_blocks, 8u);
+  EXPECT_EQ(s.redundant_bytes(4096), 8u * 4096u);
+}
+
+TEST(IoTraceTest, LocalityPartialOverlapCountsOpOnce) {
+  IoTrace t;
+  t.record(at(0), IoOp::kWrite, BlockRange{0, 4});
+  t.record(at(1), IoOp::kWrite, BlockRange{3, 4});  // one block overlaps
+  const auto s = t.analyze_writes(100);
+  EXPECT_EQ(s.rewrite_ops, 1u);
+  EXPECT_EQ(s.rewritten_blocks, 1u);
+  EXPECT_EQ(s.distinct_blocks, 7u);
+}
+
+TEST(IoTraceTest, ReadsDoNotAffectLocality) {
+  IoTrace t;
+  t.record(at(0), IoOp::kRead, BlockRange{0, 4});
+  t.record(at(1), IoOp::kWrite, BlockRange{0, 4});
+  const auto s = t.analyze_writes(100);
+  EXPECT_EQ(s.write_ops, 1u);
+  EXPECT_EQ(s.rewrite_ops, 0u);
+}
+
+TEST(IoTraceTest, SaveLoadRoundTrip) {
+  IoTrace t;
+  t.record(at(0.5), IoOp::kRead, BlockRange{123, 7});
+  t.record(at(1.25), IoOp::kWrite, BlockRange{456, 3});
+  std::stringstream ss;
+  t.save(ss);
+  const IoTrace back = IoTrace::load(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.events()[0].op, IoOp::kRead);
+  EXPECT_EQ(back.events()[0].range.start, 123u);
+  EXPECT_EQ(back.events()[0].range.count, 7u);
+  EXPECT_NEAR(back.events()[0].t.to_seconds(), 0.5, 1e-6);
+  EXPECT_EQ(back.events()[1].op, IoOp::kWrite);
+  EXPECT_NEAR(back.events()[1].t.to_seconds(), 1.25, 1e-6);
+}
+
+TEST(IoTraceTest, LoadRejectsGarbage) {
+  std::stringstream ss{"0.5 X 1 2\n"};
+  EXPECT_THROW(IoTrace::load(ss), std::runtime_error);
+  std::stringstream ss2{"not numbers at all\n"};
+  EXPECT_THROW(IoTrace::load(ss2), std::runtime_error);
+}
+
+TEST(IoTraceTest, LoadSkipsBlankLines) {
+  std::stringstream ss{"\n0.5 W 1 2\n\n"};
+  const IoTrace t = IoTrace::load(ss);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(IoTraceTest, EmptyTraceStats) {
+  IoTrace t;
+  const auto s = t.analyze_writes(10);
+  EXPECT_EQ(s.write_ops, 0u);
+  EXPECT_DOUBLE_EQ(s.rewrite_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace vmig::trace

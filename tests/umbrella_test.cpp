@@ -1,0 +1,31 @@
+// The umbrella header must compile standalone and expose the whole API.
+
+#include "vmig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  sim::Simulator sim;
+  hv::Host a{sim, "a", storage::Geometry::from_mib(64)};
+  hv::Host b{sim, "b", storage::Geometry::from_mib(64)};
+  hv::Host::interconnect(a, b);
+  vm::Domain guest{sim, 1, "g", 8};
+  a.attach_domain(guest);
+  core::MigrationManager mgr{sim};
+  core::MigrationReport rep;
+  sim.spawn([](core::MigrationManager& mgr, vm::Domain& g, hv::Host& a,
+               hv::Host& b, core::MigrationReport& out) -> sim::Task<void> {
+    out = co_await mgr.migrate(g, a, b);
+  }(mgr, guest, a, b, rep));
+  sim.run();
+  EXPECT_TRUE(rep.disk_consistent);
+  EXPECT_TRUE(rep.memory_consistent);
+  EXPECT_FALSE(core::to_json(rep).empty());
+}
+
+}  // namespace

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "hypervisor/host.hpp"
+#include "trace/io_trace.hpp"
+#include "workloads/diabolical.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/memory_hog.hpp"
+#include "workloads/streaming.hpp"
+#include "workloads/trace_replay.hpp"
+#include "workloads/web_server.hpp"
+
+namespace vmig::workload {
+namespace {
+
+using sim::Simulator;
+using storage::Geometry;
+using namespace vmig::sim::literals;
+
+/// One host, fast-ish disk, a domain to drive.
+struct Rig {
+  explicit Rig(Simulator& sim, std::uint64_t disk_mib = 4096)
+      : host{sim, "h", Geometry::from_mib(disk_mib), disk_params()},
+        dom{sim, 1, "guest", 64} {
+    host.attach_domain(dom);
+  }
+  static storage::DiskModelParams disk_params() {
+    storage::DiskModelParams p;
+    p.seq_read_mbps = 88.0;
+    p.seq_write_mbps = 82.0;
+    p.seek = 4_ms;
+    p.request_overhead = 80_us;
+    return p;
+  }
+  hv::Host host;
+  vm::Domain dom;
+};
+
+template <typename WL>
+void run_for(Simulator& sim, WL& wl, sim::Duration d) {
+  wl.start();
+  sim.run_for(d);
+  wl.request_stop();
+  sim.run_for(10_s);  // drain
+  wl.finish_metrics();
+}
+
+TEST(WebServerWorkloadTest, ServesRequestsAndStops) {
+  Simulator sim;
+  Rig rig{sim};
+  WebServerWorkload web{sim, rig.dom, 1};
+  run_for(sim, web, 60_s);
+  EXPECT_TRUE(web.finished());
+  // 100 connections at ~1.2 s think time => ~5000 requests in 60 s.
+  EXPECT_GT(web.requests_served(), 3000u);
+  EXPECT_LT(web.requests_served(), 10000u);
+  // Steady throughput in the tens of MiB/s (paper Fig. 5 scale).
+  const double mean = web.throughput().series().summarize().mean();
+  EXPECT_GT(mean, 30.0 * 1024 * 1024);
+  EXPECT_LT(mean, 150.0 * 1024 * 1024);
+}
+
+TEST(WebServerWorkloadTest, WriteRateMatchesPaperScale) {
+  Simulator sim;
+  Rig rig{sim};
+  WebServerWorkload web{sim, rig.dom, 2};
+  rig.host.backend().start_write_tracking(core::BitmapKind::kLayered);
+  run_for(sim, web, 120_s);
+  // Paper: ~6680 blocks dirtied over ~800 s => ~8-9 distinct blocks/s.
+  const double per_s =
+      static_cast<double>(rig.host.backend().dirty_block_count()) / 130.0;
+  EXPECT_GT(per_s, 2.0);
+  EXPECT_LT(per_s, 40.0);
+}
+
+TEST(WebServerWorkloadTest, RewriteRatioNearSpecweb) {
+  Simulator sim;
+  Rig rig{sim};
+  WebServerWorkload web{sim, rig.dom, 3};
+  trace::IoTrace tr;
+  web.attach_trace(&tr);
+  run_for(sim, web, 1200_s);
+  const auto s = tr.analyze_writes(rig.host.disk().geometry().block_count);
+  ASSERT_GT(s.write_ops, 50u);
+  // Paper: 25.2% for SPECweb Banking. Accept a generous band.
+  EXPECT_GT(s.rewrite_ratio(), 0.10);
+  EXPECT_LT(s.rewrite_ratio(), 0.45);
+}
+
+TEST(StreamingWorkloadTest, StreamsAtBitrateWithoutStalls) {
+  Simulator sim;
+  Rig rig{sim};
+  StreamingWorkload stream{sim, rig.dom, 4};
+  run_for(sim, stream, 120_s);
+  EXPECT_TRUE(stream.finished());
+  EXPECT_EQ(stream.stalls(), 0u);
+  // Delivered ≈ bitrate (480 kbps = 60 KB/s).
+  const double mean = stream.throughput().series().summarize().mean();
+  EXPECT_NEAR(mean, 60.0 * 1000, 20.0 * 1000);
+}
+
+TEST(StreamingWorkloadTest, WritesAreRare) {
+  Simulator sim;
+  Rig rig{sim};
+  StreamingWorkload stream{sim, rig.dom, 5};
+  rig.host.backend().start_write_tracking(core::BitmapKind::kLayered);
+  run_for(sim, stream, 120_s);
+  // Paper: 610 blocks in ~800 s => under ~2 blocks/s.
+  EXPECT_LT(rig.host.backend().dirty_block_count(), 300u);
+  EXPECT_GT(rig.host.backend().guest_writes(), 10u);
+}
+
+TEST(StreamingWorkloadTest, SuspensionCausesNoStallWithinTolerance) {
+  Simulator sim;
+  Rig rig{sim};
+  StreamingWorkload stream{sim, rig.dom, 6};
+  stream.start();
+  sim.run_for(30_s);
+  // A migration-style freeze well under the client buffer depth.
+  rig.dom.suspend();
+  sim.run_for(100_ms);
+  rig.dom.resume();
+  sim.run_for(30_s);
+  stream.request_stop();
+  sim.run_for(10_s);
+  EXPECT_EQ(stream.stalls(), 0u);
+}
+
+TEST(StreamingWorkloadTest, LongFreezeIsDetected) {
+  Simulator sim;
+  Rig rig{sim};
+  StreamingWorkload stream{sim, rig.dom, 7};
+  stream.start();
+  sim.run_for(30_s);
+  rig.dom.suspend();
+  sim.run_for(10_s);  // freeze-and-copy of a whole disk, ISR-style
+  rig.dom.resume();
+  sim.run_for(30_s);
+  stream.request_stop();
+  sim.run_for(10_s);
+  EXPECT_GT(stream.stalls(), 0u);
+  EXPECT_GT(stream.worst_lateness(), 5_s);
+}
+
+TEST(DiabolicalWorkloadTest, PhaseThroughputOrdering) {
+  Simulator sim;
+  Rig rig{sim};
+  DiabolicalParams p;
+  p.file_mib = 512;
+  DiabolicalWorkload bonnie{sim, rig.dom, 8, p};
+  bonnie.start();
+  sim.run_for(120_s);
+  bonnie.request_stop();
+  sim.run_for(60_s);
+  bonnie.finish_phase_metrics();
+
+  const auto from = sim::TimePoint::origin();
+  const auto to = sim.now();
+  const double putc = bonnie.phase_mean("putc", from, to);
+  const double write2 = bonnie.phase_mean("write2", from, to);
+  const double rewrite = bonnie.phase_mean("rewrite", from, to);
+  const double getc = bonnie.phase_mean("getc", from, to);
+  ASSERT_GT(putc, 0.0);
+  ASSERT_GT(write2, 0.0);
+  ASSERT_GT(rewrite, 0.0);
+  ASSERT_GT(getc, 0.0);
+  // Table III / Fig. 6 ordering: write(2) > putc > rewrite.
+  EXPECT_GT(write2, putc);
+  EXPECT_GT(putc, rewrite);
+  // write(2) saturates the disk: near the sequential write bandwidth.
+  EXPECT_NEAR(write2 / (1024 * 1024), 82.0, 12.0);
+  // rewrite does a read+write per block: roughly half the write rate.
+  EXPECT_LT(rewrite, write2 * 0.75);
+}
+
+TEST(DiabolicalWorkloadTest, DirtiesWholeFilePerCycle) {
+  Simulator sim;
+  Rig rig{sim};
+  DiabolicalParams p;
+  p.file_mib = 256;
+  DiabolicalWorkload bonnie{sim, rig.dom, 9, p};
+  rig.host.backend().start_write_tracking(core::BitmapKind::kLayered);
+  bonnie.start();
+  // One full write pass dirties the whole file even on a slow disk.
+  sim.run_for(60_s);
+  bonnie.request_stop();
+  sim.run_for(60_s);
+  EXPECT_GE(rig.host.backend().dirty_block_count(), 256u * 256u);
+}
+
+TEST(DiabolicalWorkloadTest, RewriteRatioNearBonnie) {
+  Simulator sim;
+  Rig rig{sim};
+  DiabolicalParams p;
+  p.file_mib = 512;
+  // One run on a fresh FS, as the paper measured: putc and write(2) allocate
+  // fresh extents; rewrite and the seek-writes hit known blocks.
+  p.max_cycles = 1;
+  DiabolicalWorkload bonnie{sim, rig.dom, 10, p};
+  trace::IoTrace tr;
+  bonnie.attach_trace(&tr);
+  bonnie.start();
+  sim.run_for(400_s);
+  EXPECT_EQ(bonnie.cycles_completed(), 1u);
+  const auto s = tr.analyze_writes(rig.host.disk().geometry().block_count);
+  ASSERT_GT(s.write_ops, 100u);
+  // Paper: 35.6% of Bonnie++ writes rewrite previously-written blocks.
+  EXPECT_GT(s.rewrite_ratio(), 0.25);
+  EXPECT_LT(s.rewrite_ratio(), 0.50);
+}
+
+TEST(KernelBuildWorkloadTest, CompilesAndWrites) {
+  Simulator sim;
+  Rig rig{sim};
+  KernelBuildWorkload build{sim, rig.dom, 11};
+  run_for(sim, build, 300_s);
+  // 2 jobs at ~0.4 s/unit => ~1500 units in 300 s.
+  EXPECT_GT(build.units_compiled(), 500u);
+  EXPECT_LT(build.units_compiled(), 4000u);
+}
+
+TEST(KernelBuildWorkloadTest, RewriteRatioNearKernelBuild) {
+  Simulator sim;
+  Rig rig{sim};
+  KernelBuildWorkload build{sim, rig.dom, 12};
+  trace::IoTrace tr;
+  build.attach_trace(&tr);
+  run_for(sim, build, 600_s);
+  const auto s = tr.analyze_writes(rig.host.disk().geometry().block_count);
+  ASSERT_GT(s.write_ops, 200u);
+  // Paper: ~11% for a kernel build. Writes-only ratio (reads excluded).
+  EXPECT_GT(s.rewrite_ratio(), 0.04);
+  EXPECT_LT(s.rewrite_ratio(), 0.25);
+}
+
+TEST(WebServerWorkloadTest, FreezeShowsUpInTailLatency) {
+  Simulator sim;
+  Rig rig{sim};
+  WebServerWorkload web{sim, rig.dom, 21};
+  web.start();
+  sim.run_for(20_s);
+  const auto max_before = web.request_latency().max();
+  rig.dom.suspend();
+  sim.run_for(150_ms);  // a freeze well above normal request latency
+  rig.dom.resume();
+  sim.run_for(20_s);
+  web.request_stop();
+  sim.run_for(10_s);
+  EXPECT_LT(max_before, 100_ms);
+  EXPECT_GE(web.request_latency().max(), 140_ms);  // a request ate the freeze
+  // But the median is unaffected: only the stalled requests paid.
+  EXPECT_LT(web.request_latency().quantile(0.5), 20_ms);
+}
+
+TEST(TraceReplayTest, ReplaysScheduleAndOps) {
+  Simulator sim;
+  Rig rig{sim};
+  trace::IoTrace tr;
+  tr.record(sim::TimePoint::origin() + 1_s, storage::IoOp::kWrite,
+            storage::BlockRange{10, 4});
+  tr.record(sim::TimePoint::origin() + 2_s, storage::IoOp::kRead,
+            storage::BlockRange{10, 4});
+  tr.record(sim::TimePoint::origin() + 3_s, storage::IoOp::kWrite,
+            storage::BlockRange{100, 2});
+  TraceReplayWorkload replay{sim, rig.dom, tr, 1};
+  rig.host.backend().start_write_tracking(core::BitmapKind::kLayered);
+  replay.start();
+  sim.run_for(60_s);
+  EXPECT_TRUE(replay.finished());
+  EXPECT_EQ(replay.events_replayed(), 3u);
+  EXPECT_EQ(replay.passes_completed(), 1u);
+  // Both writes tracked; the read is not.
+  EXPECT_EQ(rig.host.backend().dirty_block_count(), 6u);
+  // The schedule was honored: the last event fired ~2 s after the first.
+  EXPECT_GE(sim.now().to_seconds(), 2.0);
+}
+
+TEST(TraceReplayTest, TimeScaleCompresses) {
+  Simulator sim;
+  Rig rig{sim};
+  trace::IoTrace tr;
+  for (int i = 0; i < 10; ++i) {
+    tr.record(sim::TimePoint::origin() + sim::Duration::seconds(i),
+              storage::IoOp::kWrite, storage::BlockRange{static_cast<storage::BlockId>(i), 1});
+  }
+  TraceReplayParams p;
+  p.time_scale = 0.1;  // 10x faster
+  TraceReplayWorkload replay{sim, rig.dom, tr, 1, p};
+  replay.start();
+  sim.run();
+  EXPECT_EQ(replay.events_replayed(), 10u);
+  EXPECT_LT(sim.now().to_seconds(), 2.0);  // 9 s of trace in ~0.9 s
+}
+
+TEST(TraceReplayTest, LoopRepeatsUntilStopped) {
+  Simulator sim;
+  Rig rig{sim};
+  trace::IoTrace tr;
+  tr.record(sim::TimePoint::origin(), storage::IoOp::kWrite,
+            storage::BlockRange{0, 1});
+  tr.record(sim::TimePoint::origin() + 100_ms, storage::IoOp::kWrite,
+            storage::BlockRange{1, 1});
+  TraceReplayParams p;
+  p.loop = true;
+  TraceReplayWorkload replay{sim, rig.dom, tr, 1, p};
+  replay.start();
+  sim.run_for(1_s);
+  replay.request_stop();
+  sim.run_for(1_s);
+  EXPECT_TRUE(replay.finished());
+  EXPECT_GT(replay.passes_completed(), 3u);
+}
+
+TEST(TraceReplayTest, ClampsBlocksFromLargerDisk) {
+  Simulator sim;
+  Rig rig{sim, /*disk_mib=*/4};  // 1024 blocks
+  trace::IoTrace tr;
+  tr.record(sim::TimePoint::origin(), storage::IoOp::kWrite,
+            storage::BlockRange{1'000'000, 8});  // far beyond this disk
+  TraceReplayWorkload replay{sim, rig.dom, tr, 1};
+  replay.start();
+  sim.run();
+  EXPECT_EQ(replay.events_replayed(), 1u);  // replayed, clamped, no crash
+}
+
+TEST(MemoryHogTest, DirtiesAtConfiguredRate) {
+  Simulator sim;
+  Rig rig{sim};
+  MemoryHogParams p;
+  p.dirty_rate_pps = 10000.0;
+  p.hot_pages = 1024;
+  MemoryHogWorkload hog{sim, rig.dom, 5, p};
+  rig.dom.memory().enable_dirty_log();
+  hog.start();
+  sim.run_for(2_s);
+  hog.request_stop();
+  sim.run_for(1_s);
+  // ~20k writes in 2 s (batched).
+  EXPECT_NEAR(static_cast<double>(hog.writes_issued()), 20000.0, 2500.0);
+  // Dirty set ~ hot set (plus the cold tail).
+  const auto dirty = rig.dom.memory().dirty_page_count();
+  EXPECT_GE(dirty, 900u);
+  EXPECT_LT(dirty, 3000u);
+}
+
+TEST(MemoryHogTest, ColdFractionSpreadsBeyondHotSet) {
+  Simulator sim;
+  Rig rig{sim};
+  MemoryHogParams p;
+  p.dirty_rate_pps = 50000.0;
+  p.hot_pages = 256;
+  p.cold_fraction = 0.5;
+  MemoryHogWorkload hog{sim, rig.dom, 6, p};
+  rig.dom.memory().enable_dirty_log();
+  hog.start();
+  sim.run_for(1_s);
+  hog.request_stop();
+  sim.run_for(1_s);
+  EXPECT_GT(rig.dom.memory().dirty_page_count(), 2000u);  // well past hot set
+}
+
+TEST(WorkloadTest, StopIsPromptAndIdempotent) {
+  Simulator sim;
+  Rig rig{sim};
+  WebServerWorkload web{sim, rig.dom, 13};
+  web.start();
+  sim.run_for(5_s);
+  web.request_stop();
+  web.request_stop();
+  sim.run_for(10_s);
+  EXPECT_TRUE(web.finished());
+}
+
+}  // namespace
+}  // namespace vmig::workload

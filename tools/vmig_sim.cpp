@@ -1,0 +1,284 @@
+// vmig_sim — command-line front end for the migration simulator.
+//
+// Runs one migration experiment on the calibrated two-host testbed and
+// prints the report. Examples:
+//
+//   vmig_sim                                 # idle guest, paper testbed
+//   vmig_sim --workload web --disk-mib 8192
+//   vmig_sim --workload bonnie --rate-limit 30
+//   vmig_sim --scheme delta --workload web   # run a baseline instead
+//   vmig_sim --roundtrip --dwell 600         # TPM out + incremental back
+//   vmig_sim --sparse --fullness 0.25        # §VII free-block map
+//   vmig_sim --verbose                       # narrate migration phases
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <fstream>
+#include <string>
+
+#include "baselines/delta_forward.hpp"
+#include "baselines/freeze_and_copy.hpp"
+#include "baselines/on_demand.hpp"
+#include "baselines/shared_storage.hpp"
+#include "core/disruption.hpp"
+#include "core/report_io.hpp"
+#include "scenario/testbed.hpp"
+#include "simcore/log.hpp"
+#include "workloads/diabolical.hpp"
+#include "workloads/kernel_build.hpp"
+#include "workloads/memory_hog.hpp"
+#include "workloads/trace_replay.hpp"
+#include "workloads/streaming.hpp"
+#include "workloads/web_server.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+struct Options {
+  std::string workload = "idle";  // idle|web|stream|bonnie|build|memhog|trace
+  std::string trace_file;
+  std::string scheme = "tpm";     // tpm|freeze|shared|ondemand|delta
+  std::uint64_t disk_mib = 39070;
+  std::uint64_t mem_mib = 512;
+  double fullness = 1.0;
+  double rate_limit = 0.0;
+  double warmup_s = 60.0;
+  double post_s = 30.0;
+  double dwell_s = 600.0;
+  std::uint64_t seed = 42;
+  bool roundtrip = false;
+  bool sparse = false;
+  bool flat_bitmap = false;
+  bool verbose = false;
+  bool json = false;
+  bool progress = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workload W     idle|web|stream|bonnie|build|memhog|trace (default idle)\n"
+      "  --trace FILE     I/O trace to replay (with --workload trace)\n"
+      "  --scheme S       tpm | freeze | shared | ondemand | delta (default tpm)\n"
+      "  --disk-mib N     VBD size in MiB                  (default 39070)\n"
+      "  --mem-mib N      guest memory in MiB              (default 512)\n"
+      "  --fullness F     fraction of the disk populated   (default 1.0)\n"
+      "  --rate-limit M   migration shaping, MiB/s; 0=off  (default 0)\n"
+      "  --warmup S       seconds before migrating         (default 60)\n"
+      "  --post S         seconds observed afterwards      (default 30)\n"
+      "  --dwell S        seconds at dest before IM back   (default 600)\n"
+      "  --roundtrip      migrate out, dwell, migrate back incrementally\n"
+      "  --sparse         skip never-written blocks (guest-assisted, §VII)\n"
+      "  --flat-bitmap    use the flat bitmap instead of layered\n"
+      "  --seed N         RNG seed                         (default 42)\n"
+      "  --json           print the report as JSON instead of text\n"
+      "  --progress       print migration phase transitions\n"
+      "  --verbose        narrate migration phases\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--workload") {
+      o.workload = need("--workload");
+    } else if (a == "--trace") {
+      o.trace_file = need("--trace");
+    } else if (a == "--scheme") {
+      o.scheme = need("--scheme");
+    } else if (a == "--disk-mib") {
+      o.disk_mib = std::strtoull(need("--disk-mib"), nullptr, 10);
+    } else if (a == "--mem-mib") {
+      o.mem_mib = std::strtoull(need("--mem-mib"), nullptr, 10);
+    } else if (a == "--fullness") {
+      o.fullness = std::strtod(need("--fullness"), nullptr);
+    } else if (a == "--rate-limit") {
+      o.rate_limit = std::strtod(need("--rate-limit"), nullptr);
+    } else if (a == "--warmup") {
+      o.warmup_s = std::strtod(need("--warmup"), nullptr);
+    } else if (a == "--post") {
+      o.post_s = std::strtod(need("--post"), nullptr);
+    } else if (a == "--dwell") {
+      o.dwell_s = std::strtod(need("--dwell"), nullptr);
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--roundtrip") {
+      o.roundtrip = true;
+    } else if (a == "--sparse") {
+      o.sparse = true;
+    } else if (a == "--flat-bitmap") {
+      o.flat_bitmap = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+trace::IoTrace g_trace;  // must outlive the replay workload
+
+std::unique_ptr<workload::Workload> make_workload(const Options& o,
+                                                  sim::Simulator& sim,
+                                                  vm::Domain& vm) {
+  if (o.workload == "idle") return nullptr;
+  if (o.workload == "memhog") {
+    return std::make_unique<workload::MemoryHogWorkload>(sim, vm, o.seed);
+  }
+  if (o.workload == "trace") {
+    std::ifstream in{o.trace_file};
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open trace '%s'\n",
+                   o.trace_file.c_str());
+      std::exit(2);
+    }
+    g_trace = trace::IoTrace::load(in);
+    workload::TraceReplayParams p;
+    p.loop = true;
+    return std::make_unique<workload::TraceReplayWorkload>(sim, vm, g_trace,
+                                                           o.seed, p);
+  }
+  if (o.workload == "web") {
+    return std::make_unique<workload::WebServerWorkload>(sim, vm, o.seed);
+  }
+  if (o.workload == "stream") {
+    return std::make_unique<workload::StreamingWorkload>(sim, vm, o.seed);
+  }
+  if (o.workload == "bonnie") {
+    return std::make_unique<workload::DiabolicalWorkload>(sim, vm, o.seed);
+  }
+  if (o.workload == "build") {
+    return std::make_unique<workload::KernelBuildWorkload>(sim, vm, o.seed);
+  }
+  std::fprintf(stderr, "error: unknown workload '%s'\n", o.workload.c_str());
+  std::exit(2);
+}
+
+int run_baseline(const Options& o, scenario::Testbed& tb,
+                 workload::Workload* wl, core::MigrationConfig cfg) {
+  auto& sim = tb.sim();
+  if (wl != nullptr) wl->start();
+  sim.run_for(sim::Duration::from_seconds(o.warmup_s));
+  baseline::BaselineReport rep;
+  sim.spawn(
+      [](sim::Simulator& s, scenario::Testbed& tb, core::MigrationConfig cfg,
+         const std::string scheme, baseline::BaselineReport& out)
+          -> sim::Task<void> {
+        if (scheme == "freeze") {
+          baseline::FreezeAndCopyMigration m{s, cfg, tb.vm(), tb.source(),
+                                             tb.dest()};
+          out = co_await m.run();
+        } else if (scheme == "shared") {
+          baseline::SharedStorageMigration m{s, cfg, tb.vm(), tb.source(),
+                                             tb.dest()};
+          out = co_await m.run();
+        } else if (scheme == "ondemand") {
+          baseline::OnDemandMigration m{s, cfg, tb.vm(), tb.source(),
+                                        tb.dest()};
+          out = co_await m.run(sim::Duration::seconds(120));
+        } else {
+          baseline::DeltaForwardMigration m{s, cfg, tb.vm(), tb.source(),
+                                            tb.dest()};
+          out = co_await m.run();
+        }
+      }(sim, tb, cfg, o.scheme, rep),
+      "baseline");
+  sim.run_for(sim::Duration::from_seconds(36000));
+  if (wl != nullptr) {
+    wl->request_stop();
+    sim.run_for(sim::Duration::from_seconds(600));
+  }
+  std::printf("%s\n", rep.str().c_str());
+  return rep.base.disk_consistent || o.scheme == "shared" ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (o.verbose) sim::Log::set_level(sim::LogLevel::kInfo);
+
+  sim::Simulator sim;
+  scenario::TestbedConfig bed;
+  bed.vbd_mib = o.disk_mib;
+  bed.guest_mem_mib = o.mem_mib;
+  bed.seed = o.seed;
+  scenario::Testbed tb{sim, bed};
+  const auto blocks = tb.source().disk().geometry().block_count;
+  const auto used =
+      static_cast<storage::BlockId>(static_cast<double>(blocks) * o.fullness);
+  for (storage::BlockId b = 0; b < used; ++b) {
+    tb.source().disk().poke_token(b, 0xC11C000000000000ull + b);
+  }
+
+  auto cfg = tb.paper_migration_config();
+  cfg.rate_limit_mibps = o.rate_limit;
+  cfg.skip_unused_blocks = o.sparse;
+  if (o.flat_bitmap) cfg.bitmap_kind = core::BitmapKind::kFlat;
+
+  const auto wl = make_workload(o, sim, tb.vm());
+  if (o.progress) {
+    tb.manager().set_progress_listener(
+        [&sim](core::TpmMigration::Phase p, double f) {
+          std::fprintf(stderr, "[%10.3fs] %-14s %5.1f%%\n",
+                       sim.now().to_seconds(),
+                       core::TpmMigration::phase_name(p), f * 100.0);
+        });
+  }
+
+  if (o.scheme != "tpm") {
+    return run_baseline(o, tb, wl.get(), cfg);
+  }
+
+  if (o.roundtrip) {
+    const auto [out, back] = tb.run_tpm_then_im(
+        wl.get(), sim::Duration::from_seconds(o.warmup_s),
+        sim::Duration::from_seconds(o.dwell_s),
+        sim::Duration::from_seconds(o.post_s), cfg);
+    std::printf("== outbound ==\n%s\n\n== incremental return ==\n%s\n",
+                out.str().c_str(), back.str().c_str());
+    return out.disk_consistent && back.disk_consistent ? 0 : 1;
+  }
+
+  const auto rep = tb.run_tpm(wl.get(), sim::Duration::from_seconds(o.warmup_s),
+                              sim::Duration::from_seconds(o.post_s), cfg);
+  if (o.json) {
+    std::printf("%s\n", core::to_json(rep).c_str());
+    return rep.disk_consistent && rep.memory_consistent ? 0 : 1;
+  }
+  std::printf("%s\n", rep.str().c_str());
+  if (wl != nullptr) {
+    const auto d = core::measure_disruption(
+        wl->throughput().series(), sim::TimePoint::origin() + 10_s,
+        rep.started, rep.started, rep.synchronized, 0.8);
+    std::printf("disruption: %.1f s of %.1f s below 80%% of baseline "
+                "(worst sample %.0f%%)\n",
+                d.disrupted_time.to_seconds(), d.window.to_seconds(),
+                d.worst_ratio * 100.0);
+  }
+  return rep.disk_consistent && rep.memory_consistent ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_features.cpp" "bench-build/CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/vmig_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vmig_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vmig_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vmig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vmig_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmig_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ratelimit"
+  "../bench/bench_ablation_ratelimit.pdb"
+  "CMakeFiles/bench_ablation_ratelimit.dir/bench_ablation_ratelimit.cpp.o"
+  "CMakeFiles/bench_ablation_ratelimit.dir/bench_ablation_ratelimit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bitmap_micro"
+  "../bench/bench_bitmap_micro.pdb"
+  "CMakeFiles/bench_bitmap_micro.dir/bench_bitmap_micro.cpp.o"
+  "CMakeFiles/bench_bitmap_micro.dir/bench_bitmap_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitmap_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_webserver"
+  "../bench/bench_fig5_webserver.pdb"
+  "CMakeFiles/bench_fig5_webserver.dir/bench_fig5_webserver.cpp.o"
+  "CMakeFiles/bench_fig5_webserver.dir/bench_fig5_webserver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_bonnie"
+  "../bench/bench_fig6_bonnie.pdb"
+  "CMakeFiles/bench_fig6_bonnie.dir/bench_fig6_bonnie.cpp.o"
+  "CMakeFiles/bench_fig6_bonnie.dir/bench_fig6_bonnie.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bonnie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_tpm"
+  "../bench/bench_table1_tpm.pdb"
+  "CMakeFiles/bench_table1_tpm.dir/bench_table1_tpm.cpp.o"
+  "CMakeFiles/bench_table1_tpm.dir/bench_table1_tpm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

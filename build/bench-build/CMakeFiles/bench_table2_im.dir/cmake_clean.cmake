@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_im"
+  "../bench/bench_table2_im.pdb"
+  "CMakeFiles/bench_table2_im.dir/bench_table2_im.cpp.o"
+  "CMakeFiles/bench_table2_im.dir/bench_table2_im.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

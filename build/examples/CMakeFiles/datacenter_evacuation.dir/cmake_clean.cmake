@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_evacuation.dir/datacenter_evacuation.cpp.o"
+  "CMakeFiles/datacenter_evacuation.dir/datacenter_evacuation.cpp.o.d"
+  "datacenter_evacuation"
+  "datacenter_evacuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_evacuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

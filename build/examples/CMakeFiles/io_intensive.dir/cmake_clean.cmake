@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_intensive.dir/io_intensive.cpp.o"
+  "CMakeFiles/io_intensive.dir/io_intensive.cpp.o.d"
+  "io_intensive"
+  "io_intensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_intensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecommute.dir/telecommute.cpp.o"
+  "CMakeFiles/telecommute.dir/telecommute.cpp.o.d"
+  "telecommute"
+  "telecommute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecommute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

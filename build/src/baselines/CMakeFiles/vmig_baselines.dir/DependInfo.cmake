@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_report.cpp" "src/baselines/CMakeFiles/vmig_baselines.dir/baseline_report.cpp.o" "gcc" "src/baselines/CMakeFiles/vmig_baselines.dir/baseline_report.cpp.o.d"
+  "/root/repo/src/baselines/delta_forward.cpp" "src/baselines/CMakeFiles/vmig_baselines.dir/delta_forward.cpp.o" "gcc" "src/baselines/CMakeFiles/vmig_baselines.dir/delta_forward.cpp.o.d"
+  "/root/repo/src/baselines/freeze_and_copy.cpp" "src/baselines/CMakeFiles/vmig_baselines.dir/freeze_and_copy.cpp.o" "gcc" "src/baselines/CMakeFiles/vmig_baselines.dir/freeze_and_copy.cpp.o.d"
+  "/root/repo/src/baselines/on_demand.cpp" "src/baselines/CMakeFiles/vmig_baselines.dir/on_demand.cpp.o" "gcc" "src/baselines/CMakeFiles/vmig_baselines.dir/on_demand.cpp.o.d"
+  "/root/repo/src/baselines/shared_storage.cpp" "src/baselines/CMakeFiles/vmig_baselines.dir/shared_storage.cpp.o" "gcc" "src/baselines/CMakeFiles/vmig_baselines.dir/shared_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vmig_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmig_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

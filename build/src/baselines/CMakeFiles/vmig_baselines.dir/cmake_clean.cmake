@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_baselines.dir/baseline_report.cpp.o"
+  "CMakeFiles/vmig_baselines.dir/baseline_report.cpp.o.d"
+  "CMakeFiles/vmig_baselines.dir/delta_forward.cpp.o"
+  "CMakeFiles/vmig_baselines.dir/delta_forward.cpp.o.d"
+  "CMakeFiles/vmig_baselines.dir/freeze_and_copy.cpp.o"
+  "CMakeFiles/vmig_baselines.dir/freeze_and_copy.cpp.o.d"
+  "CMakeFiles/vmig_baselines.dir/on_demand.cpp.o"
+  "CMakeFiles/vmig_baselines.dir/on_demand.cpp.o.d"
+  "CMakeFiles/vmig_baselines.dir/shared_storage.cpp.o"
+  "CMakeFiles/vmig_baselines.dir/shared_storage.cpp.o.d"
+  "libvmig_baselines.a"
+  "libvmig_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vmig_baselines.
+# This may be replaced when dependencies are built.

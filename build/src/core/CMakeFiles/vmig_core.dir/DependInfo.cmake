@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_bitmap.cpp" "src/core/CMakeFiles/vmig_core.dir/block_bitmap.cpp.o" "gcc" "src/core/CMakeFiles/vmig_core.dir/block_bitmap.cpp.o.d"
+  "/root/repo/src/core/disruption.cpp" "src/core/CMakeFiles/vmig_core.dir/disruption.cpp.o" "gcc" "src/core/CMakeFiles/vmig_core.dir/disruption.cpp.o.d"
+  "/root/repo/src/core/layered_bitmap.cpp" "src/core/CMakeFiles/vmig_core.dir/layered_bitmap.cpp.o" "gcc" "src/core/CMakeFiles/vmig_core.dir/layered_bitmap.cpp.o.d"
+  "/root/repo/src/core/migration_metrics.cpp" "src/core/CMakeFiles/vmig_core.dir/migration_metrics.cpp.o" "gcc" "src/core/CMakeFiles/vmig_core.dir/migration_metrics.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/vmig_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/vmig_core.dir/report_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

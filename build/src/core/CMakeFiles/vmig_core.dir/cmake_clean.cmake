@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_core.dir/block_bitmap.cpp.o"
+  "CMakeFiles/vmig_core.dir/block_bitmap.cpp.o.d"
+  "CMakeFiles/vmig_core.dir/disruption.cpp.o"
+  "CMakeFiles/vmig_core.dir/disruption.cpp.o.d"
+  "CMakeFiles/vmig_core.dir/layered_bitmap.cpp.o"
+  "CMakeFiles/vmig_core.dir/layered_bitmap.cpp.o.d"
+  "CMakeFiles/vmig_core.dir/migration_metrics.cpp.o"
+  "CMakeFiles/vmig_core.dir/migration_metrics.cpp.o.d"
+  "CMakeFiles/vmig_core.dir/report_io.cpp.o"
+  "CMakeFiles/vmig_core.dir/report_io.cpp.o.d"
+  "libvmig_core.a"
+  "libvmig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_migration.dir/im_directory.cpp.o"
+  "CMakeFiles/vmig_migration.dir/im_directory.cpp.o.d"
+  "CMakeFiles/vmig_migration.dir/migration_manager.cpp.o"
+  "CMakeFiles/vmig_migration.dir/migration_manager.cpp.o.d"
+  "CMakeFiles/vmig_migration.dir/post_copy.cpp.o"
+  "CMakeFiles/vmig_migration.dir/post_copy.cpp.o.d"
+  "CMakeFiles/vmig_migration.dir/tpm.cpp.o"
+  "CMakeFiles/vmig_migration.dir/tpm.cpp.o.d"
+  "libvmig_migration.a"
+  "libvmig_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmig_migration.a"
+)

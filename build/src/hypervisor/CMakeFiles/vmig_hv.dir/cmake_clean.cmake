@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_hv.dir/checkpoint.cpp.o"
+  "CMakeFiles/vmig_hv.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/vmig_hv.dir/host.cpp.o"
+  "CMakeFiles/vmig_hv.dir/host.cpp.o.d"
+  "libvmig_hv.a"
+  "libvmig_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

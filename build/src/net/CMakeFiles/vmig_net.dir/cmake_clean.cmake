@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_net.dir/link.cpp.o"
+  "CMakeFiles/vmig_net.dir/link.cpp.o.d"
+  "libvmig_net.a"
+  "libvmig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

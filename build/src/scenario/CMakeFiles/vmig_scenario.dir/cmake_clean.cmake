@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/vmig_scenario.dir/testbed.cpp.o.d"
+  "libvmig_scenario.a"
+  "libvmig_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

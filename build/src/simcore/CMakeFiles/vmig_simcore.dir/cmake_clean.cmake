@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_simcore.dir/log.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/log.cpp.o.d"
+  "CMakeFiles/vmig_simcore.dir/notifier.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/notifier.cpp.o.d"
+  "CMakeFiles/vmig_simcore.dir/rng.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/vmig_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/simulator.cpp.o.d"
+  "CMakeFiles/vmig_simcore.dir/stats.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/vmig_simcore.dir/time.cpp.o"
+  "CMakeFiles/vmig_simcore.dir/time.cpp.o.d"
+  "libvmig_simcore.a"
+  "libvmig_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_storage.dir/disk_model.cpp.o"
+  "CMakeFiles/vmig_storage.dir/disk_model.cpp.o.d"
+  "CMakeFiles/vmig_storage.dir/disk_scheduler.cpp.o"
+  "CMakeFiles/vmig_storage.dir/disk_scheduler.cpp.o.d"
+  "CMakeFiles/vmig_storage.dir/virtual_disk.cpp.o"
+  "CMakeFiles/vmig_storage.dir/virtual_disk.cpp.o.d"
+  "libvmig_storage.a"
+  "libvmig_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

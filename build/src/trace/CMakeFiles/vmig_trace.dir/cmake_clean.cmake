@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_trace.dir/io_trace.cpp.o"
+  "CMakeFiles/vmig_trace.dir/io_trace.cpp.o.d"
+  "libvmig_trace.a"
+  "libvmig_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

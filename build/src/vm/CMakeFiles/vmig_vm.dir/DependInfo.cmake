@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/blk_backend.cpp" "src/vm/CMakeFiles/vmig_vm.dir/blk_backend.cpp.o" "gcc" "src/vm/CMakeFiles/vmig_vm.dir/blk_backend.cpp.o.d"
+  "/root/repo/src/vm/domain.cpp" "src/vm/CMakeFiles/vmig_vm.dir/domain.cpp.o" "gcc" "src/vm/CMakeFiles/vmig_vm.dir/domain.cpp.o.d"
+  "/root/repo/src/vm/guest_memory.cpp" "src/vm/CMakeFiles/vmig_vm.dir/guest_memory.cpp.o" "gcc" "src/vm/CMakeFiles/vmig_vm.dir/guest_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_vm.dir/blk_backend.cpp.o"
+  "CMakeFiles/vmig_vm.dir/blk_backend.cpp.o.d"
+  "CMakeFiles/vmig_vm.dir/domain.cpp.o"
+  "CMakeFiles/vmig_vm.dir/domain.cpp.o.d"
+  "CMakeFiles/vmig_vm.dir/guest_memory.cpp.o"
+  "CMakeFiles/vmig_vm.dir/guest_memory.cpp.o.d"
+  "libvmig_vm.a"
+  "libvmig_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/diabolical.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/diabolical.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/diabolical.cpp.o.d"
+  "/root/repo/src/workloads/kernel_build.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/kernel_build.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/kernel_build.cpp.o.d"
+  "/root/repo/src/workloads/memory_hog.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/memory_hog.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/memory_hog.cpp.o.d"
+  "/root/repo/src/workloads/streaming.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/streaming.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/streaming.cpp.o.d"
+  "/root/repo/src/workloads/trace_replay.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/trace_replay.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/workloads/web_server.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/web_server.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/web_server.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/vmig_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/vmig_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/vmig_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vmig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

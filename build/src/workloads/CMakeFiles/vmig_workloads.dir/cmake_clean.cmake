@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_workloads.dir/diabolical.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/diabolical.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/kernel_build.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/kernel_build.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/memory_hog.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/memory_hog.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/streaming.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/streaming.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/trace_replay.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/web_server.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/web_server.cpp.o.d"
+  "CMakeFiles/vmig_workloads.dir/workload.cpp.o"
+  "CMakeFiles/vmig_workloads.dir/workload.cpp.o.d"
+  "libvmig_workloads.a"
+  "libvmig_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmig_workloads.a"
+)

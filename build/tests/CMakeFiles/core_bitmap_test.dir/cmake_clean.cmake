@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitmap_test.dir/core_bitmap_test.cpp.o"
+  "CMakeFiles/core_bitmap_test.dir/core_bitmap_test.cpp.o.d"
+  "core_bitmap_test"
+  "core_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disruption_test.dir/disruption_test.cpp.o"
+  "CMakeFiles/disruption_test.dir/disruption_test.cpp.o.d"
+  "disruption_test"
+  "disruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/multivm_test.cpp" "tests/CMakeFiles/multivm_test.dir/multivm_test.cpp.o" "gcc" "tests/CMakeFiles/multivm_test.dir/multivm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vmig_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmig_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vmig_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivm_test.dir/multivm_test.cpp.o"
+  "CMakeFiles/multivm_test.dir/multivm_test.cpp.o.d"
+  "multivm_test"
+  "multivm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

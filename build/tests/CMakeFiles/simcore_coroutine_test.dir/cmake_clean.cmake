@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_coroutine_test.dir/simcore_coroutine_test.cpp.o"
+  "CMakeFiles/simcore_coroutine_test.dir/simcore_coroutine_test.cpp.o.d"
+  "simcore_coroutine_test"
+  "simcore_coroutine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_coroutine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_fuzz_test.dir/simcore_fuzz_test.cpp.o"
+  "CMakeFiles/simcore_fuzz_test.dir/simcore_fuzz_test.cpp.o.d"
+  "simcore_fuzz_test"
+  "simcore_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_simulator_test.dir/simcore_simulator_test.cpp.o"
+  "CMakeFiles/simcore_simulator_test.dir/simcore_simulator_test.cpp.o.d"
+  "simcore_simulator_test"
+  "simcore_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

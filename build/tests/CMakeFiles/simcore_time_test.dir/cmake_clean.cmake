@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_time_test.dir/simcore_time_test.cpp.o"
+  "CMakeFiles/simcore_time_test.dir/simcore_time_test.cpp.o.d"
+  "simcore_time_test"
+  "simcore_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

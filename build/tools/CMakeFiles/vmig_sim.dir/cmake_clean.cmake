@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmig_sim.dir/vmig_sim.cpp.o"
+  "CMakeFiles/vmig_sim.dir/vmig_sim.cpp.o.d"
+  "vmig_sim"
+  "vmig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

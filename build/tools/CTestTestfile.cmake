@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_tpm_idle "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--warmup" "2" "--post" "2")
+set_tests_properties(cli_tpm_idle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tpm_json "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--warmup" "2" "--post" "2" "--json")
+set_tests_properties(cli_tpm_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tpm_web "/root/repo/build/tools/vmig_sim" "--disk-mib" "512" "--workload" "web" "--warmup" "5" "--post" "5")
+set_tests_properties(cli_tpm_web PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--roundtrip" "--workload" "build" "--warmup" "5" "--dwell" "30" "--post" "2")
+set_tests_properties(cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sparse "/root/repo/build/tools/vmig_sim" "--disk-mib" "512" "--sparse" "--fullness" "0.25" "--warmup" "2" "--post" "2")
+set_tests_properties(cli_sparse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scheme_freeze "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--scheme" "freeze" "--warmup" "2")
+set_tests_properties(cli_scheme_freeze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scheme_shared "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--scheme" "shared" "--warmup" "2")
+set_tests_properties(cli_scheme_shared PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scheme_ondemand "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--scheme" "ondemand" "--warmup" "2")
+set_tests_properties(cli_scheme_ondemand PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scheme_delta "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--scheme" "delta" "--workload" "build" "--warmup" "2")
+set_tests_properties(cli_scheme_delta PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rate_limited "/root/repo/build/tools/vmig_sim" "--disk-mib" "256" "--rate-limit" "20" "--warmup" "2" "--post" "2")
+set_tests_properties(cli_rate_limited PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_option "/root/repo/build/tools/vmig_sim" "--no-such-flag")
+set_tests_properties(cli_bad_option PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_workload "/root/repo/build/tools/vmig_sim" "--workload" "nonsense" "--disk-mib" "64")
+set_tests_properties(cli_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_trace "/root/repo/build/tools/vmig_sim" "--workload" "trace" "--trace" "/no/such/file" "--disk-mib" "64")
+set_tests_properties(cli_missing_trace PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")

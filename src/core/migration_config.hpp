@@ -5,6 +5,11 @@
 #include "core/dirty_bitmap.hpp"
 #include "simcore/time.hpp"
 
+namespace vmig::obs {
+class Registry;
+class Tracer;
+}  // namespace vmig::obs
+
 namespace vmig::core {
 
 /// Tunables of the three-phase migration (paper §IV) and its memory stage.
@@ -71,6 +76,14 @@ struct MigrationConfig {
   /// migration process which part is not used, the amount of migrated data
   /// can be reduced further").
   bool skip_unused_blocks = false;
+
+  // ---- Observability (src/obs; see docs/OBSERVABILITY.md) ----
+  /// Both null by default = disabled: the migration hot paths then pay one
+  /// branch and allocate nothing. When set, the engine records phase and
+  /// iteration spans, post-copy pull/stall events, and per-message-type
+  /// byte counters.
+  obs::Registry* obs_registry = nullptr;
+  obs::Tracer* obs_tracer = nullptr;
 };
 
 }  // namespace vmig::core

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/tpm.hpp"
+#include "obs/tracer.hpp"
 
 namespace vmig::core {
 
@@ -12,6 +13,15 @@ sim::Task<MigrationReport> MigrationManager::migrate(vm::Domain& domain,
                                                      MigrationConfig cfg) {
   const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
   if (progress_) tpm->set_progress_listener(progress_);
+
+  // Top-level span over the whole manager path (IM seeding + TPM + directory
+  // upkeep); the TPM emits the per-phase spans within it.
+  obs::Span migrate_span{
+      cfg.obs_tracer,
+      cfg.obs_tracer != nullptr
+          ? cfg.obs_tracer->track(from.name(), "manager")
+          : obs::TrackId{0},
+      "migrate", "\"vm\": \"" + domain.name() + "\""};
 
   // §VII multi-host IM: seed the first pass from the version directory and
   // fold the source's tenancy writes into every other host's divergence.

@@ -1,6 +1,9 @@
 #include "core/post_copy.hpp"
 
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace vmig::core {
 
@@ -17,6 +20,16 @@ PostCopyDestination::PostCopyDestination(sim::Simulator& sim,
       done_{sim},
       pull_enabled_{pull_enabled} {
   check_done();  // a zero-residue migration is already synchronized
+}
+
+void PostCopyDestination::attach_obs(obs::Tracer* tracer, obs::TrackId track,
+                                     obs::Registry* registry) {
+  tracer_ = tracer;
+  track_ = track;
+  if (registry != nullptr) {
+    obs_pending_ = &registry->gauge("postcopy.pending_reads");
+    obs_stall_ = &registry->histogram("postcopy.read_stall_ns");
+  }
 }
 
 sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
@@ -49,6 +62,10 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
       if (transferred_.test(b) && !requested_.contains(b)) {
         requested_.insert(b);
         ++stats_.pull_requests;
+        if (tracer_) {
+          tracer_->instant(track_, "pull_request",
+                           "\"block\": " + std::to_string(b));
+        }
         co_await to_source_.send(MigrationMessage{PullRequestMsg{b}});
       }
     }
@@ -58,6 +75,7 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
       blocked = true;
       auto& gate = pending_[b];
       if (!gate) gate = std::make_unique<sim::Gate>(sim_);
+      if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
       co_await gate->wait();
     }
   }
@@ -66,6 +84,12 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
     const sim::Duration stall = sim_.now() - entered;
     total_stall_ += stall;
     if (stall > max_stall_) max_stall_ = stall;
+    if (obs_stall_) obs_stall_->observe(static_cast<double>(stall.ns()));
+    if (tracer_) {
+      tracer_->complete(track_, entered, "read_stall",
+                        "\"block\": " + std::to_string(range.start) +
+                            ", \"count\": " + std::to_string(range.count));
+    }
   }
 }
 
@@ -123,6 +147,7 @@ void PostCopyDestination::force_complete(
   for (auto& [b, gate] : pending_) gate->open();
   pending_.clear();
   requested_.clear();
+  if (obs_pending_) obs_pending_->set(0.0);
   check_done();
 }
 
@@ -131,6 +156,7 @@ void PostCopyDestination::release_waiters(storage::BlockId b) {
   if (it == pending_.end()) return;
   it->second->open();
   pending_.erase(it);
+  if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
 }
 
 void PostCopyDestination::check_done() {
@@ -148,7 +174,21 @@ PostCopySource::PostCopySource(sim::Simulator& sim, storage::VirtualDisk& disk,
       push_chunk_{push_chunk_blocks == 0 ? 1 : push_chunk_blocks},
       shaper_{shaper} {}
 
-void PostCopySource::enqueue_pull(storage::BlockId b) { pulls_.push_back(b); }
+void PostCopySource::attach_obs(obs::Tracer* tracer, obs::TrackId track,
+                                obs::Registry* registry) {
+  tracer_ = tracer;
+  track_ = track;
+  if (registry != nullptr) {
+    obs_pull_queue_ = &registry->gauge("postcopy.pull_queue");
+  }
+}
+
+void PostCopySource::enqueue_pull(storage::BlockId b) {
+  pulls_.push_back(b);
+  if (obs_pull_queue_) {
+    obs_pull_queue_->set(static_cast<double>(pulls_.size()));
+  }
+}
 
 sim::Task<void> PostCopySource::run() {
   while (!stop_requested_ && (remaining_.any() || !pulls_.empty())) {
@@ -156,7 +196,11 @@ sim::Task<void> PostCopySource::run() {
     if (!pulls_.empty()) {
       const storage::BlockId b = pulls_.front();
       pulls_.pop_front();
+      if (obs_pull_queue_) {
+        obs_pull_queue_->set(static_cast<double>(pulls_.size()));
+      }
       if (!remaining_.test(b)) continue;  // already pushed; response in flight
+      const sim::TimePoint serve_start = sim_.now();
       const storage::BlockRange r{b, 1};
       co_await disk_.read(r, storage::IoSource::kMigration);
       remaining_.clear(b);
@@ -164,6 +208,10 @@ sim::Task<void> PostCopySource::run() {
       ++stats_.blocks_pulled;
       stats_.bytes_pull += msg.wire_bytes();
       co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
+      if (tracer_) {
+        tracer_->complete(track_, serve_start, "pull",
+                          "\"block\": " + std::to_string(b));
+      }
       continue;
     }
 
@@ -175,6 +223,7 @@ sim::Task<void> PostCopySource::run() {
     }
     const std::uint64_t len = remaining_.run_length(*next, push_chunk_);
     const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
+    const sim::TimePoint serve_start = sim_.now();
     co_await disk_.read(r, storage::IoSource::kMigration);
     for (storage::BlockId b = r.start; b < r.end(); ++b) remaining_.clear(b);
     cursor_ = r.end();
@@ -182,6 +231,11 @@ sim::Task<void> PostCopySource::run() {
     stats_.blocks_pushed += r.count;
     stats_.bytes_push += msg.wire_bytes();
     co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
+    if (tracer_) {
+      tracer_->complete(track_, serve_start, "push",
+                        "\"start\": " + std::to_string(r.start) +
+                            ", \"count\": " + std::to_string(r.count));
+    }
   }
   finished_ = true;
   co_await to_dest_.send(MigrationMessage{ControlMsg{Control::kPushComplete}});

@@ -9,10 +9,17 @@
 #include "core/dirty_bitmap.hpp"
 #include "core/protocol.hpp"
 #include "net/message_stream.hpp"
+#include "obs/tracer.hpp"
 #include "simcore/notifier.hpp"
 #include "simcore/simulator.hpp"
 #include "storage/virtual_disk.hpp"
 #include "vm/blk_backend.hpp"
+
+namespace vmig::obs {
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace vmig::obs
 
 namespace vmig::core {
 
@@ -44,6 +51,13 @@ class PostCopyDestination final : public vm::IoInterceptor {
   PostCopyDestination(sim::Simulator& sim, storage::VirtualDisk& disk,
                       DirtyBitmap transferred, vm::DomainId migrated,
                       MigStream& to_source, bool pull_enabled = true);
+
+  /// Optional observability: read-stall spans + pull-request instants on
+  /// `track`, a pending-request-list gauge ("postcopy.pending_reads"), and
+  /// the read-stall histogram ("postcopy.read_stall_ns") whose sum/count
+  /// reconcile exactly with MigrationReport's stall totals.
+  void attach_obs(obs::Tracer* tracer, obs::TrackId track,
+                  obs::Registry* registry);
 
   // vm::IoInterceptor
   sim::Task<void> on_request(vm::DomainId domain, storage::IoOp op,
@@ -87,6 +101,10 @@ class PostCopyDestination final : public vm::IoInterceptor {
   std::uint64_t reads_blocked_ = 0;
   sim::Duration total_stall_{};
   sim::Duration max_stall_{};
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Gauge* obs_pending_ = nullptr;
+  obs::Histogram* obs_stall_ = nullptr;
 };
 
 /// Source half of post-copy: pushes dirty blocks continuously (finite
@@ -97,6 +115,11 @@ class PostCopySource {
                  DirtyBitmap remaining, MigStream& to_dest,
                  std::uint32_t push_chunk_blocks,
                  net::TokenBucket* shaper = nullptr);
+
+  /// Optional observability: pull/push serve spans on `track`, plus a
+  /// pull-queue-depth gauge ("postcopy.pull_queue").
+  void attach_obs(obs::Tracer* tracer, obs::TrackId track,
+                  obs::Registry* registry);
 
   /// A pull request arrived from the destination.
   void enqueue_pull(storage::BlockId b);
@@ -123,6 +146,9 @@ class PostCopySource {
   bool finished_ = false;
   bool stop_requested_ = false;
   PostCopyStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Gauge* obs_pull_queue_ = nullptr;
 };
 
 }  // namespace vmig::core

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace vmig::core {
 
 namespace {
@@ -94,6 +96,21 @@ std::string to_csv(const sim::TimeSeries& ts) {
   for (const auto& p : ts.points()) {
     std::snprintf(buf, sizeof buf, "%.6f,%.6f\n", p.t.to_seconds(), p.value);
     out += buf;
+  }
+  return out;
+}
+
+std::string to_csv(const obs::Registry& registry) {
+  std::string out = "t_seconds,metric,value\n";
+  char buf[96];
+  for (const auto& s : registry.series()) {
+    for (const auto& p : s.data->points()) {
+      std::snprintf(buf, sizeof buf, "%.6f,", p.t.to_seconds());
+      out += buf;
+      out += s.name;
+      std::snprintf(buf, sizeof buf, ",%.9g\n", p.value);
+      out += buf;
+    }
   }
   return out;
 }

@@ -5,6 +5,10 @@
 #include "core/migration_metrics.hpp"
 #include "simcore/stats.hpp"
 
+namespace vmig::obs {
+class Registry;
+}  // namespace vmig::obs
+
 namespace vmig::core {
 
 /// Machine-readable report serialization, for piping migration results into
@@ -20,5 +24,11 @@ std::string to_csv_row(const MigrationReport& r);
 
 /// Two-column CSV ("t_seconds,value") of a time series.
 std::string to_csv(const sim::TimeSeries& ts);
+
+/// Flat long-format CSV ("t_seconds,metric,value") of every series sampled
+/// by an obs registry, in registration order — what `vmig_sim --metrics`
+/// writes. Counter series are rates (units/second); gauges and probes are
+/// instantaneous values.
+std::string to_csv(const obs::Registry& registry);
 
 }  // namespace vmig::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "simcore/channel.hpp"
 #include "simcore/log.hpp"
 
@@ -48,6 +51,7 @@ TpmMigration::TpmMigration(sim::Simulator& sim, MigrationConfig cfg,
 
 sim::Task<MigrationReport> TpmMigration::run() {
   assert(src_.hosts_domain(domain_) && "domain must start on the source host");
+  setup_obs();
   rep_.started = sim_.now();
   sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
       << "migrating '" << domain_.name() << "': " << src_.name() << " -> "
@@ -64,6 +68,7 @@ sim::Task<MigrationReport> TpmMigration::run() {
 
   sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "vbd ready, disk precopy";
   notify_progress(Phase::kDiskPrecopy, 0.0);
+  t_disk_precopy_begin_ = sim_.now();
   co_await disk_precopy();
   rep_.disk_precopy_done = sim_.now();
   sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "disk precopy done, memory precopy";
@@ -81,6 +86,7 @@ sim::Task<MigrationReport> TpmMigration::run() {
   co_await await_control(Control::kSyncComplete);
   co_await pusher;
   rep_.synchronized = sim_.now();
+  emit_phase_spans();
 
   // Fold destination-side post-copy stats into the report.
   rep_.blocks_pushed = pc_dst_->stats().blocks_pushed;
@@ -210,12 +216,20 @@ sim::Task<void> TpmMigration::disk_precopy() {
     }
   }
 
+  const sim::TimePoint iter1_start = sim_.now();
   rep_.bytes_disk_first_pass =
       co_await transfer_by_bitmap(seed, &rep_.blocks_first_pass);
   rep_.disk_iterations = 1;
   rep_.bytes_control += MigrationMessage{ControlMsg{Control::kIterationEnd}}.wire_bytes();
   co_await fwd_.send(MigrationMessage{ControlMsg{Control::kIterationEnd}});
   co_await await_control(Control::kIterationAck);
+  if (tracer_) {
+    tracer_->complete(trk_tpm_, iter1_start, "iteration",
+                      "\"i\": 1, \"blocks\": " +
+                          std::to_string(rep_.blocks_first_pass) +
+                          ", \"bytes\": " +
+                          std::to_string(rep_.bytes_disk_first_pass));
+  }
 
   std::uint64_t last_transferred = std::max<std::uint64_t>(rep_.blocks_first_pass, 1);
   while (rep_.disk_iterations < cfg_.disk_max_iterations) {
@@ -226,12 +240,20 @@ sim::Task<void> TpmMigration::disk_precopy() {
       // "If the dirty rate is higher than the transfer rate, the storage
       // pre-copy must be stopped proactively."
       rep_.aborted_precopy_dirty_rate = true;
+      if (tracer_) {
+        tracer_->instant(trk_tpm_, "dirty_rate_abort",
+                         "\"dirty_blocks\": " + std::to_string(dirty) +
+                             ", \"last_transferred\": " +
+                             std::to_string(last_transferred));
+      }
       break;
     }
     const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
     observed_writes_.or_with(snap);
+    const sim::TimePoint iter_start = sim_.now();
     std::uint64_t n = 0;
-    rep_.bytes_disk_retransfer += co_await transfer_by_bitmap(snap, &n);
+    const std::uint64_t iter_bytes = co_await transfer_by_bitmap(snap, &n);
+    rep_.bytes_disk_retransfer += iter_bytes;
     rep_.blocks_retransferred += n;
     last_transferred = std::max<std::uint64_t>(n, 1);
     ++rep_.disk_iterations;
@@ -239,6 +261,12 @@ sim::Task<void> TpmMigration::disk_precopy() {
         MigrationMessage{ControlMsg{Control::kIterationEnd}}.wire_bytes();
     co_await fwd_.send(MigrationMessage{ControlMsg{Control::kIterationEnd}});
     co_await await_control(Control::kIterationAck);
+    if (tracer_) {
+      tracer_->complete(trk_tpm_, iter_start, "iteration",
+                        "\"i\": " + std::to_string(rep_.disk_iterations) +
+                            ", \"blocks\": " + std::to_string(n) +
+                            ", \"bytes\": " + std::to_string(iter_bytes));
+    }
   }
 }
 
@@ -253,6 +281,7 @@ sim::Task<void> TpmMigration::memory_precopy() {
 sim::Task<void> TpmMigration::freeze_and_copy() {
   domain_.suspend();
   rep_.suspended = sim_.now();
+  if (tracer_) tracer_->instant(trk_tpm_, "suspended");
   co_await sim_.delay(cfg_.suspend_overhead);
 
   // Snapshot the final inconsistent-block set; tracking stops on the source
@@ -274,6 +303,7 @@ sim::Task<void> TpmMigration::freeze_and_copy() {
   pc_src_ = std::make_unique<PostCopySource>(
       sim_, src_.vbd_for(domain_.id()), std::move(final_bm), fwd_, cfg_.push_chunk_blocks,
       cfg_.rate_limit_postcopy && cfg_.rate_limit_mibps > 0 ? &shaper_ : nullptr);
+  pc_src_->attach_obs(tracer_, trk_push_, cfg_.obs_registry);
 
   rep_.bytes_control +=
       MigrationMessage{ControlMsg{Control::kEnterPostCopy}}.wire_bytes();
@@ -370,6 +400,7 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
   pc_dst_ = std::make_unique<PostCopyDestination>(
       sim_, dst_.vbd_for(domain_.id()), *received_bitmap_, domain_.id(), rev_,
       cfg_.postcopy_pull_enabled);
+  pc_dst_->attach_obs(tracer_, trk_dst_, cfg_.obs_registry);
 
   // The guest is frozen, so the received pages can be checked against its
   // memory image right now: a mismatch means pre-copy lost an update.
@@ -389,6 +420,11 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
   co_await sim_.delay(cfg_.resume_overhead);
   domain_.resume();
   rep_.resumed = sim_.now();
+  if (tracer_) {
+    tracer_->instant(trk_dst_, "resumed",
+                     "\"residue_blocks\": " +
+                         std::to_string(pc_dst_->transferred().count_set()));
+  }
   sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
       << "resumed on " << dst_.name() << " after "
       << rep_.downtime().str() << " downtime; post-copy residue="
@@ -405,6 +441,58 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
             MigrationMessage{ControlMsg{Control::kSyncComplete}});
       }(this),
       "tpm-sync-watch");
+}
+
+// --------------------------- Observability ---------------------------
+
+void TpmMigration::setup_obs() {
+  tracer_ = cfg_.obs_tracer;
+  if (tracer_ != nullptr) {
+    trk_tpm_ = tracer_->track(src_.name(), "tpm");
+    trk_mem_ = tracer_->track(src_.name(), "memory");
+    trk_push_ = tracer_->track(src_.name(), "postcopy");
+    trk_dst_ = tracer_->track(dst_.name(), "postcopy");
+    mem_migrator_.set_trace(tracer_, trk_mem_);
+  }
+  if (cfg_.obs_registry != nullptr) {
+    static constexpr const char* kMsgName[] = {
+        "disk_blocks", "block_bitmap", "mem_pages",
+        "cpu_state",   "pull_request", "control",
+    };
+    static_assert(std::size(kMsgName) ==
+                  std::variant_size_v<MigrationMessage::Payload>);
+    for (std::size_t i = 0; i < std::size(kMsgName); ++i) {
+      msg_bytes_[i] = &cfg_.obs_registry->counter(
+          std::string{"net.msg."} + kMsgName[i] + ".bytes");
+    }
+    // Count both directions; pulls and acks flow over rev_.
+    const auto observe = [this](const MigrationMessage& m) {
+      msg_bytes_[m.payload.index()]->add(
+          static_cast<double>(m.wire_bytes()));
+    };
+    fwd_.set_send_observer(observe);
+    rev_.set_send_observer(observe);
+  }
+}
+
+void TpmMigration::emit_phase_spans() {
+  if (tracer_ == nullptr) return;
+  // Derived from the report's own timestamps, never re-measured: the
+  // "freeze" span's duration IS rep_.downtime(), "postcopy" IS
+  // postcopy_time(), and "migration" IS total_time(). Each phase span ends
+  // exactly where the next begins.
+  tracer_->complete(trk_tpm_, rep_.started, rep_.synchronized, "migration",
+                    "\"incremental\": " +
+                        std::string{rep_.incremental ? "true" : "false"});
+  tracer_->complete(trk_tpm_, rep_.started, t_disk_precopy_begin_, "preparing");
+  tracer_->complete(trk_tpm_, t_disk_precopy_begin_, rep_.disk_precopy_done,
+                    "disk_precopy",
+                    "\"iterations\": " + std::to_string(rep_.disk_iterations));
+  tracer_->complete(trk_tpm_, rep_.disk_precopy_done, rep_.suspended,
+                    "memory_precopy",
+                    "\"iterations\": " + std::to_string(rep_.mem_iterations));
+  tracer_->complete(trk_tpm_, rep_.suspended, rep_.resumed, "freeze");
+  tracer_->complete(trk_tpm_, rep_.resumed, rep_.synchronized, "postcopy");
 }
 
 void TpmMigration::verify_consistency() {

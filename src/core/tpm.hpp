@@ -11,9 +11,14 @@
 #include "hypervisor/checkpoint.hpp"
 #include "hypervisor/host.hpp"
 #include "net/message_stream.hpp"
+#include "obs/tracer.hpp"
 #include "simcore/notifier.hpp"
 #include "simcore/simulator.hpp"
 #include "vm/domain.hpp"
+
+namespace vmig::obs {
+class Counter;
+}  // namespace vmig::obs
 
 namespace vmig::core {
 
@@ -104,6 +109,14 @@ class TpmMigration {
     if (progress_) progress_(p, fraction);
   }
 
+  // ---- Observability (cfg_.obs_tracer / cfg_.obs_registry; null = off) ----
+  /// Create tracks, hook the memory migrator, and install per-message-type
+  /// byte counters on both streams.
+  void setup_obs();
+  /// Emit the phase spans from the report's own timestamps so the trace is
+  /// exactly consistent with downtime()/postcopy_time()/total_time().
+  void emit_phase_spans();
+
   ProgressListener progress_;
   sim::Simulator& sim_;
   MigrationConfig cfg_;
@@ -132,6 +145,16 @@ class TpmMigration {
   std::uint64_t control_seen_[8] = {};  ///< per-Control receive counters
   std::uint64_t control_waited_[8] = {};
   bool source_done_ = false;
+
+  // Observability state (all inert when cfg_.obs_tracer/registry are null).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId trk_tpm_ = 0;   ///< <source>/"tpm": phases + disk iterations
+  obs::TrackId trk_mem_ = 0;   ///< <source>/"memory": pre-copy rounds
+  obs::TrackId trk_push_ = 0;  ///< <source>/"postcopy": push/pull serving
+  obs::TrackId trk_dst_ = 0;   ///< <dest>/"postcopy": stalls, pull requests
+  sim::TimePoint t_disk_precopy_begin_{};
+  /// Per-payload-alternative wire-byte counters ("net.msg.<type>.bytes").
+  obs::Counter* msg_bytes_[std::variant_size_v<MigrationMessage::Payload>] = {};
 };
 
 }  // namespace vmig::core

@@ -1,5 +1,6 @@
 #include "hypervisor/checkpoint.hpp"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,9 +53,15 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
   domain.memory().enable_dirty_log();
 
   // Iteration 1: every page.
+  const sim::TimePoint round1_start = sim_.now();
   res.bytes_sent += co_await send_all_pages(domain, stream, shaper, &res.pages_sent);
   res.iterations = 1;
   std::uint64_t last_iter_pages = domain.memory().page_count();
+  if (tracer_) {
+    tracer_->complete(track_, round1_start, "mem_round",
+                      "\"round\": 1, \"pages\": " +
+                          std::to_string(last_iter_pages));
+  }
 
   while (res.iterations < cfg_.mem_max_iterations) {
     const std::uint64_t dirty = domain.memory().dirty_page_count();
@@ -63,15 +70,27 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
         static_cast<double>(last_iter_pages) * cfg_.mem_dirty_rate_abort_ratio) {
       // Dirtying as fast as we send: another round cannot shrink the set.
       res.aborted_dirty_rate = true;
+      if (tracer_) {
+        tracer_->instant(track_, "mem_dirty_rate_abort",
+                         "\"dirty_pages\": " + std::to_string(dirty) +
+                             ", \"last_iter_pages\": " +
+                             std::to_string(last_iter_pages));
+      }
       break;
     }
     const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
+    const sim::TimePoint round_start = sim_.now();
     std::uint64_t sent = 0;
     res.bytes_sent +=
         co_await send_pages(domain, snap, stream, shaper, false, &sent);
     res.pages_sent += sent;
     last_iter_pages = sent;
     ++res.iterations;
+    if (tracer_) {
+      tracer_->complete(track_, round_start, "mem_round",
+                        "\"round\": " + std::to_string(res.iterations) +
+                            ", \"pages\": " + std::to_string(sent));
+    }
   }
   co_return res;
 }
@@ -79,6 +98,7 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
 sim::Task<MemoryMigrator::ResidualResult> MemoryMigrator::send_residual(
     vm::Domain& domain, MigStream& stream) {
   ResidualResult res;
+  const sim::TimePoint residual_start = sim_.now();
   const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
   res.pages = snap.count_set();
   // Residual is always sent unshaped: it happens inside the downtime.
@@ -88,6 +108,10 @@ sim::Task<MemoryMigrator::ResidualResult> MemoryMigrator::send_residual(
   res.bytes += cpu.wire_bytes();
   co_await stream.send(std::move(cpu));
   domain.memory().disable_dirty_log();
+  if (tracer_) {
+    tracer_->complete(track_, residual_start, "mem_residual",
+                      "\"pages\": " + std::to_string(res.pages));
+  }
   co_return res;
 }
 

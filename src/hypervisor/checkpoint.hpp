@@ -5,6 +5,7 @@
 #include "core/migration_config.hpp"
 #include "core/protocol.hpp"
 #include "net/message_stream.hpp"
+#include "obs/tracer.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/task.hpp"
 #include "vm/domain.hpp"
@@ -36,6 +37,13 @@ class MemoryMigrator {
   MemoryMigrator(sim::Simulator& sim, const core::MigrationConfig& cfg)
       : sim_{sim}, cfg_{cfg} {}
 
+  /// Optional observability: per-round "mem_round" and freeze-phase
+  /// "mem_residual" spans on `track`. Null tracer disables (default).
+  void set_trace(obs::Tracer* tracer, obs::TrackId track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
   /// Iterative pre-copy while the guest runs. Enables the dirty log and
   /// leaves it enabled (the freeze phase consumes the final residue).
   sim::Task<PrecopyResult> precopy(vm::Domain& domain, MigStream& stream,
@@ -59,6 +67,8 @@ class MemoryMigrator {
 
   sim::Simulator& sim_;
   const core::MigrationConfig& cfg_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace vmig::hv

@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace vmig::net {
 
 namespace {
@@ -34,6 +36,8 @@ sim::Task<void> Link::transmit(std::uint64_t bytes, TokenBucket* shaper) {
   busy_time_ += serialize;
   bytes_sent_ += bytes;
   ++messages_sent_;
+  if (obs_bytes_ != nullptr) obs_bytes_->add(static_cast<double>(bytes));
+  if (obs_msgs_ != nullptr) obs_msgs_->add(1.0);
   const sim::TimePoint delivered = busy_until_ + p_.latency;
   co_await sim_.delay(delivered - arrival);
 }
@@ -42,6 +46,22 @@ double Link::utilization() const {
   const auto elapsed = sim_.now() - sim::TimePoint::origin();
   if (elapsed <= sim::Duration::zero()) return 0.0;
   return std::min(1.0, busy_time_ / elapsed);
+}
+
+std::uint64_t Link::backlog_bytes() const {
+  const sim::TimePoint now = sim_.now();
+  if (busy_until_ <= now) return 0;
+  return static_cast<std::uint64_t>((busy_until_ - now).to_seconds() *
+                                    p_.bandwidth_mibps * kMiB);
+}
+
+void Link::attach_obs(obs::Registry& registry, const std::string& prefix) {
+  obs_bytes_ = &registry.counter(prefix + ".bytes");
+  obs_msgs_ = &registry.counter(prefix + ".messages");
+  registry.probe(prefix + ".utilization", [this] { return utilization(); });
+  registry.probe(prefix + ".backlog_bytes", [this] {
+    return static_cast<double>(backlog_bytes());
+  });
 }
 
 }  // namespace vmig::net

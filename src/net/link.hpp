@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "simcore/simulator.hpp"
 #include "simcore/stats.hpp"
 #include "simcore/task.hpp"
+
+namespace vmig::obs {
+class Counter;
+class Registry;
+}  // namespace vmig::obs
 
 namespace vmig::net {
 
@@ -62,6 +68,14 @@ class Link {
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   sim::Duration busy_time() const noexcept { return busy_time_; }
   double utilization() const;
+  /// Bytes queued or serializing right now (accepted but not yet on the
+  /// wire's far end) — the in-flight backlog the obs gauge reports.
+  std::uint64_t backlog_bytes() const;
+
+  /// Register this link's instruments under `prefix` ("net.source_to_dest"):
+  /// a bytes counter, a messages counter, and utilization/backlog probes.
+  /// The link must outlive the registry's sampling.
+  void attach_obs(obs::Registry& registry, const std::string& prefix);
 
  private:
   sim::Simulator& sim_;
@@ -70,6 +84,8 @@ class Link {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   sim::Duration busy_time_{};
+  obs::Counter* obs_bytes_ = nullptr;  ///< null = observability disabled
+  obs::Counter* obs_msgs_ = nullptr;
 };
 
 }  // namespace vmig::net

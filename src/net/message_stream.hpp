@@ -2,6 +2,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -37,9 +38,17 @@ class MessageStream {
   MessageStream(const MessageStream&) = delete;
   MessageStream& operator=(const MessageStream&) = delete;
 
+  /// Observe every message offered to the wire (before transmission); the
+  /// migration engine uses this for per-message-type byte accounting. Null
+  /// (the default) costs one branch per send.
+  void set_send_observer(std::function<void(const M&)> fn) {
+    send_observer_ = std::move(fn);
+  }
+
   /// Transmit and deliver. Returns false if the stream was closed.
   sim::Task<bool> send(M msg, TokenBucket* shaper = nullptr) {
     if (inbox_.closed()) co_return false;
+    if (send_observer_) send_observer_(msg);
     co_await link_.transmit(msg.wire_bytes(), shaper);
     if (inbox_.closed()) co_return false;
     ++delivered_;
@@ -62,6 +71,7 @@ class MessageStream {
   Link& link_;
   sim::Channel<M> inbox_;
   std::uint64_t delivered_ = 0;
+  std::function<void(const M&)> send_observer_;
 };
 
 }  // namespace vmig::net

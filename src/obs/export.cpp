@@ -1,0 +1,156 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <unordered_map>
+
+#include "simcore/log.hpp"
+
+namespace vmig::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Trace-event timestamps are microseconds; three decimals keep full
+/// nanosecond resolution.
+std::string us(sim::TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t.ns()) / 1000.0);
+  return buf;
+}
+
+std::string us(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(d.ns()) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  // pid = 1 + first-appearance index of the process name; tid = 1 + track id
+  // (globally unique, which Perfetto accepts and keeps thread names stable).
+  std::unordered_map<std::string, int> pids;
+  std::vector<std::pair<int, const Tracer::Track*>> track_meta;
+  std::vector<int> track_pid(tracer.tracks().size(), 1);
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+    const auto& tk = tracer.tracks()[i];
+    auto [it, fresh] = pids.emplace(tk.process, static_cast<int>(pids.size()) + 1);
+    track_pid[i] = it->second;
+    track_meta.emplace_back(it->second, &tk);
+    (void)fresh;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += line;
+  };
+
+  // Metadata: process names (once per process), thread names (per track).
+  std::unordered_map<std::string, bool> named;
+  for (std::size_t i = 0; i < track_meta.size(); ++i) {
+    const auto& [pid, tk] = track_meta[i];
+    if (!named[tk->process]) {
+      named[tk->process] = true;
+      emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           escape(tk->process) + "\"}}");
+    }
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(i + 1) +
+         ",\"args\":{\"name\":\"" + escape(tk->thread) + "\"}}");
+  }
+
+  for (const auto& e : tracer.snapshot()) {
+    const int pid = e.track < track_pid.size() ? track_pid[e.track] : 1;
+    std::string line = "{\"name\":\"" + escape(e.name) +
+                       "\",\"cat\":\"vmig\",\"ph\":\"" +
+                       (e.instant ? "i" : "X") + "\",\"pid\":" +
+                       std::to_string(pid) + ",\"tid\":" +
+                       std::to_string(e.track + 1) + ",\"ts\":" + us(e.start);
+    if (e.instant) {
+      line += ",\"s\":\"t\"";
+    } else {
+      line += ",\"dur\":" + us(e.dur);
+    }
+    if (!e.args.empty()) line += ",\"args\":{" + e.args + "}";
+    line += "}";
+    emit(line);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << chrome_trace_json(tracer);
+}
+
+std::string timeline_text(const Tracer& tracer) {
+  auto events = tracer.snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Tracer::Event& a, const Tracer::Event& b) {
+                     return a.start < b.start;
+                   });
+  std::string out;
+  if (tracer.dropped() > 0) {
+    out += "# ring buffer wrapped: " + std::to_string(tracer.dropped()) +
+           " oldest events dropped\n";
+  }
+  for (const auto& e : events) {
+    out += sim::Log::stamp(e.start);
+    const auto& tk = tracer.tracks()[e.track];
+    out += " " + tk.process + "/" + tk.thread + " ";
+    if (e.instant) {
+      out += "* " + e.name;
+    } else {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%s (%.3f ms)", e.name.c_str(),
+                    e.dur.to_millis());
+      out += buf;
+    }
+    if (!e.args.empty()) out += "  {" + e.args + "}";
+    out += "\n";
+  }
+  return out;
+}
+
+void write_timeline(std::ostream& os, const Tracer& tracer) {
+  os << timeline_text(tracer);
+}
+
+}  // namespace vmig::obs

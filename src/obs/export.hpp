@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/tracer.hpp"
+
+namespace vmig::obs {
+
+/// Render the tracer's contents as Chrome trace-event JSON (the
+/// "traceEvents" array format), loadable in chrome://tracing and Perfetto
+/// (ui.perfetto.dev). One trace "process" per host, one "thread" per
+/// component; spans become "X" (complete) events, instants become "i".
+///
+/// Output depends only on recorded sim-time events, so deterministic runs
+/// export byte-identical files.
+std::string chrome_trace_json(const Tracer& tracer);
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Human-readable dump: one line per event, sorted by start time, with the
+/// same "[  12.3456s]" timestamps sim::Log emits so log lines and trace
+/// events correlate textually.
+std::string timeline_text(const Tracer& tracer);
+void write_timeline(std::ostream& os, const Tracer& tracer);
+
+}  // namespace vmig::obs

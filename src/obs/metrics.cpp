@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vmig::obs {
+
+// ------------------------------ Histogram ------------------------------
+
+int Histogram::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN all land in bucket 0
+  const int e = std::ilogb(v);
+  if (e < kMinExp) return 0;
+  if (e >= kMinExp + kBuckets) return kBuckets - 1;
+  return e - kMinExp;
+}
+
+void Histogram::observe(double v) noexcept {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double rank = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[b]);
+    if (next >= rank) {
+      const double lo = std::ldexp(1.0, b + kMinExp);
+      const double hi = std::ldexp(1.0, b + 1 + kMinExp);
+      const double frac = (rank - cum) / static_cast<double>(buckets_[b]);
+      double v = lo + (hi - lo) * frac;
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+std::string Histogram::str() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu sum=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g", count_,
+                sum(), quantile(0.5), quantile(0.95), quantile(0.99), max());
+  return buf;
+}
+
+// ------------------------------ Registry -------------------------------
+
+Registry::Entry& Registry::entry(const std::string& name, Kind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    if (e.kind != kind) {
+      throw std::logic_error("obs: instrument '" + name +
+                             "' re-registered with a different kind");
+    }
+    return e;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->kind = kind;
+  if (kind == Kind::kHistogram) e->histogram = std::make_unique<Histogram>();
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return entry(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return entry(name, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return *entry(name, Kind::kHistogram).histogram;
+}
+
+void Registry::probe(const std::string& name, std::function<double()> fn) {
+  entry(name, Kind::kProbe).fn = std::move(fn);
+}
+
+void Registry::sample_now() {
+  const sim::TimePoint t = sim_.now();
+  const double dt = sampled_once_ ? (t - last_sample_).to_seconds() : 0.0;
+  for (auto& ep : entries_) {
+    Entry& e = *ep;
+    switch (e.kind) {
+      case Kind::kCounter: {
+        const double total = e.counter.value();
+        // First sample (or a zero-width window) reports 0 rather than an
+        // infinite rate.
+        const double rate = dt > 0.0 ? (total - e.last_total) / dt : 0.0;
+        e.last_total = total;
+        e.samples.add(t, rate);
+        break;
+      }
+      case Kind::kGauge:
+        e.samples.add(t, e.gauge.value());
+        break;
+      case Kind::kProbe:
+        e.samples.add(t, e.fn ? e.fn() : 0.0);
+        break;
+      case Kind::kHistogram:
+        break;
+    }
+  }
+  last_sample_ = t;
+  sampled_once_ = true;
+}
+
+void Registry::tick() {
+  sample_now();
+  // Park when nothing else is pending: a migration experiment drives the
+  // queue until it completes; rescheduling unconditionally would keep
+  // Simulator::run spinning forever.
+  if (sim_.has_pending()) {
+    sim_.schedule_after(interval_, [this] { tick(); });
+  } else {
+    sampling_ = false;
+  }
+}
+
+void Registry::start_sampling() {
+  if (interval_.ns() <= 0) {
+    // A non-positive interval would re-arm the tick at the current instant
+    // forever and wedge Simulator::run.
+    throw std::invalid_argument("obs: sample interval must be positive");
+  }
+  if (sampling_) return;
+  sampling_ = true;
+  sample_now();
+  sim_.schedule_after(interval_, [this] { tick(); });
+}
+
+std::vector<Registry::Series> Registry::series() const {
+  std::vector<Series> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (e->kind == Kind::kHistogram) continue;
+    out.push_back(Series{e->name, &e->samples});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& e : entries_) {
+    if (e->kind == Kind::kHistogram) out.emplace_back(e->name, e->histogram.get());
+  }
+  return out;
+}
+
+}  // namespace vmig::obs

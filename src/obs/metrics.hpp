@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::obs {
+
+/// Monotonic sum. Holders keep a `Counter*` that is null when observability
+/// is disabled, so the hot-path cost of an uninstrumented run is one branch.
+class Counter {
+ public:
+  void add(double v = 1.0) noexcept { total_ += v; }
+  double value() const noexcept { return total_; }
+
+ private:
+  double total_ = 0.0;
+};
+
+/// Last-value instrument (queue lengths, utilization, backlog).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_ = v; }
+  void add(double d) noexcept { v_ += d; }
+  double value() const noexcept { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Power-of-two-bucketed histogram over non-negative doubles (stall times in
+/// nanoseconds, chunk sizes, ...). Sum/count/min/max are exact; quantiles
+/// interpolate within a bucket and are clamped to [min, max], so a
+/// single-valued distribution reports that value at every quantile.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  /// Approximate quantile, q in [0, 1].
+  double quantile(double q) const noexcept;
+
+  /// "n=1000 sum=5e5 p50=480 p95=960 p99=1000 max=1000"
+  std::string str() const;
+
+ private:
+  // Bucket b covers [2^(b+kMinExp), 2^(b+1+kMinExp)); bucket 0 also absorbs
+  // zero and subnormal values. 128 buckets over 2^-32..2^96 cover every unit
+  // this library records (ns, bytes, blocks) with <2x quantile error.
+  static constexpr int kBuckets = 128;
+  static constexpr int kMinExp = -32;
+  static int bucket_of(double v) noexcept;
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named-instrument registry, sampled on a sim-time cadence into
+/// `sim::TimeSeries` (the raw data behind --metrics CSV output).
+///
+/// Instruments are created on first request and live as long as the
+/// registry; returned references are stable. Sampling semantics:
+///   - counters  -> rate since the previous sample (units/second),
+///   - gauges    -> current value,
+///   - probes    -> callback value (pull-style gauge for objects that should
+///                  not depend on obs, e.g. the simulator's queue length),
+///   - histograms are never sampled into series (summaries only).
+///
+/// The sampler is a self-rescheduling sim timer that parks itself when the
+/// event queue drains, so an attached registry never keeps `Simulator::run`
+/// alive on its own.
+class Registry {
+ public:
+  explicit Registry(sim::Simulator& sim,
+                    sim::Duration sample_interval = sim::Duration::seconds(1))
+      : sim_{sim}, interval_{sample_interval} {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Register a pull-style gauge: `fn` is evaluated at each sample tick.
+  void probe(const std::string& name, std::function<double()> fn);
+
+  void set_sample_interval(sim::Duration d) noexcept { interval_ = d; }
+  sim::Duration sample_interval() const noexcept { return interval_; }
+
+  /// Take one sample immediately and schedule periodic sampling.
+  void start_sampling();
+  bool sampling() const noexcept { return sampling_; }
+  /// Record one sample of every samplable instrument at sim.now().
+  void sample_now();
+
+  struct Series {
+    std::string name;
+    const sim::TimeSeries* data;
+  };
+  /// Sampled series in registration order (deterministic export order).
+  std::vector<Series> series() const;
+
+  /// Named histograms in registration order, for summary dumps.
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  std::size_t instrument_count() const noexcept { return entries_.size(); }
+  sim::Simulator& sim() noexcept { return sim_; }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kProbe, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> fn;
+    double last_total = 0.0;  ///< counter value at the previous sample
+    sim::TimeSeries samples;
+  };
+
+  Entry& entry(const std::string& name, Kind kind);
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::Duration interval_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+  sim::TimePoint last_sample_{};
+  bool sampled_once_ = false;
+  bool sampling_ = false;
+};
+
+}  // namespace vmig::obs

@@ -1,0 +1,64 @@
+#include "obs/tracer.hpp"
+
+namespace vmig::obs {
+
+TrackId Tracer::track(const std::string& process, const std::string& thread) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].process == process && tracks_[i].thread == thread) {
+      return static_cast<TrackId>(i);
+    }
+  }
+  tracks_.push_back(Track{process, thread});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void Tracer::push(Event e) {
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % cap_;
+  ++dropped_;
+}
+
+void Tracer::complete(TrackId track, sim::TimePoint start, std::string name,
+                      std::string args) {
+  complete(track, start, sim_.now(), std::move(name), std::move(args));
+}
+
+void Tracer::complete(TrackId track, sim::TimePoint start, sim::TimePoint end,
+                      std::string name, std::string args) {
+  Event e;
+  e.track = track;
+  e.start = start;
+  e.dur = end - start;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void Tracer::instant(TrackId track, std::string name, std::string args) {
+  Event e;
+  e.track = track;
+  e.start = sim_.now();
+  e.instant = true;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+std::vector<Tracer::Event> Tracer::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < cap_; ++i) {
+    out.push_back(ring_[(head_ + i) % cap_]);
+  }
+  return out;
+}
+
+}  // namespace vmig::obs

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::obs {
+
+/// Identifies one (process, thread) pair in the exported trace. In this
+/// simulator a "process" is a host and a "thread" is a component on it
+/// ("source/tpm", "dest/postcopy", ...).
+using TrackId = std::uint32_t;
+
+/// Span/event recorder with sim timestamps and bounded memory.
+///
+/// Events live in a fixed-capacity ring buffer: once full, the oldest events
+/// are overwritten and counted in `dropped()`. Everything recorded derives
+/// from simulated time, so two runs of the same deterministic experiment
+/// produce byte-identical exports.
+///
+/// Spans are recorded as *complete* events (start + duration, emitted when
+/// the span ends), which keeps concurrent overlapping spans on one track
+/// well-formed — there is no begin/end pairing to corrupt when the ring
+/// wraps.
+class Tracer {
+ public:
+  struct Track {
+    std::string process;
+    std::string thread;
+  };
+  struct Event {
+    TrackId track = 0;
+    sim::TimePoint start{};
+    sim::Duration dur{};  ///< zero for instants
+    bool instant = false;
+    std::string name;
+    /// Pre-rendered JSON object body ("\"block\":12,\"n\":3"), or empty.
+    std::string args;
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit Tracer(sim::Simulator& sim, std::size_t capacity = kDefaultCapacity)
+      : sim_{sim}, cap_{capacity == 0 ? 1 : capacity} {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Get-or-create the track for a (process, thread) pair.
+  TrackId track(const std::string& process, const std::string& thread);
+
+  /// Record a span that started at `start` and ends now.
+  void complete(TrackId track, sim::TimePoint start, std::string name,
+                std::string args = {});
+  /// Record a span with an explicit end — for spans reconstructed after the
+  /// fact from recorded timestamps (e.g. the TPM phase spans derived from
+  /// MigrationReport), where "now" is past the span's true end.
+  void complete(TrackId track, sim::TimePoint start, sim::TimePoint end,
+                std::string name, std::string args = {});
+  /// Record a point event at the current sim time.
+  void instant(TrackId track, std::string name, std::string args = {});
+
+  sim::TimePoint now() const noexcept { return sim_.now(); }
+
+  const std::vector<Track>& tracks() const noexcept { return tracks_; }
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Events oldest-first, in emission order.
+  std::vector<Event> snapshot() const;
+
+ private:
+  void push(Event e);
+
+  sim::Simulator& sim_;
+  std::size_t cap_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< next overwrite position once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<Track> tracks_;
+};
+
+/// RAII span: records the start time at construction and emits one complete
+/// event when ended (explicitly or by destruction). A null tracer makes
+/// every operation a no-op, so call sites need no enabled/disabled branches.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* t, TrackId track, std::string name, std::string args = {})
+      : t_{t}, track_{track}, name_{std::move(name)}, args_{std::move(args)} {
+    if (t_ != nullptr) start_ = t_->now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      end();
+      t_ = std::exchange(o.t_, nullptr);
+      track_ = o.track_;
+      start_ = o.start_;
+      name_ = std::move(o.name_);
+      args_ = std::move(o.args_);
+    }
+    return *this;
+  }
+
+  ~Span() { end(); }
+
+  /// Replace the args recorded with the span (e.g. once counts are known).
+  void set_args(std::string args) {
+    if (t_ != nullptr) args_ = std::move(args);
+  }
+
+  void end() {
+    if (t_ == nullptr) return;
+    t_->complete(track_, start_, std::move(name_), std::move(args_));
+    t_ = nullptr;
+  }
+
+ private:
+  Tracer* t_ = nullptr;
+  TrackId track_ = 0;
+  sim::TimePoint start_{};
+  std::string name_;
+  std::string args_;
+};
+
+}  // namespace vmig::obs

@@ -1,5 +1,7 @@
 #include "scenario/testbed.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace vmig::scenario {
 
 using namespace vmig::sim::literals;
@@ -59,6 +61,23 @@ void Testbed::prefill_disk() {
   for (std::uint64_t b = 0; b < n; ++b) {
     disk.poke_token(b, 0x5000000000000000ull + b);
   }
+}
+
+void Testbed::attach_obs(obs::Registry* registry) {
+  if (registry == nullptr) return;
+  obs::Registry& reg = *registry;
+  // The simulator can't depend on obs (it sits below it), so it is observed
+  // from outside through probes.
+  reg.probe("sim.pending_events",
+            [this] { return static_cast<double>(sim_.pending_count()); });
+  reg.probe("sim.events_processed",
+            [this] { return static_cast<double>(sim_.events_processed()); });
+  reg.probe("sim.live_roots",
+            [this] { return static_cast<double>(sim_.live_root_count()); });
+  source_->link_to(*dest_).attach_obs(reg, "net.source_to_dest");
+  dest_->link_to(*source_).attach_obs(reg, "net.dest_to_source");
+  source_->backend_for(vm_->id()).attach_obs(reg, "blk.source");
+  dest_->backend_for(vm_->id()).attach_obs(reg, "blk.dest");
 }
 
 sim::Task<void> Testbed::tpm_script(workload::Workload* wl, sim::Duration warmup,

@@ -10,6 +10,10 @@
 #include "vm/domain.hpp"
 #include "workloads/workload.hpp"
 
+namespace vmig::obs {
+class Registry;
+}  // namespace vmig::obs
+
 namespace vmig::scenario {
 
 /// The paper's experimental environment (§VI-A): two identical hosts —
@@ -51,6 +55,13 @@ class Testbed {
   /// Stamp content onto every block of the source VBD (untimed), so a
   /// migration moves a fully-populated disk as in the paper.
   void prefill_disk();
+
+  /// Register the testbed's standing metrics on `registry`: simulator
+  /// probes ("sim.*"), both link directions ("net.source_to_dest.*",
+  /// "net.dest_to_source.*"), and both guest backends ("blk.source.*",
+  /// "blk.dest.*"). Pair with cfg.obs_registry/obs_tracer for the
+  /// engine-side instruments. No-op on null.
+  void attach_obs(obs::Registry* registry);
 
   /// Drive one full experiment: run `wl` (may be null for an idle guest)
   /// for `warmup`, migrate source->dest, keep observing for `post`, stop

@@ -1,10 +1,12 @@
 #include "simcore/log.hpp"
 
 #include <cstdio>
+#include <ostream>
 
 namespace vmig::sim {
 
 LogLevel Log::level_ = LogLevel::kOff;
+std::ostream* Log::sink_ = nullptr;
 
 namespace {
 const char* level_name(LogLevel l) {
@@ -25,10 +27,22 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
+std::string Log::stamp(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "[%10.4fs]", t.to_seconds());
+  return buf;
+}
+
 void Log::write(LogLevel l, TimePoint t, const std::string& component,
                 const std::string& message) {
-  std::fprintf(stderr, "[%10.4fs] %s %s: %s\n", t.to_seconds(), level_name(l),
-               component.c_str(), message.c_str());
+  const std::string line = stamp(t) + " " + level_name(l) + " " + component +
+                           ": " + message + "\n";
+  if (sink_ != nullptr) {
+    (*sink_) << line;
+    sink_->flush();
+  } else {
+    std::fputs(line.c_str(), stderr);
+  }
 }
 
 }  // namespace vmig::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -11,18 +12,31 @@ enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError
 
 /// Minimal sim-time-stamped logger. Off by default so tests and benches stay
 /// quiet; examples turn it on to narrate the migration phases.
+///
+/// The sink is pluggable: null (the default) writes to stderr; tests inject
+/// a std::ostringstream to capture output. Timestamps come from `stamp()`,
+/// which the obs timeline exporter shares, so log lines and trace events
+/// correlate textually.
 class Log {
  public:
   static LogLevel level() noexcept { return level_; }
   static void set_level(LogLevel l) noexcept { level_ = l; }
   static bool enabled(LogLevel l) noexcept { return l >= level_; }
 
-  /// Emit one line: "[  12.345s] component: message".
+  /// Redirect output; nullptr restores the stderr default.
+  static void set_sink(std::ostream* os) noexcept { sink_ = os; }
+  static std::ostream* sink() noexcept { return sink_; }
+
+  /// Shared sim-timestamp prefix: "[   12.3456s]".
+  static std::string stamp(TimePoint t);
+
+  /// Emit one line: "[  12.3456s] INFO  component: message".
   static void write(LogLevel l, TimePoint t, const std::string& component,
                     const std::string& message);
 
  private:
   static LogLevel level_;
+  static std::ostream* sink_;
 };
 
 /// Streaming helper: LogLine(LogLevel::kInfo, now, "tpm") << "iteration " << i;

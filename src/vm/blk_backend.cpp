@@ -1,5 +1,7 @@
 #include "vm/blk_backend.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace vmig::vm {
 
 sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
@@ -10,12 +12,18 @@ sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
   }
   if (tracking_ && domain == served_) {
     dirty_.set_range(range.start, range.count);
+    if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
     if (tracking_overhead_ > sim::Duration::zero()) {
       co_await sim_.delay(tracking_overhead_);
     }
   }
   ++writes_;
   write_bytes_ += range.bytes(disk_.geometry().block_size);
+  if (obs_write_ops_ != nullptr) {
+    obs_write_ops_->add(1.0);
+    obs_write_bytes_->add(
+        static_cast<double>(range.bytes(disk_.geometry().block_size)));
+  }
   co_await disk_.write_bytes(range, bytes, storage::IoSource::kGuest);
   if (write_observer_ && domain == served_) write_observer_(range);
 }
@@ -33,17 +41,28 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
       // The paper's blkback splits the written area into 4 KB blocks and
       // sets the corresponding bits.
       dirty_.set_range(range.start, range.count);
+      if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
       if (tracking_overhead_ > sim::Duration::zero()) {
         co_await sim_.delay(tracking_overhead_);
       }
     }
     ++writes_;
     write_bytes_ += range.bytes(disk_.geometry().block_size);
+    if (obs_write_ops_ != nullptr) {
+      obs_write_ops_->add(1.0);
+      obs_write_bytes_->add(
+          static_cast<double>(range.bytes(disk_.geometry().block_size)));
+    }
     co_await disk_.write(range, storage::IoSource::kGuest);
     if (write_observer_ && domain == served_) write_observer_(range);
   } else {
     ++reads_;
     read_bytes_ += range.bytes(disk_.geometry().block_size);
+    if (obs_read_ops_ != nullptr) {
+      obs_read_ops_->add(1.0);
+      obs_read_bytes_->add(
+          static_cast<double>(range.bytes(disk_.geometry().block_size)));
+    }
     co_await disk_.read(range, storage::IoSource::kGuest);
   }
 }
@@ -60,5 +79,13 @@ core::DirtyBitmap BlkBackend::snapshot_dirty_and_reset() {
 }
 
 core::DirtyBitmap BlkBackend::snapshot_dirty() const { return dirty_; }
+
+void BlkBackend::attach_obs(obs::Registry& registry, const std::string& prefix) {
+  obs_read_ops_ = &registry.counter(prefix + ".read_ops");
+  obs_write_ops_ = &registry.counter(prefix + ".write_ops");
+  obs_read_bytes_ = &registry.counter(prefix + ".read_bytes");
+  obs_write_bytes_ = &registry.counter(prefix + ".write_bytes");
+  obs_dirty_marks_ = &registry.counter(prefix + ".dirty_marks");
+}
 
 }  // namespace vmig::vm

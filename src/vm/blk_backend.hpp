@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "core/dirty_bitmap.hpp"
@@ -9,6 +10,11 @@
 #include "simcore/task.hpp"
 #include "storage/virtual_disk.hpp"
 #include "vm/types.hpp"
+
+namespace vmig::obs {
+class Counter;
+class Registry;
+}  // namespace vmig::obs
 
 namespace vmig::vm {
 
@@ -95,6 +101,14 @@ class BlkBackend {
   std::uint64_t guest_read_bytes() const noexcept { return read_bytes_; }
   std::uint64_t guest_write_bytes() const noexcept { return write_bytes_; }
 
+  // ---- Observability ----
+
+  /// Register this backend's instruments under `prefix` ("blk.source"):
+  /// read/write op and byte counters plus the dirty-bitmap set rate. Null
+  /// pointers (the default) keep the guest I/O path allocation-free with a
+  /// single branch per request.
+  void attach_obs(obs::Registry& registry, const std::string& prefix);
+
  private:
   sim::Simulator& sim_;
   storage::VirtualDisk& disk_;
@@ -108,6 +122,11 @@ class BlkBackend {
   std::uint64_t writes_ = 0;
   std::uint64_t read_bytes_ = 0;
   std::uint64_t write_bytes_ = 0;
+  obs::Counter* obs_read_ops_ = nullptr;
+  obs::Counter* obs_write_ops_ = nullptr;
+  obs::Counter* obs_read_bytes_ = nullptr;
+  obs::Counter* obs_write_bytes_ = nullptr;
+  obs::Counter* obs_dirty_marks_ = nullptr;
 };
 
 }  // namespace vmig::vm

@@ -1,0 +1,232 @@
+// Unit tests for the obs metrics registry, histogram, and span tracer.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndDefaultsToOne) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.add();
+  c.add(41.0);
+  EXPECT_EQ(c.value(), 42.0);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, ExactMomentsOverUniformRange) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  // Integer-valued doubles sum exactly: 1+2+...+1000.
+  EXPECT_EQ(h.sum(), 500500.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(Histogram, QuantileWithinBucketResolution) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  // True p50 is 500; the log2 buckets bound the error to one power of two,
+  // so the estimate must land in [256, 512) ∪ {exact interpolation} — allow
+  // the full covering bucket.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonicAndClamped) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  double prev = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double val = h.quantile(q);
+    EXPECT_GE(val, prev) << "quantile not monotonic at q=" << q;
+    EXPECT_GE(val, h.min());
+    EXPECT_LE(val, h.max());
+    prev = val;
+  }
+}
+
+TEST(Histogram, SingleValueReportsItselfAtEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.observe(42.0);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+  EXPECT_EQ(h.quantile(0.0), 42.0);
+  EXPECT_EQ(h.quantile(0.5), 42.0);
+  EXPECT_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, ZeroAndEmptyAreWellDefined) {
+  Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram h;
+  h.observe(0.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Registry, InstrumentsAreStableAndTyped) {
+  sim::Simulator sim;
+  Registry reg{sim};
+  Counter& c = reg.counter("x.bytes");
+  EXPECT_EQ(&c, &reg.counter("x.bytes"));
+  EXPECT_EQ(reg.instrument_count(), 1u);
+  // Re-requesting a name as a different kind is a programming error.
+  EXPECT_THROW(reg.gauge("x.bytes"), std::logic_error);
+}
+
+TEST(Registry, CounterSamplesAsRate) {
+  sim::Simulator sim;
+  Registry reg{sim};
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  reg.probe("p", [] { return 7.0; });
+
+  reg.sample_now();  // t=0: first counter sample has no interval -> 0
+  c.add(100.0);
+  g.set(3.0);
+  sim.spawn(
+      [](sim::Simulator& s) -> sim::Task<void> {
+        co_await s.delay(sim::Duration::seconds(2));
+      }(sim),
+      "advance");
+  sim.run();
+  reg.sample_now();  // t=2: rate = 100 / 2s
+
+  const auto series = reg.series();
+  ASSERT_EQ(series.size(), 3u);  // registration order: c, g, p
+  EXPECT_EQ(series[0].name, "c");
+  ASSERT_EQ(series[0].data->size(), 2u);
+  EXPECT_EQ(series[0].data->points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series[0].data->points()[1].value, 50.0);
+  EXPECT_EQ(series[1].name, "g");
+  EXPECT_EQ(series[1].data->points()[1].value, 3.0);
+  EXPECT_EQ(series[2].name, "p");
+  EXPECT_EQ(series[2].data->points()[1].value, 7.0);
+}
+
+TEST(Registry, SamplerParksWhenQueueDrains) {
+  sim::Simulator sim;
+  Registry reg{sim, sim::Duration::seconds(1)};
+  reg.counter("c");
+  sim.spawn(
+      [](sim::Simulator& s) -> sim::Task<void> {
+        co_await s.delay(sim::Duration::from_seconds(3.5));
+      }(sim),
+      "workload");
+  reg.start_sampling();
+  EXPECT_TRUE(reg.sampling());
+  // Must terminate: the sampler re-arms only while other events are pending.
+  sim.run();
+  EXPECT_FALSE(reg.sampling());
+  const auto series = reg.series();
+  ASSERT_EQ(series.size(), 1u);
+  // Samples at t=0 (start), 1, 2, 3, and the parking tick at 4.
+  EXPECT_EQ(series[0].data->size(), 5u);
+  EXPECT_EQ(series[0].data->points().back().t.ns(),
+            sim::Duration::seconds(4).ns());
+}
+
+TEST(Registry, RejectsNonPositiveSampleInterval) {
+  sim::Simulator sim;
+  // interval 0 would re-arm the tick at the same instant forever.
+  Registry zero{sim, sim::Duration::nanos(0)};
+  EXPECT_THROW(zero.start_sampling(), std::invalid_argument);
+  Registry neg{sim, sim::Duration::nanos(-1)};
+  EXPECT_THROW(neg.start_sampling(), std::invalid_argument);
+  EXPECT_FALSE(neg.sampling());
+}
+
+TEST(Registry, HistogramsListedButNotSampled) {
+  sim::Simulator sim;
+  Registry reg{sim};
+  reg.histogram("h").observe(5.0);
+  reg.sample_now();
+  EXPECT_TRUE(reg.series().empty());
+  const auto hists = reg.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "h");
+  EXPECT_EQ(hists[0].second->count(), 1u);
+}
+
+TEST(Tracer, RingBufferDropsOldest) {
+  sim::Simulator sim;
+  Tracer tracer{sim, /*capacity=*/4};
+  const TrackId t = tracer.track("host", "comp");
+  for (int i = 0; i < 6; ++i) {
+    tracer.instant(t, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e2");  // oldest surviving
+  EXPECT_EQ(events.back().name, "e5");
+}
+
+TEST(Tracer, TracksDeduplicate) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId a = tracer.track("h", "x");
+  const TrackId b = tracer.track("h", "y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.track("h", "x"), a);
+  EXPECT_EQ(tracer.tracks().size(), 2u);
+}
+
+TEST(Tracer, CompleteWithExplicitEnd) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId t = tracer.track("h", "x");
+  const sim::TimePoint start = sim::TimePoint::origin() + sim::Duration::seconds(1);
+  const sim::TimePoint end = start + sim::Duration::millis(250);
+  tracer.complete(t, start, end, "span");
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start.ns(), start.ns());
+  EXPECT_EQ(events[0].dur.ns(), sim::Duration::millis(250).ns());
+}
+
+TEST(Tracer, NullSpanIsNoOp) {
+  // A Span over a null tracer must be safely inert (the disabled path).
+  Span s{nullptr, 0, "nothing"};
+  s.set_args("\"ignored\": 1");
+  s.end();
+}
+
+TEST(Tracer, SpanRecordsOnEnd) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId t = tracer.track("h", "x");
+  {
+    Span s{&tracer, t, "scoped"};
+    EXPECT_EQ(tracer.size(), 0u);  // nothing until the span ends
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.snapshot()[0].name, "scoped");
+}
+
+}  // namespace
+}  // namespace vmig::obs

@@ -10,6 +10,8 @@
 //   vmig_sim --roundtrip --dwell 600         # TPM out + incremental back
 //   vmig_sim --sparse --fullness 0.25        # §VII free-block map
 //   vmig_sim --verbose                       # narrate migration phases
+//   vmig_sim --trace out.json                # Chrome/Perfetto trace export
+//   vmig_sim --metrics out.csv               # sampled metrics time series
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,9 @@
 #include "baselines/shared_storage.hpp"
 #include "core/disruption.hpp"
 #include "core/report_io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "scenario/testbed.hpp"
 #include "simcore/log.hpp"
 #include "workloads/diabolical.hpp"
@@ -56,13 +61,17 @@ struct Options {
   bool verbose = false;
   bool json = false;
   bool progress = false;
+  std::string chrome_trace;  // --trace: Chrome trace-event JSON output
+  std::string metrics_csv;   // --metrics: sampled metrics, long-format CSV
+  std::string timeline;      // --timeline: human-readable span list
+  double metrics_interval_s = 1.0;
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "  --workload W     idle|web|stream|bonnie|build|memhog|trace (default idle)\n"
-      "  --trace FILE     I/O trace to replay (with --workload trace)\n"
+      "  --replay FILE    I/O trace to replay (with --workload trace)\n"
       "  --scheme S       tpm | freeze | shared | ondemand | delta (default tpm)\n"
       "  --disk-mib N     VBD size in MiB                  (default 39070)\n"
       "  --mem-mib N      guest memory in MiB              (default 512)\n"
@@ -77,7 +86,11 @@ void usage(const char* argv0) {
       "  --seed N         RNG seed                         (default 42)\n"
       "  --json           print the report as JSON instead of text\n"
       "  --progress       print migration phase transitions\n"
-      "  --verbose        narrate migration phases\n",
+      "  --verbose        narrate migration phases\n"
+      "  --trace FILE     write a Chrome trace-event JSON (load in Perfetto)\n"
+      "  --metrics FILE   write sampled metrics as t_seconds,metric,value CSV\n"
+      "  --metrics-interval S  metrics sampling cadence in sim-seconds (default 1)\n"
+      "  --timeline FILE  write a human-readable span timeline\n",
       argv0);
 }
 
@@ -93,8 +106,20 @@ bool parse(int argc, char** argv, Options& o) {
     };
     if (a == "--workload") {
       o.workload = need("--workload");
+    } else if (a == "--replay") {
+      o.trace_file = need("--replay");
     } else if (a == "--trace") {
-      o.trace_file = need("--trace");
+      o.chrome_trace = need("--trace");
+    } else if (a == "--metrics") {
+      o.metrics_csv = need("--metrics");
+    } else if (a == "--metrics-interval") {
+      o.metrics_interval_s = std::strtod(need("--metrics-interval"), nullptr);
+      if (!(o.metrics_interval_s > 0.0)) {
+        std::fprintf(stderr, "error: --metrics-interval must be > 0\n");
+        return false;
+      }
+    } else if (a == "--timeline") {
+      o.timeline = need("--timeline");
     } else if (a == "--scheme") {
       o.scheme = need("--scheme");
     } else if (a == "--disk-mib") {
@@ -212,6 +237,32 @@ int run_baseline(const Options& o, scenario::Testbed& tb,
   return rep.base.disk_consistent || o.scheme == "shared" ? 0 : 1;
 }
 
+/// Write whichever obs outputs were requested; returns false on I/O error.
+bool dump_obs(const Options& o, const obs::Registry* registry,
+              const obs::Tracer* tracer) {
+  const auto open = [](const std::string& path, std::ofstream& out) {
+    out.open(path);
+    if (!out) std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return static_cast<bool>(out);
+  };
+  if (!o.chrome_trace.empty()) {
+    std::ofstream out;
+    if (!open(o.chrome_trace, out)) return false;
+    obs::write_chrome_trace(out, *tracer);
+  }
+  if (!o.timeline.empty()) {
+    std::ofstream out;
+    if (!open(o.timeline, out)) return false;
+    obs::write_timeline(out, *tracer);
+  }
+  if (!o.metrics_csv.empty()) {
+    std::ofstream out;
+    if (!open(o.metrics_csv, out)) return false;
+    out << core::to_csv(*registry);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +291,21 @@ int main(int argc, char** argv) {
   cfg.skip_unused_blocks = o.sparse;
   if (o.flat_bitmap) cfg.bitmap_kind = core::BitmapKind::kFlat;
 
+  // Observability is opt-in: without any of --trace/--metrics/--timeline the
+  // engine's obs pointers stay null and the hot paths pay a single branch.
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!o.chrome_trace.empty() || !o.metrics_csv.empty() ||
+      !o.timeline.empty()) {
+    registry = std::make_unique<obs::Registry>(
+        sim, sim::Duration::from_seconds(o.metrics_interval_s));
+    tracer = std::make_unique<obs::Tracer>(sim);
+    tb.attach_obs(registry.get());
+    registry->start_sampling();
+    cfg.obs_registry = registry.get();
+    cfg.obs_tracer = tracer.get();
+  }
+
   const auto wl = make_workload(o, sim, tb.vm());
   if (o.progress) {
     tb.manager().set_progress_listener(
@@ -250,35 +316,38 @@ int main(int argc, char** argv) {
         });
   }
 
+  int rc;
   if (o.scheme != "tpm") {
-    return run_baseline(o, tb, wl.get(), cfg);
-  }
-
-  if (o.roundtrip) {
+    rc = run_baseline(o, tb, wl.get(), cfg);
+  } else if (o.roundtrip) {
     const auto [out, back] = tb.run_tpm_then_im(
         wl.get(), sim::Duration::from_seconds(o.warmup_s),
         sim::Duration::from_seconds(o.dwell_s),
         sim::Duration::from_seconds(o.post_s), cfg);
     std::printf("== outbound ==\n%s\n\n== incremental return ==\n%s\n",
                 out.str().c_str(), back.str().c_str());
-    return out.disk_consistent && back.disk_consistent ? 0 : 1;
+    rc = out.disk_consistent && back.disk_consistent ? 0 : 1;
+  } else {
+    const auto rep =
+        tb.run_tpm(wl.get(), sim::Duration::from_seconds(o.warmup_s),
+                   sim::Duration::from_seconds(o.post_s), cfg);
+    if (o.json) {
+      std::printf("%s\n", core::to_json(rep).c_str());
+    } else {
+      std::printf("%s\n", rep.str().c_str());
+      if (wl != nullptr) {
+        const auto d = core::measure_disruption(
+            wl->throughput().series(), sim::TimePoint::origin() + 10_s,
+            rep.started, rep.started, rep.synchronized, 0.8);
+        std::printf("disruption: %.1f s of %.1f s below 80%% of baseline "
+                    "(worst sample %.0f%%)\n",
+                    d.disrupted_time.to_seconds(), d.window.to_seconds(),
+                    d.worst_ratio * 100.0);
+      }
+    }
+    rc = rep.disk_consistent && rep.memory_consistent ? 0 : 1;
   }
 
-  const auto rep = tb.run_tpm(wl.get(), sim::Duration::from_seconds(o.warmup_s),
-                              sim::Duration::from_seconds(o.post_s), cfg);
-  if (o.json) {
-    std::printf("%s\n", core::to_json(rep).c_str());
-    return rep.disk_consistent && rep.memory_consistent ? 0 : 1;
-  }
-  std::printf("%s\n", rep.str().c_str());
-  if (wl != nullptr) {
-    const auto d = core::measure_disruption(
-        wl->throughput().series(), sim::TimePoint::origin() + 10_s,
-        rep.started, rep.started, rep.synchronized, 0.8);
-    std::printf("disruption: %.1f s of %.1f s below 80%% of baseline "
-                "(worst sample %.0f%%)\n",
-                d.disrupted_time.to_seconds(), d.window.to_seconds(),
-                d.worst_ratio * 100.0);
-  }
-  return rep.disk_consistent && rep.memory_consistent ? 0 : 1;
+  if (!dump_obs(o, registry.get(), tracer.get())) return 2;
+  return rc;
 }

@@ -8,10 +8,12 @@ void ImDirectory::on_migrated(const hv::Host& source, const hv::Host& dest,
   if (!writes_known) {
     // No record of what changed while the VM lived on the source: every
     // previously-known copy may be stale anywhere. Full invalidation.
+    // vmig-lint: d3-ok -- same op applied to every entry; order-free
     for (auto& [host, bm] : divergence_) {
       if (host != &source && host != &dest) bm.fill(true);
     }
   } else {
+    // vmig-lint: d3-ok -- same op applied to every entry; order-free
     for (auto& [host, bm] : divergence_) {
       if (host != &source && host != &dest) bm.or_with(writes_at_source);
     }

@@ -1,5 +1,6 @@
 #include "core/post_copy.hpp"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -144,7 +145,14 @@ void PostCopyDestination::force_complete(
     disk_.poke_token(b, source_of_truth.token(b));
   });
   transferred_.fill(false);
-  for (auto& [b, gate] : pending_) gate->open();
+  // Open the gates in block order: each open() resumes waiting coroutines,
+  // so the release order must not depend on hash-map layout.
+  std::vector<storage::BlockId> blocked;
+  blocked.reserve(pending_.size());
+  // vmig-lint: d3-ok -- keys are sorted below before any side effect
+  for (const auto& [b, gate] : pending_) blocked.push_back(b);
+  std::sort(blocked.begin(), blocked.end());
+  for (const storage::BlockId b : blocked) pending_[b]->open();
   pending_.clear();
   requested_.clear();
   if (obs_pending_) obs_pending_->set(0.0);

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <ostream>
-#include <unordered_map>
 
 #include "simcore/log.hpp"
 
@@ -58,17 +58,23 @@ std::string us(sim::Duration d) {
 }  // namespace
 
 std::string chrome_trace_json(const Tracer& tracer) {
-  // pid = 1 + first-appearance index of the process name; tid = 1 + track id
-  // (globally unique, which Perfetto accepts and keeps thread names stable).
-  std::unordered_map<std::string, int> pids;
-  std::vector<std::pair<int, const Tracer::Track*>> track_meta;
+  // pid = 1 + rank of the process name in lexicographic order — a pure
+  // function of the *set* of process names, independent of both track
+  // registration order and any hash-map layout, so exports stay
+  // byte-identical run to run. tid = 1 + track id (globally unique, which
+  // Perfetto accepts and keeps thread names stable).
+  std::vector<std::string> procs;
+  procs.reserve(tracer.tracks().size());
+  for (const auto& tk : tracer.tracks()) procs.push_back(tk.process);
+  std::sort(procs.begin(), procs.end());
+  procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+  std::map<std::string, int> pid_of;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    pid_of[procs[i]] = static_cast<int>(i) + 1;
+  }
   std::vector<int> track_pid(tracer.tracks().size(), 1);
   for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
-    const auto& tk = tracer.tracks()[i];
-    auto [it, fresh] = pids.emplace(tk.process, static_cast<int>(pids.size()) + 1);
-    track_pid[i] = it->second;
-    track_meta.emplace_back(it->second, &tk);
-    (void)fresh;
+    track_pid[i] = pid_of[tracer.tracks()[i].process];
   }
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -80,19 +86,16 @@ std::string chrome_trace_json(const Tracer& tracer) {
     out += line;
   };
 
-  // Metadata: process names (once per process), thread names (per track).
-  std::unordered_map<std::string, bool> named;
-  for (std::size_t i = 0; i < track_meta.size(); ++i) {
-    const auto& [pid, tk] = track_meta[i];
-    if (!named[tk->process]) {
-      named[tk->process] = true;
-      emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
-           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
-           escape(tk->process) + "\"}}");
-    }
+  // Metadata: process names in pid order, then thread names per track.
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(i + 1) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         escape(procs[i]) + "\"}}");
+  }
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
     emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
-         std::to_string(pid) + ",\"tid\":" + std::to_string(i + 1) +
-         ",\"args\":{\"name\":\"" + escape(tk->thread) + "\"}}");
+         std::to_string(track_pid[i]) + ",\"tid\":" + std::to_string(i + 1) +
+         ",\"args\":{\"name\":\"" + escape(tracer.tracks()[i].thread) + "\"}}");
   }
 
   for (const auto& e : tracer.snapshot()) {

@@ -2,17 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
 namespace vmig::sim {
-
-namespace {
-/// Opt-in event tracing for debugging simulations: VMIG_SIM_TRACE=1.
-bool trace_enabled() {
-  static const bool on = std::getenv("VMIG_SIM_TRACE") != nullptr;
-  return on;
-}
-}  // namespace
 
 const std::string& SpawnHandle::name() const {
   static const std::string kEmpty;
@@ -44,7 +35,7 @@ Simulator::~Simulator() {
 Simulator::TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
   if (t < now_) t = now_;
   const TimerId id = next_timer_++;
-  if (trace_enabled()) {
+  if (debug_trace_) {
     std::fprintf(stderr, "sim: schedule %llu at %.6f\n",
                  static_cast<unsigned long long>(id), t.to_seconds());
   }
@@ -60,7 +51,7 @@ Simulator::TimerId Simulator::schedule_after(Duration d, std::function<void()> f
 }
 
 bool Simulator::cancel(TimerId id) {
-  if (trace_enabled()) {
+  if (debug_trace_) {
     std::fprintf(stderr, "sim: cancel %llu\n",
                  static_cast<unsigned long long>(id));
   }
@@ -80,7 +71,7 @@ bool Simulator::step() {
     handlers_.erase(it);
     now_ = e.t;
     ++events_processed_;
-    if (trace_enabled()) {
+    if (debug_trace_) {
       std::fprintf(stderr, "sim: fire %llu at %.6f\n",
                    static_cast<unsigned long long>(e.id), now_.to_seconds());
     }

@@ -128,6 +128,12 @@ class Simulator {
   /// Number of live (unfinished) root tasks.
   std::size_t live_root_count() const;
 
+  /// Narrate every schedule/cancel/fire to stderr. Off by default; plumbed
+  /// explicitly from the CLI (`vmig_sim --sim-trace`) rather than read from
+  /// the environment, so a run's behavior is a function of its arguments.
+  void set_debug_trace(bool on) noexcept { debug_trace_ = on; }
+  bool debug_trace() const noexcept { return debug_trace_; }
+
  private:
   struct HeapEntry {
     TimePoint t;
@@ -159,6 +165,7 @@ class Simulator {
   std::exception_ptr pending_error_;
   std::uint64_t events_processed_ = 0;
   bool tearing_down_ = false;
+  bool debug_trace_ = false;
 };
 
 }  // namespace vmig::sim

@@ -1,0 +1,18 @@
+// Fixture: names that merely contain "time"/"clock" must NOT trigger D1.
+struct Time {
+  long ns = 0;
+};
+
+struct Sim {
+  Time now() const { return {}; }
+};
+
+long start_time(const Sim& s) { return s.now().ns; }
+
+long run_time(const Sim& s) { return start_time(s); }
+
+struct ClockModel {
+  long vclock(long t) const { return t; }  // member named like clock: fine
+};
+
+long use(const ClockModel& m) { return m.vclock(Time{3}.ns); }

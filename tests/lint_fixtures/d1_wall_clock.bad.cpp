@@ -1,0 +1,23 @@
+// Fixture: every wall-clock source D1 must catch. Not compiled — scanned by
+// lint_tool_test, which reads the `// expect: <rule>` markers.
+#include <chrono>
+#include <ctime>
+
+long bad_now_us() {
+  auto t = std::chrono::system_clock::now();  // expect: D1
+  auto s = std::chrono::steady_clock::now();  // expect: D1
+  (void)s;
+  return t.time_since_epoch().count();
+}
+
+long bad_epoch() { return time(nullptr); }  // expect: D1
+
+long bad_ticks() { return clock(); }  // expect: D1
+
+void bad_tod() {
+  struct timeval {
+    long tv_sec;
+    long tv_usec;
+  } tv;
+  gettimeofday(&tv, nullptr);  // expect: D1
+}

@@ -1,0 +1,20 @@
+// Fixture: ambient-randomness sources D2 must catch. Scanned by
+// lint_tool_test, which reads the `// expect: <rule>` markers.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return std::rand(); }  // expect: D2
+
+void bad_seed(unsigned s) { srand(s); }  // expect: D2
+
+unsigned bad_entropy() {
+  std::random_device rd;  // expect: D2
+  return rd();
+}
+
+int bad_engine() {
+  std::mt19937 gen;  // expect: D2
+  return static_cast<int>(gen());
+}
+
+int bad_temporary() { return static_cast<int>(std::mt19937{}()); }  // expect: D2

@@ -1,0 +1,23 @@
+// Fixture: explicitly-seeded engines and look-alike names must NOT trigger D2.
+#include <random>
+
+int seeded_brace(unsigned seed) {
+  std::mt19937 gen{seed};
+  return static_cast<int>(gen());
+}
+
+int seeded_paren(unsigned seed) {
+  std::mt19937_64 gen(seed);
+  return static_cast<int>(gen());
+}
+
+using Engine = std::mt19937;  // type alias, not a construction
+
+int via_alias(unsigned seed) {
+  Engine gen{seed};
+  return static_cast<int>(gen());
+}
+
+// Identifiers that merely contain the banned substrings are fine.
+int randomize_order(int x) { return x; }
+int strand(int x) { return randomize_order(x); }

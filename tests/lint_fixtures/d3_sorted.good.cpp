@@ -1,0 +1,32 @@
+// Fixture: ordered containers and sort-before-iterate patterns must NOT
+// trigger D3 (except the explicitly-suppressed collection loop).
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Exporter {
+  std::map<std::string, int> ordered_;
+  std::unordered_map<std::string, int> counts_;
+
+  int sum_ordered() const {
+    int total = 0;
+    for (const auto& [k, v] : ordered_) total += v;  // std::map: fine
+    return total;
+  }
+
+  std::vector<std::string> sorted_keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(counts_.size());
+    // vmig-lint: d3-ok -- keys are sorted below before any output
+    for (const auto& [k, v] : counts_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  int lookup(const std::string& k) const {
+    const auto it = counts_.find(k);  // point lookups are order-free: fine
+    return it == counts_.end() ? 0 : it->second;
+  }
+};

@@ -1,0 +1,29 @@
+// Fixture: iteration over unordered containers D3 must catch, including a
+// map declared in one scope and iterated in another. Scanned by
+// lint_tool_test, which reads the `// expect: <rule>` markers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<std::string, int> pids_;
+  std::unordered_set<int> live_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [name, pid] : pids_) total += pid;  // expect: D3
+    return total;
+  }
+
+  int count() const {
+    int n = 0;
+    for (auto it = live_.begin(); it != live_.end(); ++it) ++n;  // expect: D3
+    return n;
+  }
+};
+
+int free_fn(const Registry& r) {
+  int total = 0;
+  for (const auto& [name, pid] : r.pids_) total += pid;  // expect: D3
+  return total;
+}

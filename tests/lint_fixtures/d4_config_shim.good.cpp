@@ -1,0 +1,10 @@
+// Fixture: this file plays the role of the allow-listed config shim; the
+// self-test passes `--allow-getenv d4_config_shim`, so its getenv calls
+// must NOT be reported.
+#include <cstdlib>
+#include <string>
+
+std::string config_from_env(const char* key) {
+  const char* v = std::getenv(key);
+  return v == nullptr ? std::string{} : std::string{v};
+}

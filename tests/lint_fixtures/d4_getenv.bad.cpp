@@ -1,0 +1,9 @@
+// Fixture: environment reads outside the config shim D4 must catch. Scanned
+// by lint_tool_test, which reads the `// expect: <rule>` markers.
+#include <cstdlib>
+
+bool trace_enabled() {
+  return std::getenv("VMIG_TRACE") != nullptr;  // expect: D4
+}
+
+const char* home() { return getenv("HOME"); }  // expect: D4

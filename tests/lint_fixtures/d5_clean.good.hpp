@@ -1,0 +1,19 @@
+#pragma once
+
+// Fixture: idiomatic header hygiene must NOT trigger D5.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+class Buffer {
+ public:
+  Buffer() : data_(std::make_unique<std::vector<char>>(64)) {}
+  Buffer(const Buffer&) = delete;             // deleted fn, not raw delete
+  Buffer& operator=(const Buffer&) = delete;  // deleted fn, not raw delete
+
+ private:
+  std::unique_ptr<std::vector<char>> data_;
+};
+
+}  // namespace fixture

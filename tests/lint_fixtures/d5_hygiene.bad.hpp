@@ -1,0 +1,14 @@
+// expect: D5 -- header missing #pragma once (reported on line 1)
+// Fixture: header-hygiene violations D5 must catch. Scanned by
+// lint_tool_test, which reads the `// expect: <rule>` markers.
+#include <string>
+
+using namespace std;  // expect: D5
+
+struct Buffer {
+  Buffer() : data_(new char[64]) {}  // expect: D5
+  ~Buffer() { delete[] data_; }  // expect: D5
+
+ private:
+  char* data_;
+};

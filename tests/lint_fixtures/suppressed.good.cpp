@@ -1,0 +1,38 @@
+// Fixture: every rule violated, every violation carrying a justified
+// suppression — the file must lint clean. Exercises both same-line and
+// standalone-comment-above suppression placement.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> g_counts;
+
+long stamp() {
+  // Pretend this is a debug-only path that genuinely wants host time.
+  return std::chrono::system_clock::now()  // vmig-lint: d1-ok -- debug only
+      .time_since_epoch()
+      .count();
+}
+
+int entropy() {
+  // vmig-lint: d2-ok -- fixture demonstrates suppression on the line above
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int total() {
+  int n = 0;
+  for (const auto& [k, v] : g_counts) n += v;  // vmig-lint: d3-ok -- order-free sum
+  return n;
+}
+
+bool flag() {
+  return std::getenv("FIXTURE_FLAG") != nullptr;  // vmig-lint: d4-ok -- fixture
+}
+
+void churn() {
+  int* p = new int{7};  // vmig-lint: d5-ok -- fixture
+  delete p;  // vmig-lint: d5-ok -- fixture
+}

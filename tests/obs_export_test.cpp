@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -313,6 +314,61 @@ TEST(ObsExport, ReadStallHistogramReconcilesWithReport) {
   // And the trace carries the corresponding read_stall spans + pulls.
   EXPECT_NE(r.trace_json.find("\"name\":\"read_stall\""), std::string::npos);
   EXPECT_NE(r.trace_json.find("\"name\":\"pull_request\""), std::string::npos);
+}
+
+/// process name -> pid, parsed from the exporter's process_name metadata.
+std::map<std::string, int> pid_map(const std::string& json) {
+  std::map<std::string, int> m;
+  const std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  for (std::size_t pos = 0; (pos = json.find(meta, pos)) != std::string::npos;
+       ++pos) {
+    std::size_t p = pos + meta.size();
+    int pid = 0;
+    while (p < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[p]))) {
+      pid = pid * 10 + (json[p++] - '0');
+    }
+    const std::string key = "\"name\":\"";
+    const auto name_at = json.find(key, p);
+    const auto name_end = json.find('"', name_at + key.size());
+    m.emplace(json.substr(name_at + key.size(),
+                          name_end - name_at - key.size()),
+              pid);
+  }
+  return m;
+}
+
+TEST(ObsExport, ProcessPidsIndependentOfTrackInsertionOrder) {
+  // The same (process, thread) population registered in two different
+  // orders must map process names to the same pids: pid assignment is a
+  // function of the name set, not of registration order or hash layout.
+  sim::Simulator sim;
+  obs::Tracer a{sim};
+  const auto a_tpm = a.track("source", "tpm");
+  const auto a_pc = a.track("dest", "postcopy");
+  const auto a_blk = a.track("source", "blk");
+  obs::Tracer b{sim};
+  const auto b_blk = b.track("source", "blk");
+  const auto b_pc = b.track("dest", "postcopy");
+  const auto b_tpm = b.track("source", "tpm");
+  for (auto* t : {&a, &b}) {
+    t->instant(t == &a ? a_tpm : b_tpm, "begin");
+    t->instant(t == &a ? a_pc : b_pc, "pull");
+    t->instant(t == &a ? a_blk : b_blk, "write");
+  }
+
+  const std::string ja = obs::chrome_trace_json(a);
+  const std::string jb = obs::chrome_trace_json(b);
+  ASSERT_TRUE(JsonAcceptor{ja}.accepts());
+  ASSERT_TRUE(JsonAcceptor{jb}.accepts());
+
+  const auto pa = pid_map(ja);
+  const auto pb = pid_map(jb);
+  ASSERT_EQ(pa.size(), 2u);
+  EXPECT_EQ(pa, pb);
+  // Lexicographic rank: "dest" < "source".
+  EXPECT_EQ(pa.at("dest"), 1);
+  EXPECT_EQ(pa.at("source"), 2);
 }
 
 TEST(ObsExport, TimelineUsesSharedLogStamp) {

@@ -176,7 +176,11 @@ TEST(Tracer, RingBufferDropsOldest) {
   Tracer tracer{sim, /*capacity=*/4};
   const TrackId t = tracer.track("host", "comp");
   for (int i = 0; i < 6; ++i) {
-    tracer.instant(t, "e" + std::to_string(i));
+    // Built in two steps: `"e" + std::to_string(i)` trips GCC 12's
+    // -Wrestrict false positive (PR105651) under -O2.
+    std::string name{"e"};
+    name += std::to_string(i);
+    tracer.instant(t, std::move(name));
   }
   EXPECT_EQ(tracer.size(), 4u);
   EXPECT_EQ(tracer.dropped(), 2u);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace vmig::sim {
@@ -25,6 +26,37 @@ TEST(SimulatorTest, EventsFireInTimeOrder) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), TimePoint::origin() + 30_ms);
+}
+
+TEST(SimulatorTest, DebugTraceIsExplicitAndOffByDefault) {
+  // The scheduler narration used to hang off getenv("VMIG_SIM_TRACE");
+  // it is now an explicit, plumbable switch so behavior is a function of
+  // program arguments alone.
+  Simulator sim;
+  EXPECT_FALSE(sim.debug_trace());
+
+  testing::internal::CaptureStderr();
+  sim.schedule_after(1_ms, [] {});
+  sim.run();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  sim.set_debug_trace(true);
+  EXPECT_TRUE(sim.debug_trace());
+  testing::internal::CaptureStderr();
+  const auto id = sim.schedule_after(1_ms, [] {});
+  sim.cancel(id);
+  sim.schedule_after(2_ms, [] {});
+  sim.run();
+  const std::string narration = testing::internal::GetCapturedStderr();
+  EXPECT_NE(narration.find("sim: schedule"), std::string::npos);
+  EXPECT_NE(narration.find("sim: cancel"), std::string::npos);
+  EXPECT_NE(narration.find("sim: fire"), std::string::npos);
+
+  sim.set_debug_trace(false);
+  testing::internal::CaptureStderr();
+  sim.schedule_after(1_ms, [] {});
+  sim.run();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 TEST(SimulatorTest, SameTimeFiresInInsertionOrder) {

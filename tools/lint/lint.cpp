@@ -1,0 +1,504 @@
+// vmig_lint core: token-level determinism & hygiene checks.
+//
+// The scanner deliberately avoids a real C++ frontend: it scrubs comments
+// and literals, tokenizes what remains, and pattern-matches rule violations
+// on the token stream. That is enough to catch every construct the rules
+// target, costs nothing to build, and keeps the tool dependency-free. The
+// price is a small false-positive surface, which the per-line suppression
+// syntax (`// vmig-lint: d3-ok -- justification`) covers.
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+
+namespace vmig::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Source text with comments and string/char literals blanked to spaces
+/// (newlines preserved, so offsets and line numbers survive), plus the
+/// comment text per line for suppression parsing.
+struct Scrubbed {
+  std::string code;
+  std::vector<std::string> comments;    // comment text on each 1-based line
+  std::vector<bool> code_blank;         // line has no code outside comments
+};
+
+Scrubbed scrub(const std::string& in) {
+  Scrubbed out;
+  out.code.assign(in.size(), ' ');
+  const auto line_count =
+      static_cast<std::size_t>(std::count(in.begin(), in.end(), '\n')) + 2;
+  out.comments.assign(line_count, std::string{});
+  out.code_blank.assign(line_count, true);
+
+  enum class State { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      if (st == State::kLine) st = State::kCode;
+      continue;
+    }
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && n == '/') {
+          st = State::kLine;
+        } else if (c == '/' && n == '*') {
+          st = State::kBlock;
+          ++i;
+        } else if (c == '"' && i > 0 && in[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t p = i + 1;
+          std::string d;
+          while (p < in.size() && in[p] != '(') d += in[p++];
+          raw_delim = ")" + d + "\"";
+          st = State::kRaw;
+        } else if (c == '"') {
+          st = State::kStr;
+        } else if (c == '\'' && i > 0 && ident_char(in[i - 1]) &&
+                   ident_char(n)) {
+          // Digit separator (1'000'000) — part of a numeric literal.
+          out.code[i] = ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+        } else {
+          out.code[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            out.code_blank[line] = false;
+          }
+        }
+        break;
+      case State::kLine:
+        out.comments[line] += c;
+        break;
+      case State::kBlock:
+        out.comments[line] += c;
+        if (c == '*' && n == '/') {
+          st = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kStr:
+        if (c == '\\') {
+          ++i;
+          if (i < in.size() && in[i] == '\n') ++line;
+        } else if (c == '"') {
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        } else if (c == '\n') {
+          ++line;  // unreachable (handled above) but kept for clarity
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> toks;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      toks.push_back({"::", i});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), i});
+    ++i;
+  }
+  return toks;
+}
+
+/// Offset -> 1-based line number.
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& s) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+  int line_of(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<int>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Rules suppressed on each line: `// vmig-lint: d1-ok d3-ok -- why`.
+/// A comment-only line extends its suppressions to the next line.
+std::map<int, std::set<std::string>> suppressions(const Scrubbed& s) {
+  std::map<int, std::set<std::string>> by_line;
+  for (std::size_t ln = 1; ln < s.comments.size(); ++ln) {
+    const std::string c = lower(s.comments[ln]);
+    const auto tag = c.find("vmig-lint:");
+    if (tag == std::string::npos) continue;
+    std::set<std::string> rules;
+    for (std::size_t i = tag; i + 4 < c.size(); ++i) {
+      if (c[i] == 'd' && std::isdigit(static_cast<unsigned char>(c[i + 1])) != 0 &&
+          c.compare(i + 2, 3, "-ok") == 0) {
+        rules.insert(std::string("D") + c[i + 1]);
+      }
+    }
+    if (rules.empty()) continue;
+    by_line[static_cast<int>(ln)].insert(rules.begin(), rules.end());
+    if (s.code_blank[ln]) {
+      // Standalone suppression comment: applies to the line below.
+      by_line[static_cast<int>(ln) + 1].insert(rules.begin(), rules.end());
+    }
+  }
+  return by_line;
+}
+
+bool path_matches(const std::string& path, const std::vector<std::string>& list) {
+  return std::any_of(list.begin(), list.end(), [&](const std::string& s) {
+    return !s.empty() && path.find(s) != std::string::npos;
+  });
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h") || path.ends_with(".hh");
+}
+
+struct RuleInfo {
+  const char* id;
+  const char* rationale;
+};
+
+constexpr std::array<RuleInfo, 5> kRules{{
+    {"D1",
+     "wall-clock reads break replay determinism; derive all time from the "
+     "simulator clock (sim::Simulator::now)"},
+    {"D2",
+     "ambient randomness makes runs irreproducible; draw from the "
+     "explicitly-seeded sim::Rng instead"},
+    {"D3",
+     "hash-map iteration order depends on allocator/layout and leaks into "
+     "exports and reports; use an ordered container, sort before iterating, "
+     "or suppress with a justification"},
+    {"D4",
+     "environment reads smuggle configuration past the CLI and replay "
+     "layers; plumb options explicitly (allow-listed config shims only)"},
+    {"D5",
+     "hygiene: headers need #pragma once, no using-namespace at header "
+     "scope, no raw new/delete outside allow-listed files (use RAII)"},
+}};
+
+const char* rationale_of(const std::string& id) {
+  for (const auto& r : kRules) {
+    if (id == r.id) return r.rationale;
+  }
+  return "";
+}
+
+class Scanner {
+ public:
+  Scanner(const std::string& path, const std::string& content,
+          const Options& opts)
+      : path_{path},
+        opts_{opts},
+        scrubbed_{scrub(content)},
+        toks_{tokenize(scrubbed_.code)},
+        lines_{scrubbed_.code},
+        suppr_{suppressions(scrubbed_)} {}
+
+  std::vector<Finding> run() {
+    scan_wall_clock();
+    scan_randomness();
+    scan_unordered_iteration();
+    scan_getenv();
+    scan_hygiene();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  const std::string& tok(std::size_t i) const {
+    static const std::string kEnd;
+    return i < toks_.size() ? toks_[i].text : kEnd;
+  }
+
+  void add(const std::string& rule, std::size_t offset, std::string message) {
+    const int line = lines_.line_of(offset);
+    const auto it = suppr_.find(line);
+    if (it != suppr_.end() && it->second.count(rule) > 0) return;
+    findings_.push_back({path_, line, rule, std::move(message),
+                         rationale_of(rule)});
+  }
+
+  // D1 — no wall-clock time sources.
+  void scan_wall_clock() {
+    static const std::set<std::string> kAlways{
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime",
+        "utc_clock",     "file_clock"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (kAlways.count(t) > 0) {
+        add("D1", toks_[i].offset, "wall-clock source '" + t + "'");
+      } else if ((t == "time" || t == "clock") && tok(i + 1) == "(") {
+        add("D1", toks_[i].offset, "wall-clock call '" + t + "()'");
+      }
+    }
+  }
+
+  // D2 — no ambient nondeterminism.
+  void scan_randomness() {
+    static const std::set<std::string> kAlways{
+        "random_device", "srand", "srandom", "rand_r", "drand48"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (kAlways.count(t) > 0) {
+        add("D2", toks_[i].offset, "nondeterministic source '" + t + "'");
+      } else if ((t == "rand" || t == "random") && tok(i + 1) == "(") {
+        add("D2", toks_[i].offset, "nondeterministic call '" + t + "()'");
+      } else if (t == "mt19937" || t == "mt19937_64") {
+        scan_mt19937_at(i);
+      }
+    }
+  }
+
+  /// Flag default-constructed engines: `mt19937 g;`, `mt19937{}`,
+  /// `mt19937()`. Seeded forms (`mt19937 g{seed}`, `mt19937(seed)`) pass;
+  /// type aliases and template arguments are ignored.
+  void scan_mt19937_at(std::size_t i) {
+    std::size_t j = i + 1;
+    if (ident_start(tok(j).empty() ? '\0' : tok(j)[0])) ++j;  // variable name
+    const std::string& a = tok(j);
+    const bool unseeded =
+        (a == ";" && j > i + 1) ||
+        (a == "(" && tok(j + 1) == ")") || (a == "{" && tok(j + 1) == "}");
+    if (unseeded) {
+      add("D2", toks_[i].offset,
+          "default-constructed '" + toks_[i].text +
+              "' (seed it from the experiment seed)");
+    }
+  }
+
+  // D3 — no iteration over unordered containers.
+  void scan_unordered_iteration() {
+    const auto& names = opts_.unordered_names;
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      // Range-for: `for (` <decl> `:` <expr> `)` — flag when the last
+      // identifier of <expr> names an unordered container.
+      if (toks_[i].text == "for" && tok(i + 1) == "(") {
+        std::size_t j = i + 2;
+        int depth = 1;
+        bool range_for = false;
+        for (; j < toks_.size() && depth > 0; ++j) {
+          const std::string& t = toks_[j].text;
+          if (t == "(") ++depth;
+          else if (t == ")") --depth;
+          else if (t == ";" && depth == 1) break;  // classic for
+          else if (t == ":" && depth == 1) {
+            range_for = true;
+            break;
+          }
+        }
+        if (!range_for) continue;
+        std::size_t last_ident = 0;
+        bool have = false;
+        for (std::size_t k = j + 1; k < toks_.size(); ++k) {
+          const std::string& t = toks_[k].text;
+          if (t == "(") ++depth;
+          if (t == ")") {
+            if (depth == 1) break;
+            --depth;
+          }
+          if (ident_start(t[0])) {
+            last_ident = k;
+            have = true;
+          }
+        }
+        if (have && names.count(toks_[last_ident].text) > 0) {
+          add("D3", toks_[last_ident].offset,
+              "range-for over unordered container '" +
+                  toks_[last_ident].text + "'");
+        }
+      }
+      // Iterator loop: `name.begin()` / `name.cbegin()` on an unordered name.
+      if (names.count(toks_[i].text) > 0 &&
+          (tok(i + 1) == "." || tok(i + 1) == "->") &&
+          (tok(i + 2) == "begin" || tok(i + 2) == "cbegin")) {
+        add("D3", toks_[i].offset,
+            "iterator walk over unordered container '" + toks_[i].text + "'");
+      }
+    }
+  }
+
+  // D4 — no getenv outside the config-shim allowlist.
+  void scan_getenv() {
+    if (path_matches(path_, opts_.getenv_allowlist)) return;
+    for (const auto& t : toks_) {
+      if (t.text == "getenv" || t.text == "secure_getenv") {
+        add("D4", t.offset, "environment read '" + t.text + "'");
+      }
+    }
+  }
+
+  // D5 — hygiene.
+  void scan_hygiene() {
+    if (is_header(path_)) {
+      bool pragma_once = false;
+      for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+        if (toks_[i].text == "#" && tok(i + 1) == "pragma" &&
+            tok(i + 2) == "once") {
+          pragma_once = true;
+          break;
+        }
+      }
+      if (!pragma_once) add("D5", 0, "header missing '#pragma once'");
+      for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+        if (toks_[i].text == "using" && tok(i + 1) == "namespace") {
+          add("D5", toks_[i].offset, "'using namespace' in a header");
+        }
+      }
+    }
+    if (!path_matches(path_, opts_.new_delete_allowlist)) {
+      for (std::size_t i = 0; i < toks_.size(); ++i) {
+        const std::string& t = toks_[i].text;
+        if (t == "new") {
+          add("D5", toks_[i].offset, "raw 'new' (prefer make_unique/RAII)");
+        } else if (t == "delete" && (i == 0 || toks_[i - 1].text != "=")) {
+          // `= delete;` declares a deleted function and is fine.
+          add("D5", toks_[i].offset, "raw 'delete' (prefer RAII ownership)");
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  const Options& opts_;
+  Scrubbed scrubbed_;
+  std::vector<Token> toks_;
+  LineIndex lines_;
+  std::map<int, std::set<std::string>> suppr_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = [] {
+    std::vector<std::string> v;
+    for (const auto& r : kRules) v.emplace_back(r.id);
+    return v;
+  }();
+  return kIds;
+}
+
+std::string rule_rationale(const std::string& rule) {
+  return rationale_of(rule);
+}
+
+std::set<std::string> collect_unordered_names(const std::string& content) {
+  // Declarations look like `std::unordered_map<K, V> name...;` — find the
+  // container keyword, skip the template argument list by angle-bracket
+  // depth, and take the next identifier. Misses exotic spellings (aliases,
+  // decltype) by design; those need an explicit suppression at the loop.
+  std::set<std::string> names;
+  const Scrubbed s = scrub(content);
+  const auto toks = tokenize(s.code);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set" &&
+        toks[i].text != "unordered_multimap" &&
+        toks[i].text != "unordered_multiset") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      else if (toks[j].text == ">") {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      } else if (toks[j].text == ";") {
+        break;  // malformed / not a declaration
+      }
+    }
+    // Skip ref/pointer/cv decorations so parameter names are caught too.
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                               toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && !toks[j].text.empty() &&
+        ident_start(toks[j].text[0])) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+std::vector<Finding> lint_content(const std::string& path,
+                                  const std::string& content,
+                                  const Options& opts) {
+  return Scanner{path, content, opts}.run();
+}
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ":" + f.rule + ": " +
+         f.message + " (" + f.rationale + ")";
+}
+
+}  // namespace vmig::lint

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vmig::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;       ///< "D1".."D5"
+  std::string message;    ///< what was found, with the offending token
+  std::string rationale;  ///< why the rule exists (printed with the finding)
+};
+
+/// Tunables for one lint pass.
+struct Options {
+  /// Identifiers declared anywhere in the scanned tree as
+  /// std::unordered_map / std::unordered_set variables or members (D3).
+  std::set<std::string> unordered_names;
+  /// Path substrings allowed to call getenv — the config shim(s) (D4).
+  std::vector<std::string> getenv_allowlist;
+  /// Path substrings allowed raw new/delete (D5).
+  std::vector<std::string> new_delete_allowlist;
+};
+
+/// Rule ids in report order.
+const std::vector<std::string>& rule_ids();
+
+/// One-line rationale for a rule id ("D1".."D5"); empty for unknown ids.
+std::string rule_rationale(const std::string& rule);
+
+/// Pass 1 over one file: identifiers declared with an unordered container
+/// type, e.g. `std::unordered_map<K, V> pending_;` yields "pending_".
+std::set<std::string> collect_unordered_names(const std::string& content);
+
+/// Pass 2 over one file: all findings, sorted by (line, rule). Findings on
+/// lines carrying a `// vmig-lint: <rule>-ok` comment (or directly below a
+/// comment-only line carrying one) are suppressed.
+std::vector<Finding> lint_content(const std::string& path,
+                                  const std::string& content,
+                                  const Options& opts);
+
+/// Machine-readable single-line form: `file:line:rule: message (rationale)`.
+std::string format_finding(const Finding& f);
+
+}  // namespace vmig::lint

@@ -1,0 +1,160 @@
+// vmig_lint — determinism & hygiene static analysis for the vmig tree.
+//
+//   vmig_lint [options] PATH...
+//
+// Walks every C++ source file under the given paths and enforces the
+// determinism rules documented in docs/DETERMINISM.md. Two passes: the
+// first collects every identifier declared as an unordered container
+// anywhere in the tree (so a map declared in a header is caught when a
+// .cpp iterates it); the second scans each file for violations.
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using vmig::lint::Finding;
+using vmig::lint::Options;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] PATH...\n"
+      "  --exclude S       skip files whose path contains S (repeatable)\n"
+      "  --allow-getenv S  allow getenv in files whose path contains S\n"
+      "  --allow-new S     allow raw new/delete in files matching S\n"
+      "  --list-rules      print the rule set and exit\n"
+      "  -h, --help        this message\n"
+      "suppress a finding in source with: // vmig-lint: <rule>-ok -- why\n",
+      argv0);
+}
+
+void list_rules() {
+  for (const auto& id : vmig::lint::rule_ids()) {
+    std::printf("%s: %s\n", id.c_str(), vmig::lint::rule_rationale(id).c_str());
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".ipp";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in{p, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> excludes;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--exclude") {
+      excludes.emplace_back(need("--exclude"));
+    } else if (a == "--allow-getenv") {
+      opts.getenv_allowlist.emplace_back(need("--allow-getenv"));
+    } else if (a == "--allow-new") {
+      opts.new_delete_allowlist.emplace_back(need("--allow-new"));
+    } else if (a == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // Gather the file list, sorted so reports are stable across filesystems.
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      if (lintable(root)) files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "error: no such path '%s'\n", root.c_str());
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it{root, ec}, end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        std::fprintf(stderr, "error: walking '%s': %s\n", root.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::erase_if(files, [&](const std::string& f) {
+    return std::any_of(excludes.begin(), excludes.end(),
+                       [&](const std::string& s) {
+                         return f.find(s) != std::string::npos;
+                       });
+  });
+
+  // Pass 1: unordered-container names, tree-wide.
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
+  for (const auto& f : files) {
+    std::string text;
+    if (!read_file(f, text)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", f.c_str());
+      return 2;
+    }
+    const auto names = vmig::lint::collect_unordered_names(text);
+    opts.unordered_names.insert(names.begin(), names.end());
+    contents.emplace_back(f, std::move(text));
+  }
+
+  // Pass 2: lint each file.
+  std::size_t violations = 0;
+  for (const auto& [file, text] : contents) {
+    for (const Finding& f : vmig::lint::lint_content(file, text, opts)) {
+      std::printf("%s\n", vmig::lint::format_finding(f).c_str());
+      ++violations;
+    }
+  }
+  std::fprintf(stderr, "vmig_lint: %zu violation(s) in %zu file(s)\n",
+               violations, contents.size());
+  return violations == 0 ? 0 : 1;
+}

@@ -61,6 +61,7 @@ struct Options {
   bool verbose = false;
   bool json = false;
   bool progress = false;
+  bool sim_trace = false;  // --sim-trace: narrate scheduler events to stderr
   std::string chrome_trace;  // --trace: Chrome trace-event JSON output
   std::string metrics_csv;   // --metrics: sampled metrics, long-format CSV
   std::string timeline;      // --timeline: human-readable span list
@@ -87,6 +88,7 @@ void usage(const char* argv0) {
       "  --json           print the report as JSON instead of text\n"
       "  --progress       print migration phase transitions\n"
       "  --verbose        narrate migration phases\n"
+      "  --sim-trace      narrate scheduler events (schedule/cancel/fire)\n"
       "  --trace FILE     write a Chrome trace-event JSON (load in Perfetto)\n"
       "  --metrics FILE   write sampled metrics as t_seconds,metric,value CSV\n"
       "  --metrics-interval S  metrics sampling cadence in sim-seconds (default 1)\n"
@@ -150,6 +152,8 @@ bool parse(int argc, char** argv, Options& o) {
       o.progress = true;
     } else if (a == "--verbose") {
       o.verbose = true;
+    } else if (a == "--sim-trace") {
+      o.sim_trace = true;
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -274,6 +278,7 @@ int main(int argc, char** argv) {
   if (o.verbose) sim::Log::set_level(sim::LogLevel::kInfo);
 
   sim::Simulator sim;
+  sim.set_debug_trace(o.sim_trace);
   scenario::TestbedConfig bed;
   bed.vbd_mib = o.disk_mib;
   bed.guest_mem_mib = o.mem_mib;

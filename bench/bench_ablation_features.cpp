@@ -93,7 +93,7 @@ void multihost_demo() {
           for (int i = 0; i < 3; ++i) {
             co_await sim.delay(300_s);
             const auto rep =
-                co_await mgr.migrate(guest, *hops[i].from, *hops[i].to);
+                (co_await mgr.migrate({.domain = &guest, .from = hops[i].from, .to = hops[i].to})).report;
             std::printf("    %-7s-> %-7s %-11s disk=%8.1f MiB total=%6.1f s %s\n",
                         hops[i].from->name().c_str(),
                         hops[i].to->name().c_str(),

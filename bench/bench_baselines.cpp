@@ -7,6 +7,7 @@
 //   TPM              -> short downtime, whole disk, finite dependency
 
 #include <cstdio>
+#include <string_view>
 
 #include "baselines/delta_forward.hpp"
 #include "baselines/freeze_and_copy.hpp"
@@ -23,8 +24,9 @@ using namespace vmig::sim::literals;
 namespace {
 
 // A smaller VBD keeps freeze-and-copy's (deliberately awful) downtime and
-// the bench runtime readable; every scheme sees the same scenario.
-constexpr std::uint64_t kVbdMib = 8192;
+// the bench runtime readable; every scheme sees the same scenario. CI smoke
+// runs pass --quick to shrink it further.
+std::uint64_t g_vbd_mib = 8192;
 
 struct Line {
   const char* method;
@@ -40,7 +42,7 @@ struct Line {
 
 scenario::TestbedConfig bed_config() {
   scenario::TestbedConfig cfg;
-  cfg.vbd_mib = kVbdMib;
+  cfg.vbd_mib = g_vbd_mib;
   return cfg;
 }
 
@@ -70,10 +72,18 @@ Line from_base(const core::MigrationReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--quick") {
+      g_vbd_mib = 512;  // CI smoke: same claims, seconds instead of minutes
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
   bench::header("§II comparison", "TPM vs related-work migration schemes");
   std::printf("  scenario: %llu MiB VBD, 512 MiB RAM, GbE, web workload\n",
-              static_cast<unsigned long long>(kVbdMib));
+              static_cast<unsigned long long>(g_vbd_mib));
 
   std::vector<Line> lines;
 
@@ -82,8 +92,7 @@ int main() {
     core::MigrationReport rep;
     sim.spawn([](scenario::Testbed& tb, core::MigrationReport& out)
                   -> sim::Task<void> {
-      out = co_await tb.manager().migrate(tb.vm(), tb.source(), tb.dest(),
-                                          tb.paper_migration_config());
+      out = (co_await tb.manager().migrate({.domain = &tb.vm(), .from = &tb.source(), .to = &tb.dest(), .config = tb.paper_migration_config()})).report;
     }(tb, rep));
     sim.run_for(3600_s);
     return from_base(rep);

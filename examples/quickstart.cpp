@@ -55,7 +55,7 @@ int main() {
          hv::Host& office, hv::Host& lab, core::MigrationReport& report,
          bool& stop) -> sim::Task<void> {
         co_await sim.delay(5_s);  // the guest does some work first
-        report = co_await mgr.migrate(guest, office, lab);
+        report = (co_await mgr.migrate({.domain = &guest, .from = &office, .to = &lab})).report;
         co_await sim.delay(5_s);  // ... and keeps running at the lab
         stop = true;
       }(sim, mgr, guest, office, lab, report, stop),

@@ -25,7 +25,7 @@ sim::Task<void> week(sim::Simulator& sim, core::MigrationManager& mgr,
   hv::Host* other = &home;
   for (int day = 1; day <= 4; ++day) {
     co_await sim.delay(1200_s);  // a (compressed) working day
-    const auto rep = co_await mgr.migrate(guest, *at, *other);
+    const auto rep = (co_await mgr.migrate({.domain = &guest, .from = at, .to = other})).report;
     const double disk_mib =
         static_cast<double>(rep.bytes_disk_first_pass +
                             rep.bytes_disk_retransfer + rep.bytes_postcopy_push +

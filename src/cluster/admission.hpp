@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hypervisor/host.hpp"
+
+namespace vmig::cluster {
+
+/// Concurrency caps the admission controller enforces. A migration occupies
+/// one slot at its source host, one at its destination host, and one on the
+/// directed (source, destination) link for its whole duration. Any cap set
+/// to zero or negative means unlimited.
+///
+/// The defaults are deliberately conservative: concurrent pre-copy streams
+/// out of one host share its physical disk and NIC, so each stream's
+/// transfer rate drops while the guests' dirty rates do not — push
+/// per-source parallelism too high and every stream hits the dirty-rate
+/// abort instead of converging (the self-destruction the paper's §IV-B
+/// proactive stop detects).
+struct AdmissionCaps {
+  int per_source = 1;  ///< concurrent migrations out of one host
+  int per_dest = 2;    ///< concurrent migrations into one host
+  int per_link = 1;    ///< concurrent migrations on one directed link
+  int total = 8;       ///< concurrent migrations cluster-wide
+};
+
+/// Slot accounting for in-flight migrations, keyed by host *name* (names
+/// are unique within a deployment and give deterministic ordering, unlike
+/// pointers). Purely synchronous bookkeeping — the orchestrator decides
+/// when to re-test admissibility.
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(AdmissionCaps caps = {}) : caps_{caps} {}
+
+  /// Would launching (from -> to) respect every cap right now?
+  bool admissible(const hv::Host& from, const hv::Host& to) const;
+  /// Occupy the slots for (from -> to). Caller must have checked
+  /// admissible() — acquire does not re-verify.
+  void acquire(const hv::Host& from, const hv::Host& to);
+  /// Release the slots taken by acquire().
+  void release(const hv::Host& from, const hv::Host& to);
+
+  int inflight() const noexcept { return total_; }
+  int inflight_from(const hv::Host& h) const { return lookup(by_source_, h.name()); }
+  int inflight_to(const hv::Host& h) const { return lookup(by_dest_, h.name()); }
+  const AdmissionCaps& caps() const noexcept { return caps_; }
+
+ private:
+  static std::string link_key(const hv::Host& from, const hv::Host& to) {
+    return from.name() + "->" + to.name();
+  }
+  static int lookup(const std::map<std::string, int>& m, const std::string& k);
+
+  AdmissionCaps caps_;
+  int total_ = 0;
+  std::map<std::string, int> by_source_;
+  std::map<std::string, int> by_dest_;
+  std::map<std::string, int> by_link_;
+};
+
+}  // namespace vmig::cluster

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "simcore/time.hpp"
+
+namespace vmig::cluster {
+
+/// Retry budget and exponential backoff for failed migration attempts
+/// (link disruptions, non-convergence aborts).
+///
+/// Deliberately jitter-free: backoff windows are a pure function of the
+/// attempt number, so a cluster run is byte-identical across executions.
+/// In a simulated cluster the thundering-herd problem jitter solves does
+/// not exist — the admission controller already serializes contending jobs.
+struct RetryPolicy {
+  /// Total attempts per job (first try included). A job whose last attempt
+  /// fails with attempts == max_attempts goes to JobState::kFailed.
+  int max_attempts = 3;
+  sim::Duration initial_backoff = sim::Duration::seconds(2);
+  double multiplier = 2.0;
+  sim::Duration max_backoff = sim::Duration::minutes(2);
+
+  /// Backoff before retry number `failed_attempts + 1`:
+  /// initial * multiplier^(failed_attempts - 1), capped at max_backoff.
+  sim::Duration backoff_after(int failed_attempts) const {
+    sim::Duration d = initial_backoff;
+    for (int i = 1; i < failed_attempts; ++i) {
+      d = d.scaled(multiplier);
+      if (d >= max_backoff) return max_backoff;
+    }
+    return d < max_backoff ? d : max_backoff;
+  }
+};
+
+}  // namespace vmig::cluster

@@ -1,0 +1,75 @@
+#include "cluster/evacuation.hpp"
+
+#include <cstdint>
+
+namespace vmig::cluster {
+
+namespace {
+
+std::uint64_t mem_mib(const vm::Domain& d) {
+  return d.memory().total_bytes() / (1024ull * 1024ull);
+}
+
+struct Candidate {
+  hv::Host* host = nullptr;
+  std::uint64_t planned_domains = 0;  ///< resident + already assigned here
+  std::uint64_t planned_mem_mib = 0;  ///< memory load tie-breaker
+};
+
+bool lighter(const Candidate& a, const Candidate& b) {
+  if (a.planned_domains != b.planned_domains) {
+    return a.planned_domains < b.planned_domains;
+  }
+  if (a.planned_mem_mib != b.planned_mem_mib) {
+    return a.planned_mem_mib < b.planned_mem_mib;
+  }
+  return a.host->name() < b.host->name();
+}
+
+}  // namespace
+
+std::vector<EvacuationPlanner::Assignment> EvacuationPlanner::plan(
+    hv::Host& from, const std::vector<hv::Host*>& dests) {
+  std::vector<Candidate> candidates;
+  for (hv::Host* d : dests) {
+    if (d == nullptr || d == &from || !from.connected_to(*d)) continue;
+    Candidate c;
+    c.host = d;
+    c.planned_domains = d->domains().size();
+    for (const vm::Domain* resident : d->domains()) {
+      c.planned_mem_mib += mem_mib(*resident);
+    }
+    candidates.push_back(c);
+  }
+
+  std::vector<Assignment> out;
+  if (candidates.empty()) return out;
+  for (vm::Domain* d : from.domains()) {
+    Candidate* best = &candidates.front();
+    for (Candidate& c : candidates) {
+      if (lighter(c, *best)) best = &c;
+    }
+    out.push_back(Assignment{d, best->host});
+    ++best->planned_domains;
+    best->planned_mem_mib += mem_mib(*d);
+  }
+  return out;
+}
+
+std::vector<core::MigrationRequest> EvacuationPlanner::requests(
+    hv::Host& from, const std::vector<hv::Host*>& dests,
+    const core::MigrationConfig& cfg, int priority) {
+  std::vector<core::MigrationRequest> out;
+  for (const Assignment& a : plan(from, dests)) {
+    core::MigrationRequest r;
+    r.domain = a.domain;
+    r.from = &from;
+    r.to = a.to;
+    r.config = cfg;
+    r.priority = priority;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace vmig::cluster

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/migration_config.hpp"
+#include "core/migration_request.hpp"
+#include "hypervisor/host.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::cluster {
+
+/// Plans the drain of one host: assigns every resident domain a destination
+/// chosen by free capacity, and emits one MigrationRequest per domain.
+///
+/// Capacity model: each destination starts with its currently-resident
+/// domain count (plus guest memory as a tie-breaker) and accumulates the
+/// evacuees already planned onto it, so an 8-VM drain over two equal
+/// destinations splits 4/4 rather than dog-piling the first. Deterministic:
+/// domains are assigned in attachment order; destination ties break by host
+/// name.
+class EvacuationPlanner {
+ public:
+  struct Assignment {
+    vm::Domain* domain = nullptr;
+    hv::Host* to = nullptr;
+  };
+
+  /// Destinations not connected to `from` are skipped. Returns one
+  /// assignment per domain resident on `from` (empty if no destination is
+  /// usable).
+  static std::vector<Assignment> plan(hv::Host& from,
+                                      const std::vector<hv::Host*>& dests);
+
+  /// The plan as submittable requests, all sharing `cfg` and `priority`.
+  static std::vector<core::MigrationRequest> requests(
+      hv::Host& from, const std::vector<hv::Host*>& dests,
+      const core::MigrationConfig& cfg, int priority = 0);
+};
+
+}  // namespace vmig::cluster

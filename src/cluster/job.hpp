@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/migration_request.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::cluster {
+
+/// Stable handle to a submitted migration job (index into the orchestrator's
+/// job table, in submission order).
+using JobId = std::uint32_t;
+
+/// Orchestrator-side lifecycle of a job. `kPending` covers both "waiting for
+/// an admission slot" and "waiting out a retry backoff window".
+enum class JobState : std::uint8_t {
+  kPending,
+  kRunning,
+  kCompleted,
+  kFailed,
+};
+
+const char* to_string(JobState s);
+
+/// One queued migration and everything the orchestrator knows about it:
+/// the request itself plus scheduling, retry, and outcome state.
+struct MigrationJob {
+  JobId id = 0;
+  core::MigrationRequest request{};
+  JobState state = JobState::kPending;
+  /// Migration attempts launched so far (the outcome's `attempts` mirrors
+  /// this once the job is terminal).
+  int attempts = 0;
+  /// Times a scheduling policy passed over this job while it was eligible
+  /// (workload-cycle-aware deferral); bounded by the orchestrator's
+  /// max_deferrals, after which the job is forced through.
+  int deferrals = 0;
+  sim::TimePoint submitted{};
+  /// Backoff gate: the job may not launch before this instant.
+  sim::TimePoint next_eligible{};
+  /// When the job reached a terminal state.
+  sim::TimePoint finished{};
+  /// The last attempt's outcome (partial reports on failed attempts).
+  core::MigrationOutcome outcome{};
+
+  bool terminal() const noexcept {
+    return state == JobState::kCompleted || state == JobState::kFailed;
+  }
+};
+
+}  // namespace vmig::cluster

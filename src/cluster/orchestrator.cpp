@@ -1,0 +1,328 @@
+#include "cluster/orchestrator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hypervisor/host.hpp"
+#include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "vm/blk_backend.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::cluster {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}  // namespace
+
+Orchestrator::Orchestrator(sim::Simulator& sim, core::MigrationManager& mgr,
+                           OrchestratorConfig cfg)
+    : sim_{sim},
+      mgr_{mgr},
+      cfg_{cfg},
+      admission_{cfg.caps},
+      policy_{make_policy(cfg.policy, cfg.max_deferrals)},
+      wake_{sim} {
+  if (cfg_.registry != nullptr) {
+    m_submitted_ = &cfg_.registry->counter("cluster.jobs_submitted");
+    m_completed_ = &cfg_.registry->counter("cluster.jobs_completed");
+    m_failed_ = &cfg_.registry->counter("cluster.jobs_failed");
+    m_retries_ = &cfg_.registry->counter("cluster.retries");
+    m_deferrals_ = &cfg_.registry->counter("cluster.deferrals");
+    m_running_ = &cfg_.registry->gauge("cluster.running");
+    m_pending_ = &cfg_.registry->gauge("cluster.pending");
+  }
+  tracer_ = cfg_.tracer;
+  if (tracer_ != nullptr) trk_ = tracer_->track("cluster", "orchestrator");
+}
+
+JobId Orchestrator::submit(core::MigrationRequest req) {
+  if (req.domain == nullptr || req.from == nullptr || req.to == nullptr) {
+    throw std::invalid_argument{"cluster: submit with null domain or host"};
+  }
+  if (!req.from->connected_to(*req.to)) {
+    throw std::invalid_argument{"cluster: hosts '" + req.from->name() +
+                                "' and '" + req.to->name() +
+                                "' are not connected"};
+  }
+
+  const JobId id = static_cast<JobId>(jobs_.size());
+  MigrationJob j;
+  j.id = id;
+  j.request = std::move(req);
+  j.submitted = sim_.now();
+  j.next_eligible = sim_.now();
+  jobs_.push_back(std::move(j));
+
+  // A cycle-aware scheduler needs to watch each queued domain's write rate
+  // before its migration starts, so switch the block-bitmap on at submit.
+  // Safe even when the eventual pass must be a full copy: the manager's
+  // pairwise-validity guard decides full-vs-incremental independently of
+  // who enabled tracking.
+  MigrationJob& job = jobs_.back();
+  if (cfg_.policy == SchedulePolicyKind::kWorkloadCycleAware) {
+    vm::BlkBackend& be = job.request.from->backend_for(job.request.domain->id());
+    if (!be.tracking()) {
+      be.start_write_tracking(job.request.config.bitmap_kind);
+      be.set_tracking_overhead(job.request.config.tracking_overhead);
+    }
+    // The policy judges each job by its measured write rate, so give the
+    // sampler one poll window before the job first becomes launchable:
+    // prime the sample now, measure the delta at next_eligible.
+    job.next_eligible = sim_.now() + cfg_.poll_interval;
+    RateSample& rs = rates_[job.request.domain->id()];
+    rs.primed = true;
+    rs.count = be.dirty_marks_total();
+    rs.at = sim_.now();
+  }
+
+  if (m_submitted_ != nullptr) m_submitted_->add(1.0);
+  if (m_pending_ != nullptr) {
+    m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(trk_, "job_submitted",
+                     "\"job\":" + std::to_string(id) + ",\"domain\":\"" +
+                         job.request.domain->name() + "\"");
+  }
+  wake_.notify_all();
+  return id;
+}
+
+std::vector<JobId> Orchestrator::submit_evacuation(
+    hv::Host& from, const std::vector<hv::Host*>& dests,
+    const core::MigrationConfig& cfg, int priority) {
+  std::vector<JobId> ids;
+  for (core::MigrationRequest& r :
+       EvacuationPlanner::requests(from, dests, cfg, priority)) {
+    ids.push_back(submit(std::move(r)));
+  }
+  return ids;
+}
+
+sim::Task<void> Orchestrator::run() {
+  while (terminal_ < jobs_.size()) {
+    expire_deadlines();
+    if (terminal_ == jobs_.size()) break;
+    sample_dirty_rates();
+    const bool deferred = launch_ready();
+    if (terminal_ == jobs_.size()) break;
+
+    sim::TimePoint next = next_pending_event();
+    if (deferred) {
+      next = std::min(next, sim_.now() + cfg_.poll_interval);
+    }
+    if (next != sim::TimePoint::max()) arm_wakeup(next);
+    co_await wake_.wait();
+  }
+  if (wake_armed_) {
+    sim_.cancel(wake_timer_);
+    wake_armed_ = false;
+  }
+}
+
+void Orchestrator::drain() {
+  sim_.spawn(run());
+  sim_.run();
+}
+
+sim::Task<void> Orchestrator::job_runner(JobId id) {
+  // `jobs_` is a deque: the reference stays valid across later submits.
+  MigrationJob& j = jobs_[id];
+  core::MigrationRequest req = j.request;
+  // Jobs that carry no observability of their own inherit the
+  // orchestrator's, so every TPM phase span lands in one trace.
+  if (req.config.obs_registry == nullptr) req.config.obs_registry = cfg_.registry;
+  if (req.config.obs_tracer == nullptr) req.config.obs_tracer = cfg_.tracer;
+
+  obs::Span span{tracer_, trk_,
+                 "job " + req.domain->name() + " -> " + req.to->name(),
+                 "\"job\":" + std::to_string(id) +
+                     ",\"attempt\":" + std::to_string(j.attempts)};
+  core::MigrationOutcome out = co_await mgr_.migrate(std::move(req));
+  span.set_args("\"job\":" + std::to_string(id) +
+                ",\"attempt\":" + std::to_string(j.attempts) + ",\"status\":\"" +
+                core::to_string(out.status) + "\"");
+  span.end();
+  on_finished(id, std::move(out));
+}
+
+void Orchestrator::on_finished(JobId id, core::MigrationOutcome outcome) {
+  MigrationJob& j = jobs_[id];
+  admission_.release(*j.request.from, *j.request.to);
+  --running_;
+  outcome.attempts = j.attempts;
+  j.outcome = std::move(outcome);
+
+  if (j.outcome.status == core::MigrationStatus::kCompleted) {
+    mark_terminal(j, JobState::kCompleted);
+  } else if (j.attempts < cfg_.retry.max_attempts) {
+    // Clean engine abort (link disruption / non-convergence): back off
+    // exponentially and requeue. The guest kept running at the source the
+    // whole time, so a retry is always safe.
+    j.state = JobState::kPending;
+    j.next_eligible = sim_.now() + cfg_.retry.backoff_after(j.attempts);
+    ++retries_;
+    if (m_retries_ != nullptr) m_retries_->add(1.0);
+    if (tracer_ != nullptr) {
+      tracer_->instant(trk_, "job_retry_scheduled",
+                       "\"job\":" + std::to_string(id) + ",\"attempt\":" +
+                           std::to_string(j.attempts) + ",\"status\":\"" +
+                           core::to_string(j.outcome.status) + "\"");
+    }
+  } else {
+    mark_terminal(j, JobState::kFailed);
+  }
+
+  if (m_running_ != nullptr) m_running_->set(running_);
+  if (m_pending_ != nullptr) {
+    m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
+  }
+  wake_.notify_all();
+}
+
+bool Orchestrator::launch_ready() {
+  bool deferred = false;
+  for (;;) {
+    std::vector<JobView> eligible;
+    for (const MigrationJob& j : jobs_) {
+      if (j.state != JobState::kPending) continue;
+      if (j.next_eligible > sim_.now()) continue;
+      if (!admission_.admissible(*j.request.from, *j.request.to)) continue;
+      eligible.push_back(view_of(j));
+    }
+    if (eligible.empty()) return deferred;
+
+    const std::size_t pick = policy_->pick(eligible);
+    if (pick == SchedulerPolicy::kDefer) {
+      // The policy looked at every launchable job and chose to wait for a
+      // cooler workload cycle; note the pass-over on each one so the
+      // forced-through budget eventually unblocks a permanently-hot VM.
+      for (const JobView& v : eligible) ++jobs_[v.job->id].deferrals;
+      ++deferrals_;
+      if (m_deferrals_ != nullptr) m_deferrals_->add(1.0);
+      return true;
+    }
+
+    MigrationJob& j = jobs_[eligible[pick].job->id];
+    admission_.acquire(*j.request.from, *j.request.to);
+    j.state = JobState::kRunning;
+    ++j.attempts;
+    ++running_;
+    peak_running_ = std::max(peak_running_, running_);
+    if (m_running_ != nullptr) m_running_->set(running_);
+    if (m_pending_ != nullptr) {
+      m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
+    }
+    sim_.spawn(job_runner(j.id));
+  }
+}
+
+void Orchestrator::expire_deadlines() {
+  for (MigrationJob& j : jobs_) {
+    if (j.state != JobState::kPending) continue;
+    if (j.request.deadline <= sim::Duration::zero()) continue;
+    if (sim_.now() < j.submitted + j.request.deadline) continue;
+    j.outcome.status = core::MigrationStatus::kDeadlineExpired;
+    j.outcome.attempts = j.attempts;
+    mark_terminal(j, JobState::kFailed);
+    if (m_pending_ != nullptr) {
+      m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
+    }
+  }
+}
+
+void Orchestrator::sample_dirty_rates() {
+  for (const MigrationJob& j : jobs_) {
+    if (j.state != JobState::kPending) continue;
+    const vm::DomainId d = j.request.domain->id();
+    const vm::BlkBackend& be = j.request.from->backend_for(d);
+    // Marks (not set-bits): a guest rewriting one hot window keeps a flat
+    // set-bit count but a high re-dirty rate, and re-dirtying is exactly
+    // what defeats pre-copy convergence.
+    const std::uint64_t count = be.tracking() ? be.dirty_marks_total() : 0;
+
+    RateSample& rs = rates_[d];
+    if (!rs.primed || count < rs.count) {
+      // First observation, or tracking restarted (a migration attempt ran
+      // in between): re-prime rather than report a bogus negative rate.
+      rs.primed = true;
+      rs.blocks_per_s = 0.0;
+    } else if (sim_.now() > rs.at) {
+      rs.blocks_per_s = static_cast<double>(count - rs.count) /
+                        (sim_.now() - rs.at).to_seconds();
+    }
+    rs.count = count;
+    rs.at = sim_.now();
+  }
+}
+
+JobView Orchestrator::view_of(const MigrationJob& j) const {
+  JobView v;
+  v.job = &j;
+  v.dirty_blocks = dirty_blocks_of(j);
+  if (auto it = rates_.find(j.request.domain->id()); it != rates_.end()) {
+    v.dirty_blocks_per_s = it->second.blocks_per_s;
+  }
+  const net::Link& link = j.request.from->link_to(*j.request.to);
+  const auto& geo = j.request.from->vbd_for(j.request.domain->id()).geometry();
+  v.link_blocks_per_s =
+      link.params().bandwidth_mibps * kMiB / static_cast<double>(geo.block_size);
+  return v;
+}
+
+std::uint64_t Orchestrator::dirty_blocks_of(const MigrationJob& j) const {
+  const vm::BlkBackend& be = j.request.from->backend_for(j.request.domain->id());
+  if (be.tracking()) return be.dirty_block_count();
+  // Nothing tracked: the first pass copies the whole device.
+  return j.request.from->vbd_for(j.request.domain->id()).geometry().block_count;
+}
+
+void Orchestrator::arm_wakeup(sim::TimePoint t) {
+  if (wake_armed_ && wake_at_ <= t) return;
+  if (wake_armed_) sim_.cancel(wake_timer_);
+  wake_armed_ = true;
+  wake_at_ = t;
+  wake_timer_ = sim_.schedule_at(t, [this] {
+    wake_armed_ = false;
+    wake_.notify_all();
+  });
+}
+
+sim::TimePoint Orchestrator::next_pending_event() const {
+  sim::TimePoint next = sim::TimePoint::max();
+  for (const MigrationJob& j : jobs_) {
+    if (j.state != JobState::kPending) continue;
+    if (j.next_eligible > sim_.now()) next = std::min(next, j.next_eligible);
+    if (j.request.deadline > sim::Duration::zero()) {
+      const sim::TimePoint dl = j.submitted + j.request.deadline;
+      if (dl > sim_.now()) next = std::min(next, dl);
+    }
+  }
+  return next;
+}
+
+void Orchestrator::mark_terminal(MigrationJob& j, JobState state) {
+  j.state = state;
+  j.finished = sim_.now();
+  completion_order_.push_back(j.id);
+  ++terminal_;
+  if (state == JobState::kCompleted) {
+    ++completed_;
+    if (m_completed_ != nullptr) m_completed_->add(1.0);
+  } else {
+    ++failed_;
+    if (m_failed_ != nullptr) m_failed_->add(1.0);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(trk_, "job_terminal",
+                     "\"job\":" + std::to_string(j.id) + ",\"state\":\"" +
+                         to_string(j.state) + "\",\"status\":\"" +
+                         core::to_string(j.outcome.status) + "\"");
+  }
+}
+
+}  // namespace vmig::cluster

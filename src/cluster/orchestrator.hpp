@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/admission.hpp"
+#include "cluster/backoff.hpp"
+#include "cluster/evacuation.hpp"
+#include "cluster/job.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/migration_manager.hpp"
+#include "simcore/notifier.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig::obs {
+class Counter;
+class Gauge;
+class Registry;
+class Tracer;
+}  // namespace vmig::obs
+
+namespace vmig::cluster {
+
+/// Orchestrator tunables: the admission caps, retry policy, scheduling
+/// policy, and observability sinks shared by every job.
+struct OrchestratorConfig {
+  AdmissionCaps caps{};
+  RetryPolicy retry{};
+  SchedulePolicyKind policy = SchedulePolicyKind::kFifo;
+  /// Cadence at which dirty rates are re-sampled and a deferring policy is
+  /// re-evaluated (also the granularity of deadline expiry while idle).
+  sim::Duration poll_interval = sim::Duration::millis(500);
+  /// Deferral budget per job for WorkloadCycleAwarePolicy; once exceeded
+  /// the job is forced through regardless of its dirty rate.
+  int max_deferrals = 64;
+  /// When set, the orchestrator registers cluster.* metrics / emits per-job
+  /// spans, and injects both sinks into every job config that has none —
+  /// so each job's TPM phase spans land in the same trace.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Cluster migration orchestrator: accepts a queue of MigrationRequests and
+/// drives every one to a terminal state across N hosts — admission-
+/// controlled concurrency (per source, per destination, per link), a
+/// pluggable scheduling policy, and retry with exponential backoff on
+/// clean engine aborts (link disruption, non-convergence).
+///
+/// Single-threaded and deterministic like everything above the simulator:
+/// the same job set on the same seed yields byte-identical completion
+/// order, outcomes, and exported traces.
+///
+/// Lifetime: declare after the Simulator and MigrationManager and keep
+/// alive until the simulator drains; run() and the per-job runners are root
+/// tasks referencing this object.
+///
+/// Usage:
+///   Orchestrator orch{sim, mgr, {.caps = {...}, .policy = ...}};
+///   orch.submit({.domain = &vm, .from = &a, .to = &b, .config = cfg});
+///   orch.submit_evacuation(doomed, {&h1, &h2}, cfg);
+///   orch.drain();               // or: sim.spawn(orch.run()); sim.run();
+class Orchestrator {
+ public:
+  Orchestrator(sim::Simulator& sim, core::MigrationManager& mgr,
+               OrchestratorConfig cfg = {});
+
+  /// Enqueue one migration. Throws std::invalid_argument on a null
+  /// domain/from/to or an unconnected host pair. May be called while run()
+  /// is active (e.g. from a workload script reacting to events).
+  JobId submit(core::MigrationRequest req);
+
+  /// Plan a drain of `from` over the connected `dests` by free capacity
+  /// (EvacuationPlanner) and submit every resulting job.
+  std::vector<JobId> submit_evacuation(hv::Host& from,
+                                       const std::vector<hv::Host*>& dests,
+                                       const core::MigrationConfig& cfg,
+                                       int priority = 0);
+
+  /// Drive all submitted jobs to a terminal state; returns when the queue
+  /// is empty and no attempt is in flight. Spawn as a root task.
+  sim::Task<void> run();
+
+  /// Convenience: spawn run() and run the simulator until it goes idle.
+  void drain();
+
+  // ---- Introspection (stable across run()) ----
+  const MigrationJob& job(JobId id) const { return jobs_.at(id); }
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+  bool all_terminal() const noexcept { return terminal_ == jobs_.size(); }
+  /// Jobs in the order they reached a terminal state (completed or failed).
+  const std::vector<JobId>& completion_order() const noexcept {
+    return completion_order_;
+  }
+  std::uint64_t jobs_completed() const noexcept { return completed_; }
+  std::uint64_t jobs_failed() const noexcept { return failed_; }
+  /// Attempts re-enqueued through the backoff layer.
+  std::uint64_t retries() const noexcept { return retries_; }
+  /// Times a policy passed over an eligible job set (cycle-aware deferral).
+  std::uint64_t deferrals() const noexcept { return deferrals_; }
+  /// High-water mark of concurrently-running migrations.
+  int peak_running() const noexcept { return peak_running_; }
+  const AdmissionControl& admission() const noexcept { return admission_; }
+
+ private:
+  sim::Task<void> job_runner(JobId id);
+  void on_finished(JobId id, core::MigrationOutcome outcome);
+  /// Launch every job the caps and policy allow right now. Returns true if
+  /// at least one launched.
+  bool launch_ready();
+  /// Fail pending jobs whose deadline has passed.
+  void expire_deadlines();
+  /// Update per-domain dirty-rate samples for pending jobs.
+  void sample_dirty_rates();
+  JobView view_of(const MigrationJob& j) const;
+  std::uint64_t dirty_blocks_of(const MigrationJob& j) const;
+  /// Arm (or tighten) the wakeup timer to fire at `t`.
+  void arm_wakeup(sim::TimePoint t);
+  /// Next instant a pending job's backoff or deadline needs service, or
+  /// TimePoint::max() if none.
+  sim::TimePoint next_pending_event() const;
+  void mark_terminal(MigrationJob& j, JobState state);
+
+  sim::Simulator& sim_;
+  core::MigrationManager& mgr_;
+  OrchestratorConfig cfg_;
+  AdmissionControl admission_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+
+  std::deque<MigrationJob> jobs_;  ///< indexed by JobId; references stable
+  std::vector<JobId> completion_order_;
+  std::size_t terminal_ = 0;
+  int running_ = 0;
+  int peak_running_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t deferrals_ = 0;
+
+  /// Dirty-rate sampler state, keyed by domain id (ordered: deterministic).
+  struct RateSample {
+    sim::TimePoint at{};
+    std::uint64_t count = 0;
+    double blocks_per_s = 0.0;
+    bool primed = false;
+  };
+  std::map<vm::DomainId, RateSample> rates_;
+
+  sim::Notifier wake_;
+  bool wake_armed_ = false;
+  sim::TimePoint wake_at_{};
+  sim::Simulator::TimerId wake_timer_ = 0;
+
+  // Observability (null = off).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_deferrals_ = nullptr;
+  obs::Gauge* m_running_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;  ///< "cluster/orchestrator" track
+};
+
+}  // namespace vmig::cluster

@@ -1,0 +1,86 @@
+#include "cluster/scheduler.hpp"
+
+namespace vmig::cluster {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    default:
+      return "failed";
+  }
+}
+
+namespace {
+
+/// Queue order shared by every policy's tie-breaking: priority descending,
+/// then submission (job id) ascending.
+bool queue_before(const JobView& a, const JobView& b) {
+  if (a.job->request.priority != b.job->request.priority) {
+    return a.job->request.priority > b.job->request.priority;
+  }
+  return a.job->id < b.job->id;
+}
+
+}  // namespace
+
+std::size_t FifoPolicy::pick(const std::vector<JobView>& eligible) {
+  if (eligible.empty()) return kDefer;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < eligible.size(); ++i) {
+    if (queue_before(eligible[i], eligible[best])) best = i;
+  }
+  return best;
+}
+
+std::size_t SmallestDirtyFirstPolicy::pick(
+    const std::vector<JobView>& eligible) {
+  if (eligible.empty()) return kDefer;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < eligible.size(); ++i) {
+    if (eligible[i].dirty_blocks < eligible[best].dirty_blocks ||
+        (eligible[i].dirty_blocks == eligible[best].dirty_blocks &&
+         queue_before(eligible[i], eligible[best]))) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool WorkloadCycleAwarePolicy::too_hot(const JobView& v) {
+  if (v.link_blocks_per_s <= 0.0) return false;
+  return v.dirty_blocks_per_s >=
+         v.job->request.config.disk_dirty_rate_abort_ratio *
+             v.link_blocks_per_s;
+}
+
+std::size_t WorkloadCycleAwarePolicy::pick(
+    const std::vector<JobView>& eligible) {
+  std::size_t best = kDefer;
+  // Cool jobs first, in queue order; a job deferred past the budget is
+  // treated as cool (forced through), so a permanently-hot VM still runs.
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const bool forced = eligible[i].job->deferrals >= max_deferrals_;
+    if (too_hot(eligible[i]) && !forced) continue;
+    if (best == kDefer || queue_before(eligible[i], eligible[best])) best = i;
+  }
+  return best;
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(SchedulePolicyKind kind,
+                                             int max_deferrals) {
+  switch (kind) {
+    case SchedulePolicyKind::kSmallestDirtyFirst:
+      return std::make_unique<SmallestDirtyFirstPolicy>();
+    case SchedulePolicyKind::kWorkloadCycleAware:
+      return std::make_unique<WorkloadCycleAwarePolicy>(max_deferrals);
+    default:
+      return std::make_unique<FifoPolicy>();
+  }
+}
+
+}  // namespace vmig::cluster

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/job.hpp"
+
+namespace vmig::cluster {
+
+/// Everything a scheduling policy may consider about one eligible job.
+/// The orchestrator computes these snapshots right before each pick, so
+/// policies stay pure ranking functions (trivial to test in isolation).
+struct JobView {
+  const MigrationJob* job = nullptr;
+  /// Blocks a migration launched now would move in its first pass: the
+  /// source backend's tracked dirty count, or the whole VBD when nothing
+  /// (or no longer anything valid) is tracked.
+  std::uint64_t dirty_blocks = 0;
+  /// Recent dirty rate of the domain, in blocks/second, sampled from the
+  /// block-bitmap over the orchestrator's poll interval (0 until two
+  /// samples exist).
+  double dirty_blocks_per_s = 0.0;
+  /// What the (from -> to) link can carry, in blocks/second.
+  double link_blocks_per_s = 0.0;
+};
+
+/// Pluggable job-selection policy. The orchestrator presents every job that
+/// is pending, past its backoff window, and admissible under the current
+/// caps; the policy returns the index of the job to launch, or kDefer to
+/// launch nothing for now (re-evaluated after the poll interval or the next
+/// job completion). Policies must be deterministic functions of the views.
+class SchedulerPolicy {
+ public:
+  static constexpr std::size_t kDefer = std::numeric_limits<std::size_t>::max();
+
+  virtual ~SchedulerPolicy() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t pick(const std::vector<JobView>& eligible) = 0;
+};
+
+/// Strict queue order: highest priority first, then submission order.
+class FifoPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::size_t pick(const std::vector<JobView>& eligible) override;
+};
+
+/// Shortest-job-first on the block-bitmap: launch the job with the smallest
+/// dirty set (= least data to move), so quick wins free their admission
+/// slots early. Priority still dominates; ties break by submission order.
+class SmallestDirtyFirstPolicy : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "smallest-dirty"; }
+  std::size_t pick(const std::vector<JobView>& eligible) override;
+};
+
+/// Workload-cycle-aware deferral (the Baruchi et al. insight): a VM whose
+/// recent dirty rate would outrun its link's transfer rate cannot converge —
+/// launching it now burns bandwidth until the §IV-B proactive stop fires.
+/// Defer such jobs until their workload cycle cools down (dirty rate back
+/// under `abort_ratio x link rate`, the same ratio the engine's dirty-rate
+/// abort uses, taken from each job's own MigrationConfig). Cool jobs launch
+/// in FIFO order; a job deferred more than the orchestrator's max_deferrals
+/// is forced through regardless, so a never-idle VM still migrates
+/// (post-copy absorbs what pre-copy cannot).
+class WorkloadCycleAwarePolicy : public SchedulerPolicy {
+ public:
+  explicit WorkloadCycleAwarePolicy(int max_deferrals = 64)
+      : max_deferrals_{max_deferrals} {}
+  const char* name() const override { return "workload-cycle"; }
+  std::size_t pick(const std::vector<JobView>& eligible) override;
+
+  /// True if the view's dirty rate exceeds its config's abort ratio times
+  /// the link rate — i.e. launching now would trigger the dirty-rate abort.
+  static bool too_hot(const JobView& v);
+
+ private:
+  int max_deferrals_;
+};
+
+enum class SchedulePolicyKind : std::uint8_t {
+  kFifo,
+  kSmallestDirtyFirst,
+  kWorkloadCycleAware,
+};
+
+std::unique_ptr<SchedulerPolicy> make_policy(SchedulePolicyKind kind,
+                                             int max_deferrals = 64);
+
+}  // namespace vmig::cluster

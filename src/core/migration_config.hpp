@@ -30,6 +30,14 @@ struct MigrationConfig {
   /// fraction of blocks transferred in it, the dirty rate is outrunning the
   /// transfer rate and further iterations cannot converge.
   double disk_dirty_rate_abort_ratio = 0.9;
+  /// When the proactive stop fires: false (the paper's behavior) proceeds to
+  /// freeze-and-copy anyway, leaving the large residue to post-copy; true
+  /// aborts the migration cleanly *before* suspending — the VM keeps running
+  /// on the source and the caller gets MigrationStatus::kNonConvergent. The
+  /// cluster orchestrator sets this so a hot VM can be retried or deferred
+  /// to a cooler point in its workload cycle instead of eating a long
+  /// post-copy degradation.
+  bool abort_on_non_convergence = false;
   /// CPU cost the user-space migration daemon (blkd) pays per MiB moved
   /// through it — /proc copies, context switches, protocol work. Applied on
   /// both the sending and receiving side. Zero by default; the calibrated
@@ -84,6 +92,105 @@ struct MigrationConfig {
   /// byte counters.
   obs::Registry* obs_registry = nullptr;
   obs::Tracer* obs_tracer = nullptr;
+
+  class Builder;
+  /// Entry point of the fluent builder:
+  ///   auto cfg = MigrationConfig::build()
+  ///                  .bitmap(BitmapKind::kFlat)
+  ///                  .rate_limit(30.0)
+  ///                  .abort_on_non_convergence()
+  ///                  .done();
+  static Builder build();
 };
+
+/// Chainable construction of a MigrationConfig. Each setter returns *this,
+/// so call sites state every tunable in one expression instead of mutating
+/// the struct field-by-field; `done()` yields the value. The builder covers
+/// the knobs call sites actually vary — everything else keeps its default
+/// (the struct's fields stay public for exhaustive tweaking).
+class MigrationConfig::Builder {
+ public:
+  Builder() = default;
+
+  Builder& bitmap(BitmapKind k) {
+    cfg_.bitmap_kind = k;
+    return *this;
+  }
+  Builder& disk_chunk_blocks(std::uint32_t n) {
+    cfg_.disk_chunk_blocks = n;
+    return *this;
+  }
+  Builder& disk_iterations(int max_iterations,
+                           std::uint64_t residual_target_blocks) {
+    cfg_.disk_max_iterations = max_iterations;
+    cfg_.disk_residual_target_blocks = residual_target_blocks;
+    return *this;
+  }
+  Builder& dirty_rate_abort_ratio(double r) {
+    cfg_.disk_dirty_rate_abort_ratio = r;
+    return *this;
+  }
+  Builder& abort_on_non_convergence(bool on = true) {
+    cfg_.abort_on_non_convergence = on;
+    return *this;
+  }
+  Builder& blkd_cpu_per_mib(sim::Duration d) {
+    cfg_.blkd_cpu_per_mib = d;
+    return *this;
+  }
+  Builder& mem_iterations(int max_iterations,
+                          std::uint64_t residual_target_pages) {
+    cfg_.mem_max_iterations = max_iterations;
+    cfg_.mem_residual_target_pages = residual_target_pages;
+    return *this;
+  }
+  /// MiB/s; <= 0 disables shaping. `include_postcopy` extends the limit
+  /// past the pre-copy phases.
+  Builder& rate_limit(double mibps, bool include_postcopy = false) {
+    cfg_.rate_limit_mibps = mibps;
+    cfg_.rate_limit_postcopy = include_postcopy;
+    return *this;
+  }
+  Builder& push_chunk_blocks(std::uint32_t n) {
+    cfg_.push_chunk_blocks = n;
+    return *this;
+  }
+  Builder& postcopy_pull(bool enabled) {
+    cfg_.postcopy_pull_enabled = enabled;
+    return *this;
+  }
+  Builder& overheads(sim::Duration suspend, sim::Duration resume) {
+    cfg_.suspend_overhead = suspend;
+    cfg_.resume_overhead = resume;
+    return *this;
+  }
+  Builder& track_for_incremental(bool on) {
+    cfg_.track_for_incremental = on;
+    return *this;
+  }
+  Builder& tracking_overhead(sim::Duration per_write) {
+    cfg_.tracking_overhead = per_write;
+    return *this;
+  }
+  Builder& skip_unused_blocks(bool on = true) {
+    cfg_.skip_unused_blocks = on;
+    return *this;
+  }
+  Builder& observe(obs::Registry* registry, obs::Tracer* tracer) {
+    cfg_.obs_registry = registry;
+    cfg_.obs_tracer = tracer;
+    return *this;
+  }
+
+  MigrationConfig done() const { return cfg_; }
+  /// Builders convert implicitly where a MigrationConfig is expected, so a
+  /// chain can be passed directly to migrate()/run_tpm without `.done()`.
+  operator MigrationConfig() const { return cfg_; }  // NOLINT
+
+ private:
+  MigrationConfig cfg_;
+};
+
+inline MigrationConfig::Builder MigrationConfig::build() { return Builder{}; }
 
 }  // namespace vmig::core

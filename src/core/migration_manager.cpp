@@ -1,16 +1,41 @@
 #include "core/migration_manager.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "core/tpm.hpp"
 #include "obs/tracer.hpp"
 
 namespace vmig::core {
 
+sim::Task<MigrationOutcome> MigrationManager::migrate(MigrationRequest req) {
+  MigrationOutcome out;
+  try {
+    out.report = co_await run_migration(req);
+  } catch (const MigrationAborted& aborted) {
+    out.status = aborted.reason();
+    // The VM is still on the source; the partial report (phase timestamps,
+    // bytes moved before the abort) is still useful for diagnostics, but
+    // carries no consistency claims.
+    out.report = aborted.report();
+  }
+  co_return out;
+}
+
 sim::Task<MigrationReport> MigrationManager::migrate(vm::Domain& domain,
                                                      hv::Host& from,
                                                      hv::Host& to,
                                                      MigrationConfig cfg) {
+  co_return co_await run_migration(MigrationRequest{
+      .domain = &domain, .from = &from, .to = &to, .config = std::move(cfg)});
+}
+
+sim::Task<MigrationReport> MigrationManager::run_migration(
+    MigrationRequest req) {
+  vm::Domain& domain = *req.domain;
+  hv::Host& from = *req.from;
+  hv::Host& to = *req.to;
+  const MigrationConfig& cfg = req.config;
   const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
   if (progress_) tpm->set_progress_listener(progress_);
 
@@ -68,10 +93,27 @@ sim::Task<MigrationReport> MigrationManager::migrate(vm::Domain& domain,
                       /*initially_set=*/true};
       tpm->set_first_pass_seed(std::move(all), /*mark_incremental=*/false);
     }
+    // Set before the run, also on the abort path: after a partial transfer
+    // neither side's copy of the VM is a clean base image, and pointing
+    // last_source_ at the attempt's source forces the retry through the
+    // full-copy guard above.
     last_source_[domain.id()] = &from;
   }
 
-  MigrationReport rep = co_await tpm->run();
+  MigrationReport rep;
+  try {
+    rep = co_await tpm->run();
+  } catch (const MigrationAborted&) {
+    if (dir != nullptr) {
+      // The directory's divergence maps were partially consumed (the
+      // tenancy snapshot above) and partially transferred; every per-host
+      // seed derived from them would now under-copy. Drop all knowledge of
+      // this domain — future migrations pay a full first pass, which is
+      // always correct.
+      directories_.erase(domain.id());
+    }
+    throw;
+  }
 
   if (dir != nullptr) {
     tenancy_writes.or_with(tpm->observed_source_writes());

@@ -8,6 +8,7 @@
 #include "core/tpm.hpp"
 #include "core/migration_config.hpp"
 #include "core/migration_metrics.hpp"
+#include "core/migration_request.hpp"
 #include "hypervisor/host.hpp"
 #include "simcore/simulator.hpp"
 #include "vm/domain.hpp"
@@ -19,9 +20,11 @@ namespace vmig::core {
 /// Usage:
 ///   MigrationManager mgr{sim};
 ///   sim.spawn(run());                 // where run() does:
-///     auto rep = co_await mgr.migrate(vm, office, home);
+///     auto out = co_await mgr.migrate({.domain = &vm, .from = &office,
+///                                      .to = &home});
 ///     ... work at home ...
-///     auto back = co_await mgr.migrate(vm, home, office);  // incremental
+///     auto back = co_await mgr.migrate({.domain = &vm, .from = &home,
+///                                       .to = &office});  // incremental
 ///
 /// A second migration back to a machine the VM came from is automatically
 /// incremental: the destination-side write tracking started by the first
@@ -30,8 +33,20 @@ class MigrationManager {
  public:
   explicit MigrationManager(sim::Simulator& sim) : sim_{sim} {}
 
-  /// Whole-system live migration of `domain` between two interconnected
-  /// hosts. Completes when source and destination are fully synchronized.
+  /// Whole-system live migration described by `req` — the primary entry
+  /// point. Completes when source and destination are fully synchronized
+  /// (status kCompleted), or when the engine aborts cleanly pre-freeze
+  /// (kLinkDisrupted / kNonConvergent: the VM still runs on the source and
+  /// re-submitting the same request is safe). Failures are returned as the
+  /// outcome's status, never thrown, so orchestration layers can apply
+  /// retry policy without exception plumbing. `req.priority` and
+  /// `req.deadline` are scheduler hints; the manager itself ignores them.
+  sim::Task<MigrationOutcome> migrate(MigrationRequest req);
+
+  /// Positional forwarding shim for the request form above, predating
+  /// MigrationRequest. Deprecated: new code should pass a MigrationRequest
+  /// (see docs/API.md). Kept because the throwing contract differs — an
+  /// engine abort surfaces as MigrationAborted instead of an outcome.
   sim::Task<MigrationReport> migrate(vm::Domain& domain, hv::Host& from,
                                      hv::Host& to, MigrationConfig cfg = {});
 
@@ -60,6 +75,11 @@ class MigrationManager {
   }
 
  private:
+  /// The throwing core both public overloads share: IM seeding, the TPM
+  /// run, and directory upkeep. Propagates MigrationAborted after unwinding
+  /// the manager-level IM state (directory invalidation).
+  sim::Task<MigrationReport> run_migration(MigrationRequest req);
+
   sim::Simulator& sim_;
   TpmMigration::ProgressListener progress_;
   bool multi_host_im_ = false;

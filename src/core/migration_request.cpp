@@ -1,0 +1,18 @@
+#include "core/migration_request.hpp"
+
+namespace vmig::core {
+
+const char* to_string(MigrationStatus s) {
+  switch (s) {
+    case MigrationStatus::kCompleted:
+      return "completed";
+    case MigrationStatus::kLinkDisrupted:
+      return "link-disrupted";
+    case MigrationStatus::kNonConvergent:
+      return "non-convergent";
+    default:
+      return "deadline-expired";
+  }
+}
+
+}  // namespace vmig::core

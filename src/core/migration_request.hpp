@@ -1,0 +1,96 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/migration_config.hpp"
+#include "core/migration_metrics.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::hv {
+class Host;
+}  // namespace vmig::hv
+namespace vmig::vm {
+class Domain;
+}  // namespace vmig::vm
+
+namespace vmig::core {
+
+/// Terminal status of one migration attempt.
+enum class MigrationStatus : std::uint8_t {
+  /// Source and destination fully synchronized; the VM runs at `to`.
+  kCompleted,
+  /// The migration link failed mid-pre-copy; the VM never left the source.
+  kLinkDisrupted,
+  /// Pre-copy could not converge (dirty rate outran the transfer rate) and
+  /// `MigrationConfig::abort_on_non_convergence` was set; the VM never left
+  /// the source. Retry later, when the workload's write cycle cools down.
+  kNonConvergent,
+  /// The job's deadline passed before the orchestrator could launch it.
+  kDeadlineExpired,
+};
+
+const char* to_string(MigrationStatus s);
+
+/// A migration described as data: what to move, where, under which tunables,
+/// and how urgent it is. The primary argument of
+/// `MigrationManager::migrate(MigrationRequest)` and the unit of work the
+/// cluster orchestrator queues, schedules, and retries.
+///
+/// `priority` and `deadline` are orchestration hints: the manager itself
+/// executes every request immediately and ignores them.
+struct MigrationRequest {
+  vm::Domain* domain = nullptr;
+  hv::Host* from = nullptr;
+  hv::Host* to = nullptr;
+  MigrationConfig config{};
+  /// Larger runs earlier when the scheduler must choose (ties: submit order).
+  int priority = 0;
+  /// Relative to submission; zero = none. A job whose deadline passes while
+  /// it is still queued fails with kDeadlineExpired instead of launching.
+  sim::Duration deadline = sim::Duration::zero();
+};
+
+/// Typed result of `MigrationManager::migrate(MigrationRequest)`: a status
+/// instead of an exception, the (partial, on failure) report, and how many
+/// attempts the job took — 1 from the manager, possibly more after the
+/// orchestrator's retry/backoff layer.
+struct MigrationOutcome {
+  MigrationStatus status = MigrationStatus::kCompleted;
+  MigrationReport report{};
+  int attempts = 1;
+
+  bool completed() const noexcept {
+    return status == MigrationStatus::kCompleted;
+  }
+  /// Completed AND both consistency checks passed.
+  bool ok() const noexcept {
+    return completed() && report.disk_consistent && report.memory_consistent;
+  }
+};
+
+/// Thrown by the migration engine when a pre-copy phase aborts cleanly (link
+/// outage, non-convergence). The VM is still running on the source and all
+/// engine-side state has been unwound; catching it and retrying is safe (the
+/// next attempt falls back to a full first pass). The manager's request-form
+/// entry point converts it into a MigrationOutcome.
+class MigrationAborted : public std::runtime_error {
+ public:
+  MigrationAborted(MigrationStatus reason, const std::string& what,
+                   MigrationReport partial = {})
+      : std::runtime_error(what),
+        reason_{reason},
+        report_{std::move(partial)} {}
+
+  MigrationStatus reason() const noexcept { return reason_; }
+  /// The phase timestamps and byte counts accumulated before the abort.
+  /// Carries no consistency claims (disk/memory_consistent stay false).
+  const MigrationReport& report() const noexcept { return report_; }
+
+ private:
+  MigrationStatus reason_;
+  MigrationReport report_;
+};
+
+}  // namespace vmig::core

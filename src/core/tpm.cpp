@@ -53,6 +53,7 @@ sim::Task<MigrationReport> TpmMigration::run() {
   assert(src_.hosts_domain(domain_) && "domain must start on the source host");
   setup_obs();
   rep_.started = sim_.now();
+  link_epoch_ = sim_.now();
   sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
       << "migrating '" << domain_.name() << "': " << src_.name() << " -> "
       << dst_.name();
@@ -71,10 +72,43 @@ sim::Task<MigrationReport> TpmMigration::run() {
   t_disk_precopy_begin_ = sim_.now();
   co_await disk_precopy();
   rep_.disk_precopy_done = sim_.now();
-  sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "disk precopy done, memory precopy";
-  notify_progress(Phase::kMemoryPrecopy, 0.0);
-  co_await memory_precopy();
-  sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "memory precopy done";
+  if (!abort_reason_.has_value() && link_disrupted()) {
+    abort_reason_ = MigrationStatus::kLinkDisrupted;
+  }
+  if (!abort_reason_.has_value()) {
+    sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "disk precopy done, memory precopy";
+    notify_progress(Phase::kMemoryPrecopy, 0.0);
+    co_await memory_precopy();
+    sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "tpm") << "memory precopy done";
+    if (link_disrupted()) abort_reason_ = MigrationStatus::kLinkDisrupted;
+  }
+
+  if (abort_reason_.has_value()) {
+    // Clean pre-freeze abort: the VM never stopped running on the source.
+    // Close both streams and join the receive loops *before* surfacing the
+    // failure — they are root tasks referencing this object, which the
+    // caller may destroy as soon as the exception lands. Source-side write
+    // tracking is deliberately left running: a retried migration finds
+    // tracking on with no base image at the destination, and the manager's
+    // pairwise guard forces a correct full first pass.
+    fwd_.close();
+    rev_.close();
+    co_await dest_loop;
+    co_await src_loop;
+    if (tracer_) {
+      tracer_->instant(trk_tpm_, "migration_aborted",
+                       std::string{"\"reason\": \""} +
+                           to_string(*abort_reason_) + "\"");
+    }
+    sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
+        << "aborted (" << to_string(*abort_reason_) << "): '"
+        << domain_.name() << "' stays on " << src_.name();
+    throw MigrationAborted{
+        *abort_reason_,
+        std::string{"migration of '"} + domain_.name() + "' aborted: " +
+            to_string(*abort_reason_),
+        rep_};
+  }
 
   // ---- Phase 2: freeze-and-copy ----
   notify_progress(Phase::kFreeze, 0.0);
@@ -124,11 +158,12 @@ namespace {
 /// read thread does.
 sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
                                const DirtyBitmap& bm, std::uint32_t chunk_blocks,
-                               sim::Duration cpu_per_mib,
+                               sim::Duration cpu_per_mib, const bool* abort,
                                sim::Channel<DiskBlocksMsg>& pipe) {
   const std::uint32_t block_size = disk.geometry().block_size;
   std::uint64_t cursor = 0;
   for (;;) {
+    if (*abort) break;  // consumer noticed a link outage; stop reading
     const auto next = bm.next_set(cursor);
     if (!next) break;
     const std::uint64_t len = bm.run_length(*next, chunk_blocks);
@@ -153,7 +188,7 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
   sim::Channel<DiskBlocksMsg> pipe{sim_, /*capacity=*/4};
   auto reader = sim_.spawn(
       precopy_reader(sim_, src_.vbd_for(domain_.id()), bm, cfg_.disk_chunk_blocks,
-                     cfg_.blkd_cpu_per_mib, pipe),
+                     cfg_.blkd_cpu_per_mib, &abort_transfer_, pipe),
       "precopy-reader");
   net::TokenBucket* shaper = cfg_.rate_limit_mibps > 0 ? &shaper_ : nullptr;
 
@@ -164,6 +199,14 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
   for (;;) {
     auto msg = co_await pipe.recv();
     if (!msg) break;
+    if (!abort_transfer_ && link_disrupted()) {
+      // The migration connection broke mid-stream. Stop feeding the wire;
+      // keep draining the pipe so the reader unblocks and exits.
+      abort_transfer_ = true;
+      abort_reason_ = MigrationStatus::kLinkDisrupted;
+      if (tracer_) tracer_->instant(trk_tpm_, "link_disrupted");
+    }
+    if (abort_transfer_) continue;
     if (blocks_out != nullptr) *blocks_out += msg->range.count;
     sent_blocks += msg->range.count;
     if (sent_blocks >= next_report) {
@@ -220,6 +263,7 @@ sim::Task<void> TpmMigration::disk_precopy() {
   rep_.bytes_disk_first_pass =
       co_await transfer_by_bitmap(seed, &rep_.blocks_first_pass);
   rep_.disk_iterations = 1;
+  if (abort_reason_.has_value()) co_return;
   rep_.bytes_control += MigrationMessage{ControlMsg{Control::kIterationEnd}}.wire_bytes();
   co_await fwd_.send(MigrationMessage{ControlMsg{Control::kIterationEnd}});
   co_await await_control(Control::kIterationAck);
@@ -246,6 +290,12 @@ sim::Task<void> TpmMigration::disk_precopy() {
                              ", \"last_transferred\": " +
                              std::to_string(last_transferred));
       }
+      // The paper proceeds to freeze anyway (post-copy absorbs the large
+      // residue); an orchestrated job may prefer a clean abort so the VM
+      // can be retried when its write cycle cools down.
+      if (cfg_.abort_on_non_convergence) {
+        abort_reason_ = MigrationStatus::kNonConvergent;
+      }
       break;
     }
     const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
@@ -257,6 +307,7 @@ sim::Task<void> TpmMigration::disk_precopy() {
     rep_.blocks_retransferred += n;
     last_transferred = std::max<std::uint64_t>(n, 1);
     ++rep_.disk_iterations;
+    if (abort_reason_.has_value()) co_return;
     rep_.bytes_control +=
         MigrationMessage{ControlMsg{Control::kIterationEnd}}.wire_bytes();
     co_await fwd_.send(MigrationMessage{ControlMsg{Control::kIterationEnd}});

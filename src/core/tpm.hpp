@@ -6,6 +6,7 @@
 
 #include "core/migration_config.hpp"
 #include "core/migration_metrics.hpp"
+#include "core/migration_request.hpp"
 #include "core/post_copy.hpp"
 #include "core/protocol.hpp"
 #include "hypervisor/checkpoint.hpp"
@@ -68,6 +69,15 @@ class TpmMigration {
 
   /// Execute the whole migration; returns when source and destination are
   /// fully synchronized (end of post-copy).
+  ///
+  /// Throws MigrationAborted if a pre-copy phase stops cleanly first: a link
+  /// outage observed at a chunk boundary (kLinkDisrupted) or a proactive
+  /// non-convergence stop under cfg.abort_on_non_convergence
+  /// (kNonConvergent). Either way the abort happens strictly *before*
+  /// freeze-and-copy: the VM never stops running on the source, both streams
+  /// are closed and the receive loops joined before the exception surfaces,
+  /// and source-side write tracking is left running so a retry falls back to
+  /// a correct full first pass (see MigrationManager's pairwise guard).
   sim::Task<MigrationReport> run();
 
   const MigrationReport& report() const noexcept { return rep_; }
@@ -109,6 +119,14 @@ class TpmMigration {
     if (progress_) progress_(p, fraction);
   }
 
+  /// True if either direction of the migration path has seen an injected
+  /// outage since this migration started (a connection-oriented transport
+  /// would have observed the break even though the link is back up).
+  bool link_disrupted() const {
+    return fwd_.link().disrupted_since(link_epoch_) ||
+           rev_.link().disrupted_since(link_epoch_);
+  }
+
   // ---- Observability (cfg_.obs_tracer / cfg_.obs_registry; null = off) ----
   /// Create tracks, hook the memory migrator, and install per-message-type
   /// byte counters on both streams.
@@ -132,6 +150,11 @@ class TpmMigration {
   std::optional<DirtyBitmap> explicit_seed_;
   bool explicit_seed_incremental_ = true;
   DirtyBitmap observed_writes_;
+
+  // Cooperative pre-copy abort state (see run()'s contract).
+  std::optional<MigrationStatus> abort_reason_;
+  bool abort_transfer_ = false;  ///< tells the pre-copy reader to stop
+  sim::TimePoint link_epoch_{};  ///< disruptions before this don't count
 
   // Destination-side state.
   vm::GuestMemory shadow_mem_;  ///< pages as received over the wire

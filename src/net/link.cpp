@@ -31,7 +31,11 @@ sim::Task<void> Link::transmit(std::uint64_t bytes, TokenBucket* shaper) {
   const sim::TimePoint arrival = sim_.now();
   const auto serialize = sim::Duration::from_seconds(
       static_cast<double>(bytes) / (p_.bandwidth_mibps * kMiB));
-  const sim::TimePoint start = std::max(arrival, busy_until_);
+  sim::TimePoint start = std::max(arrival, busy_until_);
+  // An injected outage stalls the wire: nothing serializes inside the
+  // window. Queued transmissions are retransmitted when it lifts rather
+  // than lost (the MessageStream above models a reliable transport).
+  if (start >= down_from_ && start < down_until_) start = down_until_;
   busy_until_ = start + serialize;
   busy_time_ += serialize;
   bytes_sent_ += bytes;

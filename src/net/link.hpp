@@ -64,6 +64,31 @@ class Link {
   /// the far end. If `shaper` is non-null, bytes first conform to it.
   sim::Task<void> transmit(std::uint64_t bytes, TokenBucket* shaper = nullptr);
 
+  // ---- Failure injection ----
+  /// Declare the link down for `d` starting now. Transmissions submitted (or
+  /// queued) during the outage are NOT lost — the transport retransmits, so
+  /// they serialize after the outage ends — but `down()` lets cooperating
+  /// protocols (the TPM pre-copy loop, the cluster orchestrator) notice the
+  /// outage at a chunk boundary and abort cleanly instead of stalling.
+  void fail_for(sim::Duration d) { fail_at(sim_.now(), d); }
+  /// Declare an outage window [at, at+d). A later call replaces the window.
+  void fail_at(sim::TimePoint at, sim::Duration d) {
+    down_from_ = at;
+    down_until_ = at + d;
+    ++outages_injected_;
+  }
+  /// True while inside an injected outage window.
+  bool down() const noexcept {
+    return sim_.now() >= down_from_ && sim_.now() < down_until_;
+  }
+  /// True if an outage window overlaps [since, now] — a connection-oriented
+  /// transport opened at `since` would have seen its connection break, even
+  /// if the link is back up by the time anyone checks.
+  bool disrupted_since(sim::TimePoint since) const noexcept {
+    return down_from_ <= sim_.now() && down_until_ > since;
+  }
+  std::uint64_t outages_injected() const noexcept { return outages_injected_; }
+
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   sim::Duration busy_time() const noexcept { return busy_time_; }
@@ -81,6 +106,9 @@ class Link {
   sim::Simulator& sim_;
   LinkParams p_;
   sim::TimePoint busy_until_{};
+  sim::TimePoint down_from_ = sim::TimePoint::max();  ///< outage window start
+  sim::TimePoint down_until_{};                       ///< outage window end
+  std::uint64_t outages_injected_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   sim::Duration busy_time_{};

@@ -66,6 +66,7 @@ class MessageStream {
   std::size_t pending() const noexcept { return inbox_.size(); }
   std::uint64_t delivered() const noexcept { return delivered_; }
   Link& link() noexcept { return link_; }
+  const Link& link() const noexcept { return link_; }
 
  private:
   Link& link_;

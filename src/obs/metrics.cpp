@@ -92,6 +92,19 @@ void Registry::probe(const std::string& name, std::function<double()> fn) {
   entry(name, Kind::kProbe).fn = std::move(fn);
 }
 
+void Registry::alias(const std::string& alias_name, const std::string& canonical) {
+  const auto it = index_.find(canonical);
+  if (it == index_.end()) {
+    throw std::logic_error("obs: alias target '" + canonical +
+                           "' is not registered");
+  }
+  const std::size_t target = it->second;  // entry() below may rehash index_
+  if (entries_[target]->kind == Kind::kHistogram) {
+    throw std::logic_error("obs: cannot alias histogram '" + canonical + "'");
+  }
+  entry(alias_name, Kind::kAlias).target = target;
+}
+
 void Registry::sample_now() {
   const sim::TimePoint t = sim_.now();
   const double dt = sampled_once_ ? (t - last_sample_).to_seconds() : 0.0;
@@ -115,6 +128,28 @@ void Registry::sample_now() {
         break;
       case Kind::kHistogram:
         break;
+      case Kind::kAlias: {
+        // Mirror the canonical instrument with the target kind's sampling
+        // semantics; counters diff against the alias's own last_total so
+        // sampling order never matters.
+        const Entry& c = *entries_[e.target];
+        switch (c.kind) {
+          case Kind::kCounter: {
+            const double total = c.counter.value();
+            const double rate = dt > 0.0 ? (total - e.last_total) / dt : 0.0;
+            e.last_total = total;
+            e.samples.add(t, rate);
+            break;
+          }
+          case Kind::kGauge:
+            e.samples.add(t, c.gauge.value());
+            break;
+          default:
+            e.samples.add(t, c.fn ? c.fn() : 0.0);
+            break;
+        }
+        break;
+      }
     }
   }
   last_sample_ = t;

@@ -101,6 +101,13 @@ class Registry {
   Histogram& histogram(const std::string& name);
   /// Register a pull-style gauge: `fn` is evaluated at each sample tick.
   void probe(const std::string& name, std::function<double()> fn);
+  /// Register `alias_name` as a second exported series for an existing
+  /// counter/gauge/probe: each sample tick records the canonical
+  /// instrument's value under both names (counters keep independent rate
+  /// state, so both series report identical rates). For metric renames —
+  /// the old name keeps working for downstream consumers while docs point
+  /// at the new one. Throws if `canonical` is unknown or a histogram.
+  void alias(const std::string& alias_name, const std::string& canonical);
 
   void set_sample_interval(sim::Duration d) noexcept { interval_ = d; }
   sim::Duration sample_interval() const noexcept { return interval_; }
@@ -125,7 +132,7 @@ class Registry {
   sim::Simulator& sim() noexcept { return sim_; }
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kProbe, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kProbe, kHistogram, kAlias };
   struct Entry {
     std::string name;
     Kind kind;
@@ -134,6 +141,7 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
     std::function<double()> fn;
     double last_total = 0.0;  ///< counter value at the previous sample
+    std::size_t target = 0;   ///< canonical entry index (kAlias only)
     sim::TimeSeries samples;
   };
 

@@ -12,6 +12,7 @@ sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
   }
   if (tracking_ && domain == served_) {
     dirty_.set_range(range.start, range.count);
+    marks_total_ += range.count;
     if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
     if (tracking_overhead_ > sim::Duration::zero()) {
       co_await sim_.delay(tracking_overhead_);
@@ -41,6 +42,7 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
       // The paper's blkback splits the written area into 4 KB blocks and
       // sets the corresponding bits.
       dirty_.set_range(range.start, range.count);
+      marks_total_ += range.count;
       if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
       if (tracking_overhead_ > sim::Duration::zero()) {
         co_await sim_.delay(tracking_overhead_);
@@ -69,6 +71,7 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
 
 void BlkBackend::start_write_tracking(core::BitmapKind kind) {
   dirty_ = core::DirtyBitmap{kind, disk_.geometry().block_count};
+  marks_total_ = 0;
   tracking_ = true;
 }
 

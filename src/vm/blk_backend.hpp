@@ -76,6 +76,11 @@ class BlkBackend {
   std::uint64_t dirty_block_count() const {
     return tracking_ ? dirty_.count_set() : 0;
   }
+  /// Cumulative blocks marked in the bitmap since tracking began — unlike
+  /// dirty_block_count(), rewriting an already-dirty block still counts, so
+  /// deltas of this value give the domain's true write (re-dirty) rate.
+  /// Survives snapshot_dirty_and_reset(); reset by start_write_tracking().
+  std::uint64_t dirty_marks_total() const noexcept { return marks_total_; }
 
   /// CPU cost charged per tracked write (Table III overhead model).
   void set_tracking_overhead(sim::Duration d) noexcept { tracking_overhead_ = d; }
@@ -115,6 +120,7 @@ class BlkBackend {
   DomainId served_;
   bool tracking_ = false;
   core::DirtyBitmap dirty_;
+  std::uint64_t marks_total_ = 0;
   sim::Duration tracking_overhead_{};
   IoInterceptor* interceptor_ = nullptr;
   std::function<void(storage::BlockRange)> write_observer_;

@@ -19,6 +19,11 @@
 #include "simcore/task.hpp"
 #include "simcore/time.hpp"
 
+// Observability: metrics registry, tracer, deterministic exports.
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 // Storage and network substrates.
 #include "net/link.hpp"
 #include "net/message_stream.hpp"
@@ -45,10 +50,19 @@
 #include "core/migration_config.hpp"
 #include "core/migration_manager.hpp"
 #include "core/migration_metrics.hpp"
+#include "core/migration_request.hpp"
 #include "core/post_copy.hpp"
 #include "core/protocol.hpp"
 #include "core/report_io.hpp"
 #include "core/tpm.hpp"
+
+// Cluster orchestration: job queue, admission, scheduling, evacuation.
+#include "cluster/admission.hpp"
+#include "cluster/backoff.hpp"
+#include "cluster/evacuation.hpp"
+#include "cluster/job.hpp"
+#include "cluster/orchestrator.hpp"
+#include "cluster/scheduler.hpp"
 
 // Related-work baselines.
 #include "baselines/baseline_report.hpp"
@@ -57,7 +71,8 @@
 #include "baselines/on_demand.hpp"
 #include "baselines/shared_storage.hpp"
 
-// Evaluation workloads, tracing, and the calibrated testbed.
+// Evaluation workloads, tracing, and the calibrated testbeds.
+#include "scenario/cluster_testbed.hpp"
 #include "scenario/testbed.hpp"
 #include "trace/io_trace.hpp"
 #include "workloads/diabolical.hpp"

@@ -259,7 +259,7 @@ TEST(ComparisonTest, TpmBeatsBaselinesOnTheirWeaknesses) {
   s1.spawn([](Simulator& s, Bed& bed, core::MigrationReport& out,
               bool& stop) -> Task<void> {
     core::MigrationManager mgr{s};
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg());
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg()})).report;
     stop = true;
   }(s1, b1, tpm, stop1));
   s1.run();

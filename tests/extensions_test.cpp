@@ -52,7 +52,7 @@ TEST(SparseMigrationTest, SkipsNeverWrittenBlocks) {
   MigrationReport rep;
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
                MigrationConfig cfg, MigrationReport& out) -> Task<void> {
-    out = co_await mgr.migrate(vm, a, b, cfg);
+    out = (co_await mgr.migrate({.domain = &vm, .from = &a, .to = &b, .config = cfg})).report;
   }(mgr, vm, a, b, cfg, rep));
   sim.run();
 
@@ -81,7 +81,7 @@ TEST(SparseMigrationTest, QuartersTransferTimeOnQuarterFullDisk) {
     MigrationReport rep;
     sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
                  MigrationConfig cfg, MigrationReport& out) -> Task<void> {
-      out = co_await mgr.migrate(vm, a, b, cfg);
+      out = (co_await mgr.migrate({.domain = &vm, .from = &a, .to = &b, .config = cfg})).report;
     }(mgr, vm, a, b, cfg, rep));
     sim.run();
     return rep;
@@ -118,7 +118,7 @@ TEST(SparseMigrationTest, BlocksWrittenDuringMigrationStillMove) {
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& a, Host& b,
                MigrationConfig cfg, MigrationReport& out,
                bool& stop) -> Task<void> {
-    out = co_await mgr.migrate(vm, a, b, cfg);
+    out = (co_await mgr.migrate({.domain = &vm, .from = &a, .to = &b, .config = cfg})).report;
     stop = true;
   }(mgr, vm, a, b, cfg, rep, stop));
   sim.run();
@@ -165,11 +165,11 @@ TEST(MultiHostImTest, ThirdHopToKnownHostIsIncremental) {
     // A -> B (full), work at B; B -> C (full: C unknown), work at C;
     // C -> A: with the directory this is INCREMENTAL even though A was two
     // hops ago — the paper's pairwise prototype would re-copy everything.
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.a, .to = &tri.b})).report);
     co_await dirty_some(sim, tri.vm, 100, 50);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.c));
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.b, .to = &tri.c})).report);
     co_await dirty_some(sim, tri.vm, 5000, 30);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.c, tri.a));
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.c, .to = &tri.a})).report);
   }(sim, tri, mgr, reps));
   sim.run();
 
@@ -201,14 +201,14 @@ TEST(MultiHostImTest, DivergenceAccumulatesAcrossHops) {
 
   sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
                std::vector<MigrationReport>& reps) -> Task<void> {
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));  // full
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.a, .to = &tri.b})).report);  // full
     co_await dirty_some(sim, tri.vm, 100, 20);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.a));  // IM back
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.b, .to = &tri.a})).report);  // IM back
     co_await dirty_some(sim, tri.vm, 200, 20);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));  // IM again
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.a, .to = &tri.b})).report);  // IM again
     co_await dirty_some(sim, tri.vm, 300, 20);
     // B -> A once more: A's copy misses only the writes at B since hop 3.
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.a));
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.b, .to = &tri.a})).report);
   }(sim, tri, mgr, reps));
   sim.run();
 
@@ -246,7 +246,7 @@ TEST_P(MultiHostRandomWalk, StaysConsistent) {
       if (next == at) next = hosts[(rng.uniform_u64(2) + 1 +
                                     (next - hosts[0])) % 3];
       co_await dirty_some(sim, tri.vm, rng.uniform_u64(20000), 10);
-      const auto rep = co_await mgr.migrate(tri.vm, *at, *next);
+      const auto rep = (co_await mgr.migrate({.domain = &tri.vm, .from = at, .to = next})).report;
       reps.push_back(rep);
       if (!rep.disk_consistent || !rep.memory_consistent) ok = false;
       if (visited.contains(next) && !rep.incremental) ok = false;
@@ -274,11 +274,11 @@ TEST(PairwiseImSafetyTest, ThirdHostHopForcesFullCopy) {
   std::vector<MigrationReport> reps;
   sim.spawn([](Simulator& sim, Tri& tri, MigrationManager& mgr,
                std::vector<MigrationReport>& reps) -> Task<void> {
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.a, tri.b));
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.a, .to = &tri.b})).report);
     co_await dirty_some(sim, tri.vm, 100, 20);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.b, tri.c));  // 3rd host!
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.b, .to = &tri.c})).report);  // 3rd host!
     co_await dirty_some(sim, tri.vm, 200, 20);
-    reps.push_back(co_await mgr.migrate(tri.vm, tri.c, tri.b));  // back: IM ok
+    reps.push_back((co_await mgr.migrate({.domain = &tri.vm, .from = &tri.c, .to = &tri.b})).report);  // back: IM ok
   }(sim, tri, mgr, reps));
   sim.run();
 

@@ -102,7 +102,7 @@ TEST(PayloadIntegrityTest, TpmDeliversExactBytes) {
   sim.spawn([](Simulator& sim, PayloadBed& bed, MigrationManager& mgr,
                MigrationReport& out) -> Task<void> {
     co_await guest_write_bytes(sim, bed.vm, 0, 1024, 7);
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
   }(sim, bed, mgr, rep));
   sim.run();
   EXPECT_TRUE(rep.disk_consistent);
@@ -131,7 +131,7 @@ TEST(PayloadIntegrityTest, BytesWrittenMidMigrationArriveIntact) {
                MigrationConfig cfg, MigrationReport& out,
                bool& stop) -> Task<void> {
     co_await guest_write_bytes(sim, bed.vm, 0, 512, 7);
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
     stop = true;
   }(sim, bed, mgr, cfg, rep, stop));
   sim.run();
@@ -189,10 +189,10 @@ TEST(PayloadIntegrityTest, IncrementalReturnDeliversExactBytes) {
   sim.spawn([](Simulator& sim, PayloadBed& bed, MigrationManager& mgr,
                MigrationReport& back) -> Task<void> {
     co_await guest_write_bytes(sim, bed.vm, 0, 1024, 7);
-    (void)co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    (void)(co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
     // New real bytes at the destination, through the guest path (tracked).
     co_await guest_write_bytes(sim, bed.vm, 100, 64, 13);
-    back = co_await mgr.migrate(bed.vm, bed.b, bed.a, MigrationConfig{});
+    back = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.b, .to = &bed.a})).report;
   }(sim, bed, mgr, back));
   sim.run();
   EXPECT_TRUE(back.incremental);

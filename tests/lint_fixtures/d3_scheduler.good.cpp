@@ -1,0 +1,49 @@
+// Fixture: scheduler-style code whose only unordered-container traversal is
+// an order-free reduction (argmin with a total tie-break on the host name),
+// carrying a justified D3 suppression — must lint clean. Mirrors the
+// cluster orchestrator's load-ranking idiom, where iteration order cannot
+// leak into the schedule because ties are broken deterministically.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct HostLoad {
+  std::string host;
+  int inflight = 0;
+};
+
+struct LoadIndex {
+  std::unordered_map<std::string, int> inflight_;
+
+  // Pick the least-loaded host. The reduction visits every entry exactly
+  // once and the (inflight, name) comparison is a strict total order, so
+  // the result is independent of bucket iteration order.
+  std::string least_loaded() const {
+    std::string best;
+    int best_load = -1;
+    // vmig-lint: d3-ok -- argmin with total-order tie-break; order-free
+    for (const auto& [host, load] : inflight_) {
+      if (best_load < 0 || load < best_load ||
+          (load == best_load && host < best)) {
+        best = host;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  // Ranked views are built from an explicitly sorted snapshot instead of
+  // relying on map order: the deterministic sibling of the loop above.
+  std::vector<HostLoad> ranked() const {
+    std::vector<HostLoad> out;
+    out.reserve(inflight_.size());
+    // vmig-lint: d3-ok -- snapshot is fully sorted before use
+    for (const auto& [host, load] : inflight_) out.push_back({host, load});
+    std::sort(out.begin(), out.end(), [](const HostLoad& a, const HostLoad& b) {
+      return a.inflight != b.inflight ? a.inflight < b.inflight
+                                      : a.host < b.host;
+    });
+    return out;
+  }
+};

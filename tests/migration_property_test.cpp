@@ -112,9 +112,9 @@ TEST_P(MigrationSweep, RequirementsHold) {
                Host& b, MigrationConfig cfg, MigrationReport& out,
                MigrationReport& back, bool& stop) -> Task<void> {
     co_await sim.delay(50_ms);
-    out = co_await mgr.migrate(vm, a, b, cfg);
+    out = (co_await mgr.migrate({.domain = &vm, .from = &a, .to = &b, .config = cfg})).report;
     co_await sim.delay(200_ms);  // dwell
-    back = co_await mgr.migrate(vm, b, a, cfg);
+    back = (co_await mgr.migrate({.domain = &vm, .from = &b, .to = &a, .config = cfg})).report;
     stop = true;
   }(sim, mgr, vm, a, b, cfg, out, back, stop));
   sim.run();

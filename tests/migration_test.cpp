@@ -66,7 +66,7 @@ TEST(TpmMigrationTest, IdleVmMigratesConsistently) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                MigrationReport& out) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
   }(mgr, bed, test_config(), rep));
   sim.run();
 
@@ -99,7 +99,7 @@ TEST(TpmMigrationTest, TimelineOrdering) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed,
                MigrationReport& out) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
   }(mgr, bed, rep));
   sim.run();
   EXPECT_LT(rep.started, rep.suspended);
@@ -135,7 +135,7 @@ TEST(TpmMigrationTest, LiveWriterStaysConsistent) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                MigrationReport& out, bool& stop) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
     stop = true;
   }(mgr, bed, test_config(), rep, stop));
   sim.run();
@@ -162,7 +162,7 @@ TEST(TpmMigrationTest, WriterDirtyDataMovesViaPostCopyOrRetransfer) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                MigrationReport& out, bool& stop) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
     stop = true;
   }(mgr, bed, cfg, rep, stop));
   sim.run();
@@ -213,7 +213,7 @@ TEST(TpmMigrationTest, PostCopyPullServesGuestReads) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                MigrationReport& out) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
   }(mgr, bed, cfg, rep));
   sim.run();
 
@@ -244,7 +244,7 @@ TEST(TpmMigrationTest, DirtyRateAbortTriggersProactiveStop) {
   MigrationManager mgr{sim};
   sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                MigrationReport& out, bool& stop) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
     stop = true;
   }(mgr, bed, cfg, rep, stop));
   sim.run();
@@ -264,7 +264,7 @@ TEST(TpmMigrationTest, IncrementalMigrationBackMovesOnlyDelta) {
                MigrationReport& first, MigrationReport& back) -> Task<void> {
     // Prime the disk, migrate A -> B.
     co_await bed.vm.disk_write(BlockRange{0, 2048});
-    first = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    first = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
     // Work at B for a while: dirty a modest set of blocks.
     for (int i = 0; i < 100; ++i) {
       co_await bed.vm.disk_write(
@@ -272,7 +272,7 @@ TEST(TpmMigrationTest, IncrementalMigrationBackMovesOnlyDelta) {
       co_await sim.delay(100_us);
     }
     // Migrate back B -> A: must be incremental.
-    back = co_await mgr.migrate(bed.vm, bed.b, bed.a, MigrationConfig{});
+    back = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.b, .to = &bed.a})).report;
   }(sim, mgr, bed, first, back));
   sim.run();
 
@@ -299,7 +299,7 @@ TEST(TpmMigrationTest, RoundTripTwiceRemainsIncremental) {
 
   sim.spawn([](Simulator& sim, MigrationManager& mgr, MiniBed& bed,
                std::vector<MigrationReport>& reps) -> Task<void> {
-    reps.push_back(co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{}));
+    reps.push_back((co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report);
     for (int round = 0; round < 2; ++round) {
       for (int i = 0; i < 20; ++i) {
         co_await bed.vm.disk_write(
@@ -308,7 +308,7 @@ TEST(TpmMigrationTest, RoundTripTwiceRemainsIncremental) {
       }
       Host& from = (round % 2 == 0) ? bed.b : bed.a;
       Host& to = (round % 2 == 0) ? bed.a : bed.b;
-      reps.push_back(co_await mgr.migrate(bed.vm, from, to, MigrationConfig{}));
+      reps.push_back((co_await mgr.migrate({.domain = &bed.vm, .from = &from, .to = &to})).report);
     }
   }(sim, mgr, bed, reps));
   sim.run();
@@ -334,7 +334,7 @@ TEST(TpmMigrationTest, RateLimitSlowsPrecopy) {
     MigrationManager mgr{sim};
     sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                  MigrationReport& out) -> Task<void> {
-      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+      out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
     }(mgr, *bed, cfg, rep));
     sim.run();
     return rep;
@@ -366,7 +366,7 @@ TEST(TpmMigrationTest, FlatAndLayeredBitmapsBehaveIdentically) {
     MigrationManager mgr{sim};
     sim.spawn([](MigrationManager& mgr, MiniBed& bed, MigrationConfig cfg,
                  MigrationReport& out, bool& stop) -> Task<void> {
-      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, cfg);
+      out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b, .config = cfg})).report;
       stop = true;
     }(mgr, bed, cfg, rep, stop));
     sim.run();
@@ -398,7 +398,7 @@ TEST(TpmMigrationTest, ProgressListenerSeesOrderedPhases) {
   MigrationReport rep;
   sim.spawn([](MigrationManager& mgr, MiniBed& bed,
                MigrationReport& out) -> Task<void> {
-    out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
   }(mgr, bed, rep));
   sim.run();
 
@@ -434,7 +434,7 @@ TEST(TpmMigrationTest, DowntimeExcludesDiskSize) {
     MigrationManager mgr{sim};
     sim.spawn([](MigrationManager& mgr, MiniBed& bed,
                  MigrationReport& out) -> Task<void> {
-      out = co_await mgr.migrate(bed.vm, bed.a, bed.b, MigrationConfig{});
+      out = (co_await mgr.migrate({.domain = &bed.vm, .from = &bed.a, .to = &bed.b})).report;
     }(mgr, bed, rep));
     sim.run();
     return rep;

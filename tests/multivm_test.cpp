@@ -110,12 +110,12 @@ TEST(MultiVmTest, OppositeDirectionConcurrentMigrations) {
   int done = 0;
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& from, Host& to,
                MigrationReport& out, int& done) -> Task<void> {
-    out = co_await mgr.migrate(vm, from, to, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &vm, .from = &from, .to = &to})).report;
     ++done;
   }(mgr, vm1, a, b, r1, done));
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& from, Host& to,
                MigrationReport& out, int& done) -> Task<void> {
-    out = co_await mgr.migrate(vm, from, to, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &vm, .from = &from, .to = &to})).report;
     ++done;
   }(mgr, vm2, b, a, r2, done));
   sim.spawn([](Simulator& s, int& done, bool& stop) -> Task<void> {
@@ -159,12 +159,12 @@ TEST(MultiVmTest, EvacuateTwoVmsFromOneHostConcurrently) {
   int done = 0;
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& from, Host& to,
                MigrationReport& out, int& done) -> Task<void> {
-    out = co_await mgr.migrate(vm, from, to, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &vm, .from = &from, .to = &to})).report;
     ++done;
   }(mgr, vm1, a, b, r1, done));
   sim.spawn([](MigrationManager& mgr, vm::Domain& vm, Host& from, Host& to,
                MigrationReport& out, int& done) -> Task<void> {
-    out = co_await mgr.migrate(vm, from, to, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &vm, .from = &from, .to = &to})).report;
     ++done;
   }(mgr, vm2, a, c, r2, done));
   sim.spawn([](Simulator& s, int& done, bool& stop) -> Task<void> {
@@ -202,13 +202,13 @@ TEST(MultiVmTest, PerDomainImSurvivesConcurrentTraffic) {
   sim.spawn([](Simulator& sim, MigrationManager& mgr, vm::Domain& vm, Host& a,
                Host& b, MigrationReport& out, MigrationReport& back,
                bool& stop) -> Task<void> {
-    out = co_await mgr.migrate(vm, a, b, MigrationConfig{});
+    out = (co_await mgr.migrate({.domain = &vm, .from = &a, .to = &b})).report;
     // vm1 writes a few blocks at B.
     for (int i = 0; i < 30; ++i) {
       co_await vm.disk_write(BlockRange{static_cast<storage::BlockId>(100 + i), 1});
       co_await sim.delay(200_us);
     }
-    back = co_await mgr.migrate(vm, b, a, MigrationConfig{});
+    back = (co_await mgr.migrate({.domain = &vm, .from = &b, .to = &a})).report;
     stop = true;
   }(sim, mgr, vm1, a, b, out, back, stop));
   sim.run();

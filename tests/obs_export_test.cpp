@@ -253,6 +253,10 @@ TEST(ObsExport, MetricsCsvCoversEveryLayer) {
   EXPECT_EQ(r.metrics_csv.rfind("t_seconds,metric,value\n", 0), 0u);
   for (const char* metric :
        {"sim.pending_events", "sim.events_processed",
+        // Canonical host-name-derived link metrics...
+        "net.source->dest.bytes", "net.source->dest.utilization",
+        "net.dest->source.bytes",
+        // ...and the legacy fixed names, kept exported as aliases.
         "net.source_to_dest.bytes", "net.source_to_dest.utilization",
         "net.dest_to_source.bytes", "blk.source.write_ops",
         "blk.source.dirty_marks", "blk.dest.read_ops",
@@ -260,6 +264,30 @@ TEST(ObsExport, MetricsCsvCoversEveryLayer) {
     EXPECT_NE(r.metrics_csv.find(metric), std::string::npos)
         << "missing metric: " << metric;
   }
+}
+
+TEST(ObsExport, LegacyLinkAliasTracksCanonicalSeries) {
+  const ObsRun r = run_instrumented("build", false);
+  // The alias must report the same values as the canonical series, row for
+  // row: collect (t, value) pairs per metric from the CSV and compare.
+  auto rows_of = [&](const std::string& metric) {
+    std::vector<std::string> rows;
+    std::size_t pos = 0;
+    while ((pos = r.metrics_csv.find("," + metric + ",", pos)) !=
+           std::string::npos) {
+      const std::size_t line_start = r.metrics_csv.rfind('\n', pos) + 1;
+      const std::size_t line_end = r.metrics_csv.find('\n', pos);
+      std::string line = r.metrics_csv.substr(line_start, line_end - line_start);
+      rows.push_back(line.substr(0, line.find(',')) +
+                     line.substr(line.rfind(',')));
+      pos = line_end;
+    }
+    return rows;
+  };
+  const auto canonical = rows_of("net.source->dest.bytes");
+  const auto alias = rows_of("net.source_to_dest.bytes");
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_EQ(canonical, alias);
 }
 
 TEST(ObsExport, PhaseSpansMatchReportExactly) {

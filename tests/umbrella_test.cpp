@@ -20,12 +20,35 @@ TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
   core::MigrationReport rep;
   sim.spawn([](core::MigrationManager& mgr, vm::Domain& g, hv::Host& a,
                hv::Host& b, core::MigrationReport& out) -> sim::Task<void> {
-    out = co_await mgr.migrate(g, a, b);
+    out = (co_await mgr.migrate({.domain = &g, .from = &a, .to = &b})).report;
   }(mgr, guest, a, b, rep));
   sim.run();
   EXPECT_TRUE(rep.disk_consistent);
   EXPECT_TRUE(rep.memory_consistent);
   EXPECT_FALSE(core::to_json(rep).empty());
+}
+
+TEST(UmbrellaTest, BuilderAndOrchestratorThroughSingleInclude) {
+  // The fluent config builder and the cluster layer must both be reachable
+  // through vmig.hpp alone.
+  sim::Simulator sim;
+  scenario::ClusterTestbed tb{sim, {.hosts = 2, .vbd_mib = 16,
+                                    .guest_mem_mib = 4}};
+  vm::Domain& g = tb.add_vm("g", 0);
+  tb.prefill_disks();
+
+  const core::MigrationConfig cfg = core::MigrationConfig::build()
+                                        .bitmap(core::BitmapKind::kFlat)
+                                        .disk_chunk_blocks(64)
+                                        .abort_on_non_convergence(false)
+                                        .done();
+  cluster::Orchestrator orch{sim, tb.manager(), {}};
+  orch.submit({.domain = &g, .from = &tb.host(0), .to = &tb.host(1),
+               .config = cfg});
+  orch.drain();
+  EXPECT_TRUE(orch.all_terminal());
+  EXPECT_EQ(orch.jobs_completed(), 1u);
+  EXPECT_TRUE(orch.job(0).outcome.ok());
 }
 
 }  // namespace

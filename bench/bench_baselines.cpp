@@ -7,7 +7,10 @@
 //   TPM              -> short downtime, whole disk, finite dependency
 
 #include <cstdio>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "baselines/delta_forward.hpp"
 #include "baselines/freeze_and_copy.hpp"
@@ -73,11 +76,15 @@ Line from_base(const core::MigrationReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--quick") {
+    const std::string_view arg{argv[i]};
+    if (arg == "--quick") {
       g_vbd_mib = 512;  // CI smoke: same claims, seconds instead of minutes
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--json FILE]\n", argv[0]);
       return 2;
     }
   }
@@ -178,5 +185,24 @@ int main(int argc, char** argv) {
               lines[3].residual_dep ? "yes" : "NO");
   std::printf("  delta-forward resends redundant data:     %s\n",
               lines[4].redundant_mib > 0 ? "yes" : "NO");
+
+  if (json_path != nullptr) {
+    const std::vector<std::pair<std::string, double>> kv{
+        {"tpm_total_s", lines[0].total_s},
+        {"tpm_down_ms", lines[0].down_ms},
+        {"tpm_data_mib", lines[0].data_mib},
+        {"freeze_down_ms", lines[1].down_ms},
+        {"shared_down_ms", lines[2].down_ms},
+        {"ondemand_down_ms", lines[3].down_ms},
+        {"delta_io_block_ms", lines[4].io_block_ms},
+        {"delta_redundant_mib", lines[4].redundant_mib},
+        {"tpm_consistent", lines[0].consistent ? 1.0 : 0.0},
+    };
+    if (!bench::write_flat_json(json_path, kv)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\n  wrote %s\n", json_path);
+  }
   return 0;
 }

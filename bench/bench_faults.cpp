@@ -1,0 +1,239 @@
+// Fault-tolerance benchmark: what does resumable migration buy, and what
+// does post-copy loss recovery cost?
+//
+//   A/B: a link outage aborts the first pass mid-stream; the retry either
+//        resumes from the exported transferred-bitmap (resume on) or pays a
+//        full first pass again (resume off). The paper's IM argument applies
+//        to retries too: only still-dirty blocks need to move again.
+//   loss: a lossy path during post-copy exercises pull-timeout retries; the
+//        migration must still converge and verify.
+//
+// All numbers are simulated time / simulated bytes, so runs are bit-exact
+// across machines; CI gates them against bench/baselines with a tolerance.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/migration_manager.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
+#include "scenario/cluster_testbed.hpp"
+#include "workloads/diabolical.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+std::uint64_t g_vbd_mib = 64;  // --quick drops this to 16
+
+scenario::ClusterTestbedConfig bed_config() {
+  scenario::ClusterTestbedConfig cfg;
+  cfg.hosts = 2;
+  cfg.vbd_mib = g_vbd_mib;
+  cfg.guest_mem_mib = 4;
+  cfg.disk.seq_read_mbps = 800.0;
+  cfg.disk.seq_write_mbps = 700.0;
+  cfg.disk.seek = 100_us;
+  cfg.disk.request_overhead = 5_us;
+  cfg.lan.bandwidth_mibps = 1000.0;
+  cfg.lan.latency = 50_us;
+  return cfg;
+}
+
+core::MigrationConfig migration_config() {
+  return core::MigrationConfig::build()
+      .bitmap(core::BitmapKind::kFlat)
+      .disk_iterations(4, 64)
+      .done();
+}
+
+/// Clean end-to-end run: yields the report whose timestamps place the
+/// outage for the A/B runs (mid-first-pass regardless of VBD size).
+core::MigrationReport run_clean() {
+  sim::Simulator sim;
+  scenario::ClusterTestbed tb{sim, bed_config()};
+  vm::Domain& g = tb.add_vm("g", 0);
+  tb.prefill_disks();
+  core::MigrationOutcome out;
+  sim.spawn([](scenario::ClusterTestbed* tb, vm::Domain* g,
+               core::MigrationOutcome* out) -> sim::Task<void> {
+    *out = co_await tb->manager().migrate({.domain = g, .from = &tb->host(0),
+                                           .to = &tb->host(1),
+                                           .config = migration_config()});
+  }(&tb, &g, &out));
+  sim.run();
+  return out.report;
+}
+
+struct RetryResult {
+  core::MigrationOutcome retry;
+  double combined_s = 0;  ///< first attempt + backoff + retry, end to end
+};
+
+/// Abort the first attempt with an outage window, back off past it, retry.
+RetryResult run_retry(bool resume_enabled, sim::TimePoint outage_at,
+                      sim::Duration outage_dur) {
+  sim::Simulator sim;
+  scenario::ClusterTestbed tb{sim, bed_config()};
+  vm::Domain& g = tb.add_vm("g", 0);
+  tb.prefill_disks();
+  auto cfg = migration_config();
+  cfg.resume_enabled = resume_enabled;
+  tb.host(0).link_to(tb.host(1)).fail_at(outage_at, outage_dur);
+
+  RetryResult r;
+  sim.spawn([](scenario::ClusterTestbed* tb, vm::Domain* g,
+               core::MigrationConfig cfg, sim::TimePoint until,
+               RetryResult* r) -> sim::Task<void> {
+    const sim::TimePoint t0 = tb->sim().now();
+    co_await tb->manager().migrate(
+        {.domain = g, .from = &tb->host(0), .to = &tb->host(1), .config = cfg});
+    if (tb->sim().now() < until) co_await tb->sim().delay(until - tb->sim().now());
+    r->retry = co_await tb->manager().migrate(
+        {.domain = g, .from = &tb->host(0), .to = &tb->host(1), .config = cfg});
+    r->combined_s = (tb->sim().now() - t0).to_seconds();
+  }(&tb, &g, cfg, outage_at + outage_dur + 1_ms, &r));
+  sim.run();
+  return r;
+}
+
+struct LossResult {
+  core::MigrationOutcome out;
+  std::uint64_t dropped = 0;
+};
+
+/// Post-copy under a 20% lossy path with an aggressive writer: every lost
+/// push is recovered by a pull, every lost pull by a timeout re-pull.
+LossResult run_loss() {
+  sim::Simulator sim;
+  scenario::ClusterTestbedConfig bed = bed_config();
+  bed.vbd_mib = 16;  // loss recovery cost is residue-bound, not size-bound
+  scenario::ClusterTestbed tb{sim, bed};
+  vm::Domain& g = tb.add_vm("g", 0);
+  tb.prefill_disks();
+  workload::DiabolicalWorkload wl{sim, g, /*seed=*/7};
+
+  fault::FaultInjector inj{sim, fault::FaultSpec::parse("loss@0s+60s:0.2"),
+                           /*seed=*/5};
+  inj.arm_path(tb.host(0).link_to(tb.host(1)),
+               tb.host(1).link_to(tb.host(0)), "h0-h1");
+
+  auto cfg = migration_config();
+  cfg.push_chunk_blocks = 8;
+  cfg.postcopy_pull_timeout = 2_ms;
+  cfg.postcopy_recovery_interval = 500_us;
+
+  LossResult r;
+  sim.spawn([](scenario::ClusterTestbed* tb, vm::Domain* g,
+               workload::DiabolicalWorkload* wl, core::MigrationConfig cfg,
+               LossResult* r) -> sim::Task<void> {
+    wl->start();
+    r->out = co_await tb->manager().migrate(
+        {.domain = g, .from = &tb->host(0), .to = &tb->host(1), .config = cfg});
+    wl->request_stop();
+  }(&tb, &g, &wl, cfg, &r));
+  sim.run_for(120_s);
+  r.dropped = inj.messages_dropped();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--quick") {
+      g_vbd_mib = 16;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::header("fault tolerance", "resumable retry and post-copy loss recovery");
+  std::printf("  scenario: %llu MiB VBD, 4 MiB RAM, GbE\n",
+              static_cast<unsigned long long>(g_vbd_mib));
+
+  const core::MigrationReport clean = run_clean();
+  // Mid-first-pass: past the VBD-prepare handshake, well short of the pass
+  // end. Scales with the scenario so --quick and full place it equivalently.
+  const sim::Duration precopy_span = clean.disk_precopy_done - clean.started;
+  const sim::TimePoint outage_at = clean.started + precopy_span.scaled(0.6);
+  const sim::Duration outage_dur = precopy_span.scaled(0.3);
+
+  const RetryResult resumed = run_retry(true, outage_at, outage_dur);
+  const RetryResult restarted = run_retry(false, outage_at, outage_dur);
+  const LossResult loss = run_loss();
+
+  const bool ab_ok = resumed.retry.ok() && restarted.retry.ok() &&
+                     resumed.retry.report.resume_applied;
+
+  bench::section("outage mid-first-pass, then retry");
+  bench::measured_only("clean migration total", clean.total_time().to_seconds(), "s");
+  bench::measured_only("retry w/ resume: combined", resumed.combined_s, "s");
+  bench::measured_only("retry w/o resume: combined", restarted.combined_s, "s");
+  bench::measured_only("retry w/ resume: first pass",
+                       static_cast<double>(resumed.retry.report.blocks_first_pass),
+                       "blk");
+  bench::measured_only("retry w/o resume: first pass",
+                       static_cast<double>(restarted.retry.report.blocks_first_pass),
+                       "blk");
+  bench::measured_only("blocks saved by resume",
+                       static_cast<double>(resumed.retry.report.resumed_blocks_saved),
+                       "blk");
+
+  bench::section("post-copy under 20% message loss");
+  bench::measured_only("total", loss.out.report.total_time().to_seconds(), "s");
+  bench::measured_only("messages dropped", static_cast<double>(loss.dropped), "");
+  bench::measured_only("pull timeout retries",
+                       static_cast<double>(loss.out.report.postcopy_pull_retries),
+                       "");
+  bench::measured_only("blocks pulled",
+                       static_cast<double>(loss.out.report.blocks_pulled), "");
+
+  bench::section("claims checked");
+  std::printf("  both retries complete and verify:         %s\n", ab_ok ? "yes" : "NO");
+  std::printf("  resumed retry sends strictly fewer blocks: %s\n",
+              resumed.retry.report.blocks_first_pass <
+                      restarted.retry.report.blocks_first_pass
+                  ? "yes"
+                  : "NO");
+  std::printf("  resumed retry finishes sooner:            %s\n",
+              resumed.combined_s < restarted.combined_s ? "yes" : "NO");
+  std::printf("  lossy post-copy converges and verifies:   %s\n",
+              loss.out.ok() && loss.out.report.postcopy_pull_retries > 0 ? "yes"
+                                                                         : "NO");
+
+  if (json_path != nullptr) {
+    const std::vector<std::pair<std::string, double>> kv{
+        {"clean_total_s", clean.total_time().to_seconds()},
+        {"resume_combined_s", resumed.combined_s},
+        {"restart_combined_s", restarted.combined_s},
+        {"resume_first_pass_blocks",
+         static_cast<double>(resumed.retry.report.blocks_first_pass)},
+        {"restart_first_pass_blocks",
+         static_cast<double>(restarted.retry.report.blocks_first_pass)},
+        {"resumed_blocks_saved",
+         static_cast<double>(resumed.retry.report.resumed_blocks_saved)},
+        {"loss_total_s", loss.out.report.total_time().to_seconds()},
+        {"loss_messages_dropped", static_cast<double>(loss.dropped)},
+        {"loss_pull_retries",
+         static_cast<double>(loss.out.report.postcopy_pull_retries)},
+        {"all_claims_ok",
+         ab_ok && loss.out.ok() ? 1.0 : 0.0},
+    };
+    if (!bench::write_flat_json(json_path, kv)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\n  wrote %s\n", json_path);
+  }
+  return ab_ok && loss.out.ok() ? 0 : 1;
+}

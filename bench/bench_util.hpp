@@ -18,6 +18,23 @@ inline void header(const char* id, const char* title) {
 
 inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
 
+/// Flat `{"metric": value}` JSON for the CI bench-regression gate. Keys are
+/// emitted in the order given; values in fixed notation so byte-identical
+/// runs produce byte-identical files.
+inline bool write_flat_json(
+    const char* path, const std::vector<std::pair<std::string, double>>& kv) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6f%s\n", kv[i].first.c_str(), kv[i].second,
+                 i + 1 < kv.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// One paper-vs-measured comparison row.
 inline void paper_vs(const char* metric, double paper, double measured,
                      const char* unit) {

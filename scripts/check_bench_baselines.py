@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate a measured bench JSON against a committed baseline.
+
+Both files are flat {"metric": value} maps (see bench::write_flat_json).
+Every baseline metric must be present in the measured file and within
+--tolerance (relative, default 15%) of the baseline value. Metrics near
+zero are compared with an absolute epsilon instead, since a relative band
+around zero is meaningless. Extra measured metrics are reported but pass:
+they become gated once the baseline is regenerated to include them.
+
+Exit codes: 0 pass, 1 regression/missing metric, 2 usage or bad input.
+"""
+
+import argparse
+import json
+import sys
+
+ABS_EPSILON = 1e-6  # |baseline| below this -> absolute comparison
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(data, dict) or not all(
+        isinstance(v, (int, float)) for v in data.values()
+    ):
+        sys.exit(f"error: {path} is not a flat {{metric: number}} map")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("measured", help="freshly measured JSON")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed relative deviation (default 0.15 = ±15%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    meas = load(args.measured)
+
+    failures = []
+    for key, expect in sorted(base.items()):
+        if key not in meas:
+            failures.append(f"{key}: missing from measured output")
+            continue
+        got = meas[key]
+        if abs(expect) < ABS_EPSILON:
+            ok = abs(got) < ABS_EPSILON
+            band = f"|x| < {ABS_EPSILON}"
+        else:
+            rel = abs(got - expect) / abs(expect)
+            ok = rel <= args.tolerance
+            band = f"±{args.tolerance:.0%} of {expect:g}"
+        mark = "ok  " if ok else "FAIL"
+        print(f"  {mark} {key}: measured={got:g} (baseline {band})")
+        if not ok:
+            failures.append(f"{key}: measured={got:g} expected {band}")
+
+    for key in sorted(set(meas) - set(base)):
+        print(f"  new  {key}: measured={meas[key]:g} (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) out of tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(base)} baseline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

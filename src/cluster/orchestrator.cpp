@@ -31,6 +31,9 @@ Orchestrator::Orchestrator(sim::Simulator& sim, core::MigrationManager& mgr,
     m_completed_ = &cfg_.registry->counter("cluster.jobs_completed");
     m_failed_ = &cfg_.registry->counter("cluster.jobs_failed");
     m_retries_ = &cfg_.registry->counter("cluster.retries");
+    m_resumed_retries_ = &cfg_.registry->counter("cluster.resumed_retries");
+    m_resumed_saved_ =
+        &cfg_.registry->counter("cluster.resumed_blocks_saved");
     m_deferrals_ = &cfg_.registry->counter("cluster.deferrals");
     m_running_ = &cfg_.registry->gauge("cluster.running");
     m_pending_ = &cfg_.registry->gauge("cluster.pending");
@@ -156,6 +159,22 @@ void Orchestrator::on_finished(JobId id, core::MigrationOutcome outcome) {
   --running_;
   outcome.attempts = j.attempts;
   j.outcome = std::move(outcome);
+
+  // Resume-aware retry accounting: the report says whether this attempt was
+  // seeded from a previous abort's transferred bitmap, and how many blocks
+  // that saved versus a from-scratch restart.
+  if (j.outcome.report.resume_applied) {
+    if (m_resumed_retries_ != nullptr) m_resumed_retries_->add(1.0);
+    if (m_resumed_saved_ != nullptr) {
+      m_resumed_saved_->add(
+          static_cast<double>(j.outcome.report.resumed_blocks_saved));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(trk_, "job_resumed",
+                       "\"job\":" + std::to_string(id) + ",\"blocks_saved\":" +
+                           std::to_string(j.outcome.report.resumed_blocks_saved));
+    }
+  }
 
   if (j.outcome.status == core::MigrationStatus::kCompleted) {
     mark_terminal(j, JobState::kCompleted);

@@ -158,6 +158,8 @@ class Orchestrator {
   obs::Counter* m_completed_ = nullptr;
   obs::Counter* m_failed_ = nullptr;
   obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_resumed_retries_ = nullptr;
+  obs::Counter* m_resumed_saved_ = nullptr;
   obs::Counter* m_deferrals_ = nullptr;
   obs::Gauge* m_running_ = nullptr;
   obs::Gauge* m_pending_ = nullptr;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/dirty_bitmap.hpp"
@@ -66,6 +67,31 @@ struct MigrationConfig {
   /// Ablation: disable the destination's pull path (guest reads of dirty
   /// blocks then wait for the push sweep to reach them).
   bool postcopy_pull_enabled = true;
+
+  // ---- Fault tolerance & resume (docs/FAULTS.md) ----
+  /// Keep the transferred-block bitmap as durable resume state when a
+  /// pre-freeze abort unwinds this migration, so a retried attempt re-sends
+  /// only still-dirty blocks instead of the whole disk. Consumed by
+  /// MigrationManager; the engine itself just exports the state.
+  bool resume_enabled = true;
+  /// Post-copy pull-request retry: a pull outstanding this long is re-sent
+  /// (covers a lost request or a lost response under injected message loss).
+  /// Zero disables retries.
+  sim::Duration postcopy_pull_timeout = sim::Duration::millis(1000);
+  /// Multiplier applied to the retry timeout after each re-send of the same
+  /// block (exponential backoff).
+  double postcopy_pull_backoff = 2.0;
+  /// Tick of the destination's recovery loop (retry scan, deferred-pull
+  /// issue, post-push-complete sweep) and of the freeze-fallback watchdog.
+  sim::Duration postcopy_recovery_interval = sim::Duration::millis(100);
+  /// Bound on concurrently outstanding pull requests (the pending-request
+  /// list); reads beyond it park without sending a pull until a slot frees.
+  /// Zero = unbounded.
+  std::size_t postcopy_max_outstanding_pulls = 256;
+  /// Freeze-and-copy fallback: if the migration path stays down for this
+  /// long continuously during post-copy, suspend the guest (its reads can
+  /// only stall anyway) until synchronization completes. Zero disables.
+  sim::Duration postcopy_freeze_deadline = sim::Duration::from_seconds(5.0);
 
   // ---- Fixed per-migration overheads (hypercalls, device teardown/setup) ----
   sim::Duration suspend_overhead = sim::Duration::millis(12);
@@ -157,6 +183,29 @@ class MigrationConfig::Builder {
   }
   Builder& postcopy_pull(bool enabled) {
     cfg_.postcopy_pull_enabled = enabled;
+    return *this;
+  }
+  Builder& resume(bool on) {
+    cfg_.resume_enabled = on;
+    return *this;
+  }
+  /// Post-copy pull retry tuning; a zero timeout disables retries.
+  Builder& pull_retry(sim::Duration timeout, double backoff = 2.0) {
+    cfg_.postcopy_pull_timeout = timeout;
+    cfg_.postcopy_pull_backoff = backoff;
+    return *this;
+  }
+  Builder& pull_bound(std::size_t max_outstanding) {
+    cfg_.postcopy_max_outstanding_pulls = max_outstanding;
+    return *this;
+  }
+  Builder& recovery_interval(sim::Duration tick) {
+    cfg_.postcopy_recovery_interval = tick;
+    return *this;
+  }
+  /// Freeze-and-copy fallback deadline; zero disables the fallback.
+  Builder& freeze_fallback(sim::Duration deadline) {
+    cfg_.postcopy_freeze_deadline = deadline;
     return *this;
   }
   Builder& overheads(sim::Duration suspend, sim::Duration resume) {

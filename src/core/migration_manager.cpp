@@ -1,6 +1,9 @@
 #include "core/migration_manager.hpp"
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <tuple>
 #include <utility>
 
 #include "core/tpm.hpp"
@@ -39,6 +42,33 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
   if (progress_) tpm->set_progress_listener(progress_);
 
+  // Resume state left by a previous aborted attempt of this exact path.
+  // Consumed up front (even if it turns out inapplicable below) — it
+  // describes the destination disk relative to *this* moment's source and
+  // goes stale as soon as any migration attempt runs.
+  const auto resume_key =
+      std::make_tuple(domain.id(), from.name(), to.name());
+  std::optional<MigrationResumeState> resume;
+  if (cfg.resume_enabled) {
+    if (const auto it = resume_.find(resume_key); it != resume_.end()) {
+      resume = std::move(it->second);
+      resume_.erase(it);
+    }
+  }
+  const std::uint64_t nblocks = from.vbd_for(domain.id()).geometry().block_count;
+  // Build the retry seed: everything except what the destination already
+  // holds, plus every source write tracked since the abort (`since_abort`
+  // must be the consumed tracking bitmap — resume is unsound without it).
+  const auto resume_seed = [&](const DirtyBitmap& since_abort) {
+    DirtyBitmap seed{cfg.bitmap_kind, nblocks, /*initially_set=*/true};
+    resume->transferred.for_each_set(
+        [&seed](std::uint64_t b) { seed.clear(b); });
+    seed.or_with(since_abort);
+    const std::uint64_t saved = nblocks - seed.count_set();
+    tpm->set_first_pass_seed(std::move(seed), /*mark_incremental=*/false);
+    tpm->mark_resumed(saved);
+  };
+
   // Top-level span over the whole manager path (IM seeding + TPM + directory
   // upkeep); the TPM emits the per-phase spans within it.
   obs::Span migrate_span{
@@ -67,7 +97,13 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
       tenancy_writes =
           DirtyBitmap{cfg.bitmap_kind, from.vbd_for(domain.id()).geometry().block_count};
     }
-    if (auto seed = dir->seed_for(to)) {
+    if (resume.has_value() && tenancy_known) {
+      // Resume-aware retry: the aborted attempt erased this domain's
+      // directory, so without resume the tenancy branch below would force a
+      // full first pass. The transferred bitmap plus the consumed tracking
+      // delta re-sends exactly the still-dirty blocks instead.
+      resume_seed(tenancy_writes);
+    } else if (auto seed = dir->seed_for(to)) {
       seed->or_with(tenancy_writes);
       tpm->set_first_pass_seed(std::move(*seed));
     } else if (tenancy_known) {
@@ -87,7 +123,14 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
     // corrupt the disk).
     const auto it = last_source_.find(domain.id());
     const bool dest_has_base = it != last_source_.end() && it->second == &to;
-    if (from.backend_for(domain.id()).tracking() && !dest_has_base) {
+    if (resume.has_value() && from.backend_for(domain.id()).tracking()) {
+      // Resume-aware retry of the same path: instead of the full-copy guard
+      // below (the abort repointed last_source_ at this source), seed with
+      // the blocks the destination does not yet hold — the aborted
+      // attempt's transferred bitmap complement plus everything the still-
+      // running tracking caught since.
+      resume_seed(from.backend_for(domain.id()).snapshot_dirty_and_reset());
+    } else if (from.backend_for(domain.id()).tracking() && !dest_has_base) {
       (void)from.backend_for(domain.id()).snapshot_dirty_and_reset();
       DirtyBitmap all{cfg.bitmap_kind, from.vbd_for(domain.id()).geometry().block_count,
                       /*initially_set=*/true};
@@ -104,6 +147,14 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   try {
     rep = co_await tpm->run();
   } catch (const MigrationAborted&) {
+    if (cfg.resume_enabled) {
+      // Export the attempt's transferred bitmap so the next retry of this
+      // path re-sends only still-dirty blocks (tracking stays on and will
+      // supply the delta).
+      if (auto rs = tpm->take_resume_state()) {
+        resume_.insert_or_assign(resume_key, std::move(*rs));
+      }
+    }
     if (dir != nullptr) {
       // The directory's divergence maps were partially consumed (the
       // tenancy snapshot above) and partially transferred; every per-host
@@ -120,6 +171,17 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
     // tenancy_known is false only when the source had no tracking (a first
     // departure); any already-known host copies must then be invalidated.
     dir->on_migrated(from, to, tenancy_writes, tenancy_known);
+  }
+
+  // Success invalidates every resume state for this domain: the VM moved,
+  // so any held transferred-bitmap describes a stale (source, destination)
+  // disk relationship.
+  for (auto rit = resume_.begin(); rit != resume_.end();) {
+    if (std::get<0>(rit->first) == domain.id()) {
+      rit = resume_.erase(rit);
+    } else {
+      ++rit;
+    }
   }
 
   history_.push_back(rep);

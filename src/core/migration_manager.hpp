@@ -1,6 +1,9 @@
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -74,6 +77,12 @@ class MigrationManager {
     return history_;
   }
 
+  /// Aborted-attempt resume states currently held (one per
+  /// (domain, source, destination) path). Diagnostic/testing hook; the
+  /// states themselves are consumed transparently by the next retry of the
+  /// same path when config.resume_enabled is set (docs/FAULTS.md).
+  std::size_t resume_states() const noexcept { return resume_.size(); }
+
  private:
   /// The throwing core both public overloads share: IM seeding, the TPM
   /// run, and directory upkeep. Propagates MigrationAborted after unwinding
@@ -87,6 +96,14 @@ class MigrationManager {
   /// Pairwise-IM validity: the host each domain last migrated away from
   /// (the only machine whose disk holds this VM's base image).
   std::unordered_map<vm::DomainId, const hv::Host*> last_source_;
+  /// Durable resume state from aborted attempts, keyed by
+  /// (domain, source name, destination name): only a retry of the *same*
+  /// path may resume — any other path pays a correct full first pass. Host
+  /// names (not pointers) keep the key order deterministic; ordered map
+  /// because success-path invalidation iterates it.
+  std::map<std::tuple<vm::DomainId, std::string, std::string>,
+           MigrationResumeState>
+      resume_;
   std::vector<MigrationReport> history_;
 };
 

@@ -14,6 +14,7 @@ std::string MigrationReport::str() const {
       "  disk: %d iters, first=%llu retx=%llu residual=%llu "
       "push=%llu pull=%llu drop=%llu%s%s\n"
       "  mem: %d iters, precopied=%llu residual=%llu pages\n"
+      "  fault: resumed=%s saved=%llu pull_retries=%llu fallback_freezes=%llu\n"
       "  verified: disk=%s memory=%s",
       total_time().to_seconds(), downtime().to_millis(),
       precopy_time().to_seconds(), postcopy_time().to_millis(), total_mib(),
@@ -35,6 +36,10 @@ std::string MigrationReport::str() const {
       aborted_precopy_dirty_rate ? " [dirty-rate abort]" : "", mem_iterations,
       static_cast<unsigned long long>(pages_precopied),
       static_cast<unsigned long long>(pages_residual),
+      resume_applied ? "yes" : "no",
+      static_cast<unsigned long long>(resumed_blocks_saved),
+      static_cast<unsigned long long>(postcopy_pull_retries),
+      static_cast<unsigned long long>(postcopy_fallback_freezes),
       disk_consistent ? "ok" : "FAIL", memory_consistent ? "ok" : "FAIL");
   return buf;
 }

@@ -68,6 +68,22 @@ struct MigrationReport {
   bool aborted_precopy_dirty_rate = false;  ///< proactive stop fired
   std::uint64_t blocks_skipped_unused = 0;  ///< guest-reported free blocks
 
+  // ---- Fault tolerance (docs/FAULTS.md) ----
+  /// First pass was seeded from a previous aborted attempt's transferred
+  /// bitmap (resume) rather than restarted from scratch.
+  bool resume_applied = false;
+  /// Blocks the resume seed excluded versus a from-scratch restart — the
+  /// savings a mid-migration fault would otherwise have cost again.
+  std::uint64_t resumed_blocks_saved = 0;
+  /// Pull requests re-sent by the destination's recovery loop (lost request
+  /// or lost response under injected message loss).
+  std::uint64_t postcopy_pull_retries = 0;
+  /// Times the freeze-and-copy fallback suspended the guest because the
+  /// source stayed unreachable past the configured deadline.
+  std::uint64_t postcopy_fallback_freezes = 0;
+  /// Total time the guest spent suspended by the fallback.
+  sim::Duration postcopy_fallback_freeze_time{};
+
   // ---- End-state verification (simulation-only ground truth) ----
   bool disk_consistent = false;
   bool memory_consistent = false;

@@ -60,15 +60,14 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
   bool blocked = false;
   if (pull_enabled_) {
     for (storage::BlockId b = range.start; b < range.end(); ++b) {
-      if (transferred_.test(b) && !requested_.contains(b)) {
-        requested_.insert(b);
-        ++stats_.pull_requests;
-        if (tracer_) {
-          tracer_->instant(track_, "pull_request",
-                           "\"block\": " + std::to_string(b));
-        }
-        co_await to_source_.send(MigrationMessage{PullRequestMsg{b}});
+      if (!transferred_.test(b) || requested_.contains(b)) continue;
+      if (!pull_slot_free()) {
+        // Bounded pending-request list: park without a request; the
+        // recovery loop issues the pull once a slot frees.
+        ++pulls_deferred_;
+        continue;
       }
+      co_await send_pull(b, /*is_retry=*/false);
     }
   }
   for (storage::BlockId b = range.start; b < range.end(); ++b) {
@@ -159,6 +158,88 @@ void PostCopyDestination::force_complete(
   check_done();
 }
 
+sim::Task<void> PostCopyDestination::send_pull(storage::BlockId b,
+                                               bool is_retry) {
+  // Reserve the slot before the co_await so a concurrent reader of the same
+  // block sees it outstanding instead of double-requesting.
+  PullState& ps = requested_[b];
+  if (is_retry) {
+    ps.timeout = ps.timeout.scaled(rcfg_.pull_backoff);
+    ++ps.retries;
+    ++pull_retries_;
+  } else {
+    ps.timeout = rcfg_.pull_timeout;
+  }
+  ++stats_.pull_requests;
+  if (tracer_) {
+    tracer_->instant(track_, is_retry ? "pull_retry" : "pull_request",
+                     "\"block\": " + std::to_string(b));
+  }
+  co_await to_source_.send(MigrationMessage{PullRequestMsg{b}});
+  // Arm the retry deadline only once the request is on the wire (the send
+  // itself may have queued behind an outage).
+  if (const auto it = requested_.find(b); it != requested_.end()) {
+    it->second.sent = sim_.now();
+  }
+}
+
+sim::Task<void> PostCopyDestination::recovery_tick() {
+  if (!pull_enabled_) co_return;
+
+  // 1. Re-send overdue pulls (lost request or lost response), with
+  //    exponential backoff per block. Snapshot first: sends suspend, and
+  //    arriving blocks mutate requested_ under us.
+  if (rcfg_.pull_timeout > sim::Duration::zero()) {
+    std::vector<storage::BlockId> overdue;
+    for (const auto& [b, ps] : requested_) {
+      if (ps.timeout > sim::Duration::zero() && sim_.now() >= ps.sent + ps.timeout) {
+        overdue.push_back(b);
+      }
+    }
+    for (const storage::BlockId b : overdue) {
+      if (!transferred_.test(b) || !requested_.contains(b)) continue;
+      co_await send_pull(b, /*is_retry=*/true);
+    }
+  }
+
+  // 2. Issue pulls deferred by the outstanding bound, oldest block first
+  //    (pending_ is a hash map; sort for a deterministic issue order).
+  std::vector<storage::BlockId> parked;
+  parked.reserve(pending_.size());
+  // vmig-lint: d3-ok -- keys are sorted below before any side effect
+  for (const auto& [b, gate] : pending_) parked.push_back(b);
+  std::sort(parked.begin(), parked.end());
+  for (const storage::BlockId b : parked) {
+    if (!pull_slot_free()) break;
+    if (!transferred_.test(b) || requested_.contains(b)) continue;
+    co_await send_pull(b, /*is_retry=*/false);
+  }
+
+  // 3. The source's push sweep is over, so any block still marked
+  //    transferred was lost in flight: schedule re-pulls (bounded per tick
+  //    by the outstanding cap; later ticks mop up the rest).
+  if (push_complete_seen_) {
+    std::vector<storage::BlockId> missing;
+    transferred_.for_each_set([&](std::uint64_t b) {
+      if (!requested_.contains(b)) missing.push_back(b);
+    });
+    for (const storage::BlockId b : missing) {
+      if (!pull_slot_free()) break;
+      if (!transferred_.test(b) || requested_.contains(b)) continue;
+      co_await send_pull(b, /*is_retry=*/false);
+    }
+  }
+}
+
+sim::Task<void> PostCopyDestination::run_recovery() {
+  if (rcfg_.interval <= sim::Duration::zero()) co_return;
+  while (!done_.is_open()) {
+    co_await sim_.delay(rcfg_.interval);
+    if (done_.is_open()) break;
+    co_await recovery_tick();
+  }
+}
+
 void PostCopyDestination::release_waiters(storage::BlockId b) {
   const auto it = pending_.find(b);
   if (it == pending_.end()) return;
@@ -180,7 +261,8 @@ PostCopySource::PostCopySource(sim::Simulator& sim, storage::VirtualDisk& disk,
       remaining_{std::move(remaining)},
       to_dest_{to_dest},
       push_chunk_{push_chunk_blocks == 0 ? 1 : push_chunk_blocks},
-      shaper_{shaper} {}
+      shaper_{shaper},
+      wake_{sim} {}
 
 void PostCopySource::attach_obs(obs::Tracer* tracer, obs::TrackId track,
                                 obs::Registry* registry) {
@@ -196,10 +278,11 @@ void PostCopySource::enqueue_pull(storage::BlockId b) {
   if (obs_pull_queue_) {
     obs_pull_queue_->set(static_cast<double>(pulls_.size()));
   }
+  wake_.notify_all();
 }
 
 sim::Task<void> PostCopySource::run() {
-  while (!stop_requested_ && (remaining_.any() || !pulls_.empty())) {
+  while (!stop_requested_) {
     // Pull requests are served preferentially (paper §IV-A-3).
     if (!pulls_.empty()) {
       const storage::BlockId b = pulls_.front();
@@ -207,7 +290,11 @@ sim::Task<void> PostCopySource::run() {
       if (obs_pull_queue_) {
         obs_pull_queue_->set(static_cast<double>(pulls_.size()));
       }
-      if (!remaining_.test(b)) continue;  // already pushed; response in flight
+      // During the push sweep, a pull for an already-sent block means the
+      // response (or push) is still in flight — skip it. After the sweep a
+      // repeated pull can only be the destination's loss recovery, so serve
+      // it unconditionally.
+      if (!remaining_.test(b) && !complete_announced_) continue;
       const sim::TimePoint serve_start = sim_.now();
       const storage::BlockRange r{b, 1};
       co_await disk_.read(r, storage::IoSource::kMigration);
@@ -223,30 +310,44 @@ sim::Task<void> PostCopySource::run() {
       continue;
     }
 
-    auto next = remaining_.next_set(cursor_);
-    if (!next) {
-      cursor_ = 0;
-      next = remaining_.next_set(0);
-      if (!next) continue;  // drained; loop condition re-checks pulls
+    if (remaining_.any()) {
+      auto next = remaining_.next_set(cursor_);
+      if (!next) {
+        cursor_ = 0;
+        next = remaining_.next_set(0);
+        if (!next) continue;  // drained; loop re-checks from the top
+      }
+      const std::uint64_t len = remaining_.run_length(*next, push_chunk_);
+      const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
+      const sim::TimePoint serve_start = sim_.now();
+      co_await disk_.read(r, storage::IoSource::kMigration);
+      for (storage::BlockId b = r.start; b < r.end(); ++b) remaining_.clear(b);
+      cursor_ = r.end();
+      DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
+      stats_.blocks_pushed += r.count;
+      stats_.bytes_push += msg.wire_bytes();
+      co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
+      if (tracer_) {
+        tracer_->complete(track_, serve_start, "push",
+                          "\"start\": " + std::to_string(r.start) +
+                              ", \"count\": " + std::to_string(r.count));
+      }
+      continue;
     }
-    const std::uint64_t len = remaining_.run_length(*next, push_chunk_);
-    const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
-    const sim::TimePoint serve_start = sim_.now();
-    co_await disk_.read(r, storage::IoSource::kMigration);
-    for (storage::BlockId b = r.start; b < r.end(); ++b) remaining_.clear(b);
-    cursor_ = r.end();
-    DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
-    stats_.blocks_pushed += r.count;
-    stats_.bytes_push += msg.wire_bytes();
-    co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
-    if (tracer_) {
-      tracer_->complete(track_, serve_start, "push",
-                        "\"start\": " + std::to_string(r.start) +
-                            ", \"count\": " + std::to_string(r.count));
+
+    if (!complete_announced_) {
+      // Push sweep drained: announce it on the reliable control plane so
+      // the destination can detect lost pushes, then stay alive to serve
+      // recovery pulls until the destination reports sync-complete.
+      complete_announced_ = true;
+      finished_ = true;
+      co_await to_dest_.send(MigrationMessage{ControlMsg{Control::kPushComplete}});
+      continue;
     }
+
+    co_await wake_.wait();
   }
   finished_ = true;
-  co_await to_dest_.send(MigrationMessage{ControlMsg{Control::kPushComplete}});
 }
 
 }  // namespace vmig::core

@@ -1,10 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/dirty_bitmap.hpp"
 #include "core/protocol.hpp"
@@ -35,6 +36,19 @@ struct PostCopyStats {
   std::uint64_t bytes_pull = 0;
 };
 
+/// Destination-side recovery tuning (lost-message retry, bounded pending
+/// list); populated from MigrationConfig by the TPM.
+struct PostCopyRecoveryConfig {
+  /// Re-send a pull still outstanding after this long; zero disables.
+  sim::Duration pull_timeout{};
+  /// Timeout multiplier per re-send of the same block.
+  double pull_backoff = 2.0;
+  /// Recovery-loop tick; zero disables the loop entirely.
+  sim::Duration interval{};
+  /// Max concurrently outstanding pull requests; zero = unbounded.
+  std::size_t max_outstanding_pulls = 0;
+};
+
 /// Destination half of post-copy (paper §IV-A-3 destination rules).
 ///
 /// Installed as the I/O interceptor on the destination's blkback when the
@@ -59,6 +73,9 @@ class PostCopyDestination final : public vm::IoInterceptor {
   void attach_obs(obs::Tracer* tracer, obs::TrackId track,
                   obs::Registry* registry);
 
+  /// Install the recovery tuning (must precede run_recovery()).
+  void set_recovery(PostCopyRecoveryConfig rcfg) { rcfg_ = rcfg; }
+
   // vm::IoInterceptor
   sim::Task<void> on_request(vm::DomainId domain, storage::IoOp op,
                              storage::BlockRange range) override;
@@ -69,6 +86,18 @@ class PostCopyDestination final : public vm::IoInterceptor {
   bool complete() const { return transferred_.none(); }
   /// Opens when every inconsistent block has been synchronized.
   sim::Gate& done_gate() noexcept { return done_; }
+
+  /// The source finished its push sweep (kPushComplete, which travels over
+  /// the reliable control plane): any block still marked transferred from
+  /// here on was lost in flight and must be re-pulled.
+  void note_push_complete() noexcept { push_complete_seen_ = true; }
+
+  /// Recovery loop (spawn alongside the migration; exits once done_ opens):
+  /// re-sends overdue pull requests with exponential backoff, issues pulls
+  /// deferred by the pending bound as slots free, and after kPushComplete
+  /// sweeps up blocks whose push was lost. Inert when rcfg_.interval is
+  /// zero or every timeout is disabled.
+  sim::Task<void> run_recovery();
 
   /// Experiment teardown: install every still-missing block instantly
   /// (untimed) from `source_of_truth` and release all pending reads. Used
@@ -81,10 +110,21 @@ class PostCopyDestination final : public vm::IoInterceptor {
   std::uint64_t reads_blocked() const noexcept { return reads_blocked_; }
   sim::Duration total_read_stall() const noexcept { return total_stall_; }
   sim::Duration max_read_stall() const noexcept { return max_stall_; }
+  /// Pull requests re-sent after their timeout expired.
+  std::uint64_t pull_retries() const noexcept { return pull_retries_; }
+  /// Reads whose pull was deferred by the outstanding-pull bound.
+  std::uint64_t pulls_deferred() const noexcept { return pulls_deferred_; }
 
  private:
   void release_waiters(storage::BlockId b);
   void check_done();
+  bool pull_slot_free() const {
+    return rcfg_.max_outstanding_pulls == 0 ||
+           requested_.size() < rcfg_.max_outstanding_pulls;
+  }
+  /// Record the request (or refresh its deadline) and put it on the wire.
+  sim::Task<void> send_pull(storage::BlockId b, bool is_retry);
+  sim::Task<void> recovery_tick();
 
   sim::Simulator& sim_;
   storage::VirtualDisk& disk_;
@@ -94,10 +134,21 @@ class PostCopyDestination final : public vm::IoInterceptor {
   // The paper's pending list P, realized as per-block gates holding the
   // suspended guest-read coroutines.
   std::unordered_map<storage::BlockId, std::unique_ptr<sim::Gate>> pending_;
-  std::unordered_set<storage::BlockId> requested_;
+  /// Outstanding pull requests with their retry deadlines. Ordered map: the
+  /// recovery loop iterates it, and iteration order must be deterministic.
+  struct PullState {
+    sim::TimePoint sent{};
+    sim::Duration timeout{};
+    int retries = 0;
+  };
+  std::map<storage::BlockId, PullState> requested_;
   sim::Gate done_;
   PostCopyStats stats_;
+  PostCopyRecoveryConfig rcfg_{};
   bool pull_enabled_;
+  bool push_complete_seen_ = false;
+  std::uint64_t pull_retries_ = 0;
+  std::uint64_t pulls_deferred_ = 0;
   std::uint64_t reads_blocked_ = 0;
   sim::Duration total_stall_{};
   sim::Duration max_stall_{};
@@ -124,12 +175,17 @@ class PostCopySource {
   /// A pull request arrived from the destination.
   void enqueue_pull(storage::BlockId b);
 
-  /// Push until every remaining block is sent; then announce kPushComplete.
+  /// Push until every remaining block is sent, announce kPushComplete, then
+  /// keep serving late pull requests (re-pulls for blocks whose push or pull
+  /// response was lost) until request_stop().
   sim::Task<void> run();
 
   /// The destination reported sync-complete (every remaining block was
-  /// overwritten locally): stop pushing blocks nobody needs.
-  void request_stop() noexcept { stop_requested_ = true; }
+  /// overwritten locally or applied): stop pushing and serving.
+  void request_stop() noexcept {
+    stop_requested_ = true;
+    wake_.notify_all();
+  }
 
   bool finished() const noexcept { return finished_; }
   const PostCopyStats& stats() const noexcept { return stats_; }
@@ -142,9 +198,11 @@ class PostCopySource {
   std::uint32_t push_chunk_;
   net::TokenBucket* shaper_;
   std::deque<storage::BlockId> pulls_;
+  sim::Notifier wake_;  ///< idle wakeup: new pull or stop request
   storage::BlockId cursor_ = 0;
   bool finished_ = false;
   bool stop_requested_ = false;
+  bool complete_announced_ = false;
   PostCopyStats stats_;
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;

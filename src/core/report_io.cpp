@@ -58,6 +58,12 @@ std::string to_json(const MigrationReport& r) {
   field(os, "postcopy_read_stall_max_s",
         r.postcopy_read_stall_max.to_seconds());
   field(os, "incremental", r.incremental);
+  field(os, "resume_applied", r.resume_applied);
+  field(os, "resumed_blocks_saved", r.resumed_blocks_saved);
+  field(os, "postcopy_pull_retries", r.postcopy_pull_retries);
+  field(os, "postcopy_fallback_freezes", r.postcopy_fallback_freezes);
+  field(os, "postcopy_fallback_freeze_time_s",
+        r.postcopy_fallback_freeze_time.to_seconds());
   field(os, "aborted_precopy_dirty_rate", r.aborted_precopy_dirty_rate);
   field(os, "disk_consistent", r.disk_consistent);
   field(os, "memory_consistent", r.memory_consistent);

@@ -52,6 +52,12 @@ TpmMigration::TpmMigration(sim::Simulator& sim, MigrationConfig cfg,
 sim::Task<MigrationReport> TpmMigration::run() {
   assert(src_.hosts_domain(domain_) && "domain must start on the source host");
   setup_obs();
+  install_drop_policies();
+  if (cfg_.obs_registry != nullptr && rep_.resume_applied) {
+    cfg_.obs_registry->counter("migration.resumes").add(1.0);
+    cfg_.obs_registry->counter("migration.resumed_blocks_saved")
+        .add(static_cast<double>(rep_.resumed_blocks_saved));
+  }
   rep_.started = sim_.now();
   link_epoch_ = sim_.now();
   sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
@@ -88,13 +94,19 @@ sim::Task<MigrationReport> TpmMigration::run() {
     // Close both streams and join the receive loops *before* surfacing the
     // failure — they are root tasks referencing this object, which the
     // caller may destroy as soon as the exception lands. Source-side write
-    // tracking is deliberately left running: a retried migration finds
-    // tracking on with no base image at the destination, and the manager's
-    // pairwise guard forces a correct full first pass.
+    // tracking is deliberately left running: together with the exported
+    // resume state it makes a retry's first pass exactly the still-dirty
+    // delta; without resume, the manager's pairwise guard forces a correct
+    // full first pass.
     fwd_.close();
     rev_.close();
     co_await dest_loop;
     co_await src_loop;
+    if (resume_tracking_started_) {
+      // The dest-loop join above guarantees every delivered chunk has been
+      // applied to the destination VBD, so the bitmap is now exact.
+      resume_state_ = MigrationResumeState{std::move(resume_transferred_)};
+    }
     if (tracer_) {
       tracer_->instant(trk_tpm_, "migration_aborted",
                        std::string{"\"reason\": \""} +
@@ -122,6 +134,12 @@ sim::Task<MigrationReport> TpmMigration::run() {
   rep_.synchronized = sim_.now();
   emit_phase_spans();
 
+  // Join the recovery/watchdog loops (spawned at enter-postcopy); both exit
+  // within one tick of the done gate opening, after the synchronized
+  // timestamp is recorded so the headline metrics stay loop-free.
+  co_await recovery_loop_;
+  co_await freeze_watchdog_;
+
   // Fold destination-side post-copy stats into the report.
   rep_.blocks_pushed = pc_dst_->stats().blocks_pushed;
   rep_.blocks_pulled = pc_dst_->stats().blocks_pulled;
@@ -132,6 +150,7 @@ sim::Task<MigrationReport> TpmMigration::run() {
   rep_.bytes_postcopy_push = pc_dst_->stats().bytes_push;
   rep_.bytes_postcopy_pull =
       pc_dst_->stats().bytes_pull + pc_dst_->stats().pull_requests * kMsgHeaderBytes;
+  rep_.postcopy_pull_retries = pc_dst_->pull_retries();
 
   verify_consistency();
   notify_progress(Phase::kDone, 1.0);
@@ -215,9 +234,15 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
                           static_cast<double>(total_blocks));
       next_report += total_blocks / 20 + 1;
     }
+    const storage::BlockRange delivered_range = msg->range;
     MigrationMessage wire{std::move(*msg)};
     bytes += wire.wire_bytes();
-    co_await fwd_.send(std::move(wire), shaper);
+    const bool delivered = co_await fwd_.send(std::move(wire), shaper);
+    // The stream is FIFO and the dest loop applies chunks in order, so a
+    // successful send is as good as applied once the dest loop is joined.
+    if (delivered) {
+      resume_transferred_.set_range(delivered_range.start, delivered_range.count);
+    }
   }
   co_await reader;
   co_return bytes;
@@ -258,6 +283,13 @@ sim::Task<void> TpmMigration::disk_precopy() {
       }
     }
   }
+
+  // Resume bookkeeping: start from the complement of the first-pass seed —
+  // any block the seed excludes (IM-clean, skip-unused, resume-carried) is
+  // already valid at the destination and counts as transferred.
+  resume_transferred_ = DirtyBitmap{cfg_.bitmap_kind, nblocks, /*initially_set=*/true};
+  seed.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+  resume_tracking_started_ = true;
 
   const sim::TimePoint iter1_start = sim_.now();
   rep_.bytes_disk_first_pass =
@@ -300,6 +332,8 @@ sim::Task<void> TpmMigration::disk_precopy() {
     }
     const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
     observed_writes_.or_with(snap);
+    // Re-dirtied blocks invalidate the destination's copy until re-delivered.
+    snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
     const sim::TimePoint iter_start = sim_.now();
     std::uint64_t n = 0;
     const std::uint64_t iter_bytes = co_await transfer_by_bitmap(snap, &n);
@@ -435,7 +469,9 @@ sim::Task<void> TpmMigration::dest_recv_loop() {
           break;
         case Control::kPushComplete:
           // Completion is detected by the transferred bitmap draining; the
-          // push-complete marker just confirms the source's queue is empty.
+          // marker (reliable control plane) additionally tells the recovery
+          // loop that any block still missing was lost in flight.
+          if (pc_dst_) pc_dst_->note_push_complete();
           break;
         default:
           break;
@@ -451,6 +487,9 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
   pc_dst_ = std::make_unique<PostCopyDestination>(
       sim_, dst_.vbd_for(domain_.id()), *received_bitmap_, domain_.id(), rev_,
       cfg_.postcopy_pull_enabled);
+  pc_dst_->set_recovery({cfg_.postcopy_pull_timeout, cfg_.postcopy_pull_backoff,
+                         cfg_.postcopy_recovery_interval,
+                         cfg_.postcopy_max_outstanding_pulls});
   pc_dst_->attach_obs(tracer_, trk_dst_, cfg_.obs_registry);
 
   // The guest is frozen, so the received pages can be checked against its
@@ -492,6 +531,73 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
             MigrationMessage{ControlMsg{Control::kSyncComplete}});
       }(this),
       "tpm-sync-watch");
+
+  // Fault tolerance: lost-message recovery (pull retries, post-push sweep)
+  // and the freeze-and-copy fallback for a persistently-dead path. Both are
+  // joined by run() after kSyncComplete.
+  recovery_loop_ = sim_.spawn(pc_dst_->run_recovery(), "pc-recovery");
+  freeze_watchdog_ = sim_.spawn(postcopy_freeze_watchdog(), "pc-freeze-watchdog");
+}
+
+sim::Task<void> TpmMigration::postcopy_freeze_watchdog() {
+  if (cfg_.postcopy_freeze_deadline <= sim::Duration::zero() || !pc_dst_) {
+    co_return;
+  }
+  const sim::Duration tick =
+      cfg_.postcopy_recovery_interval > sim::Duration::zero()
+          ? cfg_.postcopy_recovery_interval
+          : cfg_.postcopy_freeze_deadline;
+  bool was_down = false;
+  sim::TimePoint down_since{};
+  bool frozen = false;
+  sim::TimePoint frozen_at{};
+  while (!pc_dst_->complete()) {
+    const bool down = fwd_.link().down() || rev_.link().down();
+    if (down && !was_down) down_since = sim_.now();
+    was_down = down;
+    if (down && !frozen && domain_.running() &&
+        sim_.now() - down_since >= cfg_.postcopy_freeze_deadline) {
+      // The source has been unreachable for the whole deadline: any guest
+      // read of a still-missing block would stall unboundedly. Degrade to
+      // freeze-and-copy — suspend until the path (and the data) come back.
+      domain_.suspend();
+      frozen = true;
+      frozen_at = sim_.now();
+      ++rep_.postcopy_fallback_freezes;
+      if (tracer_) {
+        tracer_->instant(trk_dst_, "fallback_freeze",
+                         "\"missing_blocks\": " +
+                             std::to_string(pc_dst_->transferred().count_set()));
+      }
+      sim::LogLine(sim::LogLevel::kInfo, sim_.now(), "tpm")
+          << "post-copy fallback: path down past deadline, froze '"
+          << domain_.name() << "' on " << dst_.name();
+    }
+    if (!down && frozen) {
+      domain_.resume();
+      rep_.postcopy_fallback_freeze_time += sim_.now() - frozen_at;
+      frozen = false;
+      if (tracer_) tracer_->instant(trk_dst_, "fallback_thaw");
+    }
+    co_await sim_.delay(tick);
+  }
+  if (frozen) {
+    domain_.resume();
+    rep_.postcopy_fallback_freeze_time += sim_.now() - frozen_at;
+  }
+}
+
+void TpmMigration::install_drop_policies() {
+  // Post-copy data plane only: pushes and pull responses forward, pull
+  // requests backward — all are retried or swept up by the recovery loop.
+  // Everything else (pre-copy chunks, control, bitmap, memory) models a
+  // reliable connection-oriented transport and is never dropped.
+  fwd_.set_drop_policy([this](const MigrationMessage& m) {
+    return pc_src_ != nullptr && m.get_if<DiskBlocksMsg>() != nullptr;
+  });
+  rev_.set_drop_policy([](const MigrationMessage& m) {
+    return m.get_if<PullRequestMsg>() != nullptr;
+  });
 }
 
 // --------------------------- Observability ---------------------------

@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/migration_config.hpp"
 #include "core/migration_metrics.hpp"
@@ -22,6 +23,18 @@ class Counter;
 }  // namespace vmig::obs
 
 namespace vmig::core {
+
+/// Durable resume state exported by an aborted migration attempt: the blocks
+/// the destination already holds a valid copy of (sent and not re-dirtied,
+/// plus blocks that never needed sending). A retry of the same
+/// (domain, source, destination) triple seeds its first pass with the
+/// complement of this bitmap, OR-ed with every write tracked since — it
+/// re-sends only still-dirty blocks instead of the whole disk
+/// (docs/FAULTS.md). Kept by MigrationManager; sound because destination
+/// VBDs persist across attempts.
+struct MigrationResumeState {
+  DirtyBitmap transferred;
+};
 
 /// Three-Phase Migration: whole-system live migration of a VM — local disk,
 /// memory, and CPU state — between two hosts with no shared storage
@@ -93,6 +106,21 @@ class TpmMigration {
     explicit_seed_incremental_ = mark_incremental;
   }
 
+  /// Mark this run as resumed from a previous aborted attempt (the manager
+  /// already folded the resume state into the first-pass seed).
+  /// `blocks_saved` = blocks the seed excluded versus a full restart.
+  void mark_resumed(std::uint64_t blocks_saved) {
+    rep_.resume_applied = true;
+    rep_.resumed_blocks_saved = blocks_saved;
+  }
+
+  /// After a clean pre-freeze abort: the transferred-bitmap to seed a
+  /// resumed retry from, or nullopt if the attempt never reached the disk
+  /// pre-copy. Consumes the state.
+  std::optional<MigrationResumeState> take_resume_state() {
+    return std::exchange(resume_state_, std::nullopt);
+  }
+
   /// Every source-side write the migration observed being consumed from the
   /// backend's tracking bitmap (iteration snapshots + the freeze snapshot).
   /// Used by ImDirectory to keep per-host divergence maps current.
@@ -113,6 +141,13 @@ class TpmMigration {
   // ---- Destination side ----
   sim::Task<void> dest_recv_loop();
   sim::Task<void> handle_enter_postcopy();
+  /// Freeze-and-copy fallback: while post-copy runs, suspend the guest if
+  /// the migration path stays down past cfg_.postcopy_freeze_deadline (its
+  /// reads could only stall anyway); resume it once synchronized.
+  sim::Task<void> postcopy_freeze_watchdog();
+  /// Opt the post-copy data plane (pushes, pull responses, pull requests)
+  /// into the links' injected-loss model; everything else stays reliable.
+  void install_drop_policies();
 
   void verify_consistency();
   void notify_progress(Phase p, double fraction) {
@@ -151,6 +186,14 @@ class TpmMigration {
   bool explicit_seed_incremental_ = true;
   DirtyBitmap observed_writes_;
 
+  /// Blocks the destination currently holds a valid copy of (resume state
+  /// in the making): initialized to the complement of the first-pass seed,
+  /// bits set as chunks are delivered, cleared again when a later iteration
+  /// snapshot shows the block was re-dirtied.
+  DirtyBitmap resume_transferred_;
+  bool resume_tracking_started_ = false;
+  std::optional<MigrationResumeState> resume_state_;
+
   // Cooperative pre-copy abort state (see run()'s contract).
   std::optional<MigrationStatus> abort_reason_;
   bool abort_transfer_ = false;  ///< tells the pre-copy reader to stop
@@ -162,6 +205,8 @@ class TpmMigration {
   std::optional<DirtyBitmap> received_bitmap_;
   std::unique_ptr<PostCopyDestination> pc_dst_;
   std::unique_ptr<PostCopySource> pc_src_;
+  sim::SpawnHandle recovery_loop_;    ///< pc_dst_->run_recovery()
+  sim::SpawnHandle freeze_watchdog_;  ///< postcopy_freeze_watchdog()
 
   // Control-plane rendezvous.
   sim::Notifier control_notify_;

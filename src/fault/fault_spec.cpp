@@ -1,0 +1,168 @@
+#include "fault/fault_spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vmig::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kDegrade:
+      return "degrade";
+    case FaultKind::kLatency:
+      return "latency";
+    default:
+      return "loss";
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& clause, const char* why) {
+  throw std::invalid_argument{std::string{"fault spec: "} + why + " in '" +
+                              clause + "'"};
+}
+
+/// "250ms" / "2.5s" / "80us" / bare "3" (seconds) -> Duration.
+sim::Duration parse_duration(const std::string& clause, const std::string& s) {
+  if (s.empty()) bad(clause, "empty duration");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0.0) bad(clause, "bad duration");
+  const std::string unit{end};
+  if (unit.empty() || unit == "s") return sim::Duration::from_seconds(v);
+  if (unit == "ms") return sim::Duration::from_seconds(v * 1e-3);
+  if (unit == "us") return sim::Duration::from_seconds(v * 1e-6);
+  bad(clause, "unknown duration unit");
+}
+
+double parse_number(const std::string& clause, const std::string& s) {
+  if (s.empty()) bad(clause, "empty value");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') bad(clause, "bad value");
+  return v;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+FaultEvent parse_clause(const std::string& raw) {
+  const std::string clause = trim(raw);
+  const std::size_t at_pos = clause.find('@');
+  if (at_pos == std::string::npos) bad(clause, "missing '@'");
+  const std::string kind_s = clause.substr(0, at_pos);
+
+  FaultEvent ev;
+  if (kind_s == "outage") {
+    ev.kind = FaultKind::kOutage;
+  } else if (kind_s == "degrade") {
+    ev.kind = FaultKind::kDegrade;
+  } else if (kind_s == "latency") {
+    ev.kind = FaultKind::kLatency;
+  } else if (kind_s == "loss") {
+    ev.kind = FaultKind::kLoss;
+  } else {
+    bad(clause, "unknown fault kind");
+  }
+
+  std::string rest = clause.substr(at_pos + 1);
+  const std::size_t plus = rest.find('+');
+  if (plus == std::string::npos) bad(clause, "missing '+<duration>'");
+  ev.at = parse_duration(clause, trim(rest.substr(0, plus)));
+  rest = rest.substr(plus + 1);
+
+  std::string value;
+  if (const std::size_t colon = rest.find(':'); colon != std::string::npos) {
+    value = trim(rest.substr(colon + 1));
+    rest = rest.substr(0, colon);
+  }
+  ev.duration = parse_duration(clause, trim(rest));
+  if (ev.duration <= sim::Duration::zero()) bad(clause, "zero-length window");
+
+  switch (ev.kind) {
+    case FaultKind::kOutage:
+      if (!value.empty()) bad(clause, "outage takes no ':<value>'");
+      break;
+    case FaultKind::kDegrade:
+      ev.value = parse_number(clause, value);
+      if (ev.value <= 0.0 || ev.value >= 1.0) {
+        bad(clause, "degrade factor must be in (0,1)");
+      }
+      break;
+    case FaultKind::kLatency:
+      ev.extra = parse_duration(clause, value);
+      if (ev.extra <= sim::Duration::zero()) bad(clause, "zero extra latency");
+      break;
+    case FaultKind::kLoss:
+      ev.value = parse_number(clause, value);
+      if (ev.value <= 0.0 || ev.value >= 1.0) {
+        bad(clause, "loss probability must be in (0,1)");
+      }
+      break;
+  }
+  return ev;
+}
+
+std::string render_duration(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%gs", d.to_seconds());
+  return buf;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t sep = text.find_first_of(";,", pos);
+    if (sep == std::string::npos) sep = text.size();
+    const std::string clause = trim(text.substr(pos, sep - pos));
+    if (!clause.empty()) spec.events.push_back(parse_clause(clause));
+    pos = sep + 1;
+  }
+  if (spec.events.empty()) {
+    throw std::invalid_argument{"fault spec: no clauses in '" + text + "'"};
+  }
+  return spec;
+}
+
+std::string FaultSpec::str() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += "; ";
+    out += to_string(ev.kind);
+    out += '@';
+    out += render_duration(ev.at);
+    out += '+';
+    out += render_duration(ev.duration);
+    switch (ev.kind) {
+      case FaultKind::kDegrade:
+      case FaultKind::kLoss: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, ":%g", ev.value);
+        out += buf;
+        break;
+      }
+      case FaultKind::kLatency:
+        out += ':';
+        out += render_duration(ev.extra);
+        break;
+      case FaultKind::kOutage:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vmig::fault

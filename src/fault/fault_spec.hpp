@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace vmig::fault {
+
+/// One scheduled fault on a network path.
+enum class FaultKind : std::uint8_t {
+  kOutage,   ///< link down for the window (transport sees a break)
+  kDegrade,  ///< bandwidth scaled by `value` for the window
+  kLatency,  ///< `extra` added to one-way latency for the window
+  kLoss,     ///< drop-eligible messages lost with probability `value`
+};
+
+const char* to_string(FaultKind k);
+
+/// A fault window, relative to the instant the injector is armed.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  sim::Duration at{};        ///< window start offset
+  sim::Duration duration{};  ///< window length
+  double value = 0.0;        ///< degrade factor / loss probability
+  sim::Duration extra{};     ///< added latency (kLatency only)
+};
+
+/// A parsed `--fault` specification: an ordered list of fault windows.
+///
+/// Grammar (see docs/FAULTS.md): clauses separated by `;` or `,`, each
+///   outage@<at>+<dur>
+///   degrade@<at>+<dur>:<factor>
+///   latency@<at>+<dur>:<extra>
+///   loss@<at>+<dur>:<probability>
+/// where times are `<float>` seconds or suffixed `us`/`ms`/`s`, e.g.
+///   "outage@5s+200ms; degrade@2s+10s:0.25; loss@0s+30s:0.05".
+struct FaultSpec {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Parse a spec string; throws std::invalid_argument with a message
+  /// naming the offending clause on malformed input.
+  static FaultSpec parse(const std::string& text);
+
+  /// Canonical re-rendering of the spec (stable across parse round-trips).
+  std::string str() const;
+};
+
+}  // namespace vmig::fault

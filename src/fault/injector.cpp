@@ -1,0 +1,113 @@
+#include "fault/injector.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "simcore/log.hpp"
+#include "simcore/rng.hpp"
+
+namespace vmig::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultSpec spec,
+                             std::uint64_t seed)
+    : sim_{sim}, spec_{std::move(spec)}, seed_{seed} {}
+
+void FaultInjector::attach_obs(obs::Registry* registry, obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ != nullptr) {
+    m_windows_ = &registry_->counter("fault.windows");
+    m_kind_[static_cast<int>(FaultKind::kOutage)] =
+        &registry_->counter("fault.outages");
+    m_kind_[static_cast<int>(FaultKind::kDegrade)] =
+        &registry_->counter("fault.degrade_windows");
+    m_kind_[static_cast<int>(FaultKind::kLatency)] =
+        &registry_->counter("fault.latency_windows");
+    m_kind_[static_cast<int>(FaultKind::kLoss)] =
+        &registry_->counter("fault.loss_windows");
+    registry_->probe("fault.messages_dropped", [this] {
+      return static_cast<double>(messages_dropped());
+    });
+  }
+}
+
+void FaultInjector::arm(net::Link& link, const std::string& label) {
+  // Independent per-link loss stream: mix the injector seed with the arm
+  // index through splitmix64 so adjacent seeds do not correlate.
+  std::uint64_t mix = seed_ + 0x9e3779b97f4a7c15ULL * (++arm_index_);
+  link.seed_loss(sim::splitmix64(mix));
+  armed_.push_back(&link);
+
+  const std::uint32_t track =
+      tracer_ != nullptr ? tracer_->track("fault", label) : 0;
+  for (const FaultEvent& ev : spec_.events) arm_event(link, ev, track);
+}
+
+void FaultInjector::arm_path(net::Link& forward, net::Link& reverse,
+                             const std::string& label) {
+  arm(forward, label + "/fwd");
+  arm(reverse, label + "/rev");
+}
+
+std::uint64_t FaultInjector::messages_dropped() const {
+  std::uint64_t total = 0;
+  for (const net::Link* l : armed_) total += l->messages_dropped();
+  return total;
+}
+
+void FaultInjector::arm_event(net::Link& link, const FaultEvent& ev,
+                              std::uint32_t track) {
+  const sim::TimePoint begin = sim_.now() + ev.at;
+  const sim::TimePoint end = begin + ev.duration;
+  // Copy the event by value into the timers: the spec vector may reallocate
+  // if more links are armed later.
+  sim_.schedule_at(begin, [this, &link, ev] {
+    ++windows_applied_;
+    if (m_windows_ != nullptr) m_windows_->add(1.0);
+    if (m_kind_[static_cast<int>(ev.kind)] != nullptr) {
+      m_kind_[static_cast<int>(ev.kind)]->add(1.0);
+    }
+    switch (ev.kind) {
+      case FaultKind::kOutage:
+        link.fail_for(ev.duration);
+        break;
+      case FaultKind::kDegrade:
+        link.set_degradation(ev.value);
+        break;
+      case FaultKind::kLatency:
+        link.set_extra_latency(ev.extra);
+        break;
+      case FaultKind::kLoss:
+        link.set_loss(ev.value);
+        break;
+    }
+    sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "fault")
+        << to_string(ev.kind) << " window opens for " << ev.duration.str();
+  });
+  sim_.schedule_at(end, [this, &link, ev, begin, track] {
+    switch (ev.kind) {
+      case FaultKind::kOutage:
+        // fail_for already bounded the outage window; nothing to revert.
+        break;
+      case FaultKind::kDegrade:
+        link.set_degradation(1.0);
+        break;
+      case FaultKind::kLatency:
+        link.set_extra_latency(sim::Duration::zero());
+        break;
+      case FaultKind::kLoss:
+        link.set_loss(0.0);
+        break;
+    }
+    if (tracer_ != nullptr) {
+      std::string args = "\"kind\": \"" + std::string{to_string(ev.kind)} + "\"";
+      if (ev.kind == FaultKind::kDegrade || ev.kind == FaultKind::kLoss) {
+        args += ", \"value\": " + std::to_string(ev.value);
+      }
+      tracer_->complete(track, begin, "fault_window", std::move(args));
+    }
+  });
+}
+
+}  // namespace vmig::fault

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.hpp"
+#include "net/link.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig::obs {
+class Counter;
+class Registry;
+class Tracer;
+}  // namespace vmig::obs
+
+namespace vmig::fault {
+
+/// Deterministic fault injector: arms a parsed FaultSpec onto one or more
+/// links by scheduling apply/revert timers on the simulator. All windows are
+/// measured from the instant of the `arm()` call, so the same spec on the
+/// same scenario reproduces byte-identically.
+///
+/// Each armed link's loss RNG is seeded from (seed, arm index) — faults on
+/// different links draw independent, reproducible loss streams.
+///
+/// Lifetime: the injector and every armed link must outlive the simulator
+/// run (the timers reference both).
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultSpec spec, std::uint64_t seed = 0);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Optional observability: `fault.windows` / per-kind window counters and
+  /// a `fault.messages_dropped` probe in the registry; one complete span per
+  /// fault window on a ("fault", <label>) track in the tracer. Call before
+  /// arm().
+  void attach_obs(obs::Registry* registry, obs::Tracer* tracer);
+
+  /// Schedule every event in the spec on `link`; windows start counting now.
+  void arm(net::Link& link, const std::string& label = "link");
+
+  /// Arm both directions of a full-duplex path (a cable fault hits both).
+  void arm_path(net::Link& forward, net::Link& reverse,
+                const std::string& label = "path");
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Fault windows whose start has fired so far.
+  std::uint64_t windows_applied() const noexcept { return windows_applied_; }
+  /// Sum of injected-loss drops across every armed link.
+  std::uint64_t messages_dropped() const;
+
+ private:
+  void arm_event(net::Link& link, const FaultEvent& ev, std::uint32_t track);
+
+  sim::Simulator& sim_;
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::uint64_t arm_index_ = 0;
+  std::uint64_t windows_applied_ = 0;
+  std::vector<net::Link*> armed_;
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_windows_ = nullptr;
+  obs::Counter* m_kind_[4] = {};  ///< indexed by FaultKind
+};
+
+}  // namespace vmig::fault

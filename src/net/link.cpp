@@ -30,7 +30,7 @@ sim::Task<void> Link::transmit(std::uint64_t bytes, TokenBucket* shaper) {
   if (shaper != nullptr) co_await shaper->acquire(bytes);
   const sim::TimePoint arrival = sim_.now();
   const auto serialize = sim::Duration::from_seconds(
-      static_cast<double>(bytes) / (p_.bandwidth_mibps * kMiB));
+      static_cast<double>(bytes) / (p_.bandwidth_mibps * degrade_factor_ * kMiB));
   sim::TimePoint start = std::max(arrival, busy_until_);
   // An injected outage stalls the wire: nothing serializes inside the
   // window. Queued transmissions are retransmitted when it lifts rather
@@ -42,7 +42,7 @@ sim::Task<void> Link::transmit(std::uint64_t bytes, TokenBucket* shaper) {
   ++messages_sent_;
   if (obs_bytes_ != nullptr) obs_bytes_->add(static_cast<double>(bytes));
   if (obs_msgs_ != nullptr) obs_msgs_->add(1.0);
-  const sim::TimePoint delivered = busy_until_ + p_.latency;
+  const sim::TimePoint delivered = busy_until_ + p_.latency + extra_latency_;
   co_await sim_.delay(delivered - arrival);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "simcore/rng.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/stats.hpp"
 #include "simcore/task.hpp"
@@ -89,6 +90,43 @@ class Link {
   }
   std::uint64_t outages_injected() const noexcept { return outages_injected_; }
 
+  // ---- Degradation injection (src/fault drives these) ----
+  /// Scale the effective bandwidth by `factor` (clamped to a small positive
+  /// floor); 1.0 restores nominal. Applies to transmissions that *start*
+  /// while the factor is set — the serialize time is computed at wire entry,
+  /// as a path's ABR would be.
+  void set_degradation(double factor) {
+    degrade_factor_ = std::max(factor, 1e-6);
+  }
+  double degradation() const noexcept { return degrade_factor_; }
+  /// Extra one-way latency added on top of the configured propagation delay
+  /// (congestion / reroute modeling); zero restores nominal.
+  void set_extra_latency(sim::Duration d) { extra_latency_ = d; }
+  sim::Duration extra_latency() const noexcept { return extra_latency_; }
+
+  // ---- Message-loss injection ----
+  /// Probability in [0,1] that a drop-eligible message is lost after paying
+  /// its wire cost. Only messages a MessageStream's drop policy marks
+  /// eligible ever roll — the streams stay reliable-by-default, modeling a
+  /// lossy datagram path only where a protocol opts in (post-copy data).
+  void set_loss(double p) { loss_prob_ = std::clamp(p, 0.0, 1.0); }
+  double loss_probability() const noexcept { return loss_prob_; }
+  bool lossy() const noexcept { return loss_prob_ > 0.0; }
+  /// Reseed the loss RNG; each armed link gets an independent stream.
+  void seed_loss(std::uint64_t seed) { loss_rng_.reseed(seed); }
+  /// Roll one loss decision (advances the seeded RNG). Callers must only
+  /// roll for drop-eligible messages so ineligible traffic does not perturb
+  /// the stream.
+  bool roll_drop() {
+    if (!lossy()) return false;
+    ++loss_rolls_;
+    if (!loss_rng_.bernoulli(loss_prob_)) return false;
+    ++messages_dropped_;
+    return true;
+  }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t loss_rolls() const noexcept { return loss_rolls_; }
+
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   sim::Duration busy_time() const noexcept { return busy_time_; }
@@ -109,6 +147,12 @@ class Link {
   sim::TimePoint down_from_ = sim::TimePoint::max();  ///< outage window start
   sim::TimePoint down_until_{};                       ///< outage window end
   std::uint64_t outages_injected_ = 0;
+  double degrade_factor_ = 1.0;        ///< bandwidth multiplier (fault model)
+  sim::Duration extra_latency_{};      ///< added propagation (fault model)
+  double loss_prob_ = 0.0;             ///< drop-eligible message loss prob
+  sim::Rng loss_rng_{};                ///< seeded per-link loss stream
+  std::uint64_t loss_rolls_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   sim::Duration busy_time_{};

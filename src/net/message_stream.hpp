@@ -45,12 +45,29 @@ class MessageStream {
     send_observer_ = std::move(fn);
   }
 
+  /// Opt selected messages into the link's loss model: when the link is
+  /// lossy and the policy returns true for a message, one seeded loss roll
+  /// decides whether it vanishes after paying its wire cost. Messages the
+  /// policy rejects (and all messages under a null policy) stay reliable —
+  /// the stream is TCP unless a protocol explicitly marks datagram-like
+  /// traffic (the TPM marks only post-copy data and pull requests).
+  void set_drop_policy(std::function<bool(const M&)> fn) {
+    drop_policy_ = std::move(fn);
+  }
+
   /// Transmit and deliver. Returns false if the stream was closed.
   sim::Task<bool> send(M msg, TokenBucket* shaper = nullptr) {
     if (inbox_.closed()) co_return false;
     if (send_observer_) send_observer_(msg);
     co_await link_.transmit(msg.wire_bytes(), shaper);
     if (inbox_.closed()) co_return false;
+    if (link_.lossy() && drop_policy_ && drop_policy_(msg) &&
+        link_.roll_drop()) {
+      // Lost on the wire; the sender cannot tell (a datagram send returns
+      // success). Recovery is the receiver's job (timeouts + re-pull).
+      ++dropped_;
+      co_return true;
+    }
     ++delivered_;
     inbox_.try_send(std::move(msg));
     co_return true;
@@ -65,6 +82,8 @@ class MessageStream {
   bool closed() const noexcept { return inbox_.closed(); }
   std::size_t pending() const noexcept { return inbox_.size(); }
   std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Messages lost to the link's injected loss model.
+  std::uint64_t dropped() const noexcept { return dropped_; }
   Link& link() noexcept { return link_; }
   const Link& link() const noexcept { return link_; }
 
@@ -72,7 +91,9 @@ class MessageStream {
   Link& link_;
   sim::Channel<M> inbox_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
   std::function<void(const M&)> send_observer_;
+  std::function<bool(const M&)> drop_policy_;
 };
 
 }  // namespace vmig::net

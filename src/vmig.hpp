@@ -27,6 +27,10 @@
 // Storage and network substrates.
 #include "net/link.hpp"
 #include "net/message_stream.hpp"
+
+// Fault injection: spec grammar + scheduled link faults.
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
 #include "storage/block.hpp"
 #include "storage/disk_model.hpp"
 #include "storage/disk_scheduler.hpp"

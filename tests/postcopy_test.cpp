@@ -344,14 +344,19 @@ TEST(PostCopySourceTest, PullServedPreferentiallyAsPullResponse) {
   EXPECT_EQ(src.stats().blocks_pushed + src.stats().blocks_pulled, 4096u);
 }
 
-TEST(PostCopySourceTest, PullForAlreadyPushedBlockIsIgnored) {
+TEST(PostCopySourceTest, PullAfterPushCompleteIsServedAsRecovery) {
   Simulator sim;
   SrcRig rig{sim, 64, {5}};
   sim.spawn(rig.engine->run(), "pusher");
-  sim.run();  // block 5 pushed; engine finished
-  rig.engine->enqueue_pull(5);  // stale pull arrives afterwards
+  sim.run();  // block 5 pushed; push-complete announced
+  EXPECT_TRUE(rig.engine->finished());
+  // A pull arriving *after* the sweep means the destination never saw the
+  // push (lost in flight): the source must serve it again, not ignore it.
+  rig.engine->enqueue_pull(5);
   sim.run();
-  EXPECT_EQ(rig.engine->stats().blocks_pulled, 0u);
+  EXPECT_EQ(rig.engine->stats().blocks_pulled, 1u);
+  rig.engine->request_stop();
+  sim.run();
 }
 
 TEST(PostCopySourceTest, RequestStopEndsPushEarly) {

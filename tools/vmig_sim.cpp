@@ -13,12 +13,14 @@
 //   vmig_sim --trace out.json                # Chrome/Perfetto trace export
 //   vmig_sim --metrics out.csv               # sampled metrics time series
 //   vmig_sim --cluster --cluster-vms 8       # orchestrated host evacuation
+//   vmig_sim --fault 'outage@65s+2s' --warmup 60   # fault mid-migration
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "baselines/delta_forward.hpp"
@@ -28,6 +30,8 @@
 #include "baselines/shared_storage.hpp"
 #include "core/disruption.hpp"
 #include "core/report_io.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -75,6 +79,9 @@ struct Options {
   int cluster_vms = 4;
   std::string cluster_policy = "fifo";  // fifo|smallest-dirty|workload-cycle
   double cluster_outage_s = 0.0;  // host0->host1 outage length (starts at 1s)
+  // --fault: fault windows injected on the migration path (docs/FAULTS.md).
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
 };
 
 void usage(const char* argv0) {
@@ -108,7 +115,13 @@ void usage(const char* argv0) {
       "  --cluster-hosts N    cluster size                (default 3)\n"
       "  --cluster-vms N      guests to evacuate off host0 (default 4)\n"
       "  --cluster-policy P   fifo | smallest-dirty | workload-cycle\n"
-      "  --cluster-outage S   fail host0->host1 for S seconds at t=1s\n",
+      "  --cluster-outage S   fail host0->host1 for S seconds at t=1s\n"
+      "  --fault SPEC     inject faults on the migration path; SPEC is\n"
+      "                   ';'-separated clauses (see docs/FAULTS.md):\n"
+      "                     outage@<at>+<dur>       degrade@<at>+<dur>:<f>\n"
+      "                     latency@<at>+<dur>:<d>  loss@<at>+<dur>:<p>\n"
+      "                   e.g. 'outage@65s+2s;loss@70s+30s:0.05'\n"
+      "  --fault-seed N   seed for the injected-loss RNG     (default 1)\n",
       argv0);
 }
 
@@ -166,6 +179,10 @@ bool parse(int argc, char** argv, Options& o) {
       o.cluster_policy = need("--cluster-policy");
     } else if (a == "--cluster-outage") {
       o.cluster_outage_s = std::strtod(need("--cluster-outage"), nullptr);
+    } else if (a == "--fault") {
+      o.fault_spec = need("--fault");
+    } else if (a == "--fault-seed") {
+      o.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
     } else if (a == "--roundtrip") {
       o.roundtrip = true;
     } else if (a == "--sparse") {
@@ -192,6 +209,17 @@ bool parse(int argc, char** argv, Options& o) {
 }
 
 trace::IoTrace g_trace;  // must outlive the replay workload
+
+/// Parse --fault (exits with usage-style error code 2 on a malformed spec).
+fault::FaultSpec parse_fault_or_die(const Options& o) {
+  if (o.fault_spec.empty()) return {};
+  try {
+    return fault::FaultSpec::parse(o.fault_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: bad --fault spec: %s\n", e.what());
+    std::exit(2);
+  }
+}
 
 std::unique_ptr<workload::Workload> make_workload(const Options& o,
                                                   sim::Simulator& sim,
@@ -318,6 +346,15 @@ int run_cluster(const Options& o) {
   ocfg.tracer = tracer.get();
   cluster::Orchestrator orch{sim, tb.manager(), ocfg};
   orch.submit_evacuation(tb.host(0), tb.hosts_except(0), cfg);
+  const fault::FaultSpec fspec = parse_fault_or_die(o);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!fspec.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim, fspec, o.fault_seed);
+    injector->attach_obs(registry.get(), tracer.get());
+    // The evacuation's busiest path: host0 to its first evacuation target.
+    injector->arm_path(tb.host(0).link_to(tb.host(1)),
+                       tb.host(1).link_to(tb.host(0)), "host0-host1");
+  }
   if (o.cluster_outage_s > 0.0) {
     tb.host(0).link_to(tb.host(1)).fail_at(
         sim::TimePoint::origin() + 1_s,
@@ -414,6 +451,15 @@ int main(int argc, char** argv) {
     registry->start_sampling();
     cfg.obs_registry = registry.get();
     cfg.obs_tracer = tracer.get();
+  }
+
+  const fault::FaultSpec fspec = parse_fault_or_die(o);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!fspec.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim, fspec, o.fault_seed);
+    injector->attach_obs(registry.get(), tracer.get());
+    injector->arm_path(tb.source().link_to(tb.dest()),
+                       tb.dest().link_to(tb.source()), "src-dst");
   }
 
   const auto wl = make_workload(o, sim, tb.vm());

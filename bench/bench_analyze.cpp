@@ -1,0 +1,144 @@
+// Flight-recorder overhead benchmark: recording is pure observation, so the
+// A/B runs (recorder off vs on) must land on identical simulated timings —
+// the gated delta metrics are exact zeros, far inside the <5% budget. Also
+// sizes the record for the kernel-build workload and runs vmig_analyze over
+// it end to end: every reconciliation check must pass.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"
+#include "bench_util.hpp"
+#include "obs/recorder.hpp"
+#include "scenario/testbed.hpp"
+#include "workloads/kernel_build.hpp"
+
+using namespace vmig;
+
+namespace {
+
+std::uint64_t g_vbd_mib = 128;  // --quick drops this to 64
+
+struct RunResult {
+  core::MigrationReport report;
+  std::uint64_t events = 0;
+  std::string jsonl;
+};
+
+/// One kernel-build TPM migration, with or without the flight recorder
+/// attached — the exact wiring `vmig_sim --flight-record` uses.
+RunResult run_build(bool record) {
+  sim::Simulator sim;
+  scenario::TestbedConfig bed;
+  bed.vbd_mib = g_vbd_mib;
+  bed.guest_mem_mib = 64;
+  scenario::Testbed tb{sim, bed};
+  tb.prefill_disk();
+
+  auto cfg = tb.paper_migration_config();
+  obs::FlightRecorder rec;
+  if (record) cfg.obs_recorder = &rec;
+
+  workload::KernelBuildWorkload wl{sim, tb.vm(), 42};
+  RunResult r;
+  r.report = tb.run_tpm(&wl, sim::Duration::seconds(2),
+                        sim::Duration::seconds(2), cfg);
+  if (record) {
+    r.events = rec.recorded();
+    std::ostringstream out;
+    obs::write_flight_record(out, rec);
+    r.jsonl = out.str();
+  }
+  return r;
+}
+
+double delta_frac(double off, double on) {
+  return off == 0.0 ? 0.0 : (on - off) / off;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--quick") {
+      g_vbd_mib = 64;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::header("flight recorder", "recording overhead and analyzer round-trip");
+  std::printf("  scenario: %llu MiB VBD, 64 MiB RAM, kernel-build workload\n",
+              static_cast<unsigned long long>(g_vbd_mib));
+
+  const RunResult off = run_build(false);
+  const RunResult on = run_build(true);
+
+  const double total_off = off.report.total_time().to_seconds();
+  const double total_on = on.report.total_time().to_seconds();
+  const double down_off = off.report.downtime().to_seconds();
+  const double down_on = on.report.downtime().to_seconds();
+  const double total_delta = delta_frac(total_off, total_on);
+  const double down_delta = delta_frac(down_off, down_on);
+
+  // Round-trip the record through vmig_analyze: 0 = every check passed.
+  const char* record_path = "bench_analyze_flight.jsonl";
+  int analyze_status = 2;
+  {
+    std::ofstream f{record_path, std::ios::binary | std::ios::trunc};
+    f << on.jsonl;
+  }
+  {
+    analyze::Options opt;
+    opt.record_path = record_path;
+    std::ostringstream out;
+    std::ostringstream err;
+    analyze_status = analyze::run(opt, out, err);
+  }
+
+  bench::section("A/B: recorder off vs on (simulated time)");
+  bench::measured_only("total, recorder off", total_off, "s");
+  bench::measured_only("total, recorder on", total_on, "s");
+  bench::measured_only("total delta", total_delta * 100.0, "%");
+  bench::measured_only("downtime delta", down_delta * 100.0, "%");
+
+  bench::section("record size and analyzer round-trip");
+  bench::measured_only("events recorded", static_cast<double>(on.events), "");
+  bench::measured_only("record size",
+                       static_cast<double>(on.jsonl.size()) / 1024.0, "KiB");
+  std::printf("  vmig_analyze reconciles the record:       %s\n",
+              analyze_status == 0 ? "yes" : "NO");
+
+  bench::section("claims checked");
+  std::printf("  recording leaves simulated time unchanged: %s\n",
+              total_delta == 0.0 && down_delta == 0.0 ? "yes" : "NO");
+
+  if (json_path != nullptr) {
+    const std::vector<std::pair<std::string, double>> kv{
+        {"total_time_off_s", total_off},
+        {"total_time_on_s", total_on},
+        {"total_time_delta_frac", total_delta},
+        {"downtime_delta_frac", down_delta},
+        {"events_recorded", static_cast<double>(on.events)},
+        {"jsonl_kib", static_cast<double>(on.jsonl.size()) / 1024.0},
+        {"analyze_checks_failed", analyze_status == 0 ? 0.0 : 1.0},
+    };
+    if (!bench::write_flat_json(json_path, kv)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\n  wrote %s\n", json_path);
+  }
+  return total_delta == 0.0 && down_delta == 0.0 && analyze_status == 0 ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include "hypervisor/host.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 #include "vm/blk_backend.hpp"
 #include "vm/domain.hpp"
@@ -140,6 +141,7 @@ sim::Task<void> Orchestrator::job_runner(JobId id) {
   // orchestrator's, so every TPM phase span lands in one trace.
   if (req.config.obs_registry == nullptr) req.config.obs_registry = cfg_.registry;
   if (req.config.obs_tracer == nullptr) req.config.obs_tracer = cfg_.tracer;
+  if (req.config.obs_recorder == nullptr) req.config.obs_recorder = cfg_.recorder;
 
   obs::Span span{tracer_, trk_,
                  "job " + req.domain->name() + " -> " + req.to->name(),
@@ -341,6 +343,24 @@ void Orchestrator::mark_terminal(MigrationJob& j, JobState state) {
                      "\"job\":" + std::to_string(j.id) + ",\"state\":\"" +
                          to_string(j.state) + "\",\"status\":\"" +
                          core::to_string(j.outcome.status) + "\"");
+  }
+  if (cfg_.recorder != nullptr) {
+    obs::JobRecord rec;
+    rec.job = j.id;
+    rec.domain = j.request.domain->name();
+    rec.from = j.request.from->name();
+    rec.to = j.request.to->name();
+    rec.status = core::to_string(j.outcome.status);
+    rec.submitted_ns = j.submitted.ns();
+    rec.finished_ns = j.finished.ns();
+    rec.deadline_ns = j.request.deadline.ns();
+    rec.attempts = static_cast<std::uint32_t>(j.attempts);
+    rec.deferrals = static_cast<std::uint32_t>(j.deferrals);
+    rec.downtime_ns = j.outcome.report.downtime().ns();
+    rec.total_ns = (j.finished - j.submitted).ns();
+    rec.resume_applied = j.outcome.report.resume_applied;
+    rec.resumed_blocks_saved = j.outcome.report.resumed_blocks_saved;
+    cfg_.recorder->job_record(std::move(rec));
   }
 }
 

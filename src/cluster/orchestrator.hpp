@@ -17,6 +17,7 @@
 
 namespace vmig::obs {
 class Counter;
+class FlightRecorder;
 class Gauge;
 class Registry;
 class Tracer;
@@ -41,6 +42,10 @@ struct OrchestratorConfig {
   /// so each job's TPM phase spans land in the same trace.
   obs::Registry* registry = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// When set, injected into every job config that has none (so each job's
+  /// engine events land in one flight record) and fed a terminal JobRecord
+  /// per job — the per-job SLO rows of `vmig_analyze`.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Cluster migration orchestrator: accepts a queue of MigrationRequests and

@@ -7,6 +7,7 @@
 #include "simcore/time.hpp"
 
 namespace vmig::obs {
+class FlightRecorder;
 class Registry;
 class Tracer;
 }  // namespace vmig::obs
@@ -118,6 +119,10 @@ struct MigrationConfig {
   /// byte counters.
   obs::Registry* obs_registry = nullptr;
   obs::Tracer* obs_tracer = nullptr;
+  /// Flight recorder (docs/ANALYSIS.md): bounded per-block event log plus
+  /// exact per-migration aggregates, consumed by tools/vmig_analyze. Null =
+  /// disabled; MigrationManager opens/closes the per-migration record.
+  obs::FlightRecorder* obs_recorder = nullptr;
 
   class Builder;
   /// Entry point of the fluent builder:
@@ -228,6 +233,10 @@ class MigrationConfig::Builder {
   Builder& observe(obs::Registry* registry, obs::Tracer* tracer) {
     cfg_.obs_registry = registry;
     cfg_.obs_tracer = tracer;
+    return *this;
+  }
+  Builder& record_flight(obs::FlightRecorder* recorder) {
+    cfg_.obs_recorder = recorder;
     return *this;
   }
 

@@ -7,9 +7,45 @@
 #include <utility>
 
 #include "core/tpm.hpp"
+#include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 
 namespace vmig::core {
+
+namespace {
+
+/// Project a finished (or aborted) report into the flight recorder's close
+/// record — the plain-integer slice vmig_analyze reconciles the recorder's
+/// own aggregates against.
+obs::MigrationClose close_of(const MigrationReport& rep) {
+  obs::MigrationClose c;
+  c.disk_precopy_done_ns = rep.disk_precopy_done.ns();
+  c.suspended_ns = rep.suspended.ns();
+  c.resumed_ns = rep.resumed.ns();
+  c.synchronized_ns = rep.synchronized.ns();
+  c.bytes_disk_first_pass = rep.bytes_disk_first_pass;
+  c.bytes_disk_retransfer = rep.bytes_disk_retransfer;
+  c.bytes_memory_precopy = rep.bytes_memory_precopy;
+  c.bytes_freeze_residual = rep.bytes_freeze_residual;
+  c.bytes_bitmap = rep.bytes_bitmap;
+  c.bytes_postcopy_push = rep.bytes_postcopy_push;
+  c.bytes_postcopy_pull = rep.bytes_postcopy_pull;
+  c.bytes_control = rep.bytes_control;
+  c.residual_dirty_blocks = rep.residual_dirty_blocks;
+  c.blocks_pushed = rep.blocks_pushed;
+  c.blocks_pulled = rep.blocks_pulled;
+  c.blocks_dropped = rep.blocks_dropped;
+  c.postcopy_reads_blocked = rep.postcopy_reads_blocked;
+  c.postcopy_read_stall_total_ns = rep.postcopy_read_stall_total.ns();
+  c.postcopy_read_stall_max_ns = rep.postcopy_read_stall_max.ns();
+  c.disk_iterations = static_cast<std::uint32_t>(rep.disk_iterations);
+  c.mem_iterations = static_cast<std::uint32_t>(rep.mem_iterations);
+  c.resume_applied = rep.resume_applied;
+  c.resumed_blocks_saved = rep.resumed_blocks_saved;
+  return c;
+}
+
+}  // namespace
 
 sim::Task<MigrationOutcome> MigrationManager::migrate(MigrationRequest req) {
   MigrationOutcome out;
@@ -41,6 +77,17 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   const MigrationConfig& cfg = req.config;
   const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
   if (progress_) tpm->set_progress_listener(progress_);
+
+  // Flight recorder: open this attempt's record and hand the engine its
+  // migration id. Closed on both exits below, so an aborted attempt still
+  // serializes with its partial aggregates and terminal status.
+  obs::FlightRecorder* const flight = cfg.obs_recorder;
+  obs::FlightMigId flight_mig = 0;
+  if (flight != nullptr) {
+    flight_mig = flight->begin_migration(domain.name(), from.name(), to.name(),
+                                         sim_.now());
+    tpm->set_flight(flight, flight_mig);
+  }
 
   // Resume state left by a previous aborted attempt of this exact path.
   // Consumed up front (even if it turns out inapplicable below) — it
@@ -146,7 +193,12 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   MigrationReport rep;
   try {
     rep = co_await tpm->run();
-  } catch (const MigrationAborted&) {
+  } catch (const MigrationAborted& aborted) {
+    if (flight != nullptr) {
+      flight->end_migration(flight_mig, sim_.now(),
+                            to_string(aborted.reason()),
+                            close_of(aborted.report()));
+    }
     if (cfg.resume_enabled) {
       // Export the attempt's transferred bitmap so the next retry of this
       // path re-sends only still-dirty blocks (tracking stays on and will
@@ -182,6 +234,12 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
     } else {
       ++rit;
     }
+  }
+
+  if (flight != nullptr) {
+    flight->end_migration(flight_mig, sim_.now(),
+                          to_string(MigrationStatus::kCompleted),
+                          close_of(rep));
   }
 
   history_.push_back(rep);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace vmig::core {
 
@@ -44,11 +45,18 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
     // block no longer needs synchronization. (BM_3 marking happens in
     // blkback's write tracking.) Pending reads of the block — possible only
     // from concurrent guest contexts — see the freshly written data.
+    std::uint64_t cancelled = 0;
     for (storage::BlockId b = range.start; b < range.end(); ++b) {
       if (transferred_.test(b)) {
         transferred_.clear(b);
         release_waiters(b);
+        ++cancelled;
       }
+    }
+    if (cancelled > 0 && flight_ != nullptr) {
+      flight_->overwrite_cancel(
+          flight_mig_, sim_.now(), range.start, cancelled,
+          cancelled * disk_.geometry().block_size);
     }
     check_done();
     co_return;
@@ -85,6 +93,9 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
     total_stall_ += stall;
     if (stall > max_stall_) max_stall_ = stall;
     if (obs_stall_) obs_stall_->observe(static_cast<double>(stall.ns()));
+    if (flight_ != nullptr) {
+      flight_->stall(flight_mig_, sim_.now(), range.start, range.count, stall);
+    }
     if (tracer_) {
       tracer_->complete(track_, entered, "read_stall",
                         "\"block\": " + std::to_string(range.start) +
@@ -97,6 +108,17 @@ sim::Task<void> PostCopyDestination::on_block_received(const DiskBlocksMsg& msg)
   // Apply only the still-inconsistent sub-runs; drop blocks a local write
   // superseded (paper receive-algorithm lines 2-3).
   const storage::BlockRange range = msg.range;
+  // Pull latency must be read before the apply loop erases requested_.
+  // Pull responses are single-block; `sent` is set once the request is on
+  // the wire, so a zero timestamp means the round trip is not measurable.
+  std::int64_t pull_latency_ns = -1;
+  if (msg.pull_response && flight_ != nullptr) {
+    if (const auto it = requested_.find(range.start);
+        it != requested_.end() && it->second.sent.ns() > 0) {
+      pull_latency_ns = (sim_.now() - it->second.sent).ns();
+    }
+  }
+  std::uint64_t applied = 0;
   storage::BlockId i = range.start;
   while (i < range.end()) {
     if (!transferred_.test(i)) {
@@ -122,6 +144,7 @@ sim::Task<void> PostCopyDestination::on_block_received(const DiskBlocksMsg& msg)
       transferred_.clear(b);
       release_waiters(b);
       requested_.erase(b);
+      ++applied;
       if (msg.pull_response) {
         ++stats_.blocks_pulled;
       } else {
@@ -134,6 +157,15 @@ sim::Task<void> PostCopyDestination::on_block_received(const DiskBlocksMsg& msg)
     stats_.bytes_pull += msg.wire_bytes();
   } else {
     stats_.bytes_push += msg.wire_bytes();
+  }
+  if (flight_ != nullptr) {
+    if (msg.pull_response) {
+      flight_->pull_received(flight_mig_, sim_.now(), range.start, range.count,
+                             applied, msg.wire_bytes(), pull_latency_ns);
+    } else {
+      flight_->push_received(flight_mig_, sim_.now(), range.start, range.count,
+                             applied, msg.wire_bytes());
+    }
   }
   check_done();
 }
@@ -171,11 +203,15 @@ sim::Task<void> PostCopyDestination::send_pull(storage::BlockId b,
     ps.timeout = rcfg_.pull_timeout;
   }
   ++stats_.pull_requests;
+  MigrationMessage req{PullRequestMsg{b}};
+  if (flight_ != nullptr) {
+    flight_->pull_requested(flight_mig_, req.wire_bytes());
+  }
   if (tracer_) {
     tracer_->instant(track_, is_retry ? "pull_retry" : "pull_request",
                      "\"block\": " + std::to_string(b));
   }
-  co_await to_source_.send(MigrationMessage{PullRequestMsg{b}});
+  co_await to_source_.send(std::move(req));
   // Arm the retry deadline only once the request is on the wire (the send
   // itself may have queued behind an outage).
   if (const auto it = requested_.find(b); it != requested_.end()) {
@@ -326,6 +362,9 @@ sim::Task<void> PostCopySource::run() {
       DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
       stats_.blocks_pushed += r.count;
       stats_.bytes_push += msg.wire_bytes();
+      if (flight_ != nullptr) {
+        flight_->push_sent(flight_mig_, r.count, msg.wire_bytes());
+      }
       co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
       if (tracer_) {
         tracer_->complete(track_, serve_start, "push",

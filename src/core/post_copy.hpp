@@ -17,6 +17,7 @@
 #include "vm/blk_backend.hpp"
 
 namespace vmig::obs {
+class FlightRecorder;
 class Gauge;
 class Histogram;
 class Registry;
@@ -72,6 +73,13 @@ class PostCopyDestination final : public vm::IoInterceptor {
   /// reconcile exactly with MigrationReport's stall totals.
   void attach_obs(obs::Tracer* tracer, obs::TrackId track,
                   obs::Registry* registry);
+
+  /// Optional flight recorder: push/pull/stall/overwrite-cancel events under
+  /// migration id `mig`.
+  void attach_flight(obs::FlightRecorder* rec, std::uint32_t mig) {
+    flight_ = rec;
+    flight_mig_ = mig;
+  }
 
   /// Install the recovery tuning (must precede run_recovery()).
   void set_recovery(PostCopyRecoveryConfig rcfg) { rcfg_ = rcfg; }
@@ -156,6 +164,8 @@ class PostCopyDestination final : public vm::IoInterceptor {
   obs::TrackId track_ = 0;
   obs::Gauge* obs_pending_ = nullptr;
   obs::Histogram* obs_stall_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_mig_ = 0;
 };
 
 /// Source half of post-copy: pushes dirty blocks continuously (finite
@@ -171,6 +181,12 @@ class PostCopySource {
   /// pull-queue-depth gauge ("postcopy.pull_queue").
   void attach_obs(obs::Tracer* tracer, obs::TrackId track,
                   obs::Registry* registry);
+
+  /// Optional flight recorder: aggregate-only source-side push accounting.
+  void attach_flight(obs::FlightRecorder* rec, std::uint32_t mig) {
+    flight_ = rec;
+    flight_mig_ = mig;
+  }
 
   /// A pull request arrived from the destination.
   void enqueue_pull(storage::BlockId b);
@@ -207,6 +223,8 @@ class PostCopySource {
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
   obs::Gauge* obs_pull_queue_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_mig_ = 0;
 };
 
 }  // namespace vmig::core

@@ -118,6 +118,28 @@ std::string to_csv(const obs::Registry& registry) {
       out += buf;
     }
   }
+  // Histograms never sample into series; export one end-of-run summary row
+  // per statistic instead, stamped with the last sample time so the rows
+  // sort after the series they summarize.
+  std::snprintf(buf, sizeof buf, "%.6f,",
+                registry.last_sample_time().to_seconds());
+  const std::string stamp{buf};
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::pair<const char*, double> stats[] = {
+        {".count", static_cast<double>(h->count())},
+        {".sum", h->sum()},
+        {".p50", h->quantile(0.50)},
+        {".p95", h->quantile(0.95)},
+        {".p99", h->quantile(0.99)},
+    };
+    for (const auto& [suffix, v] : stats) {
+      out += stamp;
+      out += name;
+      out += suffix;
+      std::snprintf(buf, sizeof buf, ",%.9g\n", v);
+      out += buf;
+    }
+  }
   return out;
 }
 

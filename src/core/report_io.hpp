@@ -28,7 +28,9 @@ std::string to_csv(const sim::TimeSeries& ts);
 /// Flat long-format CSV ("t_seconds,metric,value") of every series sampled
 /// by an obs registry, in registration order — what `vmig_sim --metrics`
 /// writes. Counter series are rates (units/second); gauges and probes are
-/// instantaneous values.
+/// instantaneous values. Histograms (never series-sampled) contribute five
+/// summary rows each — "<name>.count/.sum/.p50/.p95/.p99" — stamped with
+/// the registry's last sample time.
 std::string to_csv(const obs::Registry& registry);
 
 }  // namespace vmig::core

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "simcore/channel.hpp"
 #include "simcore/log.hpp"
 
@@ -102,6 +103,8 @@ sim::Task<MigrationReport> TpmMigration::run() {
     rev_.close();
     co_await dest_loop;
     co_await src_loop;
+    // Tracking stays on for the retry, but the hook must not outlive us.
+    if (flight_ != nullptr) src_.backend_for(domain_.id()).clear_redirty_hook();
     if (resume_tracking_started_) {
       // The dest-loop join above guarantees every delivered chunk has been
       // applied to the destination VBD, so the bitmap is now exact.
@@ -236,8 +239,16 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
     }
     const storage::BlockRange delivered_range = msg->range;
     MigrationMessage wire{std::move(*msg)};
-    bytes += wire.wire_bytes();
+    const std::uint64_t chunk_bytes = wire.wire_bytes();
+    bytes += chunk_bytes;
     const bool delivered = co_await fwd_.send(std::move(wire), shaper);
+    if (flight_ != nullptr) {
+      // Emit regardless of delivery so iteration byte sums reconcile with
+      // the report's accounting (which also counts undelivered chunks).
+      flight_->disk_precopy_send(flight_mig_, sim_.now(), flight_iter_,
+                                 delivered_range.start, delivered_range.count,
+                                 chunk_bytes);
+    }
     // The stream is FIFO and the dest loop applies chunks in order, so a
     // successful send is as good as applied once the dest loop is joined.
     if (delivered) {
@@ -292,6 +303,7 @@ sim::Task<void> TpmMigration::disk_precopy() {
   resume_tracking_started_ = true;
 
   const sim::TimePoint iter1_start = sim_.now();
+  flight_iter_ = 1;
   rep_.bytes_disk_first_pass =
       co_await transfer_by_bitmap(seed, &rep_.blocks_first_pass);
   rep_.disk_iterations = 1;
@@ -336,6 +348,7 @@ sim::Task<void> TpmMigration::disk_precopy() {
     snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
     const sim::TimePoint iter_start = sim_.now();
     std::uint64_t n = 0;
+    flight_iter_ = static_cast<std::int32_t>(rep_.disk_iterations) + 1;
     const std::uint64_t iter_bytes = co_await transfer_by_bitmap(snap, &n);
     rep_.bytes_disk_retransfer += iter_bytes;
     rep_.blocks_retransferred += n;
@@ -374,21 +387,38 @@ sim::Task<void> TpmMigration::freeze_and_copy() {
   DirtyBitmap final_bm = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
   observed_writes_.or_with(final_bm);
   src_.backend_for(domain_.id()).stop_write_tracking();
+  // Tracking is off: no redirty can fire again, and the source backend may
+  // outlive this migration object.
+  if (flight_ != nullptr) src_.backend_for(domain_.id()).clear_redirty_hook();
   rep_.residual_dirty_blocks = final_bm.count_set();
 
   // Residual dirty pages + vCPU context, then the block-bitmap.
   const auto res = co_await mem_migrator_.send_residual(domain_, fwd_);
   rep_.pages_residual = res.pages;
   rep_.bytes_freeze_residual += res.bytes;
+  if (flight_ != nullptr) {
+    flight_->freeze_send(flight_mig_, sim_.now(),
+                         obs::FlightRecorder::Unit::kMem, res.pages,
+                         res.pages_bytes);
+    flight_->freeze_send(flight_mig_, sim_.now(),
+                         obs::FlightRecorder::Unit::kCpu, 1, res.cpu_bytes);
+  }
 
   MigrationMessage bm_msg{BlockBitmapMsg{final_bm}};
-  rep_.bytes_bitmap += bm_msg.wire_bytes();
+  const std::uint64_t bm_bytes = bm_msg.wire_bytes();
+  rep_.bytes_bitmap += bm_bytes;
   co_await fwd_.send(std::move(bm_msg));
+  if (flight_ != nullptr) {
+    flight_->freeze_send(flight_mig_, sim_.now(),
+                         obs::FlightRecorder::Unit::kBitmap,
+                         rep_.residual_dirty_blocks, bm_bytes);
+  }
 
   pc_src_ = std::make_unique<PostCopySource>(
       sim_, src_.vbd_for(domain_.id()), std::move(final_bm), fwd_, cfg_.push_chunk_blocks,
       cfg_.rate_limit_postcopy && cfg_.rate_limit_mibps > 0 ? &shaper_ : nullptr);
   pc_src_->attach_obs(tracer_, trk_push_, cfg_.obs_registry);
+  if (flight_ != nullptr) pc_src_->attach_flight(flight_, flight_mig_);
 
   rep_.bytes_control +=
       MigrationMessage{ControlMsg{Control::kEnterPostCopy}}.wire_bytes();
@@ -491,6 +521,7 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
                          cfg_.postcopy_recovery_interval,
                          cfg_.postcopy_max_outstanding_pulls});
   pc_dst_->attach_obs(tracer_, trk_dst_, cfg_.obs_registry);
+  if (flight_ != nullptr) pc_dst_->attach_flight(flight_, flight_mig_);
 
   // The guest is frozen, so the received pages can be checked against its
   // memory image right now: a mismatch means pre-copy lost an update.
@@ -603,6 +634,15 @@ void TpmMigration::install_drop_policies() {
 // --------------------------- Observability ---------------------------
 
 void TpmMigration::setup_obs() {
+  if (flight_ != nullptr) {
+    mem_migrator_.set_flight(flight_, flight_mig_);
+    // Redirty tap: fires on every tracked source-side write during pre-copy
+    // (the tracking_ gate inside the backend turns it off at freeze).
+    src_.backend_for(domain_.id())
+        .set_redirty_hook([this](storage::BlockRange r) {
+          flight_->redirty(flight_mig_, sim_.now(), r.start, r.count);
+        });
+  }
   tracer_ = cfg_.obs_tracer;
   if (tracer_ != nullptr) {
     trk_tpm_ = tracer_->track(src_.name(), "tpm");

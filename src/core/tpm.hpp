@@ -20,6 +20,7 @@
 
 namespace vmig::obs {
 class Counter;
+class FlightRecorder;
 }  // namespace vmig::obs
 
 namespace vmig::core {
@@ -76,6 +77,14 @@ class TpmMigration {
                hv::Host& source, hv::Host& dest);
 
   void set_progress_listener(ProgressListener l) { progress_ = std::move(l); }
+
+  /// Attach the flight recorder under migration id `mig` (normally done by
+  /// MigrationManager right after FlightRecorder::begin_migration). Must be
+  /// called before run(); null recorder (the default) records nothing.
+  void set_flight(obs::FlightRecorder* rec, std::uint32_t mig) {
+    flight_ = rec;
+    flight_mig_ = mig;
+  }
 
   TpmMigration(const TpmMigration&) = delete;
   TpmMigration& operator=(const TpmMigration&) = delete;
@@ -215,6 +224,9 @@ class TpmMigration {
   bool source_done_ = false;
 
   // Observability state (all inert when cfg_.obs_tracer/registry are null).
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_mig_ = 0;
+  std::int32_t flight_iter_ = 0;  ///< disk iteration a transfer belongs to
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId trk_tpm_ = 0;   ///< <source>/"tpm": phases + disk iterations
   obs::TrackId trk_mem_ = 0;   ///< <source>/"memory": pre-copy rounds

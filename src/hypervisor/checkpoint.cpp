@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/recorder.hpp"
+
 namespace vmig::hv {
 
 using core::MemPagesMsg;
@@ -54,9 +56,15 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
 
   // Iteration 1: every page.
   const sim::TimePoint round1_start = sim_.now();
-  res.bytes_sent += co_await send_all_pages(domain, stream, shaper, &res.pages_sent);
+  const std::uint64_t round1_bytes =
+      co_await send_all_pages(domain, stream, shaper, &res.pages_sent);
+  res.bytes_sent += round1_bytes;
   res.iterations = 1;
   std::uint64_t last_iter_pages = domain.memory().page_count();
+  if (flight_ != nullptr) {
+    flight_->mem_precopy_send(flight_mig_, sim_.now(), 1, last_iter_pages,
+                              round1_bytes);
+  }
   if (tracer_) {
     tracer_->complete(track_, round1_start, "mem_round",
                       "\"round\": 1, \"pages\": " +
@@ -81,11 +89,16 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
     const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
     const sim::TimePoint round_start = sim_.now();
     std::uint64_t sent = 0;
-    res.bytes_sent +=
+    const std::uint64_t round_bytes =
         co_await send_pages(domain, snap, stream, shaper, false, &sent);
+    res.bytes_sent += round_bytes;
     res.pages_sent += sent;
     last_iter_pages = sent;
     ++res.iterations;
+    if (flight_ != nullptr) {
+      flight_->mem_precopy_send(flight_mig_, sim_.now(), res.iterations, sent,
+                                round_bytes);
+    }
     if (tracer_) {
       tracer_->complete(track_, round_start, "mem_round",
                         "\"round\": " + std::to_string(res.iterations) +
@@ -102,10 +115,11 @@ sim::Task<MemoryMigrator::ResidualResult> MemoryMigrator::send_residual(
   const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
   res.pages = snap.count_set();
   // Residual is always sent unshaped: it happens inside the downtime.
-  res.bytes += co_await send_pages(domain, snap, stream, /*shaper=*/nullptr,
-                                   /*final_residual=*/true, nullptr);
+  res.pages_bytes = co_await send_pages(domain, snap, stream, /*shaper=*/nullptr,
+                                        /*final_residual=*/true, nullptr);
   MigrationMessage cpu{core::CpuStateMsg{domain.cpu()}};
-  res.bytes += cpu.wire_bytes();
+  res.cpu_bytes = cpu.wire_bytes();
+  res.bytes = res.pages_bytes + res.cpu_bytes;
   co_await stream.send(std::move(cpu));
   domain.memory().disable_dirty_log();
   if (tracer_) {

@@ -10,6 +10,10 @@
 #include "simcore/task.hpp"
 #include "vm/domain.hpp"
 
+namespace vmig::obs {
+class FlightRecorder;
+}  // namespace vmig::obs
+
 namespace vmig::hv {
 
 /// The migration data plane between two hosts.
@@ -31,7 +35,9 @@ class MemoryMigrator {
   };
   struct ResidualResult {
     std::uint64_t pages = 0;
-    std::uint64_t bytes = 0;
+    std::uint64_t bytes = 0;        ///< pages_bytes + cpu_bytes
+    std::uint64_t pages_bytes = 0;  ///< residual dirty pages on the wire
+    std::uint64_t cpu_bytes = 0;    ///< vCPU context message
   };
 
   MemoryMigrator(sim::Simulator& sim, const core::MigrationConfig& cfg)
@@ -42,6 +48,12 @@ class MemoryMigrator {
   void set_trace(obs::Tracer* tracer, obs::TrackId track) {
     tracer_ = tracer;
     track_ = track;
+  }
+
+  /// Optional flight recorder: one `precopy_send` event per memory round.
+  void set_flight(obs::FlightRecorder* rec, std::uint32_t mig) {
+    flight_ = rec;
+    flight_mig_ = mig;
   }
 
   /// Iterative pre-copy while the guest runs. Enables the dirty log and
@@ -69,6 +81,8 @@ class MemoryMigrator {
   const core::MigrationConfig& cfg_;
   obs::Tracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint32_t flight_mig_ = 0;
 };
 
 }  // namespace vmig::hv

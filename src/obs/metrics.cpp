@@ -99,9 +99,6 @@ void Registry::alias(const std::string& alias_name, const std::string& canonical
                            "' is not registered");
   }
   const std::size_t target = it->second;  // entry() below may rehash index_
-  if (entries_[target]->kind == Kind::kHistogram) {
-    throw std::logic_error("obs: cannot alias histogram '" + canonical + "'");
-  }
   entry(alias_name, Kind::kAlias).target = target;
 }
 
@@ -144,6 +141,8 @@ void Registry::sample_now() {
           case Kind::kGauge:
             e.samples.add(t, c.gauge.value());
             break;
+          case Kind::kHistogram:
+            break;  // histograms export summaries, never series samples
           default:
             e.samples.add(t, c.fn ? c.fn() : 0.0);
             break;
@@ -185,6 +184,10 @@ std::vector<Registry::Series> Registry::series() const {
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
     if (e->kind == Kind::kHistogram) continue;
+    if (e->kind == Kind::kAlias &&
+        entries_[e->target]->kind == Kind::kHistogram) {
+      continue;  // surfaced through histograms() instead
+    }
     out.push_back(Series{e->name, &e->samples});
   }
   return out;
@@ -194,7 +197,12 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
     const {
   std::vector<std::pair<std::string, const Histogram*>> out;
   for (const auto& e : entries_) {
-    if (e->kind == Kind::kHistogram) out.emplace_back(e->name, e->histogram.get());
+    if (e->kind == Kind::kHistogram) {
+      out.emplace_back(e->name, e->histogram.get());
+    } else if (e->kind == Kind::kAlias &&
+               entries_[e->target]->kind == Kind::kHistogram) {
+      out.emplace_back(e->name, entries_[e->target]->histogram.get());
+    }
   }
   return out;
 }

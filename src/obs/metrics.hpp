@@ -101,16 +101,20 @@ class Registry {
   Histogram& histogram(const std::string& name);
   /// Register a pull-style gauge: `fn` is evaluated at each sample tick.
   void probe(const std::string& name, std::function<double()> fn);
-  /// Register `alias_name` as a second exported series for an existing
-  /// counter/gauge/probe: each sample tick records the canonical
-  /// instrument's value under both names (counters keep independent rate
-  /// state, so both series report identical rates). For metric renames —
-  /// the old name keeps working for downstream consumers while docs point
-  /// at the new one. Throws if `canonical` is unknown or a histogram.
+  /// Register `alias_name` as a second exported name for an existing
+  /// instrument: each sample tick records the canonical counter/gauge/probe
+  /// value under both names (counters keep independent rate state, so both
+  /// series report identical rates), and histogram aliases surface the
+  /// canonical histogram under both names in `histograms()`. For metric
+  /// renames — the old name keeps working for downstream consumers while
+  /// docs point at the new one. Throws if `canonical` is unknown.
   void alias(const std::string& alias_name, const std::string& canonical);
 
   void set_sample_interval(sim::Duration d) noexcept { interval_ = d; }
   sim::Duration sample_interval() const noexcept { return interval_; }
+  /// Sim time of the most recent sample (origin before the first one) —
+  /// the timestamp exporters stamp on end-of-run summary rows.
+  sim::TimePoint last_sample_time() const noexcept { return last_sample_; }
 
   /// Take one sample immediately and schedule periodic sampling.
   void start_sampling();

@@ -1,0 +1,586 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmig::obs {
+
+// --------------------------- MigStats helpers ---------------------------
+
+void FlightRecorder::MigStats::note_sent(std::uint64_t block,
+                                         std::uint64_t count) {
+  for (std::uint64_t b = block; b < block + count; ++b) {
+    const std::size_t word = static_cast<std::size_t>(b >> 6);
+    if (word >= sent_words_.size()) sent_words_.resize(word + 1, 0);
+    const std::uint64_t mask = std::uint64_t{1} << (b & 63);
+    if ((sent_words_[word] & mask) == 0) {
+      sent_words_[word] |= mask;
+      ++sent_blocks_;
+    } else {
+      std::uint32_t& c = multi_[b];
+      c = (c == 0) ? 2 : c + 1;
+    }
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+FlightRecorder::MigStats::copy_count_distribution() const {
+  std::map<std::uint32_t, std::uint64_t> hist;
+  const std::uint64_t once = sent_blocks_ - multi_.size();
+  if (once > 0) hist[1] = once;
+  for (const auto& [block, copies] : multi_) ++hist[copies];
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  out.reserve(hist.size());
+  for (const auto& [copies, blocks] : hist) out.emplace_back(copies, blocks);
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+FlightRecorder::MigStats::hottest_blocks(std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  out.reserve(multi_.size());
+  for (const auto& [block, copies] : multi_) out.emplace_back(block, copies);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+// ----------------------------- event ring -------------------------------
+
+void FlightRecorder::push(const Event& e) {
+  ++recorded_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % cap_;
+  ++dropped_;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+// ------------------------------ emitters --------------------------------
+
+FlightMigId FlightRecorder::begin_migration(const std::string& domain,
+                                            const std::string& source,
+                                            const std::string& dest,
+                                            sim::TimePoint t) {
+  MigStats s;
+  s.domain = domain;
+  s.source = source;
+  s.dest = dest;
+  s.started_ns = t.ns();
+  migs_.push_back(std::move(s));
+  return static_cast<FlightMigId>(migs_.size() - 1);
+}
+
+void FlightRecorder::end_migration(FlightMigId m, sim::TimePoint t,
+                                   std::string status,
+                                   const MigrationClose& close) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  s->status = std::move(status);
+  s->ended_ns = t.ns();
+  s->close = close;
+  s->closed = true;
+}
+
+void FlightRecorder::disk_precopy_send(FlightMigId m, sim::TimePoint t,
+                                       std::int32_t iter, std::uint64_t block,
+                                       std::uint64_t count,
+                                       std::uint64_t bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  if (s->disk_iters.empty() || s->disk_iters.back().iter != iter) {
+    s->disk_iters.push_back(IterStat{iter, 0, 0});
+  }
+  s->disk_iters.back().blocks += count;
+  s->disk_iters.back().bytes += bytes;
+  s->note_sent(block, count);
+  push(Event{EventKind::kPrecopySend, Unit::kDisk, m, iter, t.ns(), block,
+             count, 0, bytes, -1});
+}
+
+void FlightRecorder::mem_precopy_send(FlightMigId m, sim::TimePoint t,
+                                      std::int32_t round, std::uint64_t pages,
+                                      std::uint64_t bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  if (static_cast<std::uint64_t>(round) > s->mem_rounds) {
+    s->mem_rounds = static_cast<std::uint64_t>(round);
+  }
+  s->mem_pages += pages;
+  s->mem_bytes += bytes;
+  push(Event{EventKind::kPrecopySend, Unit::kMem, m, round, t.ns(), 0, pages,
+             0, bytes, -1});
+}
+
+void FlightRecorder::redirty(FlightMigId m, sim::TimePoint t,
+                             std::uint64_t block, std::uint64_t count) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->redirty_events;
+  s->redirty_blocks += count;
+  push(Event{EventKind::kRedirty, Unit::kDisk, m, 0, t.ns(), block, count, 0,
+             0, -1});
+}
+
+void FlightRecorder::freeze_send(FlightMigId m, sim::TimePoint t, Unit unit,
+                                 std::uint64_t units, std::uint64_t bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  switch (unit) {
+    case Unit::kMem:
+      s->residual_pages += units;
+      s->residual_mem_bytes += bytes;
+      break;
+    case Unit::kCpu:
+      s->cpu_bytes += bytes;
+      break;
+    case Unit::kBitmap:
+      s->bitmap_blocks += units;
+      s->bitmap_bytes += bytes;
+      break;
+    case Unit::kDisk:
+      break;  // freeze sends no raw disk payload in this protocol
+  }
+  push(Event{EventKind::kFreezeSend, unit, m, 0, t.ns(), 0, units, 0, bytes,
+             -1});
+}
+
+void FlightRecorder::push_received(FlightMigId m, sim::TimePoint t,
+                                   std::uint64_t block, std::uint64_t count,
+                                   std::uint64_t applied,
+                                   std::uint64_t bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->push_msgs;
+  s->push_bytes += bytes;
+  s->blocks_pushed += applied;
+  s->blocks_dropped += count - applied;
+  push(Event{EventKind::kPush, Unit::kDisk, m, 0, t.ns(), block, count,
+             applied, bytes, -1});
+}
+
+void FlightRecorder::pull_received(FlightMigId m, sim::TimePoint t,
+                                   std::uint64_t block, std::uint64_t count,
+                                   std::uint64_t applied, std::uint64_t bytes,
+                                   std::int64_t latency_ns) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->pull_msgs;
+  s->pull_bytes += bytes;
+  s->blocks_pulled += applied;
+  s->blocks_dropped += count - applied;
+  if (applied > 0 && latency_ns >= 0) {
+    s->pull_latency_hist.observe(static_cast<double>(latency_ns));
+  }
+  push(Event{EventKind::kPull, Unit::kDisk, m, 0, t.ns(), block, count,
+             applied, bytes, latency_ns});
+}
+
+void FlightRecorder::push_sent(FlightMigId m, std::uint64_t blocks,
+                               std::uint64_t bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  s->push_sent_blocks += blocks;
+  s->push_sent_bytes += bytes;
+}
+
+void FlightRecorder::pull_requested(FlightMigId m, std::uint64_t wire_bytes) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->pull_requests;
+  s->pull_req_bytes += wire_bytes;
+}
+
+void FlightRecorder::overwrite_cancel(FlightMigId m, sim::TimePoint t,
+                                      std::uint64_t block, std::uint64_t count,
+                                      std::uint64_t bytes_saved) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->cancel_events;
+  s->blocks_cancelled += count;
+  s->cancel_saved_bytes += bytes_saved;
+  push(Event{EventKind::kOverwriteCancel, Unit::kDisk, m, 0, t.ns(), block,
+             count, 0, bytes_saved, -1});
+}
+
+void FlightRecorder::stall(FlightMigId m, sim::TimePoint t,
+                           std::uint64_t block, std::uint64_t count,
+                           sim::Duration dur) {
+  MigStats* s = mig(m);
+  if (s == nullptr) return;
+  ++s->stall_count;
+  s->stall_total_ns += dur.ns();
+  if (dur.ns() > s->stall_max_ns) s->stall_max_ns = dur.ns();
+  s->stall_hist.observe(static_cast<double>(dur.ns()));
+  push(Event{EventKind::kStall, Unit::kDisk, m, 0, t.ns(), block, count, 0, 0,
+             dur.ns()});
+}
+
+// ---------------------------- serialization -----------------------------
+
+const char* to_string(FlightRecorder::EventKind k) noexcept {
+  switch (k) {
+    case FlightRecorder::EventKind::kPrecopySend:
+      return "precopy_send";
+    case FlightRecorder::EventKind::kRedirty:
+      return "redirty";
+    case FlightRecorder::EventKind::kFreezeSend:
+      return "freeze_send";
+    case FlightRecorder::EventKind::kPush:
+      return "push";
+    case FlightRecorder::EventKind::kPull:
+      return "pull";
+    case FlightRecorder::EventKind::kOverwriteCancel:
+      return "overwrite_cancel";
+    case FlightRecorder::EventKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+const char* to_string(FlightRecorder::Unit u) noexcept {
+  switch (u) {
+    case FlightRecorder::Unit::kDisk:
+      return "disk";
+    case FlightRecorder::Unit::kMem:
+      return "mem";
+    case FlightRecorder::Unit::kCpu:
+      return "cpu";
+    case FlightRecorder::Unit::kBitmap:
+      return "bitmap";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void kv_u(std::string& out, const char* key, std::uint64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void kv_i(std::string& out, const char* key, std::int64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void kv_s(std::string& out, const char* key, const std::string& v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  append_escaped(out, v);
+}
+
+void kv_b(std::string& out, const char* key, bool v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+void kv_g(std::string& out, const char* key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.9g", key, v);
+  out += buf;
+}
+
+void append_hist(std::string& out, const char* prefix, const Histogram& h) {
+  std::string key{prefix};
+  const std::size_t base = key.size();
+  key += "count";
+  kv_u(out, key.c_str(), h.count());
+  key.resize(base);
+  key += "p50_ns";
+  kv_g(out, key.c_str(), h.quantile(0.5));
+  key.resize(base);
+  key += "p95_ns";
+  kv_g(out, key.c_str(), h.quantile(0.95));
+  key.resize(base);
+  key += "p99_ns";
+  kv_g(out, key.c_str(), h.quantile(0.99));
+}
+
+void append_event(std::string& out, const FlightRecorder::Event& e) {
+  out += "{\"k\":\"";
+  out += to_string(e.kind);
+  out += '"';
+  kv_u(out, "mig", e.mig);
+  kv_i(out, "t", e.t_ns);
+  switch (e.kind) {
+    case FlightRecorder::EventKind::kPrecopySend:
+      kv_i(out, "iter", e.iter);
+      kv_s(out, "u", to_string(e.unit));
+      if (e.unit == FlightRecorder::Unit::kDisk) kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      kv_u(out, "bytes", e.bytes);
+      break;
+    case FlightRecorder::EventKind::kRedirty:
+      kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      break;
+    case FlightRecorder::EventKind::kFreezeSend:
+      kv_s(out, "u", to_string(e.unit));
+      kv_u(out, "n", e.count);
+      kv_u(out, "bytes", e.bytes);
+      break;
+    case FlightRecorder::EventKind::kPush:
+      kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      kv_u(out, "applied", e.applied);
+      kv_u(out, "bytes", e.bytes);
+      break;
+    case FlightRecorder::EventKind::kPull:
+      kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      kv_u(out, "applied", e.applied);
+      kv_u(out, "bytes", e.bytes);
+      kv_i(out, "lat", e.aux_ns);
+      break;
+    case FlightRecorder::EventKind::kOverwriteCancel:
+      kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      kv_u(out, "saved", e.bytes);
+      break;
+    case FlightRecorder::EventKind::kStall:
+      kv_u(out, "b", e.block);
+      kv_u(out, "n", e.count);
+      kv_i(out, "dur", e.aux_ns);
+      break;
+  }
+  out += "}\n";
+}
+
+void append_summary(std::string& out, FlightMigId id,
+                    const FlightRecorder::MigStats& s) {
+  out += "{\"summary\":{\"migration\":";
+  out += std::to_string(id);
+  kv_s(out, "domain", s.domain);
+  kv_s(out, "from", s.source);
+  kv_s(out, "to", s.dest);
+  kv_s(out, "status", s.status);
+  kv_i(out, "started_ns", s.started_ns);
+  kv_i(out, "ended_ns", s.ended_ns);
+
+  out += ",\"precopy\":{\"iters\":[";
+  for (std::size_t i = 0; i < s.disk_iters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"iter\":";
+    out += std::to_string(s.disk_iters[i].iter);
+    kv_u(out, "blocks", s.disk_iters[i].blocks);
+    kv_u(out, "bytes", s.disk_iters[i].bytes);
+    out += '}';
+  }
+  out += ']';
+  kv_u(out, "redirty_events", s.redirty_events);
+  kv_u(out, "redirty_blocks", s.redirty_blocks);
+  kv_u(out, "blocks_sent", s.blocks_sent());
+  out += ",\"copy_counts\":[";
+  {
+    const auto dist = s.copy_count_distribution();
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[';
+      out += std::to_string(dist[i].first);
+      out += ',';
+      out += std::to_string(dist[i].second);
+      out += ']';
+    }
+  }
+  out += "],\"hot_blocks\":[";
+  {
+    const auto hot = s.hottest_blocks(8);
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[';
+      out += std::to_string(hot[i].first);
+      out += ',';
+      out += std::to_string(hot[i].second);
+      out += ']';
+    }
+  }
+  out += "]}";
+
+  out += ",\"mem\":{\"rounds\":";
+  out += std::to_string(s.mem_rounds);
+  kv_u(out, "pages", s.mem_pages);
+  kv_u(out, "bytes", s.mem_bytes);
+  out += '}';
+
+  out += ",\"freeze\":{\"residual_pages\":";
+  out += std::to_string(s.residual_pages);
+  kv_u(out, "residual_mem_bytes", s.residual_mem_bytes);
+  kv_u(out, "cpu_bytes", s.cpu_bytes);
+  kv_u(out, "bitmap_blocks", s.bitmap_blocks);
+  kv_u(out, "bitmap_bytes", s.bitmap_bytes);
+  out += '}';
+
+  out += ",\"postcopy\":{\"push_msgs\":";
+  out += std::to_string(s.push_msgs);
+  kv_u(out, "push_bytes", s.push_bytes);
+  kv_u(out, "blocks_pushed", s.blocks_pushed);
+  kv_u(out, "push_sent_blocks", s.push_sent_blocks);
+  kv_u(out, "push_sent_bytes", s.push_sent_bytes);
+  kv_u(out, "pull_msgs", s.pull_msgs);
+  kv_u(out, "pull_bytes", s.pull_bytes);
+  kv_u(out, "blocks_pulled", s.blocks_pulled);
+  kv_u(out, "pull_requests", s.pull_requests);
+  kv_u(out, "pull_req_bytes", s.pull_req_bytes);
+  kv_u(out, "blocks_dropped", s.blocks_dropped);
+  kv_u(out, "cancel_events", s.cancel_events);
+  kv_u(out, "blocks_cancelled", s.blocks_cancelled);
+  kv_u(out, "cancel_saved_bytes", s.cancel_saved_bytes);
+  kv_u(out, "stall_count", s.stall_count);
+  kv_i(out, "stall_total_ns", s.stall_total_ns);
+  kv_i(out, "stall_max_ns", s.stall_max_ns);
+  append_hist(out, "stall_hist_", s.stall_hist);
+  append_hist(out, "pull_lat_", s.pull_latency_hist);
+  out += '}';
+
+  const MigrationClose& c = s.close;
+  out += ",\"report\":{\"closed\":";
+  out += s.closed ? "true" : "false";
+  kv_i(out, "disk_precopy_done_ns", c.disk_precopy_done_ns);
+  kv_i(out, "suspended_ns", c.suspended_ns);
+  kv_i(out, "resumed_ns", c.resumed_ns);
+  kv_i(out, "synchronized_ns", c.synchronized_ns);
+  kv_u(out, "bytes_disk_first_pass", c.bytes_disk_first_pass);
+  kv_u(out, "bytes_disk_retransfer", c.bytes_disk_retransfer);
+  kv_u(out, "bytes_memory_precopy", c.bytes_memory_precopy);
+  kv_u(out, "bytes_freeze_residual", c.bytes_freeze_residual);
+  kv_u(out, "bytes_bitmap", c.bytes_bitmap);
+  kv_u(out, "bytes_postcopy_push", c.bytes_postcopy_push);
+  kv_u(out, "bytes_postcopy_pull", c.bytes_postcopy_pull);
+  kv_u(out, "bytes_control", c.bytes_control);
+  kv_u(out, "residual_dirty_blocks", c.residual_dirty_blocks);
+  kv_u(out, "blocks_pushed", c.blocks_pushed);
+  kv_u(out, "blocks_pulled", c.blocks_pulled);
+  kv_u(out, "blocks_dropped", c.blocks_dropped);
+  kv_u(out, "postcopy_reads_blocked", c.postcopy_reads_blocked);
+  kv_i(out, "postcopy_read_stall_total_ns", c.postcopy_read_stall_total_ns);
+  kv_i(out, "postcopy_read_stall_max_ns", c.postcopy_read_stall_max_ns);
+  kv_u(out, "disk_iterations", c.disk_iterations);
+  kv_u(out, "mem_iterations", c.mem_iterations);
+  kv_b(out, "resume_applied", c.resume_applied);
+  kv_u(out, "resumed_blocks_saved", c.resumed_blocks_saved);
+  out += "}}}\n";
+}
+
+void append_job(std::string& out, const JobRecord& j) {
+  out += "{\"job\":{\"id\":";
+  out += std::to_string(j.job);
+  kv_s(out, "domain", j.domain);
+  kv_s(out, "from", j.from);
+  kv_s(out, "to", j.to);
+  kv_s(out, "status", j.status);
+  kv_i(out, "submitted_ns", j.submitted_ns);
+  kv_i(out, "finished_ns", j.finished_ns);
+  kv_i(out, "deadline_ns", j.deadline_ns);
+  kv_u(out, "attempts", j.attempts);
+  kv_u(out, "deferrals", j.deferrals);
+  kv_i(out, "downtime_ns", j.downtime_ns);
+  kv_i(out, "total_ns", j.total_ns);
+  kv_b(out, "resume_applied", j.resume_applied);
+  kv_u(out, "resumed_blocks_saved", j.resumed_blocks_saved);
+  out += "}}\n";
+}
+
+}  // namespace
+
+void write_flight_record(std::ostream& out, const FlightRecorder& rec) {
+  std::string buf;
+  buf.reserve(256);
+  buf += "{\"vmig_flight_record\":{\"version\":1";
+  kv_u(buf, "capacity", rec.capacity());
+  buf += "}}\n";
+  out << buf;
+
+  for (FlightMigId m = 0; m < rec.migration_count(); ++m) {
+    const FlightRecorder::MigStats& s = rec.stats(m);
+    buf.clear();
+    buf += "{\"migration\":";
+    buf += std::to_string(m);
+    kv_s(buf, "domain", s.domain);
+    kv_s(buf, "from", s.source);
+    kv_s(buf, "to", s.dest);
+    kv_i(buf, "started_ns", s.started_ns);
+    buf += "}\n";
+    out << buf;
+  }
+
+  for (const FlightRecorder::Event& e : rec.events()) {
+    buf.clear();
+    append_event(buf, e);
+    out << buf;
+  }
+
+  for (FlightMigId m = 0; m < rec.migration_count(); ++m) {
+    buf.clear();
+    append_summary(buf, m, rec.stats(m));
+    out << buf;
+  }
+
+  for (const JobRecord& j : rec.jobs()) {
+    buf.clear();
+    append_job(buf, j);
+    out << buf;
+  }
+
+  buf.clear();
+  buf += "{\"end\":{\"recorded\":";
+  buf += std::to_string(rec.recorded());
+  kv_u(buf, "dropped", rec.dropped());
+  kv_u(buf, "events", rec.event_count());
+  kv_u(buf, "migrations", rec.migration_count());
+  kv_u(buf, "jobs", rec.jobs().size());
+  buf += "}}\n";
+  out << buf;
+}
+
+}  // namespace vmig::obs

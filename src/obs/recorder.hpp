@@ -1,0 +1,276 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "simcore/time.hpp"
+
+namespace vmig::obs {
+
+/// Flight-recorder migration handle: index into the recorder's per-migration
+/// table, handed out by `begin_migration` and threaded through the engine.
+using FlightMigId = std::uint32_t;
+
+/// The slice of a finished MigrationReport the post-mortem analyzer
+/// reconciles the recorder's own aggregates against. Plain integers so the
+/// obs layer keeps no dependency on core; core fills it in when a migration
+/// closes (durations and timestamps in sim nanoseconds).
+struct MigrationClose {
+  std::int64_t disk_precopy_done_ns = 0;
+  std::int64_t suspended_ns = 0;
+  std::int64_t resumed_ns = 0;
+  std::int64_t synchronized_ns = 0;
+  std::uint64_t bytes_disk_first_pass = 0;
+  std::uint64_t bytes_disk_retransfer = 0;
+  std::uint64_t bytes_memory_precopy = 0;
+  std::uint64_t bytes_freeze_residual = 0;
+  std::uint64_t bytes_bitmap = 0;
+  std::uint64_t bytes_postcopy_push = 0;
+  std::uint64_t bytes_postcopy_pull = 0;
+  std::uint64_t bytes_control = 0;
+  std::uint64_t residual_dirty_blocks = 0;
+  std::uint64_t blocks_pushed = 0;
+  std::uint64_t blocks_pulled = 0;
+  std::uint64_t blocks_dropped = 0;
+  std::uint64_t postcopy_reads_blocked = 0;
+  std::int64_t postcopy_read_stall_total_ns = 0;
+  std::int64_t postcopy_read_stall_max_ns = 0;
+  std::uint32_t disk_iterations = 0;
+  std::uint32_t mem_iterations = 0;
+  bool resume_applied = false;
+  std::uint64_t resumed_blocks_saved = 0;
+};
+
+/// Terminal per-job record for cluster runs: what the orchestrator knew when
+/// the job reached a terminal state, enough for SLO accounting against
+/// `MigrationRequest::deadline` without re-deriving it from events.
+struct JobRecord {
+  std::uint64_t job = 0;
+  std::string domain;
+  std::string from;
+  std::string to;
+  std::string status;       ///< terminal core::MigrationStatus string
+  std::int64_t submitted_ns = 0;
+  std::int64_t finished_ns = 0;
+  std::int64_t deadline_ns = 0;  ///< 0 = no deadline
+  std::uint32_t attempts = 0;
+  std::uint32_t deferrals = 0;
+  std::int64_t downtime_ns = 0;
+  std::int64_t total_ns = 0;
+  bool resume_applied = false;
+  std::uint64_t resumed_blocks_saved = 0;
+};
+
+/// Bounded, deterministic structured event log for migrations: the lifecycle
+/// of every block and page (pre-copy sends per iteration, re-dirties, the
+/// freeze-and-copy payload split, post-copy pushes/pulls/stalls/cancels)
+/// plus exact per-migration aggregates that survive ring eviction.
+///
+/// Two tiers, by design:
+///   - a fixed-capacity event ring (oldest events drop first, `dropped()`
+///     counts them) — evidence for debugging, bounded so whole-disk
+///     workloads cannot OOM the recorder;
+///   - per-migration aggregates updated on every emit — exact regardless of
+///     ring wrap, and the values `vmig_analyze` reconciles against
+///     MigrationReport byte-for-byte.
+///
+/// Everything is keyed off sim time passed in by the emitter, so a replay of
+/// the same scenario serializes byte-identically (`write_flight_record`).
+class FlightRecorder {
+ public:
+  enum class EventKind : std::uint8_t {
+    kPrecopySend,
+    kRedirty,
+    kFreezeSend,
+    kPush,
+    kPull,
+    kOverwriteCancel,
+    kStall,
+  };
+  enum class Unit : std::uint8_t { kDisk, kMem, kCpu, kBitmap };
+
+  struct Event {
+    EventKind kind{};
+    Unit unit = Unit::kDisk;
+    FlightMigId mig = 0;
+    std::int32_t iter = 0;       ///< pre-copy iteration / memory round
+    std::int64_t t_ns = 0;
+    std::uint64_t block = 0;     ///< first block (pages/units: 0)
+    std::uint64_t count = 0;     ///< blocks / pages / units in this event
+    std::uint64_t applied = 0;   ///< push/pull: blocks actually applied
+    std::uint64_t bytes = 0;     ///< wire bytes (cancel: payload bytes saved)
+    std::int64_t aux_ns = -1;    ///< pull latency / stall duration; -1 n/a
+  };
+
+  struct IterStat {
+    std::int32_t iter = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct MigStats {
+    std::string domain;
+    std::string source;
+    std::string dest;
+    std::string status = "running";
+    std::int64_t started_ns = 0;
+    std::int64_t ended_ns = 0;
+    bool closed = false;
+
+    // Disk pre-copy, one row per bitmap iteration (iter 1 = first pass).
+    std::vector<IterStat> disk_iters;
+    std::uint64_t redirty_events = 0;
+    std::uint64_t redirty_blocks = 0;
+
+    // Memory pre-copy rounds.
+    std::uint64_t mem_rounds = 0;
+    std::uint64_t mem_pages = 0;
+    std::uint64_t mem_bytes = 0;
+
+    // Freeze-and-copy payload split — the paper's downtime attribution.
+    std::uint64_t residual_pages = 0;
+    std::uint64_t residual_mem_bytes = 0;
+    std::uint64_t cpu_bytes = 0;
+    std::uint64_t bitmap_blocks = 0;
+    std::uint64_t bitmap_bytes = 0;
+
+    // Post-copy, destination-derived (push_sent_* is the source's view and
+    // can exceed the applied counts under loss).
+    std::uint64_t push_msgs = 0;
+    std::uint64_t push_bytes = 0;
+    std::uint64_t blocks_pushed = 0;
+    std::uint64_t push_sent_blocks = 0;
+    std::uint64_t push_sent_bytes = 0;
+    std::uint64_t pull_msgs = 0;
+    std::uint64_t pull_bytes = 0;
+    std::uint64_t blocks_pulled = 0;
+    std::uint64_t pull_requests = 0;
+    std::uint64_t pull_req_bytes = 0;
+    std::uint64_t blocks_dropped = 0;
+    std::uint64_t cancel_events = 0;
+    std::uint64_t blocks_cancelled = 0;
+    std::uint64_t cancel_saved_bytes = 0;
+    std::uint64_t stall_count = 0;
+    std::int64_t stall_total_ns = 0;
+    std::int64_t stall_max_ns = 0;
+    Histogram stall_hist;         ///< ns; mirrors postcopy.read_stall_ns
+    Histogram pull_latency_hist;  ///< ns; pull request -> applied response
+
+    MigrationClose close;
+
+    /// Distribution of pre-copy sends per disk block, ascending by copy
+    /// count: [(copies, blocks-with-that-count), ...]. Count 1 dominates a
+    /// well-behaved run; the tail is pre-copy waste.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>
+    copy_count_distribution() const;
+    /// Blocks sent more than once, hottest first (count desc, block asc).
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> hottest_blocks(
+        std::size_t k) const;
+    /// Disk blocks sent at least once across all pre-copy iterations.
+    std::uint64_t blocks_sent() const noexcept { return sent_blocks_; }
+
+   private:
+    friend class FlightRecorder;
+    void note_sent(std::uint64_t block, std::uint64_t count);
+
+    // Per-block copy counts, memory-bounded for whole-disk workloads: one
+    // bit per block ever sent, plus an exact map for the (rare) blocks sent
+    // more than once.
+    std::vector<std::uint64_t> sent_words_;
+    std::map<std::uint64_t, std::uint32_t> multi_;
+    std::uint64_t sent_blocks_ = 0;
+  };
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  FlightMigId begin_migration(const std::string& domain,
+                              const std::string& source,
+                              const std::string& dest, sim::TimePoint t);
+  void end_migration(FlightMigId m, sim::TimePoint t, std::string status,
+                     const MigrationClose& close);
+
+  /// One pre-copy disk chunk put on the wire (iter 1 = first pass).
+  void disk_precopy_send(FlightMigId m, sim::TimePoint t, std::int32_t iter,
+                         std::uint64_t block, std::uint64_t count,
+                         std::uint64_t bytes);
+  /// One memory pre-copy round put on the wire.
+  void mem_precopy_send(FlightMigId m, sim::TimePoint t, std::int32_t round,
+                        std::uint64_t pages, std::uint64_t bytes);
+  /// Guest write re-dirtied tracked blocks during pre-copy.
+  void redirty(FlightMigId m, sim::TimePoint t, std::uint64_t block,
+               std::uint64_t count);
+  /// One freeze-and-copy payload component (residual memory pages, CPU
+  /// state, or the block-bitmap) put on the wire while the guest is down.
+  void freeze_send(FlightMigId m, sim::TimePoint t, Unit unit,
+                   std::uint64_t units, std::uint64_t bytes);
+  /// Destination applied (or dropped) a post-copy push message.
+  void push_received(FlightMigId m, sim::TimePoint t, std::uint64_t block,
+                     std::uint64_t count, std::uint64_t applied,
+                     std::uint64_t bytes);
+  /// Destination applied (or dropped) a pull response; latency_ns is the
+  /// request->response round trip, -1 when the request is no longer known.
+  void pull_received(FlightMigId m, sim::TimePoint t, std::uint64_t block,
+                     std::uint64_t count, std::uint64_t applied,
+                     std::uint64_t bytes, std::int64_t latency_ns);
+  /// Aggregate-only: source pushed blocks (may be lost in flight).
+  void push_sent(FlightMigId m, std::uint64_t blocks, std::uint64_t bytes);
+  /// Aggregate-only: destination issued a pull request of `wire_bytes`.
+  void pull_requested(FlightMigId m, std::uint64_t wire_bytes);
+  /// A guest write at the destination obsoleted not-yet-written pushed
+  /// blocks; `bytes_saved` is the payload the cancel avoided writing.
+  void overwrite_cancel(FlightMigId m, sim::TimePoint t, std::uint64_t block,
+                        std::uint64_t count, std::uint64_t bytes_saved);
+  /// A guest read at the destination stalled on a missing block.
+  void stall(FlightMigId m, sim::TimePoint t, std::uint64_t block,
+             std::uint64_t count, sim::Duration dur);
+
+  void job_record(JobRecord rec) { jobs_.push_back(std::move(rec)); }
+
+  std::size_t migration_count() const noexcept { return migs_.size(); }
+  const MigStats& stats(FlightMigId m) const { return migs_.at(m); }
+  const std::vector<JobRecord>& jobs() const noexcept { return jobs_; }
+  /// Events still in the ring, oldest first.
+  std::vector<Event> events() const;
+  std::size_t event_count() const noexcept { return ring_.size(); }
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  MigStats* mig(FlightMigId m) {
+    return m < migs_.size() ? &migs_[m] : nullptr;
+  }
+  void push(const Event& e);
+
+  std::size_t cap_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;       ///< oldest element once the ring is full
+  std::uint64_t recorded_ = 0; ///< total events ever emitted to the ring
+  std::uint64_t dropped_ = 0;
+  std::vector<MigStats> migs_;
+  std::vector<JobRecord> jobs_;
+};
+
+const char* to_string(FlightRecorder::EventKind k) noexcept;
+const char* to_string(FlightRecorder::Unit u) noexcept;
+
+/// Serialize the whole record as JSONL: a header line, one `migration` line
+/// per begin, the surviving events oldest-first, one `summary` line per
+/// migration (aggregates + the MigrationClose under "report"), one `job`
+/// line per cluster job, and an `end` footer. Integers throughout except
+/// histogram percentiles (printf %.9g) — byte-identical across replays.
+void write_flight_record(std::ostream& out, const FlightRecorder& rec);
+
+}  // namespace vmig::obs

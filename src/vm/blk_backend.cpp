@@ -14,6 +14,7 @@ sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
     dirty_.set_range(range.start, range.count);
     marks_total_ += range.count;
     if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
+    if (redirty_hook_) redirty_hook_(range);
     if (tracking_overhead_ > sim::Duration::zero()) {
       co_await sim_.delay(tracking_overhead_);
     }
@@ -44,6 +45,7 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
       dirty_.set_range(range.start, range.count);
       marks_total_ += range.count;
       if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
+      if (redirty_hook_) redirty_hook_(range);
       if (tracking_overhead_ > sim::Duration::zero()) {
         co_await sim_.delay(tracking_overhead_);
       }

@@ -100,6 +100,15 @@ class BlkBackend {
   }
   void clear_write_observer() { write_observer_ = nullptr; }
 
+  /// Hook invoked whenever a tracked write marks the dirty bitmap — the
+  /// flight recorder's `redirty` tap. Fires only while tracking is on (so it
+  /// self-disables at freeze) and only for the served domain. The installer
+  /// must clear it before the owning migration object is destroyed.
+  void set_redirty_hook(std::function<void(storage::BlockRange)> fn) {
+    redirty_hook_ = std::move(fn);
+  }
+  void clear_redirty_hook() { redirty_hook_ = nullptr; }
+
   // ---- Stats ----
   std::uint64_t guest_reads() const noexcept { return reads_; }
   std::uint64_t guest_writes() const noexcept { return writes_; }
@@ -124,6 +133,7 @@ class BlkBackend {
   sim::Duration tracking_overhead_{};
   IoInterceptor* interceptor_ = nullptr;
   std::function<void(storage::BlockRange)> write_observer_;
+  std::function<void(storage::BlockRange)> redirty_hook_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t read_bytes_ = 0;

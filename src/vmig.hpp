@@ -22,6 +22,7 @@
 // Observability: metrics registry, tracer, deterministic exports.
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 
 // Storage and network substrates.

@@ -1,0 +1,209 @@
+// vmig_analyze tests, driving the tool in-process through vmig_analyze_core
+// (tools/analyze/analyze.hpp):
+//   - a clean instrumented run reconciles end to end (exit 0, no [FAIL]);
+//   - the report is deterministic across invocations;
+//   - a tampered record is caught (exit 1, [FAIL], failed verdict);
+//   - per-job SLO accounting flags missed deadlines;
+//   - unreadable / malformed input exits 2 without a verdict.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analyze.hpp"
+#include "core/report_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "scenario/testbed.hpp"
+#include "workloads/diabolical.hpp"
+
+namespace vmig {
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  ASSERT_TRUE(f.is_open()) << path;
+  f << content;
+}
+
+struct AnalyzeResult {
+  int status = -1;
+  std::string out;
+  std::string err;
+};
+
+AnalyzeResult analyze(const std::string& record_path,
+                      const std::string& metrics_path = {}) {
+  analyze::Options opt;
+  opt.record_path = record_path;
+  opt.metrics_path = metrics_path;
+  std::ostringstream out;
+  std::ostringstream err;
+  AnalyzeResult r;
+  r.status = analyze::run(opt, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+struct RecordedRun {
+  std::string jsonl;
+  std::string metrics_csv;
+};
+
+/// One instrumented migration with a forced post-copy residue (so the stall
+/// histogram is non-empty and the metrics cross-check has real data), with
+/// both the flight recorder and the registry attached — the files
+/// `vmig_sim --flight-record --metrics` would produce.
+RecordedRun make_recorded() {
+  sim::Simulator sim;
+  scenario::TestbedConfig bed;
+  bed.vbd_mib = 128;
+  bed.guest_mem_mib = 64;
+  scenario::Testbed tb{sim, bed};
+  tb.prefill_disk();
+
+  auto cfg = tb.paper_migration_config();
+  cfg.disk_max_iterations = 1;
+  cfg.disk_residual_target_blocks = 0;
+  cfg.rate_limit_mibps = 8.0;
+  cfg.rate_limit_postcopy = true;
+
+  obs::Registry registry{sim, sim::Duration::from_seconds(0.5)};
+  tb.attach_obs(&registry);
+  registry.start_sampling();
+  cfg.obs_registry = &registry;
+
+  obs::FlightRecorder rec;
+  cfg.obs_recorder = &rec;
+
+  workload::DiabolicalWorkload wl{sim, tb.vm(), 42};
+  const core::MigrationReport report = tb.run_tpm(
+      &wl, sim::Duration::seconds(2), sim::Duration::seconds(2), cfg);
+  EXPECT_TRUE(report.disk_consistent);
+  EXPECT_GT(report.postcopy_reads_blocked, 0u);
+
+  RecordedRun r;
+  std::ostringstream out;
+  obs::write_flight_record(out, rec);
+  r.jsonl = out.str();
+  r.metrics_csv = core::to_csv(registry);
+  return r;
+}
+
+const RecordedRun& recorded() {
+  static const RecordedRun r = make_recorded();
+  return r;
+}
+
+TEST(AnalyzeTest, CleanRunReconcilesAndPassesWithMetrics) {
+  write_file("analyze_test_flight.jsonl", recorded().jsonl);
+  write_file("analyze_test_metrics.csv", recorded().metrics_csv);
+  const AnalyzeResult r =
+      analyze("analyze_test_flight.jsonl", "analyze_test_metrics.csv");
+  EXPECT_EQ(r.status, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("[OK]"), std::string::npos);
+  EXPECT_EQ(r.out.find("[FAIL]"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("downtime attribution"), std::string::npos);
+  EXPECT_NE(r.out.find("metrics cross-check"), std::string::npos);
+  EXPECT_NE(r.out.find("stall p99 == postcopy.read_stall_ns.p99"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("verdict: all reconciliation checks passed"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTest, ReportIsDeterministicAcrossInvocations) {
+  write_file("analyze_test_flight.jsonl", recorded().jsonl);
+  write_file("analyze_test_metrics.csv", recorded().metrics_csv);
+  const AnalyzeResult a =
+      analyze("analyze_test_flight.jsonl", "analyze_test_metrics.csv");
+  const AnalyzeResult b =
+      analyze("analyze_test_flight.jsonl", "analyze_test_metrics.csv");
+  EXPECT_EQ(a.status, 0);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.err, b.err);
+}
+
+TEST(AnalyzeTest, TamperedRecordFailsReconciliation) {
+  // Corrupt the engine's closing report: prepend a digit to the first
+  // bytes_disk_first_pass value (inside the summary's "report" object), so
+  // the recorder aggregate no longer matches it.
+  std::string tampered = recorded().jsonl;
+  const std::string key = "\"bytes_disk_first_pass\":";
+  const std::size_t pos = tampered.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  tampered.insert(pos + key.size(), "9");
+  write_file("analyze_test_tampered.jsonl", tampered);
+
+  const AnalyzeResult r = analyze("analyze_test_tampered.jsonl");
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.out.find("[FAIL]"), std::string::npos);
+  EXPECT_NE(r.out.find("verdict: RECONCILIATION FAILED"), std::string::npos);
+}
+
+TEST(AnalyzeTest, JobSloAccountingFlagsMissedDeadlines) {
+  // Hand-build a record with three terminal jobs: deadline met, deadline
+  // missed, and no deadline at all.
+  obs::FlightRecorder rec;
+  const obs::FlightMigId m =
+      rec.begin_migration("vm0", "h0", "h1", sim::TimePoint{});
+  rec.end_migration(m, sim::TimePoint{} + sim::Duration::millis(5),
+                    "completed", obs::MigrationClose{});
+
+  obs::JobRecord met;
+  met.job = 0;
+  met.domain = "vm0";
+  met.from = "h0";
+  met.to = "h1";
+  met.status = "completed";
+  met.finished_ns = 5'000'000;
+  met.deadline_ns = 10'000'000;
+  met.attempts = 1;
+  met.downtime_ns = 100'000;
+  met.total_ns = 5'000'000;
+  rec.job_record(met);
+
+  obs::JobRecord missed = met;
+  missed.job = 1;
+  missed.domain = "vm1";
+  missed.finished_ns = 20'000'000;
+  missed.total_ns = 20'000'000;
+  missed.attempts = 3;
+  rec.job_record(missed);
+
+  obs::JobRecord no_deadline = met;
+  no_deadline.job = 2;
+  no_deadline.domain = "vm2";
+  no_deadline.deadline_ns = 0;
+  rec.job_record(no_deadline);
+
+  std::ostringstream out;
+  obs::write_flight_record(out, rec);
+  write_file("analyze_test_jobs.jsonl", out.str());
+
+  const AnalyzeResult r = analyze("analyze_test_jobs.jsonl");
+  EXPECT_EQ(r.status, 0) << r.out << r.err;  // SLO misses report, not fail
+  EXPECT_NE(r.out.find("MISS"), std::string::npos);
+  EXPECT_NE(r.out.find("slo: 1 met, 1 missed, 1 without deadline"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(AnalyzeTest, UnreadableOrMalformedInputExitsTwo) {
+  const AnalyzeResult missing = analyze("/no/such/flight.jsonl");
+  EXPECT_EQ(missing.status, 2);
+  EXPECT_NE(missing.err.find("cannot open"), std::string::npos);
+  EXPECT_EQ(missing.out.find("verdict"), std::string::npos);
+
+  write_file("analyze_test_garbage.jsonl", "this is not a flight record\n");
+  const AnalyzeResult garbage = analyze("analyze_test_garbage.jsonl");
+  EXPECT_EQ(garbage.status, 2);
+  EXPECT_EQ(garbage.out.find("verdict"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmig

@@ -1,0 +1,292 @@
+// Flight recorder tests (docs/ANALYSIS.md):
+//   - the event ring drops oldest-first while aggregates stay exact;
+//   - copy-count distribution and hottest-blocks ordering;
+//   - end-to-end: recorder aggregates reconcile exactly against the
+//     MigrationReport of an instrumented TPM run (the analyzer's contract);
+//   - serialization is a pure function of recorder state;
+//   - chaos seed 3 from the fault matrix re-run with recording produces a
+//     byte-identical JSONL flight record across two full replays.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/orchestrator.hpp"
+#include "core/migration_manager.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
+#include "obs/recorder.hpp"
+#include "scenario/cluster_testbed.hpp"
+#include "scenario/testbed.hpp"
+#include "workloads/diabolical.hpp"
+#include "workloads/kernel_build.hpp"
+
+namespace vmig {
+namespace {
+
+using namespace vmig::sim::literals;
+using obs::FlightRecorder;
+
+sim::TimePoint at_ns(std::int64_t ns) {
+  return sim::TimePoint{} + sim::Duration::nanos(ns);
+}
+
+// ------------------------------------------------------------ ring + stats
+
+TEST(FlightRecorderTest, RingDropsOldestButAggregatesStayExact) {
+  FlightRecorder rec{/*capacity=*/8};
+  const obs::FlightMigId m = rec.begin_migration("vm0", "h0", "h1", at_ns(0));
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec.disk_precopy_send(m, at_ns(static_cast<std::int64_t>(i)), /*iter=*/1,
+                          /*block=*/i * 4, /*count=*/4, /*bytes=*/4 * 4096);
+  }
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.event_count(), 8u);
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().block, 12u * 4);  // oldest surviving emit
+  EXPECT_EQ(events.back().block, 19u * 4);
+
+  // The aggregates never drop: iteration 1 still carries all 20 chunks.
+  const auto& s = rec.stats(m);
+  ASSERT_EQ(s.disk_iters.size(), 1u);
+  EXPECT_EQ(s.disk_iters[0].iter, 1);
+  EXPECT_EQ(s.disk_iters[0].blocks, 80u);
+  EXPECT_EQ(s.disk_iters[0].bytes, 20u * 4 * 4096);
+  EXPECT_EQ(s.blocks_sent(), 80u);
+}
+
+TEST(FlightRecorderTest, CopyCountDistributionAndHottestBlocks) {
+  FlightRecorder rec;
+  const obs::FlightMigId m = rec.begin_migration("vm0", "h0", "h1", at_ns(0));
+  // Blocks 0..9 once (first pass), 2..3 again (iter 2), 3 a third time:
+  // copy counts {1: 8 blocks, 2: 1 block, 3: 1 block}.
+  rec.disk_precopy_send(m, at_ns(1), 1, 0, 10, 10 * 4096);
+  rec.disk_precopy_send(m, at_ns(2), 2, 2, 2, 2 * 4096);
+  rec.disk_precopy_send(m, at_ns(3), 3, 3, 1, 1 * 4096);
+
+  const auto& s = rec.stats(m);
+  EXPECT_EQ(s.blocks_sent(), 10u);
+  const auto dist = s.copy_count_distribution();
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_EQ(dist[0], (std::pair<std::uint32_t, std::uint64_t>{1, 8}));
+  EXPECT_EQ(dist[1], (std::pair<std::uint32_t, std::uint64_t>{2, 1}));
+  EXPECT_EQ(dist[2], (std::pair<std::uint32_t, std::uint64_t>{3, 1}));
+
+  // Only blocks sent more than once qualify; hottest first, then block asc.
+  const auto hot = s.hottest_blocks(8);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0], (std::pair<std::uint64_t, std::uint32_t>{3, 3}));
+  EXPECT_EQ(hot[1], (std::pair<std::uint64_t, std::uint32_t>{2, 2}));
+  EXPECT_EQ(s.hottest_blocks(1).size(), 1u);  // k caps the list
+}
+
+// ------------------------------------------------- end-to-end reconciliation
+
+struct FlightRun {
+  core::MigrationReport report;
+  std::unique_ptr<FlightRecorder> rec;
+  std::string jsonl;
+};
+
+/// One instrumented TPM migration with the flight recorder attached via
+/// MigrationConfig::obs_recorder — the same wiring `vmig_sim
+/// --flight-record` uses.
+FlightRun run_recorded(bool force_postcopy_residue) {
+  sim::Simulator sim;
+  scenario::TestbedConfig bed;
+  bed.vbd_mib = 128;
+  bed.guest_mem_mib = 64;
+  scenario::Testbed tb{sim, bed};
+  tb.prefill_disk();
+
+  auto cfg = tb.paper_migration_config();
+  if (force_postcopy_residue) {
+    // First pass only + throttled push sweep: post-copy gets a real residue
+    // and guest reads genuinely stall on it (same shape as obs_export_test).
+    cfg.disk_max_iterations = 1;
+    cfg.disk_residual_target_blocks = 0;
+    cfg.rate_limit_mibps = 8.0;
+    cfg.rate_limit_postcopy = true;
+  }
+
+  FlightRun r;
+  r.rec = std::make_unique<FlightRecorder>();
+  cfg.obs_recorder = r.rec.get();
+
+  std::unique_ptr<workload::Workload> wl;
+  if (force_postcopy_residue) {
+    wl = std::make_unique<workload::DiabolicalWorkload>(sim, tb.vm(), 42);
+  } else {
+    wl = std::make_unique<workload::KernelBuildWorkload>(sim, tb.vm(), 42);
+  }
+  r.report = tb.run_tpm(wl.get(), sim::Duration::seconds(2),
+                        sim::Duration::seconds(2), cfg);
+  std::ostringstream out;
+  obs::write_flight_record(out, *r.rec);
+  r.jsonl = out.str();
+  return r;
+}
+
+TEST(FlightRecorderTest, AggregatesReconcileExactlyWithReport) {
+  const FlightRun r = run_recorded(/*force_postcopy_residue=*/true);
+  ASSERT_TRUE(r.report.disk_consistent);
+  ASSERT_EQ(r.rec->migration_count(), 1u);
+  const auto& s = r.rec->stats(0);
+  const core::MigrationReport& rep = r.report;
+
+  EXPECT_EQ(s.status, "completed");
+  EXPECT_TRUE(s.closed);
+  EXPECT_EQ(s.started_ns, rep.started.ns());
+
+  // Disk pre-copy: iteration 1 is the first pass, the rest is retransfer.
+  ASSERT_FALSE(s.disk_iters.empty());
+  EXPECT_EQ(s.disk_iters[0].iter, 1);
+  EXPECT_EQ(s.disk_iters[0].bytes, rep.bytes_disk_first_pass);
+  EXPECT_EQ(s.disk_iters[0].blocks, rep.blocks_first_pass);
+  std::uint64_t retransfer = 0;
+  for (std::size_t i = 1; i < s.disk_iters.size(); ++i) {
+    retransfer += s.disk_iters[i].bytes;
+  }
+  EXPECT_EQ(retransfer, rep.bytes_disk_retransfer);
+  EXPECT_EQ(s.disk_iters.size(),
+            static_cast<std::size_t>(rep.disk_iterations));
+
+  // Memory pre-copy and the freeze-and-copy payload split.
+  EXPECT_EQ(s.mem_bytes, rep.bytes_memory_precopy);
+  EXPECT_EQ(s.mem_rounds, static_cast<std::uint64_t>(rep.mem_iterations));
+  EXPECT_EQ(s.residual_mem_bytes + s.cpu_bytes, rep.bytes_freeze_residual);
+  EXPECT_EQ(s.bitmap_bytes, rep.bytes_bitmap);
+  EXPECT_EQ(s.bitmap_blocks, rep.residual_dirty_blocks);
+
+  // Post-copy, destination-derived.
+  EXPECT_EQ(s.push_bytes, rep.bytes_postcopy_push);
+  EXPECT_EQ(s.pull_bytes + s.pull_req_bytes, rep.bytes_postcopy_pull);
+  EXPECT_EQ(s.blocks_pushed, rep.blocks_pushed);
+  EXPECT_EQ(s.blocks_pulled, rep.blocks_pulled);
+  EXPECT_EQ(s.blocks_dropped, rep.blocks_dropped);
+
+  // Stalls: count, total and max agree with the report; the histogram saw
+  // exactly the same observations.
+  ASSERT_GT(rep.postcopy_reads_blocked, 0u);
+  EXPECT_EQ(s.stall_count, rep.postcopy_reads_blocked);
+  EXPECT_EQ(s.stall_total_ns, rep.postcopy_read_stall_total.ns());
+  EXPECT_EQ(s.stall_max_ns, rep.postcopy_read_stall_max.ns());
+  EXPECT_EQ(s.stall_hist.count(), rep.postcopy_reads_blocked);
+  EXPECT_EQ(s.stall_hist.sum(),
+            static_cast<double>(rep.postcopy_read_stall_total.ns()));
+
+  // The MigrationClose snapshot core filled in matches the report too.
+  EXPECT_EQ(s.close.bytes_disk_first_pass, rep.bytes_disk_first_pass);
+  EXPECT_EQ(s.close.residual_dirty_blocks, rep.residual_dirty_blocks);
+  EXPECT_EQ(s.close.postcopy_reads_blocked, rep.postcopy_reads_blocked);
+  EXPECT_EQ(s.close.suspended_ns, rep.suspended.ns());
+  EXPECT_EQ(s.close.resumed_ns, rep.resumed.ns());
+}
+
+TEST(FlightRecorderTest, SerializationIsPureAndReplayStable) {
+  const FlightRun a = run_recorded(false);
+  // Dumping the same recorder twice is byte-identical (pure function)...
+  std::ostringstream again;
+  obs::write_flight_record(again, *a.rec);
+  EXPECT_EQ(a.jsonl, again.str());
+  // ...and a full replay of the scenario reproduces the record exactly.
+  const FlightRun b = run_recorded(false);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl.rfind("{\"vmig_flight_record\":", 0), 0u);
+}
+
+// ----------------------------------------------------- chaos replay (seed 3)
+
+/// Chaos seed 3 from the fault-matrix (fault_test.cpp run_chaos), re-run with
+/// the flight recorder attached through the orchestrator: a full evacuation
+/// under a mixed fault schedule, with aborts, retries and resumes — the
+/// record must still serialize byte-identically across replays.
+std::string run_chaos_recorded(std::uint64_t seed) {
+  sim::Simulator sim;
+  scenario::ClusterTestbedConfig bed;
+  bed.hosts = 3;
+  bed.vbd_mib = 16;
+  bed.guest_mem_mib = 4;
+  bed.disk.seq_read_mbps = 800.0;
+  bed.disk.seq_write_mbps = 700.0;
+  bed.disk.seek = 100_us;
+  bed.disk.request_overhead = 5_us;
+  bed.lan.bandwidth_mibps = 1000.0;
+  bed.lan.latency = 50_us;
+  scenario::ClusterTestbed tb{sim, bed};
+  std::vector<std::unique_ptr<workload::DiabolicalWorkload>> wls;
+  for (int i = 0; i < 4; ++i) {
+    vm::Domain& d = tb.add_vm("vm" + std::to_string(i), 0);
+    wls.push_back(std::make_unique<workload::DiabolicalWorkload>(
+        sim, d, seed * 100 + static_cast<std::uint64_t>(i)));
+  }
+  tb.prefill_disks();
+
+  fault::FaultInjector inj{
+      sim,
+      fault::FaultSpec::parse("outage@4ms+8ms; loss@0s+60s:0.1; "
+                              "degrade@20ms+80ms:0.4; latency@25ms+80ms:1ms"),
+      seed};
+  inj.arm_path(tb.host(0).link_to(tb.host(1)),
+               tb.host(1).link_to(tb.host(0)), "h0-h1");
+
+  auto cfg = core::MigrationConfig::build()
+                 .bitmap(core::BitmapKind::kFlat)
+                 .disk_iterations(4, 64)
+                 .done();
+  cfg.postcopy_pull_timeout = 2_ms;
+  cfg.postcopy_recovery_interval = 500_us;
+  cfg.postcopy_freeze_deadline = 20_ms;
+
+  FlightRecorder rec;
+  cluster::Orchestrator orch{
+      sim, tb.manager(),
+      {.caps = {.per_source = 2, .per_dest = 2, .per_link = 1},
+       .retry = {.max_attempts = 5,
+                 .initial_backoff = sim::Duration::millis(10)},
+       .recorder = &rec}};
+  for (auto& wl : wls) wl->start();
+  orch.submit_evacuation(tb.host(0), tb.hosts_except(0), cfg);
+  sim.spawn([](sim::Simulator* sim, cluster::Orchestrator* orch,
+               std::vector<std::unique_ptr<workload::DiabolicalWorkload>>* wls)
+                -> sim::Task<void> {
+    while (!orch->all_terminal()) co_await sim->delay(1_ms);
+    for (auto& wl : *wls) wl->request_stop();
+  }(&sim, &orch, &wls));
+  orch.drain();
+
+  EXPECT_TRUE(orch.all_terminal());
+  EXPECT_EQ(orch.jobs_failed(), 0u);
+  // Every attempt opened a migration in the record; every job closed one
+  // terminal JobRecord.
+  EXPECT_GE(rec.migration_count(), orch.job_count());
+  EXPECT_EQ(rec.jobs().size(), orch.job_count());
+
+  std::ostringstream out;
+  obs::write_flight_record(out, rec);
+  return out.str();
+}
+
+TEST(FlightRecorderTest, ChaosSeed3FlightRecordIsByteIdentical) {
+  const std::string a = run_chaos_recorded(3);
+  const std::string b = run_chaos_recorded(3);
+  EXPECT_EQ(a, b);
+  // The record saw real fault-path traffic: at least one abort closed a
+  // migration as link-disrupted before its retry completed.
+  EXPECT_NE(a.find("\"status\":\"link-disrupted\""), std::string::npos);
+  EXPECT_NE(a.find("\"status\":\"completed\""), std::string::npos);
+  EXPECT_NE(a.find("\"job\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmig

@@ -344,6 +344,44 @@ TEST(ObsExport, ReadStallHistogramReconcilesWithReport) {
   EXPECT_NE(r.trace_json.find("\"name\":\"pull_request\""), std::string::npos);
 }
 
+TEST(ObsExport, MetricsCsvContainsHistogramSummaryRows) {
+  const ObsRun r = run_instrumented("bonnie", true);
+  ASSERT_GT(r.stall_hist_count, 0u);
+
+  const auto row_for = [&](const std::string& metric) -> std::string {
+    const std::string key = "," + metric + ",";
+    const std::size_t pos = r.metrics_csv.find(key);
+    EXPECT_NE(pos, std::string::npos) << "missing summary row: " << metric;
+    if (pos == std::string::npos) return {};
+    const std::size_t start = r.metrics_csv.rfind('\n', pos) + 1;
+    const std::size_t end = r.metrics_csv.find('\n', pos);
+    return r.metrics_csv.substr(start, end - start);
+  };
+
+  // Pinned row format: "<t:%.6f>,<name>.<stat>,<value:%.9g>" — count and sum
+  // must round-trip the histogram's exact values.
+  char buf[64];
+  const std::string count_row = row_for("postcopy.read_stall_ns.count");
+  std::snprintf(buf, sizeof buf, ",%.9g",
+                static_cast<double>(r.stall_hist_count));
+  EXPECT_EQ(count_row.substr(count_row.rfind(',')), buf);
+  const std::string sum_row = row_for("postcopy.read_stall_ns.sum");
+  std::snprintf(buf, sizeof buf, ",%.9g", r.stall_hist_sum);
+  EXPECT_EQ(sum_row.substr(sum_row.rfind(',')), buf);
+
+  // All five stats share one timestamp (the registry's last sample time),
+  // printed with exactly six fractional digits.
+  const std::string stamp = count_row.substr(0, count_row.find(','));
+  const std::size_t dot = stamp.find('.');
+  ASSERT_NE(dot, std::string::npos);
+  EXPECT_EQ(stamp.size() - dot - 1, 6u);
+  for (const char* stat : {".sum", ".p50", ".p95", ".p99"}) {
+    const std::string row =
+        row_for(std::string{"postcopy.read_stall_ns"} + stat);
+    EXPECT_EQ(row.substr(0, row.find(',')), stamp) << stat;
+  }
+}
+
 /// process name -> pid, parsed from the exporter's process_name metadata.
 std::map<std::string, int> pid_map(const std::string& json) {
   std::map<std::string, int> m;

@@ -171,6 +171,35 @@ TEST(Registry, HistogramsListedButNotSampled) {
   EXPECT_EQ(hists[0].second->count(), 1u);
 }
 
+TEST(Registry, HistogramAliasSharesCanonicalInstrument) {
+  sim::Simulator sim;
+  Registry reg{sim};
+  Histogram& h = reg.histogram("postcopy.read_stall_ns");
+  h.observe(100.0);
+  // Aliasing a histogram is supported: the old name surfaces the same
+  // underlying instrument (a rename keeps downstream dashboards working).
+  reg.alias("legacy.stall_ns", "postcopy.read_stall_ns");
+  h.observe(300.0);
+
+  const auto hists = reg.histograms();
+  ASSERT_EQ(hists.size(), 2u);  // registration order: canonical, alias
+  EXPECT_EQ(hists[0].first, "postcopy.read_stall_ns");
+  EXPECT_EQ(hists[1].first, "legacy.stall_ns");
+  EXPECT_EQ(hists[0].second, hists[1].second);
+  EXPECT_EQ(hists[1].second->count(), 2u);
+  EXPECT_EQ(hists[1].second->sum(), 400.0);
+
+  // Histogram aliases are not time series: sampling must neither emit
+  // points for them nor throw.
+  reg.sample_now();
+  for (const auto& s : reg.series()) {
+    EXPECT_NE(s.name, "legacy.stall_ns");
+    EXPECT_NE(s.name, "postcopy.read_stall_ns");
+  }
+  // Aliasing an unknown canonical name is still a programming error.
+  EXPECT_THROW(reg.alias("x", "no.such.metric"), std::logic_error);
+}
+
 TEST(Tracer, RingBufferDropsOldest) {
   sim::Simulator sim;
   Tracer tracer{sim, /*capacity=*/4};

@@ -1,0 +1,749 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vmig::analyze {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser — just enough for the flight
+// record's own output grammar (objects, arrays, strings, numbers, bools).
+// Numbers are kept as doubles; every integer the recorder emits fits a
+// double exactly (bytes < 2^53, sim-ns < 2^53).
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Kind : std::uint8_t { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  const Value* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double d(const std::string& key) const {
+    const Value* v = find(key);
+    return v != nullptr && v->kind == Kind::kNum ? v->num : 0.0;
+  }
+  std::uint64_t u(const std::string& key) const {
+    return static_cast<std::uint64_t>(std::llround(d(key)));
+  }
+  std::int64_t i(const std::string& key) const {
+    return std::llround(d(key));
+  }
+  std::string s(const std::string& key) const {
+    const Value* v = find(key);
+    return v != nullptr && v->kind == Kind::kStr ? v->str : std::string{};
+  }
+  bool flag(const std::string& key) const {
+    const Value* v = find(key);
+    return v != nullptr && v->kind == Kind::kBool && v->b;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text)
+      : p_{text.c_str()}, end_{text.c_str() + text.size()} {}
+
+  /// Parse one complete JSON value; returns false on any syntax error or
+  /// trailing garbage.
+  bool parse(Value& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(const char* word) {
+    const char* q = p_;
+    for (; *word != '\0'; ++word, ++q) {
+      if (q == end_ || *q != *word) return false;
+    }
+    p_ = q;
+    return true;
+  }
+  bool value(Value& out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"':
+        out.kind = Value::Kind::kStr;
+        return string(out.str);
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.b = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.b = false;
+        return literal("false");
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return literal("null");
+      default:
+        return number(out);
+    }
+  }
+  bool object(Value& out) {
+    out.kind = Value::Kind::kObj;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !string(key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      skip_ws();
+      Value v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array(Value& out) {
+    out.kind = Value::Kind::kArr;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool string(std::string& out) {
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char c = p_[k];
+              code <<= 4;
+              if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+              } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+              } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // The recorder only escapes control bytes, so a one-byte cast
+            // is faithful; anything wider is replaced, not mis-decoded.
+            out += code < 256 ? static_cast<char>(code) : '?';
+            p_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++p_;
+      } else {
+        out += *p_++;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number(Value& out) {
+    char* after = nullptr;
+    out.kind = Value::Kind::kNum;
+    out.num = std::strtod(p_, &after);
+    if (after == p_) return false;
+    p_ = after;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// The loaded record.
+// ---------------------------------------------------------------------------
+
+struct Migration {
+  std::uint64_t id = 0;
+  Value summary;  ///< the "summary" object (with nested sections)
+};
+
+struct Record {
+  std::uint64_t capacity = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t kept = 0;
+  std::map<std::string, std::uint64_t> event_counts;  ///< by "k"
+  std::vector<Migration> migs;
+  std::vector<Value> jobs;  ///< the "job" objects
+  bool saw_header = false;
+  bool saw_end = false;
+};
+
+bool load_record(std::istream& in, Record& rec, std::ostream& err) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Value v;
+    if (!Parser{line}.parse(v) || v.kind != Value::Kind::kObj) {
+      err << "vmig_analyze: parse error at line " << lineno << "\n";
+      return false;
+    }
+    if (const Value* hdr = v.find("vmig_flight_record")) {
+      rec.saw_header = true;
+      rec.capacity = hdr->u("capacity");
+    } else if (const Value* k = v.find("k")) {
+      if (k->kind == Value::Kind::kStr) ++rec.event_counts[k->str];
+    } else if (const Value* sum = v.find("summary")) {
+      Migration m;
+      m.id = sum->u("migration");
+      m.summary = *sum;
+      rec.migs.push_back(std::move(m));
+    } else if (const Value* job = v.find("job")) {
+      rec.jobs.push_back(*job);
+    } else if (const Value* end = v.find("end")) {
+      rec.saw_end = true;
+      rec.recorded = end->u("recorded");
+      rec.dropped = end->u("dropped");
+      rec.kept = end->u("events");
+    } else if (v.find("migration") != nullptr) {
+      // begin-migration line; the summary carries everything it does.
+    } else {
+      err << "vmig_analyze: unknown line kind at line " << lineno << "\n";
+      return false;
+    }
+  }
+  if (!rec.saw_header) {
+    err << "vmig_analyze: not a flight record (missing header line)\n";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers — printf only, so the report is deterministic.
+// ---------------------------------------------------------------------------
+
+std::string fmt(const char* f, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string secs(std::int64_t ns) {
+  return fmt("%.6fs", static_cast<double>(ns) / 1e9);
+}
+
+std::string millis(std::int64_t ns) {
+  return fmt("%.3fms", static_cast<double>(ns) / 1e6);
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+/// One reconciliation line; accumulates the overall verdict.
+class Checks {
+ public:
+  explicit Checks(std::ostream& out) : out_{out} {}
+
+  void eq(const char* what, std::uint64_t recorder, std::uint64_t report) {
+    const bool pass = recorder == report;
+    ok_ = ok_ && pass;
+    out_ << "    [" << (pass ? "OK" : "FAIL") << "] " << what << ": "
+         << recorder << (pass ? " == " : " != ") << report << "\n";
+  }
+  void close(const char* what, double a, double b) {
+    // Both sides round-tripped through the same %.9g serialization of the
+    // same double, so equality is exact, not approximate.
+    const bool pass = a == b;
+    ok_ = ok_ && pass;
+    out_ << "    [" << (pass ? "OK" : "FAIL") << "] " << what << ": "
+         << fmt("%.9g", a) << (pass ? " == " : " != ") << fmt("%.9g", b)
+         << "\n";
+  }
+  void fail(const std::string& what) {
+    ok_ = false;
+    out_ << "    [FAIL] " << what << "\n";
+  }
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  std::ostream& out_;
+  bool ok_ = true;
+};
+
+const Value& section(const Value& summary, const char* name) {
+  static const Value kEmpty{};
+  const Value* v = summary.find(name);
+  return v != nullptr && v->kind == Value::Kind::kObj ? *v : kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// Per-migration report sections.
+// ---------------------------------------------------------------------------
+
+void print_downtime_attribution(std::ostream& out, const Value& freeze) {
+  const std::uint64_t mem = freeze.u("residual_mem_bytes");
+  const std::uint64_t cpu = freeze.u("cpu_bytes");
+  const std::uint64_t bm = freeze.u("bitmap_bytes");
+  const std::uint64_t total = mem + cpu + bm;
+  out << "  downtime attribution (freeze-phase wire bytes):\n";
+  out << fmt("    residual memory  %12llu B  (%5.1f%%)  [%llu pages]\n",
+             static_cast<unsigned long long>(mem), pct(mem, total),
+             static_cast<unsigned long long>(freeze.u("residual_pages")));
+  out << fmt("    cpu state        %12llu B  (%5.1f%%)\n",
+             static_cast<unsigned long long>(cpu), pct(cpu, total));
+  out << fmt("    block bitmap     %12llu B  (%5.1f%%)  [%llu blocks left]\n",
+             static_cast<unsigned long long>(bm), pct(bm, total),
+             static_cast<unsigned long long>(freeze.u("bitmap_blocks")));
+  out << fmt("    total            %12llu B\n",
+             static_cast<unsigned long long>(total));
+}
+
+void print_precopy_waste(std::ostream& out, const Value& pre,
+                         std::size_t top_k) {
+  out << "  pre-copy waste:\n";
+  const Value* iters = pre.find("iters");
+  std::uint64_t resent_bytes = 0;
+  std::uint64_t resent_blocks = 0;
+  if (iters != nullptr) {
+    for (const Value& it : iters->arr) {
+      out << fmt("    iter %-2lld  %12llu blocks  %12llu B\n",
+                 static_cast<long long>(it.i("iter")),
+                 static_cast<unsigned long long>(it.u("blocks")),
+                 static_cast<unsigned long long>(it.u("bytes")));
+      if (it.i("iter") >= 2) {
+        resent_bytes += it.u("bytes");
+        resent_blocks += it.u("blocks");
+      }
+    }
+  }
+  out << fmt("    re-sent (iter>=2): %llu blocks / %llu B; redirtied during "
+             "pre-copy: %llu blocks in %llu writes\n",
+             static_cast<unsigned long long>(resent_blocks),
+             static_cast<unsigned long long>(resent_bytes),
+             static_cast<unsigned long long>(pre.u("redirty_blocks")),
+             static_cast<unsigned long long>(pre.u("redirty_events")));
+
+  // Copies-per-block percentiles over the recorded distribution, through the
+  // same obs::Histogram the engine uses for its own summaries.
+  const Value* dist = pre.find("copy_counts");
+  obs::Histogram h;
+  std::uint32_t max_copies = 0;
+  if (dist != nullptr) {
+    for (const Value& pair : dist->arr) {
+      if (pair.arr.size() != 2) continue;
+      const auto copies = static_cast<std::uint32_t>(pair.arr[0].num);
+      const auto blocks = static_cast<std::uint64_t>(pair.arr[1].num);
+      max_copies = std::max(max_copies, copies);
+      for (std::uint64_t n = 0; n < blocks; ++n) {
+        h.observe(static_cast<double>(copies));
+      }
+    }
+  }
+  if (h.count() > 0) {
+    out << fmt("    copies per block: p50 %.9g  p95 %.9g  p99 %.9g  max %u  "
+               "(%llu blocks sent)\n",
+               h.quantile(0.5), h.quantile(0.95), h.quantile(0.99), max_copies,
+               static_cast<unsigned long long>(pre.u("blocks_sent")));
+  } else {
+    out << "    copies per block: no blocks sent\n";
+  }
+
+  const Value* hot = pre.find("hot_blocks");
+  if (hot == nullptr || hot->arr.empty()) {
+    out << "    hottest blocks: none sent more than once\n";
+  } else {
+    out << "    hottest blocks:";
+    std::size_t shown = 0;
+    for (const Value& pair : hot->arr) {
+      if (shown == top_k || pair.arr.size() != 2) break;
+      out << fmt(" %llu(x%llu)",
+                 static_cast<unsigned long long>(pair.arr[0].num),
+                 static_cast<unsigned long long>(pair.arr[1].num));
+      ++shown;
+    }
+    out << "\n";
+  }
+}
+
+void print_postcopy(std::ostream& out, const Value& post) {
+  const std::uint64_t pushed = post.u("blocks_pushed");
+  const std::uint64_t pulled = post.u("blocks_pulled");
+  out << "  post-copy degradation:\n";
+  out << fmt("    push %llu blocks / %llu B in %llu msgs; pull %llu blocks / "
+             "%llu B over %llu requests (%llu B of requests)\n",
+             static_cast<unsigned long long>(pushed),
+             static_cast<unsigned long long>(post.u("push_bytes")),
+             static_cast<unsigned long long>(post.u("push_msgs")),
+             static_cast<unsigned long long>(pulled),
+             static_cast<unsigned long long>(post.u("pull_bytes")),
+             static_cast<unsigned long long>(post.u("pull_requests")),
+             static_cast<unsigned long long>(post.u("pull_req_bytes")));
+  const std::uint64_t applied = pushed + pulled;
+  out << fmt("    pull share %.1f%% of applied blocks; dropped (overwritten "
+             "locally) %llu\n",
+             pct(pulled, applied),
+             static_cast<unsigned long long>(post.u("blocks_dropped")));
+  out << fmt("    overwrite-cancel: %llu events obsoleted %llu blocks, "
+             "saving %llu B of writes\n",
+             static_cast<unsigned long long>(post.u("cancel_events")),
+             static_cast<unsigned long long>(post.u("blocks_cancelled")),
+             static_cast<unsigned long long>(post.u("cancel_saved_bytes")));
+  out << fmt("    read stalls: %llu (total %s, max %s)  p50 %.9gns  "
+             "p95 %.9gns  p99 %.9gns\n",
+             static_cast<unsigned long long>(post.u("stall_count")),
+             millis(post.i("stall_total_ns")).c_str(),
+             millis(post.i("stall_max_ns")).c_str(),
+             post.d("stall_hist_p50_ns"), post.d("stall_hist_p95_ns"),
+             post.d("stall_hist_p99_ns"));
+  if (post.u("pull_lat_count") > 0) {
+    out << fmt("    pull latency: %llu measured  p50 %.9gns  p95 %.9gns  "
+               "p99 %.9gns\n",
+               static_cast<unsigned long long>(post.u("pull_lat_count")),
+               post.d("pull_lat_p50_ns"), post.d("pull_lat_p95_ns"),
+               post.d("pull_lat_p99_ns"));
+  }
+}
+
+void reconcile(Checks& ck, const Value& sum) {
+  const Value& rep = section(sum, "report");
+  const Value& pre = section(sum, "precopy");
+  const Value& mem = section(sum, "mem");
+  const Value& freeze = section(sum, "freeze");
+  const Value& post = section(sum, "postcopy");
+  if (!rep.flag("closed")) {
+    ck.fail("migration record never closed (no MigrationReport to "
+            "reconcile against)");
+    return;
+  }
+
+  std::uint64_t iter1 = 0;
+  std::uint64_t later = 0;
+  if (const Value* iters = pre.find("iters")) {
+    for (const Value& it : iters->arr) {
+      if (it.i("iter") == 1) {
+        iter1 += it.u("bytes");
+      } else {
+        later += it.u("bytes");
+      }
+    }
+  }
+  ck.eq("iter-1 bytes == bytes_disk_first_pass", iter1,
+        rep.u("bytes_disk_first_pass"));
+  ck.eq("iter>=2 bytes == bytes_disk_retransfer", later,
+        rep.u("bytes_disk_retransfer"));
+  ck.eq("memory round bytes == bytes_memory_precopy", mem.u("bytes"),
+        rep.u("bytes_memory_precopy"));
+  ck.eq("residual mem + cpu == bytes_freeze_residual",
+        freeze.u("residual_mem_bytes") + freeze.u("cpu_bytes"),
+        rep.u("bytes_freeze_residual"));
+  ck.eq("bitmap bytes == bytes_bitmap", freeze.u("bitmap_bytes"),
+        rep.u("bytes_bitmap"));
+  ck.eq("bitmap blocks == residual_dirty_blocks", freeze.u("bitmap_blocks"),
+        rep.u("residual_dirty_blocks"));
+  ck.eq("push bytes == bytes_postcopy_push", post.u("push_bytes"),
+        rep.u("bytes_postcopy_push"));
+  ck.eq("pull + request bytes == bytes_postcopy_pull",
+        post.u("pull_bytes") + post.u("pull_req_bytes"),
+        rep.u("bytes_postcopy_pull"));
+  ck.eq("blocks pushed", post.u("blocks_pushed"), rep.u("blocks_pushed"));
+  ck.eq("blocks pulled", post.u("blocks_pulled"), rep.u("blocks_pulled"));
+  ck.eq("blocks dropped", post.u("blocks_dropped"), rep.u("blocks_dropped"));
+  ck.eq("stall count == postcopy_reads_blocked", post.u("stall_count"),
+        rep.u("postcopy_reads_blocked"));
+  ck.eq("stall total ns",
+        static_cast<std::uint64_t>(post.i("stall_total_ns")),
+        static_cast<std::uint64_t>(rep.i("postcopy_read_stall_total_ns")));
+  ck.eq("stall max ns", static_cast<std::uint64_t>(post.i("stall_max_ns")),
+        static_cast<std::uint64_t>(rep.i("postcopy_read_stall_max_ns")));
+  if (sum.s("status") == "completed") {
+    std::uint64_t iter_rows = 0;
+    if (const Value* iters = pre.find("iters")) iter_rows = iters->arr.size();
+    ck.eq("disk iterations", iter_rows, rep.u("disk_iterations"));
+    ck.eq("memory rounds", mem.u("rounds"), rep.u("mem_iterations"));
+  }
+}
+
+void print_migration(std::ostream& out, Checks& ck, const Migration& m,
+                     std::size_t top_k) {
+  const Value& sum = m.summary;
+  const Value& rep = section(sum, "report");
+  out << "migration " << m.id << ": " << sum.s("domain") << "  "
+      << sum.s("from") << " -> " << sum.s("to") << "  [" << sum.s("status")
+      << "]\n";
+  if (rep.flag("closed") && sum.s("status") == "completed") {
+    const std::int64_t down = rep.i("resumed_ns") - rep.i("suspended_ns");
+    out << "  timeline: started " << secs(sum.i("started_ns"))
+        << ", suspended " << secs(rep.i("suspended_ns")) << ", resumed "
+        << secs(rep.i("resumed_ns")) << ", synchronized "
+        << secs(rep.i("synchronized_ns")) << "\n";
+    out << "  downtime " << millis(down) << ", total "
+        << secs(rep.i("synchronized_ns") - sum.i("started_ns")) << "\n";
+  } else {
+    out << "  timeline: started " << secs(sum.i("started_ns")) << ", ended "
+        << secs(sum.i("ended_ns")) << " (no completed freeze)\n";
+  }
+  print_downtime_attribution(out, section(sum, "freeze"));
+  print_precopy_waste(out, section(sum, "precopy"), top_k);
+  const Value& memv = section(sum, "mem");
+  out << fmt("  memory pre-copy: %llu rounds, %llu pages, %llu B\n",
+             static_cast<unsigned long long>(memv.u("rounds")),
+             static_cast<unsigned long long>(memv.u("pages")),
+             static_cast<unsigned long long>(memv.u("bytes")));
+  print_postcopy(out, section(sum, "postcopy"));
+  out << "  reconciliation vs MigrationReport:\n";
+  reconcile(ck, sum);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-job SLO table.
+// ---------------------------------------------------------------------------
+
+void print_jobs(std::ostream& out, const std::vector<Value>& jobs) {
+  out << "cluster jobs (" << jobs.size() << "):\n";
+  out << "    job  domain        route                 status           "
+         "att  def  downtime      total        deadline     slo\n";
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t resumed = 0;
+  std::uint64_t saved = 0;
+  for (const Value& j : jobs) {
+    const std::int64_t deadline = j.i("deadline_ns");
+    const std::int64_t total = j.i("total_ns");
+    const char* slo = "-";
+    if (deadline > 0) {
+      if (total <= deadline && j.s("status") == "completed") {
+        slo = "met";
+        ++met;
+      } else {
+        slo = "MISS";
+        ++missed;
+      }
+    }
+    if (j.flag("resume_applied")) {
+      ++resumed;
+      saved += j.u("resumed_blocks_saved");
+    }
+    const std::string route = j.s("from") + "->" + j.s("to");
+    out << fmt("    %-4llu %-13s %-21s %-16s %-4llu %-4llu %-13s %-12s %-12s "
+               "%s\n",
+               static_cast<unsigned long long>(j.u("id")),
+               j.s("domain").c_str(), route.c_str(), j.s("status").c_str(),
+               static_cast<unsigned long long>(j.u("attempts")),
+               static_cast<unsigned long long>(j.u("deferrals")),
+               millis(j.i("downtime_ns")).c_str(), secs(total).c_str(),
+               deadline > 0 ? secs(deadline).c_str() : "-", slo);
+  }
+  out << fmt("    slo: %llu met, %llu missed, %llu without deadline; resume "
+             "applied on %llu jobs saving %llu blocks\n",
+             static_cast<unsigned long long>(met),
+             static_cast<unsigned long long>(missed),
+             static_cast<unsigned long long>(jobs.size() - met - missed),
+             static_cast<unsigned long long>(resumed),
+             static_cast<unsigned long long>(saved));
+}
+
+// ---------------------------------------------------------------------------
+// --metrics CSV cross-check.
+// ---------------------------------------------------------------------------
+
+/// Last value of `metric` in a long-format "t_seconds,metric,value" CSV.
+bool last_metric(std::istream& in, const std::string& metric, double& out) {
+  std::string line;
+  bool found = false;
+  while (std::getline(in, line)) {
+    const std::size_t c1 = line.find(',');
+    if (c1 == std::string::npos) continue;
+    const std::size_t c2 = line.find(',', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    if (line.compare(c1 + 1, c2 - c1 - 1, metric) != 0) continue;
+    out = std::strtod(line.c_str() + c2 + 1, nullptr);
+    found = true;
+  }
+  return found;
+}
+
+void cross_check_metrics(std::ostream& out, Checks& ck, const Record& rec,
+                         const std::string& path, std::ostream& err) {
+  out << "metrics cross-check (" << path << "):\n";
+  if (rec.migs.size() != 1) {
+    out << "    skipped: registry histograms aggregate across "
+        << rec.migs.size() << " migrations, recorder is per-migration\n";
+    return;
+  }
+  std::ifstream in{path};
+  if (!in) {
+    err << "vmig_analyze: cannot open metrics CSV '" << path << "'\n";
+    ck.fail("metrics CSV unreadable");
+    return;
+  }
+  double csv_count = 0.0;
+  double csv_p99 = 0.0;
+  {
+    const bool have_count =
+        last_metric(in, "postcopy.read_stall_ns.count", csv_count);
+    in.clear();
+    in.seekg(0);
+    const bool have_p99 = last_metric(in, "postcopy.read_stall_ns.p99", csv_p99);
+    if (!have_count || !have_p99) {
+      ck.fail("metrics CSV has no postcopy.read_stall_ns summary rows");
+      return;
+    }
+  }
+  const Value& post = section(rec.migs[0].summary, "postcopy");
+  ck.eq("stall count == postcopy.read_stall_ns.count", post.u("stall_count"),
+        static_cast<std::uint64_t>(std::llround(csv_count)));
+  ck.close("stall p99 == postcopy.read_stall_ns.p99",
+           post.d("stall_hist_p99_ns"), csv_p99);
+}
+
+}  // namespace
+
+int run(const Options& opt, std::ostream& out, std::ostream& err) {
+  std::ifstream in{opt.record_path};
+  if (!in) {
+    err << "vmig_analyze: cannot open '" << opt.record_path << "'\n";
+    return 2;
+  }
+  Record rec;
+  if (!load_record(in, rec, err)) return 2;
+
+  out << "vmig_analyze: " << opt.record_path << "\n";
+  out << "flight record: capacity " << rec.capacity << ", " << rec.recorded
+      << " events recorded, " << rec.kept << " kept, " << rec.dropped
+      << " dropped";
+  if (rec.dropped > 0) out << " (ring wrapped; aggregates stay exact)";
+  out << "\n";
+  if (!rec.event_counts.empty()) {
+    out << "events by kind:";
+    for (const auto& [kind, n] : rec.event_counts) {
+      out << " " << kind << "=" << n;
+    }
+    out << "\n";
+  }
+  out << "\n";
+
+  Checks ck{out};
+  for (const Migration& m : rec.migs) {
+    print_migration(out, ck, m, opt.top_k);
+    out << "\n";
+  }
+  if (rec.migs.empty()) {
+    out << "no migrations in record\n\n";
+  }
+  if (!rec.jobs.empty()) {
+    print_jobs(out, rec.jobs);
+    out << "\n";
+  }
+  if (!opt.metrics_path.empty()) {
+    cross_check_metrics(out, ck, rec, opt.metrics_path, err);
+    out << "\n";
+  }
+
+  out << (ck.ok() ? "verdict: all reconciliation checks passed\n"
+                  : "verdict: RECONCILIATION FAILED\n");
+  return ck.ok() ? 0 : 1;
+}
+
+}  // namespace vmig::analyze

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace vmig::analyze {
+
+/// vmig_analyze: post-mortem attribution over a migration flight record
+/// (`vmig_sim --flight-record`, docs/ANALYSIS.md). The report is a pure
+/// function of the input files — running it twice over the same record
+/// yields byte-identical output.
+struct Options {
+  /// JSONL flight record written by obs::write_flight_record.
+  std::string record_path;
+  /// Optional `--metrics` CSV from the same run: cross-checks the stall
+  /// histogram summary rows against the recorder's own percentiles
+  /// (single-migration records only — the registry aggregates across all).
+  std::string metrics_path;
+  /// Hottest-blocks rows to print in the pre-copy waste section.
+  std::size_t top_k = 8;
+};
+
+/// Analyze `opt.record_path` and print the report to `out` (diagnostics to
+/// `err`). Returns the process exit status: 0 = every reconciliation check
+/// passed, 1 = at least one [FAIL], 2 = unreadable or malformed input.
+int run(const Options& opt, std::ostream& out, std::ostream& err);
+
+}  // namespace vmig::analyze

@@ -1,0 +1,66 @@
+// vmig_analyze — post-mortem attribution over a migration flight record.
+//
+//   vmig_sim --workload build --flight-record flight.jsonl --metrics m.csv
+//   vmig_analyze flight.jsonl --metrics m.csv
+//
+// Prints downtime attribution, pre-copy waste, post-copy degradation, and
+// per-job SLO accounting, reconciling the recorder's aggregates against the
+// engine's MigrationReport byte-for-byte (docs/ANALYSIS.md). Exit status:
+// 0 = all checks pass, 1 = a reconciliation check failed, 2 = bad input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analyze.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s RECORD.jsonl [options]\n"
+      "  --metrics FILE   cross-check against the run's --metrics CSV\n"
+      "  --top K          hottest-blocks rows to print (default 8)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vmig::analyze::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--metrics") {
+      opt.metrics_path = need("--metrics");
+    } else if (a == "--top") {
+      opt.top_k = std::strtoull(need("--top"), nullptr, 10);
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (opt.record_path.empty()) {
+      opt.record_path = a;
+    } else {
+      std::fprintf(stderr, "error: more than one record path\n");
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.record_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  return vmig::analyze::run(opt, std::cout, std::cerr);
+}

@@ -34,6 +34,7 @@
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 #include "scenario/cluster_testbed.hpp"
 #include "scenario/testbed.hpp"
@@ -72,6 +73,7 @@ struct Options {
   std::string chrome_trace;  // --trace: Chrome trace-event JSON output
   std::string metrics_csv;   // --metrics: sampled metrics, long-format CSV
   std::string timeline;      // --timeline: human-readable span list
+  std::string flight_record; // --flight-record: JSONL event log (vmig_analyze)
   double metrics_interval_s = 1.0;
   // --cluster: orchestrated evacuation on the N-host testbed.
   bool cluster = false;
@@ -109,6 +111,8 @@ void usage(const char* argv0) {
       "  --metrics FILE   write sampled metrics as t_seconds,metric,value CSV\n"
       "  --metrics-interval S  metrics sampling cadence in sim-seconds (default 1)\n"
       "  --timeline FILE  write a human-readable span timeline\n"
+      "  --flight-record FILE  write the migration flight record as JSONL\n"
+      "                   (post-mortem input for vmig_analyze)\n"
       "  --cluster        evacuate host0 of an N-host cluster through the\n"
       "                   migration orchestrator (disk/mem sizes are per VM;\n"
       "                   the default VBD shrinks to 1024 MiB in this mode)\n"
@@ -151,6 +155,8 @@ bool parse(int argc, char** argv, Options& o) {
       }
     } else if (a == "--timeline") {
       o.timeline = need("--timeline");
+    } else if (a == "--flight-record") {
+      o.flight_record = need("--flight-record");
     } else if (a == "--scheme") {
       o.scheme = need("--scheme");
     } else if (a == "--disk-mib") {
@@ -308,7 +314,8 @@ cluster::SchedulePolicyKind parse_policy(const std::string& name) {
 }
 
 bool dump_obs(const Options& o, const obs::Registry* registry,
-              const obs::Tracer* tracer);
+              const obs::Tracer* tracer,
+              const obs::FlightRecorder* recorder);
 
 int run_cluster(const Options& o) {
   sim::Simulator sim;
@@ -334,6 +341,10 @@ int run_cluster(const Options& o) {
     tb.attach_obs(registry.get());
     registry->start_sampling();
   }
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!o.flight_record.empty()) {
+    recorder = std::make_unique<obs::FlightRecorder>();
+  }
 
   auto cfg = tb.paper_migration_config();
   cfg.rate_limit_mibps = o.rate_limit;
@@ -344,6 +355,7 @@ int run_cluster(const Options& o) {
   ocfg.policy = parse_policy(o.cluster_policy);
   ocfg.registry = registry.get();
   ocfg.tracer = tracer.get();
+  ocfg.recorder = recorder.get();
   cluster::Orchestrator orch{sim, tb.manager(), ocfg};
   orch.submit_evacuation(tb.host(0), tb.hosts_except(0), cfg);
   const fault::FaultSpec fspec = parse_fault_or_die(o);
@@ -378,13 +390,14 @@ int run_cluster(const Options& o) {
               static_cast<unsigned long long>(orch.retries()),
               orch.peak_running(), sim.now().to_seconds());
 
-  if (!dump_obs(o, registry.get(), tracer.get())) return 2;
+  if (!dump_obs(o, registry.get(), tracer.get(), recorder.get())) return 2;
   return ok ? 0 : 1;
 }
 
 /// Write whichever obs outputs were requested; returns false on I/O error.
 bool dump_obs(const Options& o, const obs::Registry* registry,
-              const obs::Tracer* tracer) {
+              const obs::Tracer* tracer,
+              const obs::FlightRecorder* recorder) {
   const auto open = [](const std::string& path, std::ofstream& out) {
     out.open(path);
     if (!out) std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
@@ -404,6 +417,11 @@ bool dump_obs(const Options& o, const obs::Registry* registry,
     std::ofstream out;
     if (!open(o.metrics_csv, out)) return false;
     out << core::to_csv(*registry);
+  }
+  if (!o.flight_record.empty()) {
+    std::ofstream out;
+    if (!open(o.flight_record, out)) return false;
+    obs::write_flight_record(out, *recorder);
   }
   return true;
 }
@@ -451,6 +469,13 @@ int main(int argc, char** argv) {
     registry->start_sampling();
     cfg.obs_registry = registry.get();
     cfg.obs_tracer = tracer.get();
+  }
+  // The flight recorder is independent of the sampled-metrics/trace sinks:
+  // it keeps exact aggregates of its own and costs nothing when off.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!o.flight_record.empty()) {
+    recorder = std::make_unique<obs::FlightRecorder>();
+    cfg.obs_recorder = recorder.get();
   }
 
   const fault::FaultSpec fspec = parse_fault_or_die(o);
@@ -504,6 +529,6 @@ int main(int argc, char** argv) {
     rc = rep.disk_consistent && rep.memory_consistent ? 0 : 1;
   }
 
-  if (!dump_obs(o, registry.get(), tracer.get())) return 2;
+  if (!dump_obs(o, registry.get(), tracer.get(), recorder.get())) return 2;
   return rc;
 }

@@ -1,0 +1,198 @@
+// Scale/throughput bench: the repo's first *wall-clock* benchmark. Every
+// other bench reports simulated time; this one measures how fast the
+// simulator itself chews through a cluster evacuation as the testbed grows
+// (64 / 256 / 1024 hosts), reporting events/sec and wall-ms per simulated
+// minute. Simulated results stay deterministic — only the wall-clock
+// readings vary run to run, which is why the committed baseline gates them
+// with direction-aware, regression-only tolerances
+// (scripts/check_bench_baselines.py).
+//
+// Usage: bench_scale [--quick] [--json FILE] [--profile-out FILE]
+//   --quick        64-host point only (CI smoke; the committed baseline
+//                  bench/baselines/BENCH_scale.json holds exactly this set)
+//   --json FILE    flat metrics JSON for the baseline gate
+//   --profile-out  self-profile the runs and write a collapsed-stack file
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/orchestrator.hpp"
+#include "obs/profiler.hpp"
+#include "scenario/cluster_testbed.hpp"
+
+using namespace vmig;
+using namespace vmig::sim::literals;
+
+namespace {
+
+bool g_quick = false;
+
+struct Row {
+  int hosts = 0;
+  int vms = 0;
+  double setup_ms = 0;        // testbed construction + prefill (wall)
+  double wall_ms = 0;         // drain() wall time
+  double sim_s = 0;           // simulated makespan
+  std::uint64_t events = 0;   // simulator events processed (deterministic)
+  double events_per_sec = 0;  // events / wall-s (throughput, wall)
+  double wall_ms_per_sim_min = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+// Keeps a guest dirtying its disk while it is being evacuated, so every
+// migration pays real re-copy iterations and the event volume is dominated
+// by simulated work, not orchestration. Time-bounded: drain() runs until
+// the event queue empties, so the writer winds down on its own.
+sim::Task<void> steady_writer(sim::Simulator* sim, vm::Domain* d,
+                              sim::TimePoint until) {
+  std::uint64_t at = 0;
+  while (sim->now() < until) {
+    co_await d->disk_write(storage::BlockRange{(at * 64) % 8192, 64});
+    ++at;
+    co_await sim->delay(1_ms);
+  }
+}
+
+// Evacuate host0's guests into the rest of an N-host full mesh. The VM
+// count grows with the cluster so the event volume scales too; disks are
+// small so the 1024-host point stays tractable on a laptop.
+Row run_size(int hosts) {
+  Row r;
+  r.hosts = hosts;
+  r.vms = hosts / 8;
+
+  obs::WallStopwatch setup_sw;
+  sim::Simulator sim;
+  scenario::ClusterTestbedConfig bed;
+  bed.hosts = hosts;
+  bed.vbd_mib = 128;
+  bed.guest_mem_mib = 32;
+  scenario::ClusterTestbed tb{sim, bed};
+  for (int i = 0; i < r.vms; ++i) tb.add_vm("vm" + std::to_string(i), 0);
+  tb.prefill_disks();
+  // Writers stay hot long enough to overlap most of the evacuation window
+  // at every size (the 50 ms poll keeps launches rolling well past it).
+  for (int i = 0; i < r.vms; ++i) {
+    sim.spawn(steady_writer(&sim, &tb.vm(static_cast<std::size_t>(i)),
+                            sim::TimePoint::origin() + 20_s),
+              "writer" + std::to_string(i));
+  }
+
+  cluster::OrchestratorConfig cfg;
+  cfg.caps = {.per_source = 4, .per_dest = 2, .per_link = 1, .total = 16};
+  cfg.policy = cluster::SchedulePolicyKind::kFifo;
+  cfg.poll_interval = 50_ms;
+  cluster::Orchestrator orch{sim, tb.manager(), cfg};
+  orch.submit_evacuation(tb.host(0), tb.hosts_except(0),
+                         tb.paper_migration_config());
+  r.setup_ms = setup_sw.elapsed_ms();
+
+  obs::WallStopwatch run_sw;
+  orch.drain();
+  r.wall_ms = run_sw.elapsed_ms();
+
+  r.sim_s = sim.now().to_seconds();
+  r.events = sim.events_processed();
+  r.completed = orch.jobs_completed();
+  r.failed = orch.jobs_failed();
+  const double wall_s = r.wall_ms / 1e3;
+  if (wall_s > 0) r.events_per_sec = static_cast<double>(r.events) / wall_s;
+  const double sim_min = r.sim_s / 60.0;
+  if (sim_min > 0) r.wall_ms_per_sim_min = r.wall_ms / sim_min;
+  return r;
+}
+
+bool write_text(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string profile_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a{argv[i]};
+    if (a == "--quick") {
+      g_quick = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (a == "--profile-out" && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json FILE] [--profile-out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  obs::Profiler profiler;
+  if (!profile_out.empty()) profiler.activate();
+
+  bench::header("simulator scale",
+                "wall-clock throughput of cluster evacuations");
+  const std::vector<int> sizes = g_quick ? std::vector<int>{64}
+                                         : std::vector<int>{64, 256, 1024};
+
+  std::vector<Row> rows;
+  for (const int n : sizes) {
+    std::printf("  running %d hosts...\n", n);
+    std::fflush(stdout);
+    rows.push_back(run_size(n));
+  }
+
+  std::printf("\n%-7s %5s %10s %10s %9s %12s %13s %14s\n", "hosts", "vms",
+              "setup(ms)", "wall(ms)", "sim(s)", "events", "events/s",
+              "wall-ms/sim-min");
+  bool all_ok = true;
+  for (const auto& r : rows) {
+    std::printf("%-7d %5d %10.1f %10.1f %9.2f %12llu %13.0f %14.1f\n", r.hosts,
+                r.vms, r.setup_ms, r.wall_ms, r.sim_s,
+                static_cast<unsigned long long>(r.events), r.events_per_sec,
+                r.wall_ms_per_sim_min);
+    if (r.failed != 0 || r.completed != static_cast<std::uint64_t>(r.vms)) {
+      all_ok = false;
+    }
+  }
+  bench::section("claims checked");
+  std::printf("  every evacuation completes:  %s\n", all_ok ? "yes" : "NO");
+
+  if (!profile_out.empty()) {
+    profiler.deactivate();
+    std::printf("\n-- self-profile (wall clock, simulated results unaffected) "
+                "--\n%s",
+                profiler.table().c_str());
+    if (!write_text(profile_out.c_str(), profiler.collapsed())) {
+      std::fprintf(stderr, "error: cannot write %s\n", profile_out.c_str());
+      return 2;
+    }
+    std::printf("  collapsed stacks -> %s\n", profile_out.c_str());
+  }
+
+  if (!json_out.empty()) {
+    std::vector<std::pair<std::string, double>> kv;
+    for (const auto& r : rows) {
+      const std::string p = "scale.h" + std::to_string(r.hosts) + ".";
+      kv.emplace_back(p + "events", static_cast<double>(r.events));
+      kv.emplace_back(p + "events_per_sec", r.events_per_sec);
+      kv.emplace_back(p + "wall_ms_per_sim_min", r.wall_ms_per_sim_min);
+      kv.emplace_back(p + "setup_ms", r.setup_ms);  // reported, never gated
+    }
+    if (!bench::write_flat_json(json_out.c_str(), kv)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 2;
+    }
+    std::printf("  metrics -> %s\n", json_out.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

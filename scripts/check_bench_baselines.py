@@ -1,51 +1,77 @@
 #!/usr/bin/env python3
 """Gate a measured bench JSON against a committed baseline.
 
-Both files are flat {"metric": value} maps (see bench::write_flat_json).
-Every baseline metric must be present in the measured file and within
---tolerance (relative, default 15%) of the baseline value. Metrics near
-zero are compared with an absolute epsilon instead, since a relative band
-around zero is meaningless. Extra measured metrics are reported but pass:
-they become gated once the baseline is regenerated to include them.
+The measured file is a flat {"metric": value} map (bench::write_flat_json).
+The baseline maps each metric either to a plain number or to an object:
+
+    "sim.events":          123456,
+    "scale.h64.events_per_sec": {
+        "value": 1.8e6,
+        "higher_is_better": true,
+        "tolerance": 0.6
+    }
+
+A plain number gates two-sided: the measured value must stay within
+--tolerance (relative, default 15%) of it. An object may carry a per-metric
+"tolerance" and a "higher_is_better" direction, which makes the gate
+one-sided: throughput-style metrics (higher_is_better: true) fail only when
+the measured value drops below value*(1-tolerance) — noise in the good
+direction never fails CI — and cost-style metrics (higher_is_better: false)
+fail only above value*(1+tolerance). Baselines near zero are compared with
+an absolute epsilon, since a relative band around zero is meaningless.
+Extra measured metrics are reported but pass: they become gated once the
+baseline is regenerated to include them.
 
 Exit codes: 0 pass, 1 regression/missing metric, 2 usage or bad input.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 ABS_EPSILON = 1e-6  # |baseline| below this -> absolute comparison
 
 
-def load(path):
+def load(path, baseline=False):
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
-    if not isinstance(data, dict) or not all(
-        isinstance(v, (int, float)) for v in data.values()
-    ):
-        sys.exit(f"error: {path} is not a flat {{metric: number}} map")
+
+    def entry_ok(v):
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            return True
+        if baseline and isinstance(v, dict):
+            return (
+                isinstance(v.get("value"), (int, float))
+                and not isinstance(v.get("value"), bool)
+                and isinstance(v.get("higher_is_better", False), bool)
+                and isinstance(v.get("tolerance", 0.0), (int, float))
+            )
+        return False
+
+    shape = "{metric: number-or-spec}" if baseline else "{metric: number}"
+    if not isinstance(data, dict) or not all(entry_ok(v) for v in data.values()):
+        sys.exit(f"error: {path} is not a flat {shape} map")
     return data
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed baseline JSON")
-    ap.add_argument("measured", help="freshly measured JSON")
-    ap.add_argument(
-        "--tolerance", type=float, default=0.15,
-        help="allowed relative deviation (default 0.15 = ±15%%)",
-    )
-    args = ap.parse_args()
+def gate(base, meas, default_tolerance):
+    """Return (report_lines, failure_lines)."""
+    lines, failures = [], []
+    for key, spec in sorted(base.items()):
+        if isinstance(spec, dict):
+            expect = spec["value"]
+            tol = spec.get("tolerance", default_tolerance)
+            direction = spec.get("higher_is_better")
+        else:
+            expect = spec
+            tol = default_tolerance
+            direction = None
 
-    base = load(args.baseline)
-    meas = load(args.measured)
-
-    failures = []
-    for key, expect in sorted(base.items()):
         if key not in meas:
             failures.append(f"{key}: missing from measured output")
             continue
@@ -53,17 +79,107 @@ def main():
         if abs(expect) < ABS_EPSILON:
             ok = abs(got) < ABS_EPSILON
             band = f"|x| < {ABS_EPSILON}"
+        elif direction is True:
+            floor = expect * (1.0 - tol)
+            ok = got >= floor
+            band = f">= {floor:g} (baseline {expect:g}, regression-only)"
+        elif direction is False:
+            ceil = expect * (1.0 + tol)
+            ok = got <= ceil
+            band = f"<= {ceil:g} (baseline {expect:g}, regression-only)"
         else:
-            rel = abs(got - expect) / abs(expect)
-            ok = rel <= args.tolerance
-            band = f"±{args.tolerance:.0%} of {expect:g}"
+            ok = abs(got - expect) / abs(expect) <= tol
+            band = f"±{tol:.0%} of {expect:g}"
         mark = "ok  " if ok else "FAIL"
-        print(f"  {mark} {key}: measured={got:g} (baseline {band})")
+        lines.append(f"  {mark} {key}: measured={got:g} (baseline {band})")
         if not ok:
             failures.append(f"{key}: measured={got:g} expected {band}")
 
     for key in sorted(set(meas) - set(base)):
-        print(f"  new  {key}: measured={meas[key]:g} (not in baseline)")
+        lines.append(f"  new  {key}: measured={meas[key]:g} (not in baseline)")
+    return lines, failures
+
+
+def self_test():
+    """Exercise both entry forms and both directions; exit 0/1."""
+    cases = [
+        # (name, baseline, measured, default_tol, expect_pass)
+        ("plain within", {"m": 100}, {"m": 110}, 0.15, True),
+        ("plain outside", {"m": 100}, {"m": 130}, 0.15, False),
+        ("plain low outside", {"m": 100}, {"m": 70}, 0.15, False),
+        ("missing metric", {"m": 100}, {}, 0.15, False),
+        ("near-zero ok", {"m": 0.0}, {"m": 0.0}, 0.15, True),
+        ("near-zero drift", {"m": 0.0}, {"m": 0.5}, 0.15, False),
+        ("hib gain passes",
+         {"m": {"value": 100, "higher_is_better": True, "tolerance": 0.5}},
+         {"m": 1000}, 0.15, True),
+        ("hib regression fails",
+         {"m": {"value": 100, "higher_is_better": True, "tolerance": 0.5}},
+         {"m": 40}, 0.15, False),
+        ("hib at floor passes",
+         {"m": {"value": 100, "higher_is_better": True, "tolerance": 0.5}},
+         {"m": 50}, 0.15, True),
+        ("lib drop passes",
+         {"m": {"value": 100, "higher_is_better": False, "tolerance": 0.5}},
+         {"m": 1}, 0.15, True),
+        ("lib growth fails",
+         {"m": {"value": 100, "higher_is_better": False, "tolerance": 0.5}},
+         {"m": 200}, 0.15, False),
+        ("object default tol",
+         {"m": {"value": 100}}, {"m": 110}, 0.15, True),
+        ("object default tol fails",
+         {"m": {"value": 100}}, {"m": 130}, 0.15, False),
+        ("extra measured passes", {"m": 100}, {"m": 100, "n": 7}, 0.15, True),
+    ]
+    bad = 0
+    for name, base, meas, tol, expect_pass in cases:
+        _, failures = gate(base, meas, tol)
+        passed = not failures
+        mark = "ok  " if passed == expect_pass else "FAIL"
+        if passed != expect_pass:
+            bad += 1
+        print(f"  {mark} self-test: {name}")
+
+    # The loader must accept both entry forms and reject malformed specs.
+    with tempfile.TemporaryDirectory() as d:
+        good = os.path.join(d, "good.json")
+        with open(good, "w") as f:
+            json.dump({"a": 1.0, "b": {"value": 2.0, "higher_is_better": True}}, f)
+        load(good, baseline=True)
+        print("  ok   self-test: loader accepts mixed baseline entries")
+
+    if bad:
+        print(f"\n{bad} self-test case(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(cases)} self-test cases passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    ap.add_argument("measured", nargs="?", help="freshly measured JSON")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="default relative deviation when a metric has none (0.15 = ±15%%)",
+    )
+    ap.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in gating self-test and exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.measured is None:
+        ap.error("baseline and measured are required unless --self-test")
+
+    base = load(args.baseline, baseline=True)
+    meas = load(args.measured)
+
+    lines, failures = gate(base, meas, args.tolerance)
+    for line in lines:
+        print(line)
 
     if failures:
         print(f"\n{len(failures)} metric(s) out of tolerance:", file=sys.stderr)

@@ -8,6 +8,7 @@
 #include "hypervisor/host.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 #include "vm/blk_backend.hpp"
@@ -109,10 +110,19 @@ std::vector<JobId> Orchestrator::submit_evacuation(
 
 sim::Task<void> Orchestrator::run() {
   while (terminal_ < jobs_.size()) {
-    expire_deadlines();
-    if (terminal_ == jobs_.size()) break;
-    sample_dirty_rates();
-    const bool deferred = launch_ready();
+    bool deferred = false;
+    {
+      // One synchronous scheduling pass; the scope closes before the wait.
+      // launch_ready() spawns job coroutines that run to first suspension
+      // here, so their setup cost nests under the tick.
+      obs::ProfScope prof{obs::ProfCategory::kOrchestratorTick};
+      obs::prof_count(obs::ProfCategory::kOrchestratorTick);
+      expire_deadlines();
+      if (terminal_ < jobs_.size()) {
+        sample_dirty_rates();
+        deferred = launch_ready();
+      }
+    }
     if (terminal_ == jobs_.size()) break;
 
     sim::TimePoint next = next_pending_event();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/tpm.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 
@@ -107,6 +108,7 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   // holds, plus every source write tracked since the abort (`since_abort`
   // must be the consumed tracking bitmap — resume is unsound without it).
   const auto resume_seed = [&](const DirtyBitmap& since_abort) {
+    obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
     DirtyBitmap seed{cfg.bitmap_kind, nblocks, /*initially_set=*/true};
     resume->transferred.for_each_set(
         [&seed](std::uint64_t b) { seed.clear(b); });

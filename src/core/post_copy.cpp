@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 
 namespace vmig::core {
@@ -194,22 +195,27 @@ sim::Task<void> PostCopyDestination::send_pull(storage::BlockId b,
                                                bool is_retry) {
   // Reserve the slot before the co_await so a concurrent reader of the same
   // block sees it outstanding instead of double-requesting.
-  PullState& ps = requested_[b];
-  if (is_retry) {
-    ps.timeout = ps.timeout.scaled(rcfg_.pull_backoff);
-    ++ps.retries;
-    ++pull_retries_;
-  } else {
-    ps.timeout = rcfg_.pull_timeout;
-  }
-  ++stats_.pull_requests;
   MigrationMessage req{PullRequestMsg{b}};
-  if (flight_ != nullptr) {
-    flight_->pull_requested(flight_mig_, req.wire_bytes());
-  }
-  if (tracer_) {
-    tracer_->instant(track_, is_retry ? "pull_retry" : "pull_request",
-                     "\"block\": " + std::to_string(b));
+  {
+    // Scope ends before the send suspends.
+    obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
+    obs::prof_count(obs::ProfCategory::kPostCopyPull);
+    PullState& ps = requested_[b];
+    if (is_retry) {
+      ps.timeout = ps.timeout.scaled(rcfg_.pull_backoff);
+      ++ps.retries;
+      ++pull_retries_;
+    } else {
+      ps.timeout = rcfg_.pull_timeout;
+    }
+    ++stats_.pull_requests;
+    if (flight_ != nullptr) {
+      flight_->pull_requested(flight_mig_, req.wire_bytes());
+    }
+    if (tracer_) {
+      tracer_->instant(track_, is_retry ? "pull_retry" : "pull_request",
+                       "\"block\": " + std::to_string(b));
+    }
   }
   co_await to_source_.send(std::move(req));
   // Arm the retry deadline only once the request is on the wire (the send
@@ -277,6 +283,7 @@ sim::Task<void> PostCopyDestination::run_recovery() {
 }
 
 void PostCopyDestination::release_waiters(storage::BlockId b) {
+  obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
   const auto it = pending_.find(b);
   if (it == pending_.end()) return;
   it->second->open();
@@ -310,6 +317,8 @@ void PostCopySource::attach_obs(obs::Tracer* tracer, obs::TrackId track,
 }
 
 void PostCopySource::enqueue_pull(storage::BlockId b) {
+  obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
+  obs::prof_count(obs::ProfCategory::kPostCopyPull);
   pulls_.push_back(b);
   if (obs_pull_queue_) {
     obs_pull_queue_->set(static_cast<double>(pulls_.size()));

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "simcore/channel.hpp"
 #include "simcore/log.hpp"
@@ -186,9 +187,15 @@ sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
   std::uint64_t cursor = 0;
   for (;;) {
     if (*abort) break;  // consumer noticed a link outage; stop reading
-    const auto next = bm.next_set(cursor);
+    std::optional<std::uint64_t> next;
+    std::uint64_t len = 0;
+    {
+      obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
+      next = bm.next_set(cursor);
+      if (next.has_value()) len = bm.run_length(*next, chunk_blocks);
+    }
     if (!next) break;
-    const std::uint64_t len = bm.run_length(*next, chunk_blocks);
+    obs::prof_count(obs::ProfCategory::kBitmapScan, len);
     const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
     co_await disk.read(r, storage::IoSource::kMigration);
     if (cpu_per_mib > sim::Duration::zero()) {
@@ -229,13 +236,18 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
       if (tracer_) tracer_->instant(trk_tpm_, "link_disrupted");
     }
     if (abort_transfer_) continue;
-    if (blocks_out != nullptr) *blocks_out += msg->range.count;
-    sent_blocks += msg->range.count;
-    if (sent_blocks >= next_report) {
-      notify_progress(Phase::kDiskPrecopy,
-                      static_cast<double>(sent_blocks) /
-                          static_cast<double>(total_blocks));
-      next_report += total_blocks / 20 + 1;
+    {
+      // Synchronous chunk accounting only; the sends around it suspend.
+      obs::ProfScope prof{obs::ProfCategory::kDiskIteration};
+      obs::prof_count(obs::ProfCategory::kDiskIteration, msg->range.count);
+      if (blocks_out != nullptr) *blocks_out += msg->range.count;
+      sent_blocks += msg->range.count;
+      if (sent_blocks >= next_report) {
+        notify_progress(Phase::kDiskPrecopy,
+                        static_cast<double>(sent_blocks) /
+                            static_cast<double>(total_blocks));
+        next_report += total_blocks / 20 + 1;
+      }
     }
     const storage::BlockRange delivered_range = msg->range;
     MigrationMessage wire{std::move(*msg)};
@@ -299,7 +311,10 @@ sim::Task<void> TpmMigration::disk_precopy() {
   // any block the seed excludes (IM-clean, skip-unused, resume-carried) is
   // already valid at the destination and counts as transferred.
   resume_transferred_ = DirtyBitmap{cfg_.bitmap_kind, nblocks, /*initially_set=*/true};
-  seed.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+  {
+    obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
+    seed.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+  }
   resume_tracking_started_ = true;
 
   const sim::TimePoint iter1_start = sim_.now();
@@ -343,9 +358,12 @@ sim::Task<void> TpmMigration::disk_precopy() {
       break;
     }
     const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
-    observed_writes_.or_with(snap);
-    // Re-dirtied blocks invalidate the destination's copy until re-delivered.
-    snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+    {
+      obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
+      observed_writes_.or_with(snap);
+      // Re-dirtied blocks invalidate the destination's copy until re-delivered.
+      snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+    }
     const sim::TimePoint iter_start = sim_.now();
     std::uint64_t n = 0;
     flight_iter_ = static_cast<std::int32_t>(rep_.disk_iterations) + 1;

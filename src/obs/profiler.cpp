@@ -1,0 +1,258 @@
+#include "obs/profiler.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>  // vmig-lint: d5-ok -- header for std::bad_alloc, not an allocation
+
+// See profiler.hpp for the design contract. Two lint pens live here and
+// nowhere else in the tree:
+//  - the d1 pen around now_ns(): profiler output is wall-time *about* the
+//    run, never an input to it, so these reads cannot perturb replay;
+//  - the d5 pen around the replacement operator new/delete: the counting
+//    hooks forward to std::malloc/std::free (which sanitizers intercept)
+//    and only bump counters owned by the active profiler.
+
+namespace vmig::obs {
+
+namespace {
+
+// vmig-lint: d1-begin -- profiler pen: the only sanctioned wall-clock reads;
+// results flow into profiler reports only, never into simulated state
+// (tests/profiler_test.cpp pins byte-identical artifacts with --profile on).
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+// vmig-lint: d1-end
+
+constexpr std::size_t idx(ProfCategory c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+constexpr std::size_t kNumCats = idx(ProfCategory::kCount);
+
+double events_per_sec(const ProfCategoryStats& st) noexcept {
+  if (st.inclusive_ns == 0) return 0.0;
+  return static_cast<double>(st.events) /
+         (static_cast<double>(st.inclusive_ns) / 1e9);
+}
+
+}  // namespace
+
+const char* to_string(ProfCategory c) noexcept {
+  switch (c) {
+    case ProfCategory::kSimDispatch: return "sim_dispatch";
+    case ProfCategory::kBitmapScan: return "bitmap_scan";
+    case ProfCategory::kBitmapMark: return "bitmap_mark";
+    case ProfCategory::kDiskIteration: return "disk_iteration";
+    case ProfCategory::kPostCopyPull: return "postcopy_pull";
+    case ProfCategory::kRecorderEmit: return "recorder_emit";
+    case ProfCategory::kOrchestratorTick: return "orchestrator_tick";
+    case ProfCategory::kOther: return "other";
+    case ProfCategory::kCount: break;
+  }
+  return "invalid";
+}
+
+Profiler* Profiler::active_ = nullptr;
+
+Profiler::Profiler() {
+  nodes_.reserve(64);
+  stack_.reserve(16);
+}
+
+Profiler::~Profiler() {
+  if (active_ == this) active_ = nullptr;
+}
+
+void Profiler::activate() noexcept { active_ = this; }
+
+void Profiler::deactivate() noexcept { active_ = nullptr; }
+
+std::int32_t Profiler::child_of(std::int32_t parent, ProfCategory c) {
+  std::int32_t prev = -1;
+  for (std::int32_t n = parent < 0 ? first_root_ : nodes_[static_cast<std::size_t>(parent)].first_child;
+       n != -1; n = nodes_[static_cast<std::size_t>(n)].next_sibling) {
+    if (nodes_[static_cast<std::size_t>(n)].cat == c) return n;
+    prev = n;
+  }
+  nodes_.push_back(Node{c, parent, -1, -1, 0, 0});
+  const auto made = static_cast<std::int32_t>(nodes_.size() - 1);
+  if (prev != -1) {
+    nodes_[static_cast<std::size_t>(prev)].next_sibling = made;
+  } else if (parent < 0) {
+    first_root_ = made;
+  } else {
+    nodes_[static_cast<std::size_t>(parent)].first_child = made;
+  }
+  return made;
+}
+
+void Profiler::begin(ProfCategory c) noexcept {
+  const std::int32_t parent = stack_.empty() ? -1 : stack_.back().node;
+  const std::int32_t node = child_of(parent, c);
+  ++stats_[idx(c)].calls;
+  // Read the clock after the tree bookkeeping so node lookup cost is not
+  // billed to the scope being opened.
+  stack_.push_back(Frame{c, node, now_ns(), 0});
+}
+
+void Profiler::end() noexcept {
+  if (stack_.empty()) return;  // unbalanced end: ignore rather than crash
+  const std::uint64_t t = now_ns();
+  const Frame f = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t total = t - f.t0;
+  const std::uint64_t self = total > f.child_ns ? total - f.child_ns : 0;
+  ProfCategoryStats& st = stats_[idx(f.cat)];
+  st.inclusive_ns += total;
+  st.exclusive_ns += self;
+  Node& node = nodes_[static_cast<std::size_t>(f.node)];
+  node.excl_ns += self;
+  ++node.calls;
+  if (!stack_.empty()) {
+    stack_.back().child_ns += total;
+  } else {
+    total_ns_ += total;
+  }
+}
+
+void Profiler::note_alloc(std::size_t bytes) noexcept {
+  const ProfCategory c =
+      stack_.empty() ? ProfCategory::kOther : stack_.back().cat;
+  ProfCategoryStats& st = stats_[idx(c)];
+  ++st.allocs;
+  st.alloc_bytes += bytes;
+}
+
+std::string Profiler::table() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%-18s %10s %11s %11s %14s %14s %10s %11s\n",
+                "category", "calls", "incl-ms", "excl-ms", "events",
+                "events/s", "allocs", "alloc-KiB");
+  out += buf;
+  for (std::size_t i = 0; i < kNumCats; ++i) {
+    const ProfCategoryStats& st = stats_[i];
+    if (st.calls == 0 && st.events == 0 && st.allocs == 0) continue;
+    std::snprintf(
+        buf, sizeof buf, "%-18s %10llu %11.3f %11.3f %14llu %14.0f %10llu %11.1f\n",
+        to_string(static_cast<ProfCategory>(i)),
+        static_cast<unsigned long long>(st.calls),
+        static_cast<double>(st.inclusive_ns) / 1e6,
+        static_cast<double>(st.exclusive_ns) / 1e6,
+        static_cast<unsigned long long>(st.events), events_per_sec(st),
+        static_cast<unsigned long long>(st.allocs),
+        static_cast<double>(st.alloc_bytes) / 1024.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-18s %10s %11.3f\n", "total (scoped)", "",
+                static_cast<double>(total_ns_) / 1e6);
+  out += buf;
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Profiler::flat_metrics() const {
+  std::vector<std::pair<std::string, double>> kv;
+  for (std::size_t i = 0; i < kNumCats; ++i) {
+    const ProfCategoryStats& st = stats_[i];
+    if (st.calls == 0 && st.events == 0 && st.allocs == 0) continue;
+    const std::string base =
+        std::string("prof.") + to_string(static_cast<ProfCategory>(i));
+    kv.emplace_back(base + ".calls", static_cast<double>(st.calls));
+    kv.emplace_back(base + ".incl_ms",
+                    static_cast<double>(st.inclusive_ns) / 1e6);
+    kv.emplace_back(base + ".excl_ms",
+                    static_cast<double>(st.exclusive_ns) / 1e6);
+    kv.emplace_back(base + ".events", static_cast<double>(st.events));
+    kv.emplace_back(base + ".events_per_sec", events_per_sec(st));
+    kv.emplace_back(base + ".allocs", static_cast<double>(st.allocs));
+  }
+  kv.emplace_back("prof.total_scoped_ms",
+                  static_cast<double>(total_ns_) / 1e6);
+  return kv;
+}
+
+std::string Profiler::collapsed() const {
+  std::string out;
+  std::string path;
+  auto emit = [&](auto&& self, std::int32_t n) -> void {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    const std::size_t len = path.size();
+    if (!path.empty()) path += ';';
+    path += to_string(node.cat);
+    if (node.calls > 0) {
+      out += path;
+      out += ' ';
+      out += std::to_string(node.excl_ns);
+      out += '\n';
+    }
+    for (std::int32_t c = node.first_child; c != -1;
+         c = nodes_[static_cast<std::size_t>(c)].next_sibling) {
+      self(self, c);
+    }
+    path.resize(len);
+  };
+  for (std::int32_t r = first_root_; r != -1;
+       r = nodes_[static_cast<std::size_t>(r)].next_sibling) {
+    emit(emit, r);
+  }
+  return out;
+}
+
+WallStopwatch::WallStopwatch() : t0_{now_ns()} {}
+
+void WallStopwatch::reset() { t0_ = now_ns(); }
+
+std::uint64_t WallStopwatch::elapsed_ns() const { return now_ns() - t0_; }
+
+}  // namespace vmig::obs
+
+// vmig-lint: d5-begin -- counting allocator pen: replacement operator
+// new/delete forward to std::malloc/std::free (sanitizer-intercepted) and
+// report sizes to the active profiler; no ownership is managed here.
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  if (vmig::obs::Profiler* p = vmig::obs::Profiler::active(); p != nullptr) {
+    p->note_alloc(size);
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+// vmig-lint: d5-end

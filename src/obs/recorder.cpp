@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/profiler.hpp"
+
 namespace vmig::obs {
 
 // --------------------------- MigStats helpers ---------------------------
@@ -51,6 +53,8 @@ FlightRecorder::MigStats::hottest_blocks(std::size_t k) const {
 // ----------------------------- event ring -------------------------------
 
 void FlightRecorder::push(const Event& e) {
+  ProfScope prof{ProfCategory::kRecorderEmit};
+  prof_count(ProfCategory::kRecorderEmit);
   ++recorded_;
   if (ring_.size() < cap_) {
     ring_.push_back(e);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/profiler.hpp"
+
 namespace vmig::sim {
 
 const std::string& SpawnHandle::name() const {
@@ -75,7 +77,14 @@ bool Simulator::step() {
       std::fprintf(stderr, "sim: fire %llu at %.6f\n",
                    static_cast<unsigned long long>(e.id), now_.to_seconds());
     }
-    fn();
+    {
+      // The handler runs every coroutine it resumes to its next suspension,
+      // so nested probe scopes (bitmap scan, pull path, ...) land inside
+      // this one; dispatch overhead is the scope's *exclusive* time.
+      obs::ProfScope prof{obs::ProfCategory::kSimDispatch};
+      obs::prof_count(obs::ProfCategory::kSimDispatch);
+      fn();
+    }
     rethrow_pending();
     return true;
   }

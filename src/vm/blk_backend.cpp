@@ -1,6 +1,7 @@
 #include "vm/blk_backend.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace vmig::vm {
 
@@ -11,8 +12,12 @@ sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
     co_await interceptor_->on_request(domain, storage::IoOp::kWrite, range);
   }
   if (tracking_ && domain == served_) {
-    dirty_.set_range(range.start, range.count);
-    marks_total_ += range.count;
+    {
+      obs::ProfScope prof{obs::ProfCategory::kBitmapMark};
+      obs::prof_count(obs::ProfCategory::kBitmapMark, range.count);
+      dirty_.set_range(range.start, range.count);
+      marks_total_ += range.count;
+    }
     if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
     if (redirty_hook_) redirty_hook_(range);
     if (tracking_overhead_ > sim::Duration::zero()) {
@@ -40,10 +45,14 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
 
   if (op == storage::IoOp::kWrite) {
     if (tracking_ && domain == served_) {
-      // The paper's blkback splits the written area into 4 KB blocks and
-      // sets the corresponding bits.
-      dirty_.set_range(range.start, range.count);
-      marks_total_ += range.count;
+      {
+        // The paper's blkback splits the written area into 4 KB blocks and
+        // sets the corresponding bits.
+        obs::ProfScope prof{obs::ProfCategory::kBitmapMark};
+        obs::prof_count(obs::ProfCategory::kBitmapMark, range.count);
+        dirty_.set_range(range.start, range.count);
+        marks_total_ += range.count;
+      }
       if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
       if (redirty_hook_) redirty_hook_(range);
       if (tracking_overhead_ > sim::Duration::zero()) {

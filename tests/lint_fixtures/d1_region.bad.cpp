@@ -1,0 +1,18 @@
+// Fixture: region suppression edges. A d1-end lapses after its own line,
+// so the read after the pen is flagged; an unopened-on-purpose d2-begin is
+// itself reported as unclosed (on the begin line) — a silent
+// rest-of-file suppression is exactly what regions must not allow.
+#include <chrono>
+
+// vmig-lint: d1-begin -- fixture pen
+static long inside_pen() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+// vmig-lint: d1-end
+
+static long after_pen() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect: D1
+}
+
+// vmig-lint: d2-begin -- forgot the matching end marker       expect: D2
+static int no_randomness_here() { return 4; }

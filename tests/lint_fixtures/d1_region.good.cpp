@@ -1,0 +1,23 @@
+// Fixture: a scoped d1-begin/d1-end region pens several wall-clock reads
+// into one justified block — the file must lint clean. This is the shape
+// the self-profiler uses (src/obs/profiler.cpp): the linter would otherwise
+// demand a `-ok` waiver on every timed line inside the pen.
+#include <chrono>
+
+// vmig-lint: d1-begin -- fixture wall-clock pen; readings never reach
+// simulated state
+static long pen_read_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+static long pen_read_epoch() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+// vmig-lint: d1-end
+
+static long deterministic_after_pen(long simulated_ns) {
+  // Past the end line the rule is live again; this stays token-free.
+  return simulated_ns * 2;
+}

@@ -167,6 +167,48 @@ TEST(LintRules, SuppressionOnSameLineAndLineAbove) {
   EXPECT_EQ(vmig::lint::lint_content("x.cpp", wrong_rule, o).size(), 1u);
 }
 
+TEST(LintRules, RegionCoversBeginThroughEndInclusive) {
+  Options o;
+  const std::string content =
+      "// vmig-lint: d1-begin -- timing pen\n"
+      "long a() { return clock(); }\n"
+      "long b() { return time(nullptr); }\n"
+      "// vmig-lint: d1-end\n"
+      "long c() { return clock(); }\n";
+  const auto findings = vmig::lint::lint_content("x.cpp", content, o);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintRules, UnclosedRegionIsReportedOnItsBeginLine) {
+  Options o;
+  const std::string content =
+      "int f();\n"
+      "// vmig-lint: d1-begin -- pen with no end\n"
+      "long a() { return clock(); }\n";
+  const auto findings = vmig::lint::lint_content("x.cpp", content, o);
+  // The open region still suppresses to EOF (the clock() read produces no
+  // finding), but the dangling begin itself is one — it cannot silently
+  // waive the rest of the file.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("never closed"), std::string::npos);
+}
+
+TEST(LintRules, RegionForOneRuleDoesNotSilenceAnother) {
+  Options o;
+  const std::string content =
+      "// vmig-lint: d2-begin -- randomness pen\n"
+      "long a() { return clock(); }\n"
+      "// vmig-lint: d2-end\n";
+  const auto findings = vmig::lint::lint_content("x.cpp", content, o);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
 TEST(LintRules, PragmaOnceOnlyRequiredInHeaders) {
   const std::string body = "int f();\n";
   Options o;

@@ -178,29 +178,66 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Rules suppressed on each line: `// vmig-lint: d1-ok d3-ok -- why`.
-/// A comment-only line extends its suppressions to the next line.
-std::map<int, std::set<std::string>> suppressions(const Scrubbed& s) {
+/// Suppression state for one file.
+///
+/// Two forms, both anchored on a `vmig-lint:` comment tag:
+///  - per-line: `// vmig-lint: d1-ok d3-ok -- why` suppresses those rules on
+///    that line; a comment-only line extends them to the next line.
+///  - region:   `// vmig-lint: d1-begin -- why` ... `// vmig-lint: d1-end`
+///    suppresses the rule on every line from begin through end inclusive.
+///    Regions exist for sanctioned pens (e.g. the profiler's wall-clock
+///    block) where per-line waivers would drown the justification.
+///
+/// A begin with no matching end is itself reported as a finding of the rule
+/// it names — otherwise a typo'd pen would silently waive the rest of the
+/// file. The region still applies through EOF so the report stays focused
+/// on the one real problem (the missing end).
+struct SuppressionMap {
   std::map<int, std::set<std::string>> by_line;
+  std::vector<std::pair<std::string, int>> unclosed;  // rule, begin line
+};
+
+SuppressionMap suppressions(const Scrubbed& s) {
+  SuppressionMap out;
+  std::map<std::string, int> open;  // rule -> line of first unmatched begin
   for (std::size_t ln = 1; ln < s.comments.size(); ++ln) {
     const std::string c = lower(s.comments[ln]);
+    std::set<std::string> oks;
+    std::set<std::string> begins;
+    std::set<std::string> ends;
     const auto tag = c.find("vmig-lint:");
-    if (tag == std::string::npos) continue;
-    std::set<std::string> rules;
-    for (std::size_t i = tag; i + 4 < c.size(); ++i) {
-      if (c[i] == 'd' && std::isdigit(static_cast<unsigned char>(c[i + 1])) != 0 &&
-          c.compare(i + 2, 3, "-ok") == 0) {
-        rules.insert(std::string("D") + c[i + 1]);
+    if (tag != std::string::npos) {
+      for (std::size_t i = tag; i + 1 < c.size(); ++i) {
+        if (c[i] != 'd' ||
+            std::isdigit(static_cast<unsigned char>(c[i + 1])) == 0) {
+          continue;
+        }
+        const std::string rule = std::string("D") + c[i + 1];
+        if (c.compare(i + 2, 3, "-ok") == 0) {
+          oks.insert(rule);
+        } else if (c.compare(i + 2, 6, "-begin") == 0) {
+          begins.insert(rule);
+        } else if (c.compare(i + 2, 4, "-end") == 0) {
+          ends.insert(rule);
+        }
       }
     }
-    if (rules.empty()) continue;
-    by_line[static_cast<int>(ln)].insert(rules.begin(), rules.end());
-    if (s.code_blank[ln]) {
-      // Standalone suppression comment: applies to the line below.
-      by_line[static_cast<int>(ln) + 1].insert(rules.begin(), rules.end());
+    // Begins take effect on their own line; ends lapse after theirs, so
+    // both delimiter lines are covered by the region.
+    for (const auto& r : begins) open.emplace(r, static_cast<int>(ln));
+    std::set<std::string> cover = oks;
+    for (const auto& [r, at] : open) cover.insert(r);
+    if (!cover.empty()) {
+      out.by_line[static_cast<int>(ln)].insert(cover.begin(), cover.end());
     }
+    if (!oks.empty() && s.code_blank[ln]) {
+      // Standalone per-line suppression comment: applies to the line below.
+      out.by_line[static_cast<int>(ln) + 1].insert(oks.begin(), oks.end());
+    }
+    for (const auto& r : ends) open.erase(r);
   }
-  return by_line;
+  for (const auto& [rule, line] : open) out.unclosed.emplace_back(rule, line);
+  return out;
 }
 
 bool path_matches(const std::string& path, const std::vector<std::string>& list) {
@@ -261,6 +298,15 @@ class Scanner {
     scan_unordered_iteration();
     scan_getenv();
     scan_hygiene();
+    // Unclosed regions bypass add(): the dangling begin covers its own line,
+    // so the suppression lookup would swallow its own diagnostic.
+    for (const auto& [rule, line] : suppr_.unclosed) {
+      findings_.push_back(
+          {path_, line, rule,
+           "suppression region '" + lower(rule) +
+               "-begin' is never closed (missing '" + lower(rule) + "-end')",
+           rationale_of(rule)});
+    }
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -277,8 +323,8 @@ class Scanner {
 
   void add(const std::string& rule, std::size_t offset, std::string message) {
     const int line = lines_.line_of(offset);
-    const auto it = suppr_.find(line);
-    if (it != suppr_.end() && it->second.count(rule) > 0) return;
+    const auto it = suppr_.by_line.find(line);
+    if (it != suppr_.by_line.end() && it->second.count(rule) > 0) return;
     findings_.push_back({path_, line, rule, std::move(message),
                          rationale_of(rule)});
   }
@@ -430,7 +476,7 @@ class Scanner {
   Scrubbed scrubbed_;
   std::vector<Token> toks_;
   LineIndex lines_;
-  std::map<int, std::set<std::string>> suppr_;
+  SuppressionMap suppr_;
   std::vector<Finding> findings_;
 };
 

@@ -38,7 +38,10 @@ std::set<std::string> collect_unordered_names(const std::string& content);
 
 /// Pass 2 over one file: all findings, sorted by (line, rule). Findings on
 /// lines carrying a `// vmig-lint: <rule>-ok` comment (or directly below a
-/// comment-only line carrying one) are suppressed.
+/// comment-only line carrying one) are suppressed, as are findings inside a
+/// `// vmig-lint: <rule>-begin` ... `// vmig-lint: <rule>-end` region
+/// (delimiter lines included). A begin with no matching end is itself
+/// reported as a finding of the rule it names.
 std::vector<Finding> lint_content(const std::string& path,
                                   const std::string& content,
                                   const Options& opts);

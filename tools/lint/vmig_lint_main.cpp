@@ -34,7 +34,9 @@ void usage(const char* argv0) {
       "  --allow-new S     allow raw new/delete in files matching S\n"
       "  --list-rules      print the rule set and exit\n"
       "  -h, --help        this message\n"
-      "suppress a finding in source with: // vmig-lint: <rule>-ok -- why\n",
+      "suppress a finding in source with: // vmig-lint: <rule>-ok -- why\n"
+      "suppress a sanctioned region with: // vmig-lint: <rule>-begin -- why\n"
+      "                              ...  // vmig-lint: <rule>-end\n",
       argv0);
 }
 

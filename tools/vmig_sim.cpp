@@ -34,6 +34,7 @@
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 #include "scenario/cluster_testbed.hpp"
@@ -84,6 +85,12 @@ struct Options {
   // --fault: fault windows injected on the migration path (docs/FAULTS.md).
   std::string fault_spec;
   std::uint64_t fault_seed = 1;
+  // --profile: wall-clock self-profile of the simulator (docs/OBSERVABILITY.md).
+  bool profile = false;
+  std::string profile_out;  // collapsed-stack output (implies --profile)
+  // Set when any --cluster-* tuning flag appears, so validate() can reject
+  // combinations that would otherwise be silently ignored.
+  bool cluster_flags_used = false;
 };
 
 void usage(const char* argv0) {
@@ -125,7 +132,11 @@ void usage(const char* argv0) {
       "                     outage@<at>+<dur>       degrade@<at>+<dur>:<f>\n"
       "                     latency@<at>+<dur>:<d>  loss@<at>+<dur>:<p>\n"
       "                   e.g. 'outage@65s+2s;loss@70s+30s:0.05'\n"
-      "  --fault-seed N   seed for the injected-loss RNG     (default 1)\n",
+      "  --fault-seed N   seed for the injected-loss RNG     (default 1)\n"
+      "  --profile        print a wall-clock self-profile of the simulator\n"
+      "                   (per-category table; simulated results unchanged)\n"
+      "  --profile-out F  also write a collapsed-stack profile to F\n"
+      "                   (speedscope/flamegraph format; implies --profile)\n",
       argv0);
 }
 
@@ -149,10 +160,6 @@ bool parse(int argc, char** argv, Options& o) {
       o.metrics_csv = need("--metrics");
     } else if (a == "--metrics-interval") {
       o.metrics_interval_s = std::strtod(need("--metrics-interval"), nullptr);
-      if (!(o.metrics_interval_s > 0.0)) {
-        std::fprintf(stderr, "error: --metrics-interval must be > 0\n");
-        return false;
-      }
     } else if (a == "--timeline") {
       o.timeline = need("--timeline");
     } else if (a == "--flight-record") {
@@ -179,12 +186,21 @@ bool parse(int argc, char** argv, Options& o) {
       o.cluster = true;
     } else if (a == "--cluster-hosts") {
       o.cluster_hosts = static_cast<int>(std::strtol(need("--cluster-hosts"), nullptr, 10));
+      o.cluster_flags_used = true;
     } else if (a == "--cluster-vms") {
       o.cluster_vms = static_cast<int>(std::strtol(need("--cluster-vms"), nullptr, 10));
+      o.cluster_flags_used = true;
     } else if (a == "--cluster-policy") {
       o.cluster_policy = need("--cluster-policy");
+      o.cluster_flags_used = true;
     } else if (a == "--cluster-outage") {
       o.cluster_outage_s = std::strtod(need("--cluster-outage"), nullptr);
+      o.cluster_flags_used = true;
+    } else if (a == "--profile") {
+      o.profile = true;
+    } else if (a == "--profile-out") {
+      o.profile_out = need("--profile-out");
+      o.profile = true;
     } else if (a == "--fault") {
       o.fault_spec = need("--fault");
     } else if (a == "--fault-seed") {
@@ -212,6 +228,48 @@ bool parse(int argc, char** argv, Options& o) {
     }
   }
   return true;
+}
+
+/// Every cross-flag rule in one place, run before any simulation work.
+/// Exits 2 on violation: bad combinations and unwritable output paths fail
+/// fast instead of being discovered (or silently ignored) after the run.
+void validate_or_die(const Options& o) {
+  const auto die = [](const std::string& msg) {
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+    std::exit(2);
+  };
+  if (!(o.metrics_interval_s > 0.0)) die("--metrics-interval must be > 0");
+  if (o.workload == "trace" && o.trace_file.empty()) {
+    die("--workload trace requires --replay FILE");
+  }
+  if (!o.trace_file.empty() && o.workload != "trace") {
+    die("--replay only applies with --workload trace");
+  }
+  if (o.cluster && o.roundtrip) die("--cluster and --roundtrip conflict");
+  if (o.cluster && o.scheme != "tpm") {
+    die("--scheme only applies to the two-host testbed, not --cluster");
+  }
+  if (o.cluster_flags_used && !o.cluster) {
+    die("--cluster-* options require --cluster");
+  }
+  if (o.cluster && o.cluster_hosts < 2) die("--cluster-hosts must be >= 2");
+  if (o.cluster && o.cluster_vms < 1) die("--cluster-vms must be >= 1");
+  if (o.fullness < 0.0 || o.fullness > 1.0) {
+    die("--fullness must be in [0, 1]");
+  }
+  // Probe every requested output path now (append mode: existing content is
+  // left alone). An unwritable directory used to surface only after the
+  // whole simulation had run.
+  const auto check_writable = [&](const std::string& path, const char* flag) {
+    if (path.empty()) return;
+    std::ofstream probe{path, std::ios::app};
+    if (!probe) die(std::string{flag} + ": cannot write '" + path + "'");
+  };
+  check_writable(o.chrome_trace, "--trace");
+  check_writable(o.metrics_csv, "--metrics");
+  check_writable(o.timeline, "--timeline");
+  check_writable(o.flight_record, "--flight-record");
+  check_writable(o.profile_out, "--profile-out");
 }
 
 trace::IoTrace g_trace;  // must outlive the replay workload
@@ -426,6 +484,23 @@ bool dump_obs(const Options& o, const obs::Registry* registry,
   return true;
 }
 
+/// Print the self-profile table and write the collapsed-stack file.
+/// A no-op without --profile; returns false on I/O error.
+bool dump_profile(const Options& o, const obs::Profiler* prof) {
+  if (prof == nullptr) return true;
+  std::printf("\n-- self-profile (wall clock, simulated results unaffected) --\n%s",
+              prof->table().c_str());
+  if (!o.profile_out.empty()) {
+    std::ofstream out{o.profile_out};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", o.profile_out.c_str());
+      return false;
+    }
+    out << prof->collapsed();
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -434,8 +509,23 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  validate_or_die(o);
   if (o.verbose) sim::Log::set_level(sim::LogLevel::kInfo);
-  if (o.cluster) return run_cluster(o);
+
+  // The profiler observes wall time only; simulated behavior and every
+  // simulated artifact are byte-identical with or without it (pinned by
+  // tests/profiler_test.cpp).
+  std::unique_ptr<obs::Profiler> profiler;
+  if (o.profile) {
+    profiler = std::make_unique<obs::Profiler>();
+    profiler->activate();
+  }
+
+  if (o.cluster) {
+    const int rc = run_cluster(o);
+    if (!dump_profile(o, profiler.get())) return 2;
+    return rc;
+  }
 
   sim::Simulator sim;
   sim.set_debug_trace(o.sim_trace);
@@ -530,5 +620,6 @@ int main(int argc, char** argv) {
   }
 
   if (!dump_obs(o, registry.get(), tracer.get(), recorder.get())) return 2;
+  if (!dump_profile(o, profiler.get())) return 2;
   return rc;
 }

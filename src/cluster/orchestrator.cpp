@@ -144,9 +144,11 @@ void Orchestrator::drain() {
 }
 
 sim::Task<void> Orchestrator::job_runner(JobId id) {
-  // `jobs_` is a deque: the reference stays valid across later submits.
-  MigrationJob& j = jobs_[id];
-  core::MigrationRequest req = j.request;
+  // Copy what the suspension needs out of the job record up front: holding
+  // a reference into `jobs_` across the migrate() co_await would rely on
+  // deque reference stability, which C2 (rightly) refuses to assume.
+  const auto attempt = jobs_[id].attempts;
+  core::MigrationRequest req = jobs_[id].request;
   // Jobs that carry no observability of their own inherit the
   // orchestrator's, so every TPM phase span lands in one trace.
   if (req.config.obs_registry == nullptr) req.config.obs_registry = cfg_.registry;
@@ -156,10 +158,10 @@ sim::Task<void> Orchestrator::job_runner(JobId id) {
   obs::Span span{tracer_, trk_,
                  "job " + req.domain->name() + " -> " + req.to->name(),
                  "\"job\":" + std::to_string(id) +
-                     ",\"attempt\":" + std::to_string(j.attempts)};
+                     ",\"attempt\":" + std::to_string(attempt)};
   core::MigrationOutcome out = co_await mgr_.migrate(std::move(req));
   span.set_args("\"job\":" + std::to_string(id) +
-                ",\"attempt\":" + std::to_string(j.attempts) + ",\"status\":\"" +
+                ",\"attempt\":" + std::to_string(attempt) + ",\"status\":\"" +
                 core::to_string(out.status) + "\"");
   span.end();
   on_finished(id, std::move(out));

@@ -79,15 +79,18 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
       co_await send_pull(b, /*is_retry=*/false);
     }
   }
+  // vmig-lint: hot-begin -- pull parking: every faulting guest read lands
+  // here; parking must not heap-allocate a gate per pull
   for (storage::BlockId b = range.start; b < range.end(); ++b) {
     while (transferred_.test(b)) {
       blocked = true;
-      auto& gate = pending_[b];
-      if (!gate) gate = std::make_unique<sim::Gate>(sim_);
+      // vmig-lint: h2-ok -- map node only on the first waiter per block
+      sim::Gate& gate = pending_.try_emplace(b, sim_).first->second;
       if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
-      co_await gate->wait();
+      co_await gate.wait();
     }
   }
+  // vmig-lint: hot-end
   if (blocked) {
     ++reads_blocked_;
     const sim::Duration stall = sim_.now() - entered;
@@ -184,7 +187,7 @@ void PostCopyDestination::force_complete(
   // vmig-lint: d3-ok -- keys are sorted below before any side effect
   for (const auto& [b, gate] : pending_) blocked.push_back(b);
   std::sort(blocked.begin(), blocked.end());
-  for (const storage::BlockId b : blocked) pending_[b]->open();
+  for (const storage::BlockId b : blocked) pending_.at(b).open();
   pending_.clear();
   requested_.clear();
   if (obs_pending_) obs_pending_->set(0.0);
@@ -286,7 +289,7 @@ void PostCopyDestination::release_waiters(storage::BlockId b) {
   obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
   const auto it = pending_.find(b);
   if (it == pending_.end()) return;
-  it->second->open();
+  it->second.open();
   pending_.erase(it);
   if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
 }
@@ -316,15 +319,18 @@ void PostCopySource::attach_obs(obs::Tracer* tracer, obs::TrackId track,
   }
 }
 
+// vmig-lint: hot-begin -- source pull intake: one call per pull request
 void PostCopySource::enqueue_pull(storage::BlockId b) {
   obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
   obs::prof_count(obs::ProfCategory::kPostCopyPull);
+  // vmig-lint: h2-ok -- bounded by pull window; deque reuses its chunks
   pulls_.push_back(b);
   if (obs_pull_queue_) {
     obs_pull_queue_->set(static_cast<double>(pulls_.size()));
   }
   wake_.notify_all();
 }
+// vmig-lint: hot-end
 
 sim::Task<void> PostCopySource::run() {
   while (!stop_requested_) {

@@ -140,8 +140,10 @@ class PostCopyDestination final : public vm::IoInterceptor {
   vm::DomainId migrated_;
   MigStream& to_source_;
   // The paper's pending list P, realized as per-block gates holding the
-  // suspended guest-read coroutines.
-  std::unordered_map<storage::BlockId, std::unique_ptr<sim::Gate>> pending_;
+  // suspended guest-read coroutines. Gates live in the map by value:
+  // unordered_map nodes are address-stable, so no per-block heap Gate is
+  // needed, and open-then-erase is safe (see sim::Gate).
+  std::unordered_map<storage::BlockId, sim::Gate> pending_;
   /// Outstanding pull requests with their retry deadlines. Ordered map: the
   /// recovery loop iterates it, and iteration order must be deterministic.
   struct PullState {

@@ -189,11 +189,14 @@ sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
     if (*abort) break;  // consumer noticed a link outage; stop reading
     std::optional<std::uint64_t> next;
     std::uint64_t len = 0;
+    // vmig-lint: hot-begin -- bitmap scan: per-run inner loop of every
+    // pre-copy iteration; scanning must stay allocation-free
     {
       obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
       next = bm.next_set(cursor);
       if (next.has_value()) len = bm.run_length(*next, chunk_blocks);
     }
+    // vmig-lint: hot-end
     if (!next) break;
     obs::prof_count(obs::ProfCategory::kBitmapScan, len);
     const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
@@ -311,10 +314,12 @@ sim::Task<void> TpmMigration::disk_precopy() {
   // any block the seed excludes (IM-clean, skip-unused, resume-carried) is
   // already valid at the destination and counts as transferred.
   resume_transferred_ = DirtyBitmap{cfg_.bitmap_kind, nblocks, /*initially_set=*/true};
+  // vmig-lint: hot-begin -- full-bitmap sweep over the first-pass seed
   {
     obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
     seed.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
   }
+  // vmig-lint: hot-end
   resume_tracking_started_ = true;
 
   const sim::TimePoint iter1_start = sim_.now();
@@ -358,12 +363,14 @@ sim::Task<void> TpmMigration::disk_precopy() {
       break;
     }
     const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
+    // vmig-lint: hot-begin -- per-iteration dirty-snapshot merge
     {
       obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
       observed_writes_.or_with(snap);
       // Re-dirtied blocks invalidate the destination's copy until re-delivered.
       snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
     }
+    // vmig-lint: hot-end
     const sim::TimePoint iter_start = sim_.now();
     std::uint64_t n = 0;
     flight_iter_ = static_cast<std::int32_t>(rep_.disk_iterations) + 1;

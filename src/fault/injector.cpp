@@ -60,9 +60,12 @@ void FaultInjector::arm_event(net::Link& link, const FaultEvent& ev,
                               std::uint32_t track) {
   const sim::TimePoint begin = sim_.now() + ev.at;
   const sim::TimePoint end = begin + ev.duration;
-  // Copy the event by value into the timers: the spec vector may reallocate
-  // if more links are armed later.
-  sim_.schedule_at(begin, [this, &link, ev] {
+  // Copy the event (and a plain pointer to the link) by value into the
+  // timers: the spec vector may reallocate if more links are armed later,
+  // and a by-reference capture would dangle once this frame returns (C3).
+  net::Link* lp = &link;
+  sim_.schedule_at(begin, [this, lp, ev] {
+    net::Link& link = *lp;
     ++windows_applied_;
     if (m_windows_ != nullptr) m_windows_->add(1.0);
     if (m_kind_[static_cast<int>(ev.kind)] != nullptr) {
@@ -85,7 +88,8 @@ void FaultInjector::arm_event(net::Link& link, const FaultEvent& ev,
     sim::LogLine(sim::LogLevel::kDebug, sim_.now(), "fault")
         << to_string(ev.kind) << " window opens for " << ev.duration.str();
   });
-  sim_.schedule_at(end, [this, &link, ev, begin, track] {
+  sim_.schedule_at(end, [this, lp, ev, begin, track] {
+    net::Link& link = *lp;
     switch (ev.kind) {
       case FaultKind::kOutage:
         // fail_for already bounded the outage window; nothing to revert.

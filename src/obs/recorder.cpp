@@ -52,11 +52,14 @@ FlightRecorder::MigStats::hottest_blocks(std::size_t k) const {
 
 // ----------------------------- event ring -------------------------------
 
+// vmig-lint: hot-begin -- event ring push: called from every protocol
+// probe; must stay O(1) with no reallocation
 void FlightRecorder::push(const Event& e) {
   ProfScope prof{ProfCategory::kRecorderEmit};
   prof_count(ProfCategory::kRecorderEmit);
   ++recorded_;
   if (ring_.size() < cap_) {
+    // vmig-lint: h2-ok -- fills capacity reserved by ctor, no realloc
     ring_.push_back(e);
     return;
   }
@@ -64,6 +67,7 @@ void FlightRecorder::push(const Event& e) {
   head_ = (head_ + 1) % cap_;
   ++dropped_;
 }
+// vmig-lint: hot-end
 
 std::vector<FlightRecorder::Event> FlightRecorder::events() const {
   std::vector<Event> out;

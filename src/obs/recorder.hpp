@@ -190,7 +190,10 @@ class FlightRecorder {
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
 
   explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
-      : cap_(capacity == 0 ? 1 : capacity) {}
+      : cap_(capacity == 0 ? 1 : capacity) {
+    // Pay for the ring up front so push() never reallocates mid-migration.
+    ring_.reserve(cap_);
+  }
 
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;

@@ -12,12 +12,15 @@ sim::Task<void> BlkBackend::submit_write_bytes(DomainId domain,
     co_await interceptor_->on_request(domain, storage::IoOp::kWrite, range);
   }
   if (tracking_ && domain == served_) {
+    // vmig-lint: hot-begin -- dirty-mark: runs on every tracked guest
+    // write; the block-bitmap's whole point is that this is cheap
     {
       obs::ProfScope prof{obs::ProfCategory::kBitmapMark};
       obs::prof_count(obs::ProfCategory::kBitmapMark, range.count);
       dirty_.set_range(range.start, range.count);
       marks_total_ += range.count;
     }
+    // vmig-lint: hot-end
     if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
     if (redirty_hook_) redirty_hook_(range);
     if (tracking_overhead_ > sim::Duration::zero()) {
@@ -45,6 +48,7 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
 
   if (op == storage::IoOp::kWrite) {
     if (tracking_ && domain == served_) {
+      // vmig-lint: hot-begin -- dirty-mark on the guest write fast path
       {
         // The paper's blkback splits the written area into 4 KB blocks and
         // sets the corresponding bits.
@@ -53,6 +57,7 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
         dirty_.set_range(range.start, range.count);
         marks_total_ += range.count;
       }
+      // vmig-lint: hot-end
       if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
       if (redirty_hook_) redirty_hook_(range);
       if (tracking_overhead_ > sim::Duration::zero()) {

@@ -246,6 +246,9 @@ TEST_P(MultiHostRandomWalk, StaysConsistent) {
       if (next == at) next = hosts[(rng.uniform_u64(2) + 1 +
                                     (next - hosts[0])) % 3];
       co_await dirty_some(sim, tri.vm, rng.uniform_u64(20000), 10);
+      // 'next' points into `hosts`, a fixed local array, not a mutable
+      // container; no suspension can invalidate it.
+      // vmig-lint: c2-ok -- pointer into fixed local array, not a container
       const auto rep = (co_await mgr.migrate({.domain = &tri.vm, .from = at, .to = next})).report;
       reps.push_back(rep);
       if (!rep.disk_consistent || !rep.memory_consistent) ok = false;

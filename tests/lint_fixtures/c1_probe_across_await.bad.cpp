@@ -1,0 +1,21 @@
+// C1: an RAII probe (ProfScope) must not stay live across a co_await —
+// the wall clock keeps ticking while the coroutine is suspended, so the
+// span would charge simulated waiting to the probe's category. This is the
+// profiler's "no probe spans a suspension" invariant, enforced statically.
+#include "obs/profiler.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+sim::Task<void> scan_and_send(sim::Simulator& sim) {
+  obs::ProfScope prof{obs::ProfCategory::kBitmapScan};  // expect: C1
+  co_await sim.delay(sim::Duration::millis(1));
+  co_return;
+}
+
+sim::Task<void> guarded_section(sim::Simulator& sim, std::mutex& m) {
+  std::lock_guard lock{m};  // expect: C1
+  co_await sim.delay(sim::Duration::millis(1));
+}
+
+}  // namespace vmig

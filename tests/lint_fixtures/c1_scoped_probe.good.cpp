@@ -1,0 +1,24 @@
+// C1 negative: probes scoped to synchronous work only — every ProfScope
+// dies before the next suspension point, so wall time is attributed
+// correctly even though the surrounding function is a coroutine.
+#include "obs/profiler.hpp"
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+sim::Task<void> scan_and_send(sim::Simulator& sim) {
+  {
+    obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
+    obs::prof_count(obs::ProfCategory::kBitmapScan);
+  }
+  co_await sim.delay(sim::Duration::millis(1));
+  obs::ProfScope after{obs::ProfCategory::kSimDispatch};
+  co_return;
+}
+
+void not_a_coroutine() {
+  // No co_await anywhere: a function-scope probe is fine.
+  obs::ProfScope prof{obs::ProfCategory::kSimDispatch};
+}
+
+}  // namespace vmig

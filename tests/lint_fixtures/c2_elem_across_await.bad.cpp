@@ -1,0 +1,23 @@
+// C2: references, pointers, and iterators into containers do not survive a
+// co_await — other coroutines run during the suspension and may grow or
+// shrink the container, invalidating the binding.
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+sim::Task<void> stale_reference(std::vector<int>& v, sim::Simulator& sim) {
+  int& slot = v.front();
+  co_await sim.delay(sim::Duration::millis(1));
+  consume(slot);  // expect: C2
+  co_return;
+}
+
+sim::Task<void> stale_iterator(std::vector<int>& v, sim::Simulator& sim) {
+  auto it = v.begin();
+  co_await sim.delay(sim::Duration::millis(1));
+  consume(*it);  // expect: C2
+}
+
+}  // namespace vmig

@@ -1,0 +1,31 @@
+// C2 negative: copy the value out before suspending, or re-look-up after
+// every co_await; either way no container binding crosses a suspension.
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+sim::Task<void> copy_out(std::vector<int>& v, sim::Simulator& sim) {
+  const int value = v.front();
+  co_await sim.delay(sim::Duration::millis(1));
+  use(value);
+  co_return;
+}
+
+sim::Task<void> relookup(std::vector<int>& v, sim::Simulator& sim) {
+  int& slot = v.front();
+  slot = 1;  // used before the suspension: fine
+  co_await sim.delay(sim::Duration::millis(1));
+  int& fresh = v.front();
+  fresh = 2;
+}
+
+sim::Task<void> rebind(std::vector<int>& v, sim::Simulator& sim) {
+  auto it = v.begin();
+  co_await sim.delay(sim::Duration::millis(1));
+  it = v.begin();  // rebound after the await before any use
+  *it = 3;
+}
+
+}  // namespace vmig

@@ -1,0 +1,14 @@
+// C3: a lambda handed to the scheduler outlives the enclosing stack frame;
+// by-reference captures dangle by the time the timer fires.
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+void arm(sim::Simulator& sim) {
+  int hits = 0;
+  sim.schedule_after(sim::Duration::millis(5), [&] { ++hits; });  // expect: C3
+  sim.schedule_at(sim::TimePoint::origin(),
+                  [&hits] { ++hits; });  // expect: C3
+}
+
+}  // namespace vmig

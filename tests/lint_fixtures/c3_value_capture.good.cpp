@@ -1,0 +1,19 @@
+// C3 negative: scheduler callbacks capture by value — copies or plain
+// pointers to objects whose lifetime outlasts the timer.
+#include "simcore/simulator.hpp"
+
+namespace vmig {
+
+struct Widget {
+  int hits = 0;
+};
+
+void arm(sim::Simulator& sim, Widget& w) {
+  Widget* wp = &w;  // w outlives the timer by contract
+  sim.schedule_after(sim::Duration::millis(5), [wp] { ++wp->hits; });
+  const int delta = 2;
+  sim.schedule_at(sim::TimePoint::origin(), [wp, delta] { wp->hits += delta; });
+  sim.schedule_after(sim::Duration::millis(1), [] {});
+}
+
+}  // namespace vmig

@@ -1,0 +1,16 @@
+// Suppression hygiene: every `-ok` / `-begin` waiver must say *why* on the
+// same line (`-- reason`); a bare waiver still suppresses, but is itself a
+// fixable "fixme" finding so it cannot linger unexplained.
+#include <ctime>
+
+namespace vmig {
+
+long bare_waiver() { return clock(); }  // vmig-lint: d1-ok (expect: D1)
+
+// vmig-lint: d2-begin (expect: D2)
+int r() { return rand(); }
+// vmig-lint: d2-end
+
+long justified() { return clock(); }  // vmig-lint: d1-ok -- fixture clock
+
+}  // namespace vmig

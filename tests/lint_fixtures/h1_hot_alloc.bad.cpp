@@ -1,0 +1,24 @@
+// H1: no heap allocation inside a declared hot region. The pen is armed by
+// `hot-begin`/`hot-end`; identical code outside the pen is not flagged.
+#include <functional>
+#include <memory>
+
+namespace vmig {
+
+void cold_path() {
+  auto fine_here = std::make_unique<int>(7);  // outside the pen: fine
+}
+
+// vmig-lint: hot-begin -- fixture pen: per-event dispatch stand-in
+void hot_path() {
+  auto p = std::make_unique<int>(7);        // expect: H1
+  auto s = std::make_shared<int>(8);        // expect: H1
+  std::function<void()> cb = [] {};         // expect: H1
+}
+// vmig-lint: hot-end
+
+void cold_again() {
+  auto also_fine = std::make_shared<int>(9);
+}
+
+}  // namespace vmig

@@ -1,0 +1,19 @@
+// H2: no container growth or string building inside a declared hot region.
+#include <string>
+#include <vector>
+
+namespace vmig {
+
+// vmig-lint: hot-begin -- fixture pen: per-block mark stand-in
+void hot_mark(std::vector<int>& log, int block) {
+  log.push_back(block);                       // expect: H2
+  std::string label = std::to_string(block);  // expect: H2
+  label.append("!");                          // expect: H2
+}
+// vmig-lint: hot-end
+
+void cold_mark(std::vector<int>& log, int block) {
+  log.push_back(block);  // outside the pen: fine
+}
+
+}  // namespace vmig

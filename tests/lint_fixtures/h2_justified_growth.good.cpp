@@ -1,0 +1,26 @@
+// H2 negative: growth inside a pen is acceptable when justified — the
+// canonical case is a push_back that only ever fills capacity reserved up
+// front (a ring buffer warming up).
+#include <vector>
+
+namespace vmig {
+
+struct Ring {
+  std::vector<int> ring_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+
+  // vmig-lint: hot-begin -- fixture pen: O(1) event record stand-in
+  void push(int v) {
+    if (ring_.size() < cap_) {
+      // vmig-lint: h2-ok -- fills capacity reserved by ctor, no realloc
+      ring_.push_back(v);
+      return;
+    }
+    ring_[head_] = v;
+    head_ = (head_ + 1) % cap_;
+  }
+  // vmig-lint: hot-end
+};
+
+}  // namespace vmig

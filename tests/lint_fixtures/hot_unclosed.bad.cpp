@@ -1,0 +1,12 @@
+// An unclosed hot pen arms the H-rules to end-of-file, which is never what
+// the author meant; the dangling begin is reported (and --fix can close it).
+#include <vector>
+
+namespace vmig {
+
+// vmig-lint: hot-begin -- pen with no end (expect: H1)
+void hot(std::vector<int>& v) {
+  v.push_back(1);  // expect: H2
+}
+
+}  // namespace vmig

@@ -1,0 +1,5 @@
+#pragma once
+// Half of an include cycle (L2): same layer, so no L1 fires, but the
+// file-level graph has a loop.
+#include "app/cycle_b.hpp"
+inline int cycle_a() { return 1; }

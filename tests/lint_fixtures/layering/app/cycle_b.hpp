@@ -1,0 +1,4 @@
+#pragma once
+// Other half of the include cycle (L2).
+#include "app/cycle_a.hpp"
+inline int cycle_b() { return 2; }

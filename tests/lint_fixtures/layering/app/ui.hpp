@@ -1,0 +1,4 @@
+#pragma once
+// Top layer: downward includes are fine.
+#include "base/util.hpp"
+inline int ui() { return util() + 1; }

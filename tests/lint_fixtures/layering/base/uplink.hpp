@@ -1,0 +1,4 @@
+#pragma once
+// L1 back-edge: a base-layer file reaching up into the app layer.
+#include "app/ui.hpp"
+inline int uplink() { return ui() + 1; }

@@ -1,0 +1,3 @@
+#pragma once
+// Bottom layer: no project includes.
+inline int util() { return 1; }

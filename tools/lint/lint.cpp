@@ -1,11 +1,16 @@
-// vmig_lint core: token-level determinism & hygiene checks.
+// vmig_lint core: token-level determinism, coroutine-safety, hot-path
+// allocation, and include-layering checks.
 //
 // The scanner deliberately avoids a real C++ frontend: it scrubs comments
 // and literals, tokenizes what remains, and pattern-matches rule violations
-// on the token stream. That is enough to catch every construct the rules
-// target, costs nothing to build, and keeps the tool dependency-free. The
-// price is a small false-positive surface, which the per-line suppression
-// syntax (`// vmig-lint: d3-ok -- justification`) covers.
+// on the token stream. The C-rules add a lightweight scope model on top
+// (brace-depth stack with function/lambda-body "barrier" detection) — still
+// no AST, but enough to see RAII lifetimes and references spanning a
+// co_await. The L-rules work on the include graph across the whole scanned
+// set. That is enough to catch every construct the rules target, costs
+// nothing to build, and keeps the tool dependency-free. The price is a
+// small false-positive surface, which the per-line suppression syntax
+// (`// vmig-lint: d3-ok -- justification`) covers.
 
 #include "lint.hpp"
 
@@ -17,6 +22,8 @@
 namespace vmig::lint {
 
 namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -178,49 +185,131 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Suppression state for one file.
+/// Suppression and region state for one file.
 ///
-/// Two forms, both anchored on a `vmig-lint:` comment tag:
+/// All forms anchor on a `vmig-lint:` comment tag followed by words:
 ///  - per-line: `// vmig-lint: d1-ok d3-ok -- why` suppresses those rules on
 ///    that line; a comment-only line extends them to the next line.
 ///  - region:   `// vmig-lint: d1-begin -- why` ... `// vmig-lint: d1-end`
 ///    suppresses the rule on every line from begin through end inclusive.
 ///    Regions exist for sanctioned pens (e.g. the profiler's wall-clock
 ///    block) where per-line waivers would drown the justification.
+///  - hot pen:  `// vmig-lint: hot-begin -- name` ... `// vmig-lint: hot-end`
+///    is the inverse of a suppression: it arms the H-rules (hot-path
+///    allocation hygiene) for the enclosed lines.
 ///
-/// A begin with no matching end is itself reported as a finding of the rule
-/// it names — otherwise a typo'd pen would silently waive the rest of the
-/// file. The region still applies through EOF so the report stays focused
-/// on the one real problem (the missing end).
+/// Every `-ok` and `-begin` word must carry a `-- why` justification on the
+/// same line; a bare one is reported as a fixable `fixme` finding. A begin
+/// with no matching end is itself reported as a finding of the rule it
+/// names — otherwise a typo'd pen would silently waive (or arm) the rest of
+/// the file. The region still applies through EOF so the report stays
+/// focused on the one real problem (the missing end).
 struct SuppressionMap {
   std::map<int, std::set<std::string>> by_line;
   std::vector<std::pair<std::string, int>> unclosed;  // rule, begin line
+  std::vector<std::pair<int, int>> hot_ranges;        // inclusive line spans
+  std::vector<int> hot_unclosed;                      // begin lines
+  std::vector<std::pair<int, std::string>> fixmes;    // line, attributed rule
+
+  bool in_hot(int line) const {
+    for (const auto& [b, e] : hot_ranges) {
+      if (line >= b && line <= e) return true;
+    }
+    return false;
+  }
 };
+
+/// A recognized suppression word: `d3-ok`, `c1-begin`, `h2-end`, ...
+/// Returns the canonical rule id ("D3") and sets `verb`; empty if the word
+/// is not of that shape.
+std::string parse_rule_word(const std::string& w, std::string* verb) {
+  const auto dash = w.find('-');
+  if (dash != 2 || w.size() < 5) return {};
+  if (std::isalpha(static_cast<unsigned char>(w[0])) == 0 ||
+      std::isdigit(static_cast<unsigned char>(w[1])) == 0) {
+    return {};
+  }
+  const std::string v = w.substr(3);
+  if (v != "ok" && v != "begin" && v != "end") return {};
+  *verb = v;
+  std::string rule{static_cast<char>(std::toupper(
+      static_cast<unsigned char>(w[0])))};
+  rule += w[1];
+  return rule;
+}
 
 SuppressionMap suppressions(const Scrubbed& s) {
   SuppressionMap out;
   std::map<std::string, int> open;  // rule -> line of first unmatched begin
+  int hot_open = -1;
+  const int last_line = static_cast<int>(s.comments.size()) - 1;
   for (std::size_t ln = 1; ln < s.comments.size(); ++ln) {
     const std::string c = lower(s.comments[ln]);
     std::set<std::string> oks;
     std::set<std::string> begins;
     std::set<std::string> ends;
-    const auto tag = c.find("vmig-lint:");
-    if (tag != std::string::npos) {
-      for (std::size_t i = tag; i + 1 < c.size(); ++i) {
-        if (c[i] != 'd' ||
-            std::isdigit(static_cast<unsigned char>(c[i + 1])) == 0) {
-          continue;
+    bool hot_begin = false;
+    bool hot_end = false;
+    bool justified = true;
+    // A line may carry several `vmig-lint:` tags (doc prose quoting both a
+    // begin and its end); each tag starts a fresh word segment. Words are
+    // whitespace-split up to a standalone `--` separator; everything after
+    // the `--` (until the next tag) is that segment's justification.
+    for (std::size_t tag = c.find("vmig-lint:"); tag != std::string::npos;
+         tag = c.find("vmig-lint:", tag + 10)) {
+      const std::size_t seg_end = std::min(c.find("vmig-lint:", tag + 10),
+                                           c.size());
+      std::size_t i = tag + 10;
+      bool seg_needs_just = false;
+      bool seg_justified = false;
+      while (i < seg_end) {
+        while (i < seg_end &&
+               std::isspace(static_cast<unsigned char>(c[i])) != 0) {
+          ++i;
         }
-        const std::string rule = std::string("D") + c[i + 1];
-        if (c.compare(i + 2, 3, "-ok") == 0) {
-          oks.insert(rule);
-        } else if (c.compare(i + 2, 6, "-begin") == 0) {
-          begins.insert(rule);
-        } else if (c.compare(i + 2, 4, "-end") == 0) {
-          ends.insert(rule);
+        std::size_t j = i;
+        while (j < seg_end &&
+               std::isspace(static_cast<unsigned char>(c[j])) == 0) {
+          ++j;
+        }
+        if (j == i) break;
+        std::string w = c.substr(i, j - i);
+        i = j;
+        if (w == "--") {
+          seg_justified = c.find_first_not_of(" \t", i) < seg_end;
+          break;
+        }
+        // Trim doc-prose punctuation (backticks, commas) off the ends so
+        // only clean words match; anything left over is ignored free text.
+        while (!w.empty() && !ident_char(w.front())) w.erase(w.begin());
+        while (!w.empty() && !ident_char(w.back())) w.pop_back();
+        if (w == "hot-begin") {
+          hot_begin = true;
+          seg_needs_just = true;
+        } else if (w == "hot-end") {
+          hot_end = true;
+        } else {
+          std::string verb;
+          const std::string rule = parse_rule_word(w, &verb);
+          if (rule.empty()) continue;
+          if (verb == "ok") {
+            oks.insert(rule);
+            seg_needs_just = true;
+          } else if (verb == "begin") {
+            begins.insert(rule);
+            seg_needs_just = true;
+          } else {
+            ends.insert(rule);
+          }
         }
       }
+      if (seg_needs_just && !seg_justified) justified = false;
+    }
+    if ((!oks.empty() || !begins.empty() || hot_begin) && !justified) {
+      std::string attributed = "H1";
+      if (!oks.empty()) attributed = *oks.begin();
+      else if (!begins.empty()) attributed = *begins.begin();
+      out.fixmes.emplace_back(static_cast<int>(ln), attributed);
     }
     // Begins take effect on their own line; ends lapse after theirs, so
     // both delimiter lines are covered by the region.
@@ -235,8 +324,17 @@ SuppressionMap suppressions(const Scrubbed& s) {
       out.by_line[static_cast<int>(ln) + 1].insert(oks.begin(), oks.end());
     }
     for (const auto& r : ends) open.erase(r);
+    if (hot_begin && hot_open < 0) hot_open = static_cast<int>(ln);
+    if (hot_end && hot_open >= 0) {
+      out.hot_ranges.emplace_back(hot_open, static_cast<int>(ln));
+      hot_open = -1;
+    }
   }
   for (const auto& [rule, line] : open) out.unclosed.emplace_back(rule, line);
+  if (hot_open >= 0) {
+    out.hot_unclosed.push_back(hot_open);
+    out.hot_ranges.emplace_back(hot_open, last_line);
+  }
   return out;
 }
 
@@ -255,7 +353,7 @@ struct RuleInfo {
   const char* rationale;
 };
 
-constexpr std::array<RuleInfo, 5> kRules{{
+constexpr std::array<RuleInfo, 12> kRules{{
     {"D1",
      "wall-clock reads break replay determinism; derive all time from the "
      "simulator clock (sim::Simulator::now)"},
@@ -272,6 +370,31 @@ constexpr std::array<RuleInfo, 5> kRules{{
     {"D5",
      "hygiene: headers need #pragma once, no using-namespace at header "
      "scope, no raw new/delete outside allow-listed files (use RAII)"},
+    {"C1",
+     "RAII probes and guards (ProfScope, lock guards) must close before a "
+     "co_await: a suspension can last simulated hours of other work, "
+     "corrupting the measurement or holding the guard across turns"},
+    {"C2",
+     "references, pointers, and iterators into containers are invalidated "
+     "when other coroutines mutate the container during a suspension; "
+     "re-look-up after every co_await"},
+    {"C3",
+     "a by-reference lambda capture handed to the scheduler outlives the "
+     "caller's stack frame; capture by value (copy or pointer)"},
+    {"H1",
+     "hot regions are the per-event inner loops; a single heap allocation "
+     "there dominates the profile at datacenter scale (see bench_scale)"},
+    {"H2",
+     "growth-capable container ops and string building allocate once "
+     "capacity runs out; reserve up front, reuse buffers, or justify why "
+     "steady state is allocation-free"},
+    {"L1",
+     "includes must point down (or across) the layer DAG in "
+     "tools/lint/layers.txt; a back-edge couples low layers to high ones "
+     "and blocks splitting the build"},
+    {"L2",
+     "include cycles make headers order-dependent and unsplittable; break "
+     "the cycle with a forward declaration or an interface header"},
 }};
 
 const char* rationale_of(const std::string& id) {
@@ -290,22 +413,75 @@ class Scanner {
         scrubbed_{scrub(content)},
         toks_{tokenize(scrubbed_.code)},
         lines_{scrubbed_.code},
-        suppr_{suppressions(scrubbed_)} {}
+        suppr_{suppressions(scrubbed_)} {
+    match_.assign(toks_.size(), kNpos);
+    std::vector<std::size_t> paren;
+    std::vector<std::size_t> bracket;
+    std::vector<std::size_t> brace;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (t == "(") paren.push_back(i);
+      else if (t == "[") bracket.push_back(i);
+      else if (t == "{") brace.push_back(i);
+      else if (t == ")" && !paren.empty()) {
+        match_[paren.back()] = i;
+        match_[i] = paren.back();
+        paren.pop_back();
+      } else if (t == "]" && !bracket.empty()) {
+        match_[bracket.back()] = i;
+        match_[i] = bracket.back();
+        bracket.pop_back();
+      } else if (t == "}" && !brace.empty()) {
+        match_[brace.back()] = i;
+        match_[i] = brace.back();
+        brace.pop_back();
+      }
+    }
+  }
 
   std::vector<Finding> run() {
-    scan_wall_clock();
-    scan_randomness();
-    scan_unordered_iteration();
-    scan_getenv();
-    scan_hygiene();
-    // Unclosed regions bypass add(): the dangling begin covers its own line,
-    // so the suppression lookup would swallow its own diagnostic.
+    if (fam('D')) {
+      scan_wall_clock();
+      scan_randomness();
+      scan_unordered_iteration();
+      scan_getenv();
+      scan_hygiene();
+    }
+    if (fam('C')) scan_coroutine_safety();
+    if (fam('H')) scan_hot_regions();
+    // Unclosed regions and unjustified suppressions bypass add(): the
+    // offending comment covers its own line, so the suppression lookup
+    // would swallow its own diagnostic.
     for (const auto& [rule, line] : suppr_.unclosed) {
-      findings_.push_back(
-          {path_, line, rule,
-           "suppression region '" + lower(rule) +
-               "-begin' is never closed (missing '" + lower(rule) + "-end')",
-           rationale_of(rule)});
+      if (!fam(rule[0])) continue;
+      Finding f{path_, line, rule,
+                "suppression region '" + lower(rule) +
+                    "-begin' is never closed (missing '" + lower(rule) +
+                    "-end')",
+                rationale_of(rule)};
+      f.fix = Finding::Fix::kCloseRegion;
+      f.fix_arg = lower(rule);
+      findings_.push_back(std::move(f));
+    }
+    for (const int line : suppr_.hot_unclosed) {
+      if (!fam('H')) continue;
+      Finding f{path_, line, "H1",
+                "hot region 'hot-begin' is never closed (missing 'hot-end')",
+                rationale_of("H1")};
+      f.fix = Finding::Fix::kCloseRegion;
+      f.fix_arg = "hot";
+      findings_.push_back(std::move(f));
+    }
+    if (opts_.require_justification) {
+      for (const auto& [line, rule] : suppr_.fixmes) {
+        if (!fam(rule[0])) continue;
+        Finding f{path_, line, rule,
+                  "suppression comment missing its '-- why' justification "
+                  "(fixme)",
+                  rationale_of(rule)};
+        f.fix = Finding::Fix::kAddJustification;
+        findings_.push_back(std::move(f));
+      }
     }
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -316,6 +492,10 @@ class Scanner {
   }
 
  private:
+  bool fam(char f) const {
+    return opts_.families.empty() || opts_.families.count(f) > 0;
+  }
+
   const std::string& tok(std::size_t i) const {
     static const std::string kEnd;
     return i < toks_.size() ? toks_[i].text : kEnd;
@@ -471,12 +651,297 @@ class Scanner {
     }
   }
 
+  /// Is the `{` at token index `brace` a function or lambda body — i.e. a
+  /// scope whose frame owns the co_awaits inside it? The C1/C2 walk stops
+  /// at the first such barrier: an outer function's locals are not at risk
+  /// from a suspension inside a nested lambda's own frame.
+  bool is_barrier(std::size_t brace) const {
+    if (brace == 0) return false;
+    std::size_t j = brace - 1;
+    int guard = 0;
+    // Skip trailing function specifiers.
+    while (j > 0 && guard++ < 8) {
+      const std::string& t = toks_[j].text;
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "mutable" || t == "try") {
+        --j;
+        continue;
+      }
+      break;
+    }
+    // Skip a trailing return type (`) -> Task<void>`): walk back over
+    // type-ish tokens until the parameter-list `)` (or a lambda's `]`).
+    guard = 0;
+    std::size_t k = j;
+    while (k > 0 && guard++ < 24) {
+      const std::string& t = toks_[k].text;
+      if (t == ")" || t == "]") break;
+      if (t == "<" || t == ">" || t == "::" || t == "&" || t == "*" ||
+          t == "," || t == "-" || (!t.empty() && ident_start(t[0]))) {
+        --k;
+        continue;
+      }
+      return false;
+    }
+    const std::string& t = toks_[k].text;
+    if (t == "]") return true;  // parameterless lambda: `[this] { ... }`
+    if (t != ")") return false;
+    const std::size_t open = match_[k];
+    if (open == kNpos || open == 0) return false;
+    const std::string& b = toks_[open - 1].text;
+    // Control-flow parens introduce plain scopes, not frames.
+    return b != "if" && b != "while" && b != "for" && b != "switch" &&
+           b != "catch";
+  }
+
+  /// Scan the initializer tokens from just past `eq` to the terminating
+  /// `;` and report whether the value is element-ish — an element access
+  /// (`[`), a container accessor (.front()/.at()/.data()/...), or an
+  /// iterator-returning call. Sets `*iter` when it is the latter.
+  bool elementish_init(std::size_t eq, bool* iter) const {
+    static const std::set<std::string> kAccess{
+        "front", "back", "at", "top", "data"};
+    static const std::set<std::string> kIter{
+        "begin", "cbegin", "rbegin",     "crbegin",     "end",  "cend",
+        "rend",  "crend",  "find",       "lower_bound", "upper_bound",
+        "equal_range"};
+    int depth = 0;
+    bool hit = false;
+    for (std::size_t j = eq + 1; j < toks_.size(); ++j) {
+      const std::string& t = toks_[j].text;
+      if (t == "(" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "}") {
+        // A close below the start depth ends the initializer too: the decl
+        // may live in an if/while condition with no trailing semicolon.
+        if (--depth < 0) break;
+      } else if (t == ";" && depth <= 0) {
+        break;
+      }
+      if (t == "[") {
+        hit = true;
+      } else if ((t == "." || (t == ">" && j > 0 && tok(j - 1) == "-")) &&
+                 tok(j + 2) == "(") {
+        const std::string& m = tok(j + 1);
+        if (kAccess.count(m) > 0) hit = true;
+        if (kIter.count(m) > 0) {
+          hit = true;
+          *iter = true;
+        }
+      }
+    }
+    return hit;
+  }
+
+  // C1/C2/C3 — coroutine safety, via a brace-depth scope model.
+  void scan_coroutine_safety() {
+    struct PenDecl {
+      std::string type;
+      std::string name;
+      std::size_t offset;
+      bool flagged = false;
+    };
+    struct RefDecl {
+      std::string name;
+      std::string kind;
+      bool crossed = false;
+      bool flagged = false;
+    };
+    struct Scope {
+      bool barrier = false;
+      std::vector<PenDecl> pens;
+      std::vector<RefDecl> refs;
+    };
+    static const std::set<std::string> kSched{"schedule_at", "schedule_after",
+                                              "schedule", "post"};
+    std::vector<Scope> scopes;
+    // A co_await arms a "crossing" that is applied at the end of its
+    // statement: tokens inside the await expression itself run before the
+    // suspension, so only uses on later statements are stale.
+    bool cross_pending = false;
+    const auto flush_cross = [&] {
+      if (!cross_pending) return;
+      cross_pending = false;
+      for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+        for (auto& p : it->pens) {
+          if (p.flagged) continue;
+          p.flagged = true;
+          add("C1", p.offset,
+              "RAII '" + p.type + " " + p.name +
+                  "' is live across a co_await (close the scope before "
+                  "suspending)");
+        }
+        for (auto& r : it->refs) r.crossed = true;
+        if (it->barrier) break;
+      }
+    };
+
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (t == "{") {
+        flush_cross();
+        scopes.push_back(Scope{is_barrier(i), {}, {}});
+        continue;
+      }
+      if (t == "}") {
+        flush_cross();
+        if (!scopes.empty()) scopes.pop_back();
+        continue;
+      }
+      if (t == ";") {
+        flush_cross();
+        continue;
+      }
+      if (t == "co_await" || t == "co_yield") {
+        cross_pending = true;
+        continue;
+      }
+      if (t.empty() || scopes.empty()) continue;
+
+      // C1: local RAII decl of a pen-listed type.
+      if (opts_.raii_pen_types.count(t) > 0) {
+        const std::string& prev = tok(i ? i - 1 : 0);
+        if (i > 0 && (prev == "class" || prev == "struct" || prev == "~")) {
+          continue;  // definition or destructor, not a declaration
+        }
+        std::size_t j = i + 1;
+        if (tok(j) == "<") {  // template args: ProfScope-ish wrappers
+          int d = 0;
+          for (; j < toks_.size(); ++j) {
+            if (toks_[j].text == "<") ++d;
+            else if (toks_[j].text == ">" && --d == 0) {
+              ++j;
+              break;
+            } else if (toks_[j].text == ";" || toks_[j].text == "{") {
+              break;
+            }
+          }
+        }
+        const std::string& nm = tok(j);
+        if (!nm.empty() && ident_start(nm[0])) {
+          const std::string& after = tok(j + 1);
+          if (after == "{" || after == "(" || after == ";" || after == "=") {
+            scopes.back().pens.push_back({t, nm, toks_[i].offset, false});
+          }
+        }
+      }
+
+      // C3: by-reference lambda capture handed to the scheduler.
+      if (kSched.count(t) > 0 && tok(i + 1) == "(") {
+        const std::size_t close = match_[i + 1];
+        for (std::size_t j = i + 2; close != kNpos && j < close; ++j) {
+          if (toks_[j].text != "[") continue;
+          const std::string& before = toks_[j - 1].text;
+          if (before != "(" && before != ",") continue;  // subscript, not intro
+          const std::size_t cend = match_[j];
+          if (cend == kNpos || cend > close) continue;
+          for (std::size_t k = j + 1; k < cend; ++k) {
+            if (toks_[k].text == "&") {
+              add("C3", toks_[j].offset,
+                  "lambda passed to '" + t +
+                      "' captures by reference (the callback outlives this "
+                      "frame; capture by value)");
+              break;
+            }
+          }
+        }
+      }
+
+      // C2: reference/pointer/iterator bound to a container element.
+      if ((t == "&" || t == "*") && i > 0) {
+        const std::string& nm = tok(i + 1);
+        const std::string& prev = toks_[i - 1].text;
+        const bool typed = prev == "auto" || prev == "const" || prev == ">" ||
+                           prev == "&" ||
+                           (!prev.empty() && ident_start(prev[0]) &&
+                            prev != "return" && prev != "co_return");
+        if (typed && !nm.empty() && ident_start(nm[0]) &&
+            tok(i + 2) == "=" && tok(i + 3) != "=") {
+          bool iter = false;
+          if (elementish_init(i + 2, &iter)) {
+            scopes.back().refs.push_back(
+                {nm, t == "&" ? "reference" : "pointer", false, false});
+          }
+          continue;  // don't treat `nm` below as a use of an outer decl
+        }
+      }
+      if (t == "auto") {
+        const std::string& nm = tok(i + 1);
+        if (!nm.empty() && ident_start(nm[0]) && tok(i + 2) == "=" &&
+            tok(i + 3) != "=") {
+          bool iter = false;
+          elementish_init(i + 2, &iter);
+          if (iter) {
+            scopes.back().refs.push_back({nm, "iterator", false, false});
+          }
+        }
+      }
+
+      // C2: use of a tracked name after a crossing.
+      if (ident_start(t[0])) {
+        bool found = false;
+        for (auto it = scopes.rbegin(); !found && it != scopes.rend(); ++it) {
+          for (auto& r : it->refs) {
+            if (r.name != t) continue;
+            found = true;
+            if (r.crossed && !r.flagged) {
+              if (tok(i + 1) == "=" && tok(i + 2) != "=") {
+                r.crossed = false;  // rebound to a fresh value: fine again
+              } else {
+                r.flagged = true;
+                add("C2", toks_[i].offset,
+                    "'" + t + "' (" + r.kind +
+                        " into a container) is used after a co_await in the "
+                        "same scope");
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // H1/H2 — allocation hygiene inside `hot-begin`/`hot-end` pens.
+  void scan_hot_regions() {
+    static const std::set<std::string> kGrowth{
+        "push_back", "emplace_back", "push_front", "emplace_front",
+        "insert",    "emplace",      "try_emplace", "resize",
+        "append",    "assign"};
+    if (suppr_.hot_ranges.empty()) return;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!suppr_.in_hot(lines_.line_of(toks_[i].offset))) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "new") {
+        add("H1", toks_[i].offset, "heap allocation 'new' in a hot region");
+      } else if (t == "make_unique" || t == "make_shared") {
+        add("H1", toks_[i].offset,
+            "heap allocation '" + t + "' in a hot region");
+      } else if (t == "function" && tok(i + 1) == "<") {
+        add("H1", toks_[i].offset,
+            "'std::function' in a hot region (type-erased callables "
+            "allocate)");
+      } else if (kGrowth.count(t) > 0 && tok(i + 1) == "(" && i > 0 &&
+                 (toks_[i - 1].text == "." ||
+                  (i > 1 && toks_[i - 1].text == ">" &&
+                   toks_[i - 2].text == "-"))) {
+        add("H2", toks_[i].offset,
+            "growth-capable container op '" + t +
+                "()' in a hot region (reserve up front or reuse storage)");
+      } else if (t == "to_string" && tok(i + 1) == "(") {
+        add("H2", toks_[i].offset,
+            "string building 'to_string()' in a hot region");
+      }
+    }
+  }
+
   std::string path_;
   const Options& opts_;
   Scrubbed scrubbed_;
   std::vector<Token> toks_;
   LineIndex lines_;
   SuppressionMap suppr_;
+  std::vector<std::size_t> match_;
   std::vector<Finding> findings_;
 };
 
@@ -542,9 +1007,419 @@ std::vector<Finding> lint_content(const std::string& path,
   return Scanner{path, content, opts}.run();
 }
 
+// --- L-rules -------------------------------------------------------------
+
+std::vector<IncludeEdge> collect_includes(const std::string& content) {
+  std::vector<IncludeEdge> out;
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::size_t len =
+        (eol == std::string::npos ? content.size() : eol) - pos;
+    const std::string l = content.substr(pos, len);
+    ++line;
+    const std::size_t a = l.find_first_not_of(" \t");
+    if (a != std::string::npos && l[a] == '#') {
+      const std::size_t b = l.find_first_not_of(" \t", a + 1);
+      if (b != std::string::npos && l.compare(b, 7, "include") == 0) {
+        const std::size_t q1 = l.find('"', b + 7);
+        const std::size_t q2 =
+            q1 == std::string::npos ? q1 : l.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          IncludeEdge e;
+          e.line = line;
+          e.target = l.substr(q1 + 1, q2 - q1 - 1);
+          if (l.find("vmig-lint:") != std::string::npos) {
+            e.l1_ok = l.find("l1-ok") != std::string::npos;
+            e.l2_ok = l.find("l2-ok") != std::string::npos;
+          }
+          out.push_back(std::move(e));
+        }
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string normalize_include_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::size_t len =
+        (slash == std::string::npos ? path.size() : slash) - pos;
+    if (len > 0) {
+      const std::string p = path.substr(pos, len);
+      if (p != ".") parts.push_back(p);
+    }
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  // Everything up to and including the last `src/` is repo scaffolding;
+  // tool/test/bench/example roots are themselves layer prefixes.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "src") start = i + 1;
+  }
+  if (start == 0) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i] == "tools" || parts[i] == "tests" || parts[i] == "bench" ||
+          parts[i] == "examples") {
+        start = i;
+        break;
+      }
+    }
+  }
+  std::string out;
+  for (std::size_t i = start; i < parts.size(); ++i) {
+    if (!out.empty()) out += '/';
+    out += parts[i];
+  }
+  return out.empty() ? path : out;
+}
+
+int Layers::layer_of(const std::string& norm) const {
+  int best = -1;
+  std::size_t best_len = 0;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    for (const auto& p : layers[li].prefixes) {
+      if (p.size() >= best_len && norm.compare(0, p.size(), p) == 0) {
+        best = static_cast<int>(li);
+        best_len = p.size();
+      }
+    }
+  }
+  return best;
+}
+
+std::string Layers::name_of(int layer) const {
+  if (layer < 0 || layer >= static_cast<int>(layers.size())) return "?";
+  return layers[static_cast<std::size_t>(layer)].name;
+}
+
+Layers Layers::parse(const std::string& text) {
+  Layers out;
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t len =
+        (eol == std::string::npos ? text.size() : eol) - pos;
+    std::string l = text.substr(pos, len);
+    ++line;
+    const std::size_t hash = l.find('#');
+    if (hash != std::string::npos) l.resize(hash);
+    const std::size_t a = l.find_first_not_of(" \t");
+    if (a != std::string::npos) {
+      if (l.compare(a, 6, "layer ") != 0) {
+        out.parse_error = "line " + std::to_string(line) +
+                          ": expected `layer <name>: <prefix>...`";
+        return out;
+      }
+      const std::size_t colon = l.find(':', a);
+      if (colon == std::string::npos) {
+        out.parse_error =
+            "line " + std::to_string(line) + ": missing ':' after layer name";
+        return out;
+      }
+      Layer layer;
+      const std::size_t n0 = l.find_first_not_of(" \t", a + 6);
+      layer.name = l.substr(n0, colon - n0);
+      while (!layer.name.empty() && layer.name.back() == ' ') {
+        layer.name.pop_back();
+      }
+      std::size_t p = colon + 1;
+      while (p < l.size()) {
+        while (p < l.size() && (l[p] == ' ' || l[p] == '\t')) ++p;
+        std::size_t q = p;
+        while (q < l.size() && l[q] != ' ' && l[q] != '\t') ++q;
+        if (q > p) layer.prefixes.push_back(l.substr(p, q - p));
+        p = q;
+      }
+      if (layer.name.empty() || layer.prefixes.empty()) {
+        out.parse_error = "line " + std::to_string(line) +
+                          ": layer needs a name and at least one prefix";
+        return out;
+      }
+      out.layers.push_back(std::move(layer));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  if (out.layers.empty()) out.parse_error = "no layers defined";
+  return out;
+}
+
+namespace {
+
+/// Resolve an include target against the scanned set: exact normalized
+/// match first, then unique-suffix match (shortest, then lexicographically
+/// smallest, for determinism). -1 when the target is outside the set.
+int resolve_target(const std::vector<FileIncludes>& files,
+                   const std::map<std::string, int>& by_norm,
+                   const std::string& target) {
+  const std::string norm = normalize_include_path(target);
+  const auto it = by_norm.find(norm);
+  if (it != by_norm.end()) return it->second;
+  int best = -1;
+  for (std::size_t j = 0; j < files.size(); ++j) {
+    const std::string& n = files[j].norm;
+    if (n.size() <= target.size() ||
+        n.compare(n.size() - target.size(), target.size(), target) != 0 ||
+        n[n.size() - target.size() - 1] != '/') {
+      continue;
+    }
+    if (best < 0 || n.size() < files[best].norm.size() ||
+        (n.size() == files[best].norm.size() && n < files[best].norm)) {
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const std::vector<FileIncludes>& files,
+                                    const Layers& layers) {
+  std::vector<Finding> out;
+  std::map<std::string, int> by_norm;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    by_norm[files[i].norm] = static_cast<int>(i);
+  }
+  // Resolved adjacency, reused by the cycle check.
+  std::vector<std::vector<int>> adj(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const int from = layers.layer_of(files[i].norm);
+    if (from < 0) {
+      out.push_back({files[i].path, 1, "L1",
+                     "file '" + files[i].norm +
+                         "' is not covered by any layer prefix in layers.txt",
+                     rationale_of("L1")});
+    }
+    for (const auto& e : files[i].includes) {
+      const int tgt = resolve_target(files, by_norm, e.target);
+      if (tgt < 0) continue;  // system / generated header
+      adj[i].push_back(tgt);
+      const int to = layers.layer_of(files[tgt].norm);
+      if (from >= 0 && to > from && !e.l1_ok) {
+        out.push_back(
+            {files[i].path, e.line, "L1",
+             "layering back-edge: '" + files[i].norm + "' (layer '" +
+                 layers.name_of(from) + "') includes '" + files[tgt].norm +
+                 "' (higher layer '" + layers.name_of(to) + "')",
+             rationale_of("L1")});
+      }
+    }
+  }
+
+  // File-level cycles via Tarjan SCC (iterative; the include graph is
+  // shallow but recursion depth is unbounded in principle).
+  const std::size_t n = files.size();
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+  struct Frame {
+    int v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    std::vector<Frame> call{{static_cast<int>(root), 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        const auto wu = static_cast<std::size_t>(w);
+        if (index[wu] < 0) {
+          index[wu] = low[wu] = next_index++;
+          stack.push_back(w);
+          on_stack[wu] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[wu]) {
+          low[v] = std::min(low[v], index[wu]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<int> scc;
+          int w = -1;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            scc.push_back(w);
+          } while (w != f.v);
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+        const int done = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          const auto p = static_cast<std::size_t>(call.back().v);
+          low[p] = std::min(low[p], low[static_cast<std::size_t>(done)]);
+        }
+      }
+    }
+  }
+  for (auto& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [&](int a, int b) {
+      return files[static_cast<std::size_t>(a)].norm <
+             files[static_cast<std::size_t>(b)].norm;
+    });
+    const auto anchor = static_cast<std::size_t>(scc[0]);
+    const std::set<int> members(scc.begin(), scc.end());
+    int at_line = 1;
+    bool suppressed = false;
+    for (const auto& e : files[anchor].includes) {
+      const int tgt = resolve_target(files, by_norm, e.target);
+      if (tgt >= 0 && members.count(tgt) > 0) {
+        at_line = e.line;
+        suppressed = e.l2_ok;
+        break;
+      }
+    }
+    if (suppressed) continue;
+    std::string path;
+    for (const int m : scc) {
+      if (!path.empty()) path += " <-> ";
+      path += files[static_cast<std::size_t>(m)].norm;
+    }
+    out.push_back({files[anchor].path, at_line, "L2",
+                   "include cycle: " + path, rationale_of("L2")});
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string include_graph_dot(const std::vector<FileIncludes>& files,
+                              const Layers& layers) {
+  // One node per layer prefix that actually has files; edges are deduped
+  // prefix->prefix includes. Deterministic: layers in DAG order, prefixes
+  // in declaration order, edges sorted.
+  const auto prefix_of = [&](const std::string& norm) -> std::string {
+    std::string best;
+    for (const auto& layer : layers.layers) {
+      for (const auto& p : layer.prefixes) {
+        if (p.size() >= best.size() && norm.compare(0, p.size(), p) == 0) {
+          best = p;
+        }
+      }
+    }
+    return best.empty() ? std::string{"(unmapped)"} : best;
+  };
+  std::map<std::string, int> by_norm;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    by_norm[files[i].norm] = static_cast<int>(i);
+  }
+  std::set<std::string> used;
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const auto& f : files) {
+    const std::string from = prefix_of(f.norm);
+    used.insert(from);
+    for (const auto& e : f.includes) {
+      const int tgt = resolve_target(files, by_norm, e.target);
+      if (tgt < 0) continue;
+      const std::string to = prefix_of(files[static_cast<std::size_t>(tgt)].norm);
+      used.insert(to);
+      if (to != from) edges.emplace(from, to);
+    }
+  }
+  std::string dot;
+  dot += "// Include-graph snapshot, one node per layer prefix.\n";
+  dot += "// Regenerate: vmig_lint --layers tools/lint/layers.txt --dot <out>"
+         " <dirs>\n";
+  dot += "digraph includes {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t li = 0; li < layers.layers.size(); ++li) {
+    const auto& layer = layers.layers[li];
+    dot += "  subgraph cluster_" + std::to_string(li) + " {\n";
+    dot += "    label=\"" + layer.name + "\";\n";
+    for (const auto& p : layer.prefixes) {
+      if (used.count(p) > 0) dot += "    \"" + p + "\";\n";
+    }
+    dot += "  }\n";
+  }
+  for (const auto& [from, to] : edges) {
+    dot += "  \"" + from + "\" -> \"" + to + "\";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+// --- output & fixes ------------------------------------------------------
+
+std::string apply_fixes(const std::string& content,
+                        const std::vector<Finding>& findings, int* applied) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) {
+      lines.push_back(content.substr(pos));
+      break;
+    }
+    lines.push_back(content.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  const bool trailing_newline =
+      !content.empty() && content.back() == '\n';
+
+  int n = 0;
+  std::set<std::string> closes;
+  for (const auto& f : findings) {
+    if (f.fix == Finding::Fix::kAddJustification) {
+      const auto li = static_cast<std::size_t>(f.line - 1);
+      if (f.line < 1 || li >= lines.size()) continue;
+      std::string& l = lines[li];
+      const std::size_t tag = l.find("vmig-lint:");
+      if (tag == std::string::npos) continue;
+      if (l.find("--", tag) != std::string::npos) continue;  // already fixed
+      const std::size_t close = l.rfind("*/");
+      if (close != std::string::npos && close > tag) {
+        l.insert(close, "-- FIXME: justify ");
+      } else {
+        l += "  -- FIXME: justify";
+      }
+      ++n;
+    } else if (f.fix == Finding::Fix::kCloseRegion && !f.fix_arg.empty()) {
+      if (closes.insert(f.fix_arg).second) ++n;
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += '\n';
+  }
+  if (trailing_newline && (out.empty() || out.back() != '\n')) out += '\n';
+  for (const auto& arg : closes) {
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    out += "// vmig-lint: " + arg + "-end\n";
+  }
+  if (applied != nullptr) *applied = n;
+  return out;
+}
+
 std::string format_finding(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ":" + f.rule + ": " +
          f.message + " (" + f.rationale + ")";
+}
+
+std::string format_finding_github(const Finding& f) {
+  return "::error file=" + f.file + ",line=" + std::to_string(f.line) +
+         "::" + f.rule + ": " + f.message;
 }
 
 }  // namespace vmig::lint

@@ -10,9 +10,18 @@ namespace vmig::lint {
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;       ///< "D1".."D5"
+  std::string rule;       ///< "D1".."D5", "C1".."C3", "H1".."H2", "L1".."L2"
   std::string message;    ///< what was found, with the offending token
   std::string rationale;  ///< why the rule exists (printed with the finding)
+
+  /// Mechanical fix `vmig_lint --fix` can apply, if any.
+  enum class Fix {
+    kNone,
+    kCloseRegion,       ///< append the missing `<fix_arg>-end` line at EOF
+    kAddJustification,  ///< append a `-- FIXME: justify` stub to the comment
+  };
+  Fix fix = Fix::kNone;
+  std::string fix_arg;  ///< kCloseRegion: lowercase region name ("d1", "hot")
 };
 
 /// Tunables for one lint pass.
@@ -24,12 +33,22 @@ struct Options {
   std::vector<std::string> getenv_allowlist;
   /// Path substrings allowed raw new/delete (D5).
   std::vector<std::string> new_delete_allowlist;
+  /// RAII type names (last component, unqualified) that must never be live
+  /// across a co_await (C1): profiler probes, lock guards, span handles.
+  std::set<std::string> raii_pen_types{"ProfScope",   "WallStopwatch",
+                                       "lock_guard",  "unique_lock",
+                                       "scoped_lock", "shared_lock"};
+  /// Rule families to run, by leading letter ('D','C','H'); empty = all.
+  /// (L-rules are graph-level: see check_layering below.)
+  std::set<char> families;
+  /// Flag `-ok`/`-begin` suppressions that carry no `-- why` justification.
+  bool require_justification = true;
 };
 
 /// Rule ids in report order.
 const std::vector<std::string>& rule_ids();
 
-/// One-line rationale for a rule id ("D1".."D5"); empty for unknown ids.
+/// One-line rationale for a rule id; empty for unknown ids.
 std::string rule_rationale(const std::string& rule);
 
 /// Pass 1 over one file: identifiers declared with an unordered container
@@ -41,12 +60,85 @@ std::set<std::string> collect_unordered_names(const std::string& content);
 /// comment-only line carrying one) are suppressed, as are findings inside a
 /// `// vmig-lint: <rule>-begin` ... `// vmig-lint: <rule>-end` region
 /// (delimiter lines included). A begin with no matching end is itself
-/// reported as a finding of the rule it names.
+/// reported as a finding of the rule it names. `hot-begin`/`hot-end`
+/// regions are the opposite of suppressions: they arm the H-rules.
 std::vector<Finding> lint_content(const std::string& path,
                                   const std::string& content,
                                   const Options& opts);
 
+// --- L-rules: include-graph layering (graph-level, multi-file) -----------
+
+/// One `#include "..."` edge (quoted includes only; angle includes are
+/// system headers and never participate in layering).
+struct IncludeEdge {
+  int line = 0;
+  std::string target;  ///< path as written between the quotes
+  bool l1_ok = false;  ///< include line carries an `l1-ok` waiver comment
+  bool l2_ok = false;  ///< include line carries an `l2-ok` waiver comment
+};
+
+/// Quoted-include edges of one file, in line order.
+std::vector<IncludeEdge> collect_includes(const std::string& content);
+
+/// Strip the path down to its repo-layer form: everything up to and
+/// including the last `src/` component is dropped; `tools/`, `tests/`,
+/// `bench/`, `examples/` roots are kept. "/root/repo/src/core/tpm.cpp"
+/// -> "core/tpm.cpp"; ".../tools/lint/lint.cpp" -> "tools/lint/lint.cpp".
+std::string normalize_include_path(const std::string& path);
+
+/// The committed layer DAG (tools/lint/layers.txt). Layers are listed
+/// bottom-up; a file may include same-layer and lower-layer files only.
+struct Layers {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> prefixes;  ///< longest-prefix match wins
+  };
+  std::vector<Layer> layers;
+  std::string parse_error;  ///< non-empty if the file was malformed
+
+  /// Layer index of a normalized path (longest matching prefix); -1 if no
+  /// prefix covers it.
+  int layer_of(const std::string& norm) const;
+  /// Layer name for an index; "?" when out of range.
+  std::string name_of(int layer) const;
+
+  static Layers parse(const std::string& text);
+};
+
+/// One file's include edges, keyed both ways: `path` as reported to the
+/// user, `norm` as matched against Layers prefixes and other files.
+struct FileIncludes {
+  std::string path;
+  std::string norm;
+  std::vector<IncludeEdge> includes;
+};
+
+/// L1 (back-edge: include points to a strictly higher layer, or file not
+/// covered by any layer prefix) and L2 (file-level include cycle) over the
+/// whole scanned set. Include targets are resolved against the set by exact
+/// or suffix match; unresolved targets (system or generated headers) are
+/// skipped.
+std::vector<Finding> check_layering(const std::vector<FileIncludes>& files,
+                                    const Layers& layers);
+
+/// Deterministic DOT graph of the include structure, one node per layer
+/// prefix, clustered by layer (bottom-up). Snapshot lives in docs/.
+std::string include_graph_dot(const std::vector<FileIncludes>& files,
+                              const Layers& layers);
+
+// --- output & fixes ------------------------------------------------------
+
+/// Apply the mechanical fixes (Finding::Fix) that target `path` to its
+/// content; returns the rewritten text. `applied`, if non-null, receives
+/// the number of fixes applied.
+std::string apply_fixes(const std::string& content,
+                        const std::vector<Finding>& findings, int* applied);
+
 /// Machine-readable single-line form: `file:line:rule: message (rationale)`.
 std::string format_finding(const Finding& f);
+
+/// GitHub Actions workflow-annotation form:
+/// `::error file=...,line=...::rule: message`.
+std::string format_finding_github(const Finding& f);
 
 }  // namespace vmig::lint

@@ -1,16 +1,20 @@
-// vmig_lint — determinism & hygiene static analysis for the vmig tree.
+// vmig_lint — determinism, coroutine-safety, hot-path allocation, and
+// include-layering static analysis for the vmig tree.
 //
 //   vmig_lint [options] PATH...
 //
-// Walks every C++ source file under the given paths and enforces the
-// determinism rules documented in docs/DETERMINISM.md. Two passes: the
-// first collects every identifier declared as an unordered container
-// anywhere in the tree (so a map declared in a header is caught when a
-// .cpp iterates it); the second scans each file for violations.
+// Walks every C++ source file under the given paths and enforces the rules
+// documented in docs/LINT.md. Passes: (1) collect every identifier declared
+// as an unordered container anywhere in the tree (so a map declared in a
+// header is caught when a .cpp iterates it); (2) per-file token/scope scan
+// (D/C/H rules); (3) optional include-graph layering check (L rules) when
+// --layers is given, which can also snapshot the graph as DOT.
 //
 // Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>  // vmig-lint: d1-ok -- tool wall-time reporting, no sim state
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,7 +25,9 @@
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
+using vmig::lint::FileIncludes;
 using vmig::lint::Finding;
+using vmig::lint::Layers;
 using vmig::lint::Options;
 
 namespace {
@@ -32,11 +38,19 @@ void usage(const char* argv0) {
       "  --exclude S       skip files whose path contains S (repeatable)\n"
       "  --allow-getenv S  allow getenv in files whose path contains S\n"
       "  --allow-new S     allow raw new/delete in files matching S\n"
+      "  --rules FAMS      run only these rule families, e.g. D, CH, DCHL\n"
+      "  --layers FILE     layer DAG for the L-rules (tools/lint/layers.txt)\n"
+      "  --dot FILE        write the include graph as DOT (needs --layers)\n"
+      "  --format FMT      plain (default) or github (workflow annotations)\n"
+      "  --fix             apply mechanical fixes (close regions, justify\n"
+      "                    stubs) in place, then report what remains\n"
       "  --list-rules      print the rule set and exit\n"
       "  -h, --help        this message\n"
       "suppress a finding in source with: // vmig-lint: <rule>-ok -- why\n"
       "suppress a sanctioned region with: // vmig-lint: <rule>-begin -- why\n"
-      "                              ...  // vmig-lint: <rule>-end\n",
+      "                              ...  // vmig-lint: <rule>-end\n"
+      "arm the H-rules over a hot loop:   // vmig-lint: hot-begin -- name\n"
+      "                              ...  // vmig-lint: hot-end\n",
       argv0);
 }
 
@@ -64,9 +78,16 @@ bool read_file(const fs::path& p, std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // vmig-lint: d1-ok -- lint's own elapsed-time report, not simulated state
+  const auto t0 = std::chrono::steady_clock::now();
   Options opts;
   std::vector<std::string> excludes;
   std::vector<std::string> roots;
+  std::string layers_path;
+  std::string dot_path;
+  std::string format = "plain";
+  std::string rules_arg;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto need = [&](const char* what) -> const char* {
@@ -82,6 +103,20 @@ int main(int argc, char** argv) {
       opts.getenv_allowlist.emplace_back(need("--allow-getenv"));
     } else if (a == "--allow-new") {
       opts.new_delete_allowlist.emplace_back(need("--allow-new"));
+    } else if (a == "--rules") {
+      rules_arg = need("--rules");
+    } else if (a == "--layers") {
+      layers_path = need("--layers");
+    } else if (a == "--dot") {
+      dot_path = need("--dot");
+    } else if (a == "--format") {
+      format = need("--format");
+      if (format != "plain" && format != "github") {
+        std::fprintf(stderr, "error: --format must be plain or github\n");
+        return 2;
+      }
+    } else if (a == "--fix") {
+      fix = true;
     } else if (a == "--list-rules") {
       list_rules();
       return 0;
@@ -99,6 +134,42 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
     usage(argv[0]);
     return 2;
+  }
+  bool run_layering = !layers_path.empty();
+  for (const char c : rules_arg) {
+    if (c == ',' || c == ' ') continue;
+    const char f = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (f != 'D' && f != 'C' && f != 'H' && f != 'L') {
+      std::fprintf(stderr, "error: unknown rule family '%c'\n", c);
+      return 2;
+    }
+    opts.families.insert(f);
+  }
+  if (!opts.families.empty()) {
+    if (opts.families.count('L') > 0 && layers_path.empty()) {
+      std::fprintf(stderr, "error: --rules L needs --layers FILE\n");
+      return 2;
+    }
+    run_layering = run_layering && opts.families.count('L') > 0;
+  }
+  if (!dot_path.empty() && layers_path.empty()) {
+    std::fprintf(stderr, "error: --dot needs --layers FILE\n");
+    return 2;
+  }
+
+  Layers layers;
+  if (!layers_path.empty()) {
+    std::string text;
+    if (!read_file(layers_path, text)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", layers_path.c_str());
+      return 2;
+    }
+    layers = Layers::parse(text);
+    if (!layers.parse_error.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", layers_path.c_str(),
+                   layers.parse_error.c_str());
+      return 2;
+    }
   }
 
   // Gather the file list, sorted so reports are stable across filesystems.
@@ -148,15 +219,86 @@ int main(int argc, char** argv) {
     contents.emplace_back(f, std::move(text));
   }
 
-  // Pass 2: lint each file.
-  std::size_t violations = 0;
-  for (const auto& [file, text] : contents) {
-    for (const Finding& f : vmig::lint::lint_content(file, text, opts)) {
+  // Pass 2 (+3): lint each file, then the include graph.
+  const auto collect_findings = [&] {
+    std::vector<Finding> all;
+    for (const auto& [file, text] : contents) {
+      for (Finding& f : vmig::lint::lint_content(file, text, opts)) {
+        all.push_back(std::move(f));
+      }
+    }
+    if (run_layering) {
+      std::vector<FileIncludes> incs;
+      incs.reserve(contents.size());
+      for (const auto& [file, text] : contents) {
+        incs.push_back({file, vmig::lint::normalize_include_path(file),
+                        vmig::lint::collect_includes(text)});
+      }
+      for (Finding& f : vmig::lint::check_layering(incs, layers)) {
+        all.push_back(std::move(f));
+      }
+    }
+    return all;
+  };
+
+  std::vector<Finding> findings = collect_findings();
+  if (fix) {
+    int fixed_total = 0;
+    for (auto& [file, text] : contents) {
+      std::vector<Finding> mine;
+      for (const Finding& f : findings) {
+        if (f.file == file && f.fix != Finding::Fix::kNone) mine.push_back(f);
+      }
+      if (mine.empty()) continue;
+      int applied = 0;
+      const std::string updated = vmig::lint::apply_fixes(text, mine, &applied);
+      if (applied == 0 || updated == text) continue;
+      std::ofstream out{file, std::ios::binary | std::ios::trunc};
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", file.c_str());
+        return 2;
+      }
+      out << updated;
+      text = updated;
+      fixed_total += applied;
+      std::fprintf(stderr, "vmig_lint: fixed %d issue(s) in %s\n", applied,
+                   file.c_str());
+    }
+    if (fixed_total > 0) findings = collect_findings();
+  }
+
+  for (const Finding& f : findings) {
+    if (format == "github") {
+      std::printf("%s\n", vmig::lint::format_finding_github(f).c_str());
+    } else {
       std::printf("%s\n", vmig::lint::format_finding(f).c_str());
-      ++violations;
     }
   }
-  std::fprintf(stderr, "vmig_lint: %zu violation(s) in %zu file(s)\n",
-               violations, contents.size());
-  return violations == 0 ? 0 : 1;
+
+  if (!dot_path.empty()) {
+    std::vector<FileIncludes> incs;
+    incs.reserve(contents.size());
+    for (const auto& [file, text] : contents) {
+      incs.push_back({file, vmig::lint::normalize_include_path(file),
+                      vmig::lint::collect_includes(text)});
+    }
+    std::ofstream out{dot_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", dot_path.c_str());
+      return 2;
+    }
+    out << vmig::lint::include_graph_dot(incs, layers);
+  }
+
+  const auto elapsed =  // vmig-lint: d1-ok -- lint's own elapsed-time report
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)  // vmig-lint: d1-ok -- ditto
+          .count();
+  std::string fams = rules_arg.empty() ? std::string{"DCHL"} : rules_arg;
+  for (char& c : fams) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  std::fprintf(stderr,
+               "vmig_lint: [%s] %zu violation(s) in %zu file(s), %.1f ms\n",
+               fams.c_str(), findings.size(), contents.size(),
+               static_cast<double>(elapsed) / 1000.0);
+  return findings.empty() ? 0 : 1;
 }

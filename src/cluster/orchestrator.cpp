@@ -148,23 +148,35 @@ sim::Task<void> Orchestrator::job_runner(JobId id) {
   // a reference into `jobs_` across the migrate() co_await would rely on
   // deque reference stability, which C2 (rightly) refuses to assume.
   const auto attempt = jobs_[id].attempts;
-  core::MigrationRequest req = jobs_[id].request;
-  // Jobs that carry no observability of their own inherit the
-  // orchestrator's, so every TPM phase span lands in one trace.
-  if (req.config.obs_registry == nullptr) req.config.obs_registry = cfg_.registry;
-  if (req.config.obs_tracer == nullptr) req.config.obs_tracer = cfg_.tracer;
-  if (req.config.obs_recorder == nullptr) req.config.obs_recorder = cfg_.recorder;
-
-  obs::Span span{tracer_, trk_,
-                 "job " + req.domain->name() + " -> " + req.to->name(),
-                 "\"job\":" + std::to_string(id) +
-                     ",\"attempt\":" + std::to_string(attempt)};
+  // Per-job request copy and trace-span strings are control-plane work,
+  // charged kOther (the IIFEs return prvalues, so construction happens
+  // inside the scoped lambdas and no scope spans the co_await).
+  core::MigrationRequest req = [&] {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    core::MigrationRequest r = jobs_[id].request;
+    // Jobs that carry no observability of their own inherit the
+    // orchestrator's, so every TPM phase span lands in one trace.
+    if (r.config.obs_registry == nullptr) r.config.obs_registry = cfg_.registry;
+    if (r.config.obs_tracer == nullptr) r.config.obs_tracer = cfg_.tracer;
+    if (r.config.obs_recorder == nullptr) r.config.obs_recorder = cfg_.recorder;
+    return r;
+  }();
+  obs::Span span = [&] {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    return obs::Span{tracer_, trk_,
+                     "job " + req.domain->name() + " -> " + req.to->name(),
+                     "\"job\":" + std::to_string(id) +
+                         ",\"attempt\":" + std::to_string(attempt)};
+  }();
   core::MigrationOutcome out = co_await mgr_.migrate(std::move(req));
-  span.set_args("\"job\":" + std::to_string(id) +
-                ",\"attempt\":" + std::to_string(attempt) + ",\"status\":\"" +
-                core::to_string(out.status) + "\"");
-  span.end();
-  on_finished(id, std::move(out));
+  {
+    obs::ProfScope finish_prof{obs::ProfCategory::kOther};
+    span.set_args("\"job\":" + std::to_string(id) +
+                  ",\"attempt\":" + std::to_string(attempt) + ",\"status\":\"" +
+                  core::to_string(out.status) + "\"");
+    span.end();
+    on_finished(id, std::move(out));
+  }
 }
 
 void Orchestrator::on_finished(JobId id, core::MigrationOutcome outcome) {

@@ -55,31 +55,6 @@ void BlockBitmap::fill(bool value) {
   set_count_ = size_;
 }
 
-std::optional<std::uint64_t> BlockBitmap::next_set(std::uint64_t from) const {
-  if (from >= size_) return std::nullopt;
-  std::size_t wi = from >> 6;
-  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
-  for (;;) {
-    if (w != 0) {
-      return static_cast<std::uint64_t>(wi) * 64 +
-             static_cast<std::uint64_t>(std::countr_zero(w));
-    }
-    if (++wi >= words_.size()) return std::nullopt;
-    w = words_[wi];
-  }
-}
-
-std::uint64_t BlockBitmap::run_length(std::uint64_t from, std::uint64_t max_len) const {
-  assert(test(from));
-  std::uint64_t n = 0;
-  std::uint64_t i = from;
-  while (n < max_len && i < size_ && test(i)) {
-    ++n;
-    ++i;
-  }
-  return n;
-}
-
 void BlockBitmap::or_with(const BlockBitmap& o) {
   assert(size_ == o.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/bitmap_words.hpp"
 #include "storage/block.hpp"
 
 namespace vmig::core {
@@ -17,6 +18,9 @@ namespace vmig::core {
 ///
 /// The set-bit count is maintained incrementally so the pre-copy loop's
 /// stop conditions (remaining dirty blocks, dirty rate) are O(1).
+///
+/// Implements the word-cursor contract (core/bitmap_words.hpp); all
+/// traversals run word-at-a-time through wordops.
 class BlockBitmap {
  public:
   BlockBitmap() = default;
@@ -52,24 +56,50 @@ class BlockBitmap {
   bool any() const noexcept { return set_count_ > 0; }
   bool none() const noexcept { return set_count_ == 0; }
 
+  // -- word-cursor contract (core/bitmap_words.hpp) --
+  std::uint64_t word_count() const noexcept { return words_.size(); }
+  std::uint64_t leaf_word(std::uint64_t wi) const { return words_[wi]; }
+  /// Flat bitmap: no hierarchy, every word is live.
+  std::uint64_t skip_to_live(std::uint64_t wi) const noexcept { return wi; }
+  /// OR `bits` into word `wi`, maintaining the set count.
+  void or_word(std::uint64_t wi, std::uint64_t bits) {
+    std::uint64_t& w = words_[wi];
+    set_count_ += static_cast<std::uint64_t>(std::popcount(bits & ~w));
+    w |= bits;
+  }
+  /// Clear `bits` in word `wi`, maintaining the set count.
+  void andnot_word(std::uint64_t wi, std::uint64_t bits) {
+    std::uint64_t& w = words_[wi];
+    set_count_ -= static_cast<std::uint64_t>(std::popcount(bits & w));
+    w &= ~bits;
+  }
+
   /// Index of the first set bit at or after `from`; nullopt if none.
-  std::optional<std::uint64_t> next_set(std::uint64_t from) const;
+  std::optional<std::uint64_t> next_set(std::uint64_t from) const {
+    return wordops::next_set(*this, from);
+  }
+
+  /// Index of the first clear bit at or after `from`; size() if none.
+  std::uint64_t next_clear(std::uint64_t from) const {
+    return wordops::next_clear(*this, from);
+  }
 
   /// Longest run of consecutive set bits starting exactly at `from`
   /// (from must be set), capped at max_len. Used to coalesce transfers.
-  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const;
+  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const {
+    return wordops::run_length(*this, from, max_len);
+  }
 
   /// Invoke f(index) for each set bit, ascending.
   template <typename F>
   void for_each_set(F&& f) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      std::uint64_t w = words_[wi];
-      while (w != 0) {
-        const int b = std::countr_zero(w);
-        f(static_cast<std::uint64_t>(wi) * 64 + static_cast<std::uint64_t>(b));
-        w &= w - 1;
-      }
-    }
+    wordops::for_each_set(*this, std::forward<F>(f));
+  }
+
+  /// Invoke f(index) for each set bit in [start, start + count), ascending.
+  template <typename F>
+  void for_each_set_in(std::uint64_t start, std::uint64_t count, F&& f) const {
+    wordops::for_each_set_in(*this, start, count, std::forward<F>(f));
   }
 
   /// In-place union.

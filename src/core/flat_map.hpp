@@ -1,0 +1,90 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vmig::core {
+
+/// Sorted flat-vector map.
+///
+/// A drop-in for the small ordered maps on the migration hot paths
+/// (outstanding pull requests, parked guest reads): iteration is in key
+/// order (deterministic, like std::map) but storage is one contiguous
+/// vector, so steady-state insert/erase shuffles elements inside retained
+/// capacity instead of allocating and freeing tree nodes per operation.
+/// Inserts/erases are O(n) moves — the maps this backs are bounded by the
+/// pull window (tens of entries), where the memmove is cheaper than a
+/// node allocation ever was.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() noexcept { return v_.begin(); }
+  iterator end() noexcept { return v_.end(); }
+  const_iterator begin() const noexcept { return v_.begin(); }
+  const_iterator end() const noexcept { return v_.end(); }
+
+  bool empty() const noexcept { return v_.empty(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  void clear() noexcept { v_.clear(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  iterator find(const K& k) {
+    auto it = lower(k);
+    return (it != v_.end() && it->first == k) ? it : v_.end();
+  }
+  const_iterator find(const K& k) const {
+    auto it = lower(k);
+    return (it != v_.end() && it->first == k) ? it : v_.end();
+  }
+  bool contains(const K& k) const {
+    const auto it = lower(k);
+    return it != v_.end() && it->first == k;
+  }
+
+  /// Value for `k`, default-constructed and inserted if absent.
+  V& operator[](const K& k) {
+    auto it = lower(k);
+    if (it == v_.end() || it->first != k) {
+      it = v_.insert(it, value_type{k, V{}});
+    }
+    return it->second;
+  }
+
+  /// Insert {k, v} if `k` is absent. Returns (iterator, inserted).
+  std::pair<iterator, bool> try_emplace(const K& k, V v = V{}) {
+    auto it = lower(k);
+    if (it != v_.end() && it->first == k) return {it, false};
+    it = v_.insert(it, value_type{k, std::move(v)});
+    return {it, true};
+  }
+
+  std::size_t erase(const K& k) {
+    const auto it = find(k);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return v_.erase(it); }
+
+ private:
+  iterator lower(const K& k) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+  const_iterator lower(const K& k) const {
+    return std::lower_bound(
+        v_.begin(), v_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+
+  std::vector<value_type> v_;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simcore/notifier.hpp"
+
+namespace vmig::core {
+
+/// Arena of recycled sim::Gate objects with stable addresses.
+///
+/// The post-copy pending list parks a guest read behind a per-block gate;
+/// at datacenter fan-out that is thousands of gate create/destroy cycles.
+/// The pool keeps gates in unique_ptr slots (addresses stay valid across
+/// growth, which waiting coroutines require) and recycles them through a
+/// free list, so the steady state acquires and releases without touching
+/// the heap. Releasing an opened gate is safe even while its waiters'
+/// resumptions are still queued in the simulator — resumed waiters never
+/// touch the gate again (see sim::Gate).
+class GatePool {
+ public:
+  explicit GatePool(sim::Simulator& sim) : sim_{&sim} {}
+
+  /// Index of a closed gate, reused if possible.
+  std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t i = free_.back();
+      free_.pop_back();
+      return i;
+    }
+    gates_.push_back(std::make_unique<sim::Gate>(*sim_));
+    return static_cast<std::uint32_t>(gates_.size() - 1);
+  }
+
+  sim::Gate& at(std::uint32_t i) { return *gates_[i]; }
+
+  /// Return a gate to the pool (it is reset to closed).
+  void release(std::uint32_t i) {
+    gates_[i]->reset();
+    free_.push_back(i);
+  }
+
+  /// High-water mark of simultaneously live gates.
+  std::size_t allocated() const noexcept { return gates_.size(); }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<sim::Gate>> gates_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace vmig::core

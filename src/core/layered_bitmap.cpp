@@ -9,6 +9,12 @@ LayeredBitmap::LayeredBitmap(std::uint64_t size_bits, std::uint64_t part_bits,
                              bool initially_set)
     : size_{size_bits},
       part_bits_{part_bits == 0 ? kDefaultPartBits : part_bits} {
+  // Word-cursor addressing wants part lookups to be shift-and-mask: round
+  // the part size up to a power of two, min one 64-bit word (every
+  // production caller already passes a power of two).
+  part_bits_ = std::bit_ceil(std::max<std::uint64_t>(part_bits_, 64));
+  words_per_part_ = part_bits_ / 64;
+  word_shift_ = static_cast<unsigned>(std::countr_zero(words_per_part_));
   const std::uint64_t nparts = (size_bits + part_bits_ - 1) / part_bits_;
   parts_.resize(nparts);
   upper_ = BlockBitmap{nparts};
@@ -19,6 +25,8 @@ LayeredBitmap& LayeredBitmap::operator=(const LayeredBitmap& o) {
   if (this == &o) return *this;
   size_ = o.size_;
   part_bits_ = o.part_bits_;
+  words_per_part_ = o.words_per_part_;
+  word_shift_ = o.word_shift_;
   set_count_ = o.set_count_;
   allocated_parts_ = o.allocated_parts_;
   upper_ = o.upper_;
@@ -74,6 +82,26 @@ void LayeredBitmap::clear(std::uint64_t i) {
   }
 }
 
+void LayeredBitmap::or_word(std::uint64_t wi, std::uint64_t bits) {
+  if (bits == 0) return;
+  const std::uint64_t pi = wi / words_per_part_;
+  BlockBitmap& part = ensure_part(pi);
+  const std::uint64_t before = part.count_set();
+  part.or_word(wi % words_per_part_, bits);
+  set_count_ += part.count_set() - before;
+  if (before == 0 && part.count_set() > 0) upper_.set(pi);
+}
+
+void LayeredBitmap::andnot_word(std::uint64_t wi, std::uint64_t bits) {
+  const std::uint64_t pi = wi / words_per_part_;
+  auto& part = parts_[pi];
+  if (!part) return;
+  const std::uint64_t before = part->count_set();
+  part->andnot_word(wi % words_per_part_, bits);
+  set_count_ -= before - part->count_set();
+  if (part->count_set() == 0 && before > 0) upper_.clear(pi);
+}
+
 void LayeredBitmap::set_range(std::uint64_t start, std::uint64_t count) {
   assert(start + count <= size_);
   std::uint64_t i = start;
@@ -92,6 +120,26 @@ void LayeredBitmap::set_range(std::uint64_t start, std::uint64_t count) {
   }
 }
 
+void LayeredBitmap::clear_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  while (i < end) {
+    const std::uint64_t pi = i / part_bits_;
+    const std::uint64_t part_start = pi * part_bits_;
+    const std::uint64_t in_part = i - part_start;
+    const std::uint64_t n = std::min(end - i, part_bits_ - in_part);
+    auto& part = parts_[pi];
+    if (part) {
+      const std::uint64_t before = part->count_set();
+      part->clear_range(in_part, n);
+      set_count_ -= before - part->count_set();
+      if (part->count_set() == 0 && before > 0) upper_.clear(pi);
+    }
+    i += n;
+  }
+}
+
 void LayeredBitmap::fill(bool value) {
   if (!value) {
     // Drop all leaves: matches the paper's "reset at iteration start", and
@@ -103,36 +151,6 @@ void LayeredBitmap::fill(bool value) {
     return;
   }
   set_range(0, size_);
-}
-
-std::optional<std::uint64_t> LayeredBitmap::next_set(std::uint64_t from) const {
-  if (from >= size_) return std::nullopt;
-  std::uint64_t pi = from / part_bits_;
-  // First candidate part: the one containing `from`, then upper-level scan.
-  for (;;) {
-    const auto next_part = upper_.next_set(pi);
-    if (!next_part) return std::nullopt;
-    pi = *next_part;
-    const auto& part = parts_[pi];
-    const std::uint64_t base = pi * part_bits_;
-    const std::uint64_t local_from = base >= from ? 0 : from - base;
-    if (part) {
-      if (const auto hit = part->next_set(local_from)) return base + *hit;
-    }
-    ++pi;  // nothing at/after `from` in this part; try the next dirty part
-    if (pi >= parts_.size()) return std::nullopt;
-  }
-}
-
-std::uint64_t LayeredBitmap::run_length(std::uint64_t from, std::uint64_t max_len) const {
-  assert(test(from));
-  std::uint64_t n = 0;
-  std::uint64_t i = from;
-  while (n < max_len && i < size_ && test(i)) {
-    ++n;
-    ++i;
-  }
-  return n;
 }
 
 }  // namespace vmig::core

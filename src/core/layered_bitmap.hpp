@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -17,6 +18,12 @@ namespace vmig::core {
 /// into few parts, so:
 ///   - scanning skips clean parts entirely (upper-level word scan), and
 ///   - memory and freeze-phase wire size shrink to upper + dirty parts.
+///
+/// Implements the word-cursor contract (core/bitmap_words.hpp): the bit
+/// space is addressed as a flat array of 64-bit words, unallocated parts
+/// read as zero words, and `skip_to_live` jumps a whole clean part per
+/// upper-level probe. Part size is normalized to a power of two (min 64)
+/// so the per-word part lookup is a shift and a mask, never a division.
 class LayeredBitmap {
  public:
   /// Default part size: 2^15 bits = 32768 blocks = 128 MiB of disk per part
@@ -41,25 +48,68 @@ class LayeredBitmap {
   void set(std::uint64_t i);
   void clear(std::uint64_t i);
   void set_range(std::uint64_t start, std::uint64_t count);
+  void clear_range(std::uint64_t start, std::uint64_t count);
   void fill(bool value);
 
   std::uint64_t count_set() const noexcept { return set_count_; }
   bool any() const noexcept { return set_count_ > 0; }
   bool none() const noexcept { return set_count_ == 0; }
 
-  std::optional<std::uint64_t> next_set(std::uint64_t from) const;
-  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const;
+  // -- word-cursor contract (core/bitmap_words.hpp) --
+  std::uint64_t word_count() const noexcept { return (size_ + 63) / 64; }
+  /// Word wi of the flattened bit space; unallocated parts read as zero.
+  std::uint64_t leaf_word(std::uint64_t wi) const {
+    const auto& part = parts_[wi >> word_shift_];
+    return part ? part->leaf_word(wi & (words_per_part_ - 1)) : 0;
+  }
+  /// Jump over clean parts via the upper level.
+  std::uint64_t skip_to_live(std::uint64_t wi) const {
+    const std::uint64_t nw = word_count();
+    if (wi >= nw) return nw;
+    const std::uint64_t pi = wi >> word_shift_;
+    if (upper_.test(pi)) return wi;
+    const auto np = upper_.next_set(pi + 1);
+    return np.has_value() ? *np << word_shift_ : nw;
+  }
+  void or_word(std::uint64_t wi, std::uint64_t bits);
+  void andnot_word(std::uint64_t wi, std::uint64_t bits);
+
+  std::optional<std::uint64_t> next_set(std::uint64_t from) const {
+    return wordops::next_set(*this, from);
+  }
+  std::uint64_t next_clear(std::uint64_t from) const {
+    return wordops::next_clear(*this, from);
+  }
+  std::uint64_t run_length(std::uint64_t from, std::uint64_t max_len) const {
+    return wordops::run_length(*this, from, max_len);
+  }
 
   /// Invoke f(index) for each set bit, ascending; clean parts are skipped
-  /// via the upper level (the layered bitmap's raison d'etre).
+  /// via the upper level (the layered bitmap's raison d'etre). Dedicated
+  /// loop rather than the generic word cursor: resolving the part pointer
+  /// once per live part keeps the inner sweep a flat word scan.
   template <typename F>
   void for_each_set(F&& f) const {
-    upper_.for_each_set([&](std::uint64_t pi) {
-      const auto& part = parts_[pi];
-      if (!part) return;
-      const std::uint64_t base = pi * part_bits_;
-      part->for_each_set([&](std::uint64_t off) { f(base + off); });
-    });
+    for (auto pio = upper_.next_set(0); pio.has_value();
+         pio = upper_.next_set(*pio + 1)) {
+      const BlockBitmap& part = *parts_[*pio];
+      const std::uint64_t base = *pio << (word_shift_ + 6);
+      const std::uint64_t pw = part.word_count();
+      for (std::uint64_t j = 0; j < pw; ++j) {
+        std::uint64_t w = part.leaf_word(j);
+        const std::uint64_t wb = base + j * 64;
+        while (w != 0) {
+          f(wb + static_cast<std::uint64_t>(std::countr_zero(w)));
+          w &= w - 1;
+        }
+      }
+    }
+  }
+
+  /// Invoke f(index) for each set bit in [start, start + count), ascending.
+  template <typename F>
+  void for_each_set_in(std::uint64_t start, std::uint64_t count, F&& f) const {
+    wordops::for_each_set_in(*this, start, count, std::forward<F>(f));
   }
 
   std::uint64_t allocated_parts() const noexcept { return allocated_parts_; }
@@ -79,6 +129,8 @@ class LayeredBitmap {
 
   std::uint64_t size_ = 0;
   std::uint64_t part_bits_ = kDefaultPartBits;
+  std::uint64_t words_per_part_ = kDefaultPartBits / 64;
+  unsigned word_shift_ = 9;  ///< log2(words_per_part_)
   std::uint64_t set_count_ = 0;
   std::uint64_t allocated_parts_ = 0;
   BlockBitmap upper_;

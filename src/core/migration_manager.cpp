@@ -62,22 +62,27 @@ sim::Task<MigrationOutcome> MigrationManager::migrate(MigrationRequest req) {
   co_return out;
 }
 
-sim::Task<MigrationReport> MigrationManager::migrate(vm::Domain& domain,
-                                                     hv::Host& from,
-                                                     hv::Host& to,
-                                                     MigrationConfig cfg) {
-  co_return co_await run_migration(MigrationRequest{
-      .domain = &domain, .from = &from, .to = &to, .config = std::move(cfg)});
-}
-
 sim::Task<MigrationReport> MigrationManager::run_migration(
     MigrationRequest req) {
   vm::Domain& domain = *req.domain;
   hv::Host& from = *req.from;
   hv::Host& to = *req.to;
   const MigrationConfig& cfg = req.config;
-  const auto tpm = std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
+  // Per-migration setup is control-plane work: attribute its allocations to
+  // kOther so the steady-state dispatch category stays clean.
+  const auto tpm = [&] {
+    obs::ProfScope prof{obs::ProfCategory::kOther};
+    return std::make_unique<TpmMigration>(sim_, cfg, domain, from, to);
+  }();
   if (progress_) tpm->set_progress_listener(progress_);
+
+  // The rest of the prologue (flight record, resume lookup, IM seeding,
+  // span strings, directory upkeep) is control-plane setup too. A ProfScope
+  // must not span a co_await (C1), so this one is held in an optional and
+  // explicitly reset before tpm->run() — there is no suspension point
+  // between here and that reset.
+  std::optional<obs::ProfScope> setup_prof{std::in_place,
+                                           obs::ProfCategory::kOther};
 
   // Flight recorder: open this attempt's record and hand the engine its
   // migration id. Closed on both exits below, so an aborted attempt still
@@ -85,6 +90,7 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   obs::FlightRecorder* const flight = cfg.obs_recorder;
   obs::FlightMigId flight_mig = 0;
   if (flight != nullptr) {
+    obs::ProfScope prof{obs::ProfCategory::kOther};
     flight_mig = flight->begin_migration(domain.name(), from.name(), to.name(),
                                          sim_.now());
     tpm->set_flight(flight, flight_mig);
@@ -110,8 +116,7 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
   const auto resume_seed = [&](const DirtyBitmap& since_abort) {
     obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
     DirtyBitmap seed{cfg.bitmap_kind, nblocks, /*initially_set=*/true};
-    resume->transferred.for_each_set(
-        [&seed](std::uint64_t b) { seed.clear(b); });
+    seed.subtract(resume->transferred);
     seed.or_with(since_abort);
     const std::uint64_t saved = nblocks - seed.count_set();
     tpm->set_first_pass_seed(std::move(seed), /*mark_incremental=*/false);
@@ -192,6 +197,8 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
     last_source_[domain.id()] = &from;
   }
 
+  setup_prof.reset();  // close the kOther scope before suspending
+
   MigrationReport rep;
   try {
     rep = co_await tpm->run();
@@ -219,6 +226,10 @@ sim::Task<MigrationReport> MigrationManager::run_migration(
     }
     throw;
   }
+
+  // Post-run bookkeeping (directory upkeep, resume invalidation, history)
+  // is control-plane work again; no suspension until co_return.
+  obs::ProfScope finish_prof{obs::ProfCategory::kOther};
 
   if (dir != nullptr) {
     tenancy_writes.or_with(tpm->observed_source_writes());

@@ -46,13 +46,6 @@ class MigrationManager {
   /// `req.deadline` are scheduler hints; the manager itself ignores them.
   sim::Task<MigrationOutcome> migrate(MigrationRequest req);
 
-  /// Positional forwarding shim for the request form above, predating
-  /// MigrationRequest. Deprecated: new code should pass a MigrationRequest
-  /// (see docs/API.md). Kept because the throwing contract differs — an
-  /// engine abort surfaces as MigrationAborted instead of an outcome.
-  sim::Task<MigrationReport> migrate(vm::Domain& domain, hv::Host& from,
-                                     hv::Host& to, MigrationConfig cfg = {});
-
   /// Observe phase transitions and disk pre-copy progress of every
   /// migration this manager runs (see TpmMigration::ProgressListener).
   void set_progress_listener(TpmMigration::ProgressListener l) {

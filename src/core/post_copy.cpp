@@ -20,8 +20,14 @@ PostCopyDestination::PostCopyDestination(sim::Simulator& sim,
       transferred_{std::move(transferred)},
       migrated_{migrated},
       to_source_{to_source},
+      gates_{sim},
       done_{sim},
       pull_enabled_{pull_enabled} {
+  // Pre-size the hot-path maps so the steady state stays allocation-free
+  // from the first pull (capacities grow only past a new high-water mark).
+  pending_.reserve(64);
+  requested_.reserve(64);
+  scratch_ids_.reserve(64);
   check_done();  // a zero-residue migration is already synchronized
 }
 
@@ -47,12 +53,17 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
     // blkback's write tracking.) Pending reads of the block — possible only
     // from concurrent guest contexts — see the freshly written data.
     std::uint64_t cancelled = 0;
-    for (storage::BlockId b = range.start; b < range.end(); ++b) {
-      if (transferred_.test(b)) {
-        transferred_.clear(b);
+    // Run-level sweep: visit only the still-dirty runs inside the write
+    // window, release their waiters, and clear each run word-at-a-time.
+    storage::BlockId from = range.start;
+    while (const auto run =
+               transferred_.next_set_run(from, range.end(), range.count)) {
+      for (storage::BlockId b = run->start; b < run->start + run->len; ++b) {
         release_waiters(b);
-        ++cancelled;
       }
+      transferred_.clear_range(run->start, run->len);
+      cancelled += run->len;
+      from = run->start + run->len;
     }
     if (cancelled > 0 && flight_ != nullptr) {
       flight_->overwrite_cancel(
@@ -68,8 +79,13 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
   const sim::TimePoint entered = sim_.now();
   bool blocked = false;
   if (pull_enabled_) {
-    for (storage::BlockId b = range.start; b < range.end(); ++b) {
-      if (!transferred_.test(b) || requested_.contains(b)) continue;
+    // Word-level skip to each dirty block; re-queried every iteration since
+    // the send suspends and blocks may arrive (or be overwritten) meanwhile.
+    for (auto nb = transferred_.next_set(range.start);
+         nb.has_value() && *nb < range.end();
+         nb = transferred_.next_set(*nb + 1)) {
+      const storage::BlockId b = *nb;
+      if (requested_.contains(b)) continue;
       if (!pull_slot_free()) {
         // Bounded pending-request list: park without a request; the
         // recovery loop issues the pull once a slot frees.
@@ -81,14 +97,18 @@ sim::Task<void> PostCopyDestination::on_request(vm::DomainId domain,
   }
   // vmig-lint: hot-begin -- pull parking: every faulting guest read lands
   // here; parking must not heap-allocate a gate per pull
-  for (storage::BlockId b = range.start; b < range.end(); ++b) {
-    while (transferred_.test(b)) {
-      blocked = true;
-      // vmig-lint: h2-ok -- map node only on the first waiter per block
-      sim::Gate& gate = pending_.try_emplace(b, sim_).first->second;
-      if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
-      co_await gate.wait();
-    }
+  for (;;) {
+    // Earliest still-inconsistent block in the window (word-level scan);
+    // re-queried after every wakeup because the wait suspends.
+    const auto nb = transferred_.next_set(range.start);
+    if (!nb.has_value() || *nb >= range.end()) break;
+    blocked = true;
+    // vmig-lint: h2-ok -- pooled gate + flat-map shuffle, no node alloc
+    const auto [it, inserted] = pending_.try_emplace(*nb);
+    if (inserted) it->second = gates_.acquire();
+    sim::Gate& gate = gates_.at(it->second);
+    if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
+    co_await gate.wait();
   }
   // vmig-lint: hot-end
   if (blocked) {
@@ -124,39 +144,39 @@ sim::Task<void> PostCopyDestination::on_block_received(const DiskBlocksMsg& msg)
   }
   std::uint64_t applied = 0;
   storage::BlockId i = range.start;
-  while (i < range.end()) {
-    if (!transferred_.test(i)) {
-      ++stats_.blocks_dropped;
-      ++i;
-      continue;
-    }
-    // Coalesce a contiguous applicable run for one disk write.
-    storage::BlockId j = i;
-    while (j < range.end() && transferred_.test(j)) ++j;
-    const std::uint32_t n = static_cast<std::uint32_t>(j - i);
-    const std::size_t off = static_cast<std::size_t>(i - range.start);
+  // Apply run-at-a-time: the bitmap cursor yields each contiguous
+  // still-inconsistent run for one coalesced disk write. Runs are re-queried
+  // from the live bitmap after every write because the write suspends and
+  // concurrent guest writes may shrink later runs.
+  while (const auto run = transferred_.next_set_run(i, range.end(), range.count)) {
+    const storage::BlockId rs = run->start;
+    const std::uint32_t n = static_cast<std::uint32_t>(run->len);
+    const std::size_t off = static_cast<std::size_t>(rs - range.start);
     const std::span<const storage::ContentToken> toks{msg.tokens.data() + off, n};
-    co_await disk_.write_tokens(storage::BlockRange{i, n}, toks,
+    co_await disk_.write_tokens(storage::BlockRange{rs, n}, toks,
                                 storage::IoSource::kMigration);
     if (!msg.payloads.empty()) {
       disk_.apply_payloads(
-          storage::BlockRange{i, n},
+          storage::BlockRange{rs, n},
           std::span<const std::byte>{msg.payloads.data() + off * msg.block_size,
                                      static_cast<std::size_t>(n) * msg.block_size});
     }
-    for (storage::BlockId b = i; b < j; ++b) {
-      transferred_.clear(b);
+    transferred_.clear_range(rs, n);
+    for (storage::BlockId b = rs; b < rs + n; ++b) {
       release_waiters(b);
       requested_.erase(b);
-      ++applied;
-      if (msg.pull_response) {
-        ++stats_.blocks_pulled;
-      } else {
-        ++stats_.blocks_pushed;
-      }
     }
-    i = j;
+    applied += n;
+    if (msg.pull_response) {
+      stats_.blocks_pulled += n;
+    } else {
+      stats_.blocks_pushed += n;
+    }
+    i = rs + n;
   }
+  // Everything in the window that was not applied had been superseded by a
+  // local write (or an earlier copy) — the paper's receive-rule drop case.
+  stats_.blocks_dropped += range.count - applied;
   if (msg.pull_response) {
     stats_.bytes_pull += msg.wire_bytes();
   } else {
@@ -180,14 +200,14 @@ void PostCopyDestination::force_complete(
     disk_.poke_token(b, source_of_truth.token(b));
   });
   transferred_.fill(false);
-  // Open the gates in block order: each open() resumes waiting coroutines,
-  // so the release order must not depend on hash-map layout.
-  std::vector<storage::BlockId> blocked;
-  blocked.reserve(pending_.size());
-  // vmig-lint: d3-ok -- keys are sorted below before any side effect
-  for (const auto& [b, gate] : pending_) blocked.push_back(b);
-  std::sort(blocked.begin(), blocked.end());
-  for (const storage::BlockId b : blocked) pending_.at(b).open();
+  // Open the gates in block order. The flat map iterates sorted by key, so
+  // the release order is deterministic without a snapshot-and-sort pass;
+  // opened gates go straight back to the pool (waiters resume through the
+  // simulator queue and never touch the gate again).
+  for (const auto& [b, gi] : pending_) {
+    gates_.at(gi).open();
+    gates_.release(gi);
+  }
   pending_.clear();
   requested_.clear();
   if (obs_pending_) obs_pending_->set(0.0);
@@ -235,26 +255,23 @@ sim::Task<void> PostCopyDestination::recovery_tick() {
   //    exponential backoff per block. Snapshot first: sends suspend, and
   //    arriving blocks mutate requested_ under us.
   if (rcfg_.pull_timeout > sim::Duration::zero()) {
-    std::vector<storage::BlockId> overdue;
+    scratch_ids_.clear();
     for (const auto& [b, ps] : requested_) {
       if (ps.timeout > sim::Duration::zero() && sim_.now() >= ps.sent + ps.timeout) {
-        overdue.push_back(b);
+        scratch_ids_.push_back(b);
       }
     }
-    for (const storage::BlockId b : overdue) {
+    for (const storage::BlockId b : scratch_ids_) {
       if (!transferred_.test(b) || !requested_.contains(b)) continue;
       co_await send_pull(b, /*is_retry=*/true);
     }
   }
 
   // 2. Issue pulls deferred by the outstanding bound, oldest block first
-  //    (pending_ is a hash map; sort for a deterministic issue order).
-  std::vector<storage::BlockId> parked;
-  parked.reserve(pending_.size());
-  // vmig-lint: d3-ok -- keys are sorted below before any side effect
-  for (const auto& [b, gate] : pending_) parked.push_back(b);
-  std::sort(parked.begin(), parked.end());
-  for (const storage::BlockId b : parked) {
+  //    (the flat map iterates in sorted key order — deterministic as-is).
+  scratch_ids_.clear();
+  for (const auto& [b, gi] : pending_) scratch_ids_.push_back(b);
+  for (const storage::BlockId b : scratch_ids_) {
     if (!pull_slot_free()) break;
     if (!transferred_.test(b) || requested_.contains(b)) continue;
     co_await send_pull(b, /*is_retry=*/false);
@@ -264,11 +281,11 @@ sim::Task<void> PostCopyDestination::recovery_tick() {
   //    transferred was lost in flight: schedule re-pulls (bounded per tick
   //    by the outstanding cap; later ticks mop up the rest).
   if (push_complete_seen_) {
-    std::vector<storage::BlockId> missing;
-    transferred_.for_each_set([&](std::uint64_t b) {
-      if (!requested_.contains(b)) missing.push_back(b);
+    scratch_ids_.clear();
+    transferred_.for_each_set([this](std::uint64_t b) {
+      if (!requested_.contains(b)) scratch_ids_.push_back(b);
     });
-    for (const storage::BlockId b : missing) {
+    for (const storage::BlockId b : scratch_ids_) {
       if (!pull_slot_free()) break;
       if (!transferred_.test(b) || requested_.contains(b)) continue;
       co_await send_pull(b, /*is_retry=*/false);
@@ -289,7 +306,9 @@ void PostCopyDestination::release_waiters(storage::BlockId b) {
   obs::ProfScope prof{obs::ProfCategory::kPostCopyPull};
   const auto it = pending_.find(b);
   if (it == pending_.end()) return;
-  it->second.open();
+  const std::uint32_t gi = it->second;
+  gates_.at(gi).open();
+  gates_.release(gi);
   pending_.erase(it);
   if (obs_pending_) obs_pending_->set(static_cast<double>(pending_.size()));
 }
@@ -350,7 +369,12 @@ sim::Task<void> PostCopySource::run() {
       const storage::BlockRange r{b, 1};
       co_await disk_.read(r, storage::IoSource::kMigration);
       remaining_.clear(b);
-      DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/true);
+      DiskBlocksMsg msg = [&] {
+        // Message assembly walks disk tokens; attribute it (and its buffer
+        // allocations) to disk iteration, not the dispatch loop.
+        obs::ProfScope prof{obs::ProfCategory::kDiskIteration};
+        return DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/true);
+      }();
       ++stats_.blocks_pulled;
       stats_.bytes_pull += msg.wire_bytes();
       co_await to_dest_.send(MigrationMessage{std::move(msg)}, shaper_);
@@ -372,9 +396,12 @@ sim::Task<void> PostCopySource::run() {
       const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
       const sim::TimePoint serve_start = sim_.now();
       co_await disk_.read(r, storage::IoSource::kMigration);
-      for (storage::BlockId b = r.start; b < r.end(); ++b) remaining_.clear(b);
+      remaining_.clear_range(r.start, r.count);
       cursor_ = r.end();
-      DiskBlocksMsg msg = DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
+      DiskBlocksMsg msg = [&] {
+        obs::ProfScope prof{obs::ProfCategory::kDiskIteration};
+        return DiskBlocksMsg::from_disk(disk_, r, /*pulled=*/false);
+      }();
       stats_.blocks_pushed += r.count;
       stats_.bytes_push += msg.wire_bytes();
       if (flight_ != nullptr) {

@@ -2,13 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "core/dirty_bitmap.hpp"
+#include "core/flat_map.hpp"
+#include "core/gate_pool.hpp"
 #include "core/protocol.hpp"
+#include "core/ring_buffer.hpp"
 #include "net/message_stream.hpp"
 #include "obs/tracer.hpp"
 #include "simcore/notifier.hpp"
@@ -82,7 +82,12 @@ class PostCopyDestination final : public vm::IoInterceptor {
   }
 
   /// Install the recovery tuning (must precede run_recovery()).
-  void set_recovery(PostCopyRecoveryConfig rcfg) { rcfg_ = rcfg; }
+  void set_recovery(PostCopyRecoveryConfig rcfg) {
+    rcfg_ = rcfg;
+    if (rcfg.max_outstanding_pulls > 0) {
+      requested_.reserve(rcfg.max_outstanding_pulls + 1);
+    }
+  }
 
   // vm::IoInterceptor
   sim::Task<void> on_request(vm::DomainId domain, storage::IoOp op,
@@ -140,18 +145,24 @@ class PostCopyDestination final : public vm::IoInterceptor {
   vm::DomainId migrated_;
   MigStream& to_source_;
   // The paper's pending list P, realized as per-block gates holding the
-  // suspended guest-read coroutines. Gates live in the map by value:
-  // unordered_map nodes are address-stable, so no per-block heap Gate is
-  // needed, and open-then-erase is safe (see sim::Gate).
-  std::unordered_map<storage::BlockId, sim::Gate> pending_;
-  /// Outstanding pull requests with their retry deadlines. Ordered map: the
-  /// recovery loop iterates it, and iteration order must be deterministic.
+  // suspended guest-read coroutines. Gates come from a recycling pool
+  // (stable addresses, zero steady-state allocation); the flat map keys
+  // block -> pool index in sorted order, so the recovery loop iterates it
+  // deterministically with no snapshot-and-sort step.
+  GatePool gates_;
+  FlatMap<storage::BlockId, std::uint32_t> pending_;
+  /// Outstanding pull requests with their retry deadlines. Sorted flat map:
+  /// the recovery loop iterates it, and iteration order must be
+  /// deterministic; entries churn at pull rate, so storage must recycle.
   struct PullState {
     sim::TimePoint sent{};
     sim::Duration timeout{};
     int retries = 0;
   };
-  std::map<storage::BlockId, PullState> requested_;
+  FlatMap<storage::BlockId, PullState> requested_;
+  /// Reusable id snapshot for recovery sweeps (sends suspend; the maps and
+  /// the bitmap mutate under us, so each sweep works from a stable copy).
+  std::vector<storage::BlockId> scratch_ids_;
   sim::Gate done_;
   PostCopyStats stats_;
   PostCopyRecoveryConfig rcfg_{};
@@ -215,7 +226,7 @@ class PostCopySource {
   MigStream& to_dest_;
   std::uint32_t push_chunk_;
   net::TokenBucket* shaper_;
-  std::deque<storage::BlockId> pulls_;
+  RingBuffer<storage::BlockId> pulls_;
   sim::Notifier wake_;  ///< idle wakeup: new pull or stop request
   storage::BlockId cursor_ = 0;
   bool finished_ = false;

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vmig::core {
+
+/// Power-of-two ring buffer FIFO.
+///
+/// Replaces std::deque on queues that live in the per-event hot path (the
+/// source's pull-request queue): a deque allocates and frees chunk blocks as
+/// the queue breathes around a chunk boundary, while the ring recycles one
+/// flat buffer and only ever allocates when the high-water mark doubles.
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t ncap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> nb(ncap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      nb[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_.swap(nb);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vmig::core

@@ -1,0 +1,131 @@
+#include "core/three_level_bitmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmig::core {
+
+ThreeLevelBitmap::ThreeLevelBitmap(std::uint64_t size_bits, bool initially_set)
+    : size_{size_bits},
+      leaf_((size_bits + 63) / 64, 0),
+      dir_((leaf_.size() + kWordsPerLine * 64 - 1) / (kWordsPerLine * 64), 0),
+      sum_((dir_.size() + 63) / 64, 0) {
+  if (initially_set) fill(true);
+}
+
+std::uint64_t ThreeLevelBitmap::skip_to_live(std::uint64_t wi) const {
+  const std::uint64_t nw = leaf_.size();
+  if (wi >= nw) return nw;
+  // Is wi's own cache line live? If so, no skip.
+  std::uint64_t line = wi / kWordsPerLine;
+  std::uint64_t dw = line >> 6;
+  if ((dir_[dw] >> (line & 63)) & 1u) return wi;
+  // Scan the rest of this directory word for a later live line.
+  std::uint64_t d = dir_[dw] & (~std::uint64_t{0} << (line & 63));
+  for (;;) {
+    if (d != 0) {
+      const std::uint64_t live_line =
+          dw * 64 + static_cast<std::uint64_t>(std::countr_zero(d));
+      const std::uint64_t w = live_line * kWordsPerLine;
+      return w < nw ? w : nw;
+    }
+    // Climb to the summary to find the next live directory word. dir_[dw]
+    // was clean past `line`, so exclude dw itself; (dw&63) can be 63 and a
+    // 64-bit shift is UB, hence the 2<<k form.
+    std::uint64_t sw = dw >> 6;
+    std::uint64_t s = sum_[sw] & ~((std::uint64_t{2} << (dw & 63)) - 1);
+    for (;;) {
+      if (s != 0) {
+        dw = sw * 64 + static_cast<std::uint64_t>(std::countr_zero(s));
+        break;
+      }
+      if (++sw >= sum_.size()) return nw;
+      s = sum_[sw];
+    }
+    d = dir_[dw];
+  }
+}
+
+void ThreeLevelBitmap::set_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  while (i < end && (i & 63) != 0) set(i++);
+  while (i + 64 <= end) {
+    or_word(i >> 6, ~std::uint64_t{0});
+    i += 64;
+  }
+  while (i < end) set(i++);
+}
+
+void ThreeLevelBitmap::clear_range(std::uint64_t start, std::uint64_t count) {
+  assert(start + count <= size_);
+  std::uint64_t i = start;
+  const std::uint64_t end = start + count;
+  while (i < end && (i & 63) != 0) clear(i++);
+  while (i + 64 <= end) {
+    andnot_word(i >> 6, ~std::uint64_t{0});
+    i += 64;
+  }
+  while (i < end) clear(i++);
+}
+
+void ThreeLevelBitmap::fill(bool value) {
+  if (!value) {
+    std::fill(leaf_.begin(), leaf_.end(), 0);
+    std::fill(dir_.begin(), dir_.end(), 0);
+    std::fill(sum_.begin(), sum_.end(), 0);
+    set_count_ = 0;
+    return;
+  }
+  std::fill(leaf_.begin(), leaf_.end(), ~std::uint64_t{0});
+  if (const std::uint64_t tail = size_ & 63; tail != 0 && !leaf_.empty()) {
+    leaf_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  // Raise a directory bit per line that has words, a summary bit per
+  // directory word that has lines.
+  std::fill(dir_.begin(), dir_.end(), 0);
+  std::fill(sum_.begin(), sum_.end(), 0);
+  const std::uint64_t nlines = (leaf_.size() + kWordsPerLine - 1) / kWordsPerLine;
+  for (std::uint64_t line = 0; line < nlines; ++line) mark_line(line);
+  set_count_ = size_;
+  // An all-zero tail word (size_ a multiple of 64 never produces one, but a
+  // tiny bitmap whose tail mask zeroed the only word can) leaves a stale
+  // directory bit; rebuild the last line to stay exact.
+  if (nlines > 0) rebuild_line(nlines - 1);
+}
+
+void ThreeLevelBitmap::sweep_line(std::uint64_t line) {
+  const std::uint64_t base = line * kWordsPerLine;
+  const std::uint64_t stop = std::min<std::uint64_t>(base + kWordsPerLine, leaf_.size());
+  for (std::uint64_t w = base; w < stop; ++w) {
+    if (leaf_[w] != 0) return;  // line still live
+  }
+  const std::uint64_t dw = line >> 6;
+  dir_[dw] &= ~(std::uint64_t{1} << (line & 63));
+  if (dir_[dw] == 0) sum_[dw >> 6] &= ~(std::uint64_t{1} << (dw & 63));
+}
+
+void ThreeLevelBitmap::rebuild_line(std::uint64_t line) {
+  const std::uint64_t base = line * kWordsPerLine;
+  const std::uint64_t stop = std::min<std::uint64_t>(base + kWordsPerLine, leaf_.size());
+  bool live = false;
+  for (std::uint64_t w = base; w < stop; ++w) {
+    if (leaf_[w] != 0) { live = true; break; }
+  }
+  const std::uint64_t dw = line >> 6;
+  if (live) {
+    mark_line(line);
+  } else {
+    dir_[dw] &= ~(std::uint64_t{1} << (line & 63));
+    if (dir_[dw] == 0) sum_[dw >> 6] &= ~(std::uint64_t{1} << (dw & 63));
+  }
+}
+
+std::uint64_t ThreeLevelBitmap::dirty_lines() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t d : dir_) n += static_cast<std::uint64_t>(std::popcount(d));
+  return n;
+}
+
+}  // namespace vmig::core

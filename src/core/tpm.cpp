@@ -156,8 +156,12 @@ sim::Task<MigrationReport> TpmMigration::run() {
       pc_dst_->stats().bytes_pull + pc_dst_->stats().pull_requests * kMsgHeaderBytes;
   rep_.postcopy_pull_retries = pc_dst_->pull_retries();
 
-  verify_consistency();
-  notify_progress(Phase::kDone, 1.0);
+  {
+    // End-of-migration verification copies whole bitmaps — control-plane.
+    obs::ProfScope verify_prof{obs::ProfCategory::kOther};
+    verify_consistency();
+    notify_progress(Phase::kDone, 1.0);
+  }
 
   fwd_.close();
   rev_.close();
@@ -184,22 +188,22 @@ sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
                                sim::Duration cpu_per_mib, const bool* abort,
                                sim::Channel<DiskBlocksMsg>& pipe) {
   const std::uint32_t block_size = disk.geometry().block_size;
-  std::uint64_t cursor = 0;
+  SetRunCursor runs{bm};
   for (;;) {
     if (*abort) break;  // consumer noticed a link outage; stop reading
-    std::optional<std::uint64_t> next;
-    std::uint64_t len = 0;
+    std::optional<SetRun> run;
     // vmig-lint: hot-begin -- bitmap scan: per-run inner loop of every
     // pre-copy iteration; scanning must stay allocation-free
     {
       obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
-      next = bm.next_set(cursor);
-      if (next.has_value()) len = bm.run_length(*next, chunk_blocks);
+      run = runs.next(chunk_blocks);
     }
     // vmig-lint: hot-end
-    if (!next) break;
-    obs::prof_count(obs::ProfCategory::kBitmapScan, len);
-    const storage::BlockRange r{*next, static_cast<std::uint32_t>(len)};
+    if (!run) break;
+    const storage::BlockId rs = run->start;
+    const auto rn = static_cast<std::uint32_t>(run->len);
+    obs::prof_count(obs::ProfCategory::kBitmapScan, rn);
+    const storage::BlockRange r{rs, rn};
     co_await disk.read(r, storage::IoSource::kMigration);
     if (cpu_per_mib > sim::Duration::zero()) {
       // User-space daemon cost: copying the chunk out of the backend and
@@ -207,8 +211,13 @@ sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
       co_await sim.delay(cpu_per_mib.scaled(
           static_cast<double>(r.bytes(block_size)) / (1024.0 * 1024.0)));
     }
-    co_await pipe.send(DiskBlocksMsg::from_disk(disk, r, /*pulled=*/false));
-    cursor = r.end();
+    DiskBlocksMsg msg = [&] {
+      // Payload materialization (content-token snapshot) is charged to the
+      // disk-iteration category, not dispatch.
+      obs::ProfScope read_prof{obs::ProfCategory::kDiskIteration};
+      return DiskBlocksMsg::from_disk(disk, r, /*pulled=*/false);
+    }();
+    co_await pipe.send(std::move(msg));
   }
   pipe.close();
 }
@@ -217,7 +226,13 @@ sim::Task<void> precopy_reader(sim::Simulator& sim, storage::VirtualDisk& disk,
 
 sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
     const DirtyBitmap& bm, std::uint64_t* blocks_out) {
-  sim::Channel<DiskBlocksMsg> pipe{sim_, /*capacity=*/4};
+  // The channel's deque allocates at construction; that is per-transfer setup,
+  // not dispatch work, so the ctor runs under a kOther scope. The IIFE returns
+  // a prvalue (guaranteed elision — Channel is non-movable).
+  sim::Channel<DiskBlocksMsg> pipe = [&]() -> sim::Channel<DiskBlocksMsg> {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    return sim::Channel<DiskBlocksMsg>{sim_, /*capacity=*/4};
+  }();
   auto reader = sim_.spawn(
       precopy_reader(sim_, src_.vbd_for(domain_.id()), bm, cfg_.disk_chunk_blocks,
                      cfg_.blkd_cpu_per_mib, &abort_transfer_, pipe),
@@ -276,13 +291,19 @@ sim::Task<std::uint64_t> TpmMigration::transfer_by_bitmap(
 
 sim::Task<void> TpmMigration::disk_precopy() {
   const std::uint64_t nblocks = src_.vbd_for(domain_.id()).geometry().block_count;
+  DirtyBitmap seed;
+  // Per-migration setup (bitmap construction, seed selection, resume
+  // bookkeeping) is control-plane work: scope it kOther so the dispatch
+  // loop's alloc counter stays a steady-state signal. The scope is a plain
+  // block — it must close before the first co_await.
+  {
+  obs::ProfScope setup_prof{obs::ProfCategory::kOther};
   observed_writes_ = DirtyBitmap{cfg_.bitmap_kind, nblocks};
 
   // Incremental Migration (§V): if blkback is still tracking writes from a
   // previous migration onto this host, its bitmap has every block dirtied
   // since — only those need to move. Otherwise generate an all-set bitmap.
   // A multi-host IM directory (§VII) may supply the seed explicitly.
-  DirtyBitmap seed;
   if (explicit_seed_.has_value()) {
     seed = std::move(*explicit_seed_);
     rep_.incremental = explicit_seed_incremental_;
@@ -317,10 +338,11 @@ sim::Task<void> TpmMigration::disk_precopy() {
   // vmig-lint: hot-begin -- full-bitmap sweep over the first-pass seed
   {
     obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
-    seed.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+    resume_transferred_.subtract(seed);
   }
   // vmig-lint: hot-end
   resume_tracking_started_ = true;
+  }  // end of setup kOther scope
 
   const sim::TimePoint iter1_start = sim_.now();
   flight_iter_ = 1;
@@ -340,6 +362,10 @@ sim::Task<void> TpmMigration::disk_precopy() {
   }
 
   std::uint64_t last_transferred = std::max<std::uint64_t>(rep_.blocks_first_pass, 1);
+  // Reused snapshot buffer: take_and_reset_into lands each iteration's
+  // dirty set in this bitmap's existing storage (no per-iteration copy
+  // allocation for flat/three-level kinds).
+  DirtyBitmap snap;
   while (rep_.disk_iterations < cfg_.disk_max_iterations) {
     const std::uint64_t dirty = src_.backend_for(domain_.id()).dirty_block_count();
     if (dirty <= cfg_.disk_residual_target_blocks) break;
@@ -362,13 +388,13 @@ sim::Task<void> TpmMigration::disk_precopy() {
       }
       break;
     }
-    const DirtyBitmap snap = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
     // vmig-lint: hot-begin -- per-iteration dirty-snapshot merge
     {
       obs::ProfScope prof{obs::ProfCategory::kBitmapScan};
+      src_.backend_for(domain_.id()).snapshot_dirty_and_reset_into(snap);
       observed_writes_.or_with(snap);
       // Re-dirtied blocks invalidate the destination's copy until re-delivered.
-      snap.for_each_set([this](std::uint64_t b) { resume_transferred_.clear(b); });
+      resume_transferred_.subtract(snap);
     }
     // vmig-lint: hot-end
     const sim::TimePoint iter_start = sim_.now();
@@ -408,14 +434,20 @@ sim::Task<void> TpmMigration::freeze_and_copy() {
   co_await sim_.delay(cfg_.suspend_overhead);
 
   // Snapshot the final inconsistent-block set; tracking stops on the source
-  // (it restarts on the destination for IM).
-  DirtyBitmap final_bm = src_.backend_for(domain_.id()).snapshot_dirty_and_reset();
-  observed_writes_.or_with(final_bm);
-  src_.backend_for(domain_.id()).stop_write_tracking();
-  // Tracking is off: no redirty can fire again, and the source backend may
-  // outlive this migration object.
-  if (flight_ != nullptr) src_.backend_for(domain_.id()).clear_redirty_hook();
-  rep_.residual_dirty_blocks = final_bm.count_set();
+  // (it restarts on the destination for IM). Freeze happens once per
+  // migration — control-plane, not dispatch — so the synchronous chunk runs
+  // under kOther (plain block: it must close before the next co_await).
+  DirtyBitmap final_bm;
+  {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    src_.backend_for(domain_.id()).snapshot_dirty_and_reset_into(final_bm);
+    observed_writes_.or_with(final_bm);
+    src_.backend_for(domain_.id()).stop_write_tracking();
+    // Tracking is off: no redirty can fire again, and the source backend may
+    // outlive this migration object.
+    if (flight_ != nullptr) src_.backend_for(domain_.id()).clear_redirty_hook();
+    rep_.residual_dirty_blocks = final_bm.count_set();
+  }
 
   // Residual dirty pages + vCPU context, then the block-bitmap.
   const auto res = co_await mem_migrator_.send_residual(domain_, fwd_);
@@ -429,7 +461,10 @@ sim::Task<void> TpmMigration::freeze_and_copy() {
                          obs::FlightRecorder::Unit::kCpu, 1, res.cpu_bytes);
   }
 
-  MigrationMessage bm_msg{BlockBitmapMsg{final_bm}};
+  MigrationMessage bm_msg = [&] {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    return MigrationMessage{BlockBitmapMsg{final_bm}};
+  }();
   const std::uint64_t bm_bytes = bm_msg.wire_bytes();
   rep_.bytes_bitmap += bm_bytes;
   co_await fwd_.send(std::move(bm_msg));
@@ -439,11 +474,16 @@ sim::Task<void> TpmMigration::freeze_and_copy() {
                          rep_.residual_dirty_blocks, bm_bytes);
   }
 
-  pc_src_ = std::make_unique<PostCopySource>(
-      sim_, src_.vbd_for(domain_.id()), std::move(final_bm), fwd_, cfg_.push_chunk_blocks,
-      cfg_.rate_limit_postcopy && cfg_.rate_limit_mibps > 0 ? &shaper_ : nullptr);
-  pc_src_->attach_obs(tracer_, trk_push_, cfg_.obs_registry);
-  if (flight_ != nullptr) pc_src_->attach_flight(flight_, flight_mig_);
+  {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    pc_src_ = std::make_unique<PostCopySource>(
+        sim_, src_.vbd_for(domain_.id()), std::move(final_bm), fwd_,
+        cfg_.push_chunk_blocks,
+        cfg_.rate_limit_postcopy && cfg_.rate_limit_mibps > 0 ? &shaper_
+                                                             : nullptr);
+    pc_src_->attach_obs(tracer_, trk_push_, cfg_.obs_registry);
+    if (flight_ != nullptr) pc_src_->attach_flight(flight_, flight_mig_);
+  }
 
   rep_.bytes_control +=
       MigrationMessage{ControlMsg{Control::kEnterPostCopy}}.wire_bytes();
@@ -539,33 +579,45 @@ sim::Task<void> TpmMigration::handle_enter_postcopy() {
   assert(received_bitmap_.has_value() && "bitmap must precede EnterPostCopy");
   assert(received_cpu_.has_value() && "CPU state must precede EnterPostCopy");
 
-  pc_dst_ = std::make_unique<PostCopyDestination>(
-      sim_, dst_.vbd_for(domain_.id()), *received_bitmap_, domain_.id(), rev_,
-      cfg_.postcopy_pull_enabled);
-  pc_dst_->set_recovery({cfg_.postcopy_pull_timeout, cfg_.postcopy_pull_backoff,
-                         cfg_.postcopy_recovery_interval,
-                         cfg_.postcopy_max_outstanding_pulls});
-  pc_dst_->attach_obs(tracer_, trk_dst_, cfg_.obs_registry);
-  if (flight_ != nullptr) pc_dst_->attach_flight(flight_, flight_mig_);
+  // Handover setup (PostCopyDestination construction, fresh tracking bitmap,
+  // domain relocation) is once-per-migration control-plane work: scope it
+  // kOther so dispatch stays a steady-state alloc signal. Plain block — it
+  // must close before the co_await below.
+  {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    pc_dst_ = std::make_unique<PostCopyDestination>(
+        sim_, dst_.vbd_for(domain_.id()), *received_bitmap_, domain_.id(), rev_,
+        cfg_.postcopy_pull_enabled);
+    pc_dst_->set_recovery({cfg_.postcopy_pull_timeout,
+                           cfg_.postcopy_pull_backoff,
+                           cfg_.postcopy_recovery_interval,
+                           cfg_.postcopy_max_outstanding_pulls});
+    pc_dst_->attach_obs(tracer_, trk_dst_, cfg_.obs_registry);
+    if (flight_ != nullptr) pc_dst_->attach_flight(flight_, flight_mig_);
 
-  // The guest is frozen, so the received pages can be checked against its
-  // memory image right now: a mismatch means pre-copy lost an update.
-  rep_.memory_consistent = shadow_mem_.content_equals(domain_.memory()) &&
-                           received_cpu_->version >= domain_.cpu().version;
+    // The guest is frozen, so the received pages can be checked against its
+    // memory image right now: a mismatch means pre-copy lost an update.
+    rep_.memory_consistent = shadow_mem_.content_equals(domain_.memory()) &&
+                             received_cpu_->version >= domain_.cpu().version;
 
-  // Relocate the domain: rebind the frontend, install interception, restart
-  // write tracking for a later incremental migration back (BM_3).
-  src_.detach_domain(domain_);
-  dst_.attach_domain(domain_);
-  dst_.backend_for(domain_.id()).install_interceptor(pc_dst_.get());
-  if (cfg_.track_for_incremental) {
-    dst_.backend_for(domain_.id()).set_tracking_overhead(cfg_.tracking_overhead);
-    dst_.backend_for(domain_.id()).start_write_tracking(cfg_.bitmap_kind);
+    // Relocate the domain: rebind the frontend, install interception, restart
+    // write tracking for a later incremental migration back (BM_3).
+    src_.detach_domain(domain_);
+    dst_.attach_domain(domain_);
+    dst_.backend_for(domain_.id()).install_interceptor(pc_dst_.get());
+    if (cfg_.track_for_incremental) {
+      dst_.backend_for(domain_.id()).set_tracking_overhead(
+          cfg_.tracking_overhead);
+      dst_.backend_for(domain_.id()).start_write_tracking(cfg_.bitmap_kind);
+    }
   }
 
   co_await sim_.delay(cfg_.resume_overhead);
   domain_.resume();
   rep_.resumed = sim_.now();
+  // Post-resume bookkeeping and watcher spawns: still control-plane. The
+  // scope runs to the end of the coroutine body (no further co_await).
+  obs::ProfScope resume_prof{obs::ProfCategory::kOther};
   if (tracer_) {
     tracer_->instant(trk_dst_, "resumed",
                      "\"residue_blocks\": " +

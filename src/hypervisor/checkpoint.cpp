@@ -2,8 +2,8 @@
 
 #include <string>
 #include <utility>
-#include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 
 namespace vmig::hv {
@@ -15,27 +15,41 @@ sim::Task<std::uint64_t> MemoryMigrator::send_pages(
     vm::Domain& domain, const core::BlockBitmap& pages, MigStream& stream,
     net::TokenBucket* shaper, bool final_residual, std::uint64_t* pages_sent) {
   std::uint64_t bytes = 0;
+  const std::uint64_t total = pages.count_set();
   MemPagesMsg msg;
-  msg.page_size = domain.memory().page_size();
-  msg.pages.reserve(cfg_.mem_chunk_pages);
+  {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    msg.page_size = domain.memory().page_size();
+    msg.pages.reserve(cfg_.mem_chunk_pages);
+  }
 
-  std::vector<vm::PageId> ids;
-  ids.reserve(pages.count_set());
-  pages.for_each_set([&](std::uint64_t p) { ids.push_back(p); });
-
-  for (std::size_t i = 0; i < ids.size(); ++i) {
+  // Walk the bitmap cursor directly instead of materializing an index
+  // vector: no per-call O(set pages) allocation, same send order.
+  std::uint64_t seen = 0;
+  std::uint64_t pos = 0;
+  while (seen < total) {
+    const auto nxt = pages.next_set(pos);
+    if (!nxt.has_value()) break;
+    const std::uint64_t p = *nxt;
+    pos = p + 1;
+    ++seen;
     // Version snapshot happens at send time, like reading the live page.
-    msg.pages.emplace_back(ids[i], domain.memory().version(ids[i]));
-    const bool last = i + 1 == ids.size();
+    msg.pages.emplace_back(p, domain.memory().version(p));
+    const bool last = seen == total;
     if (msg.pages.size() >= cfg_.mem_chunk_pages || last) {
       msg.final_residual = final_residual && last;
       if (pages_sent != nullptr) *pages_sent += msg.pages.size();
       MigrationMessage wire{std::move(msg)};
       bytes += wire.wire_bytes();
       co_await stream.send(std::move(wire), shaper);
-      msg = MemPagesMsg{};
-      msg.page_size = domain.memory().page_size();
-      msg.pages.reserve(cfg_.mem_chunk_pages);
+      {
+        // Refill the chunk buffer (the previous one was moved onto the
+        // wire); buffer churn is charged kOther, not dispatch.
+        obs::ProfScope refill_prof{obs::ProfCategory::kOther};
+        msg = MemPagesMsg{};
+        msg.page_size = domain.memory().page_size();
+        msg.pages.reserve(cfg_.mem_chunk_pages);
+      }
     }
   }
   co_return bytes;
@@ -44,7 +58,12 @@ sim::Task<std::uint64_t> MemoryMigrator::send_pages(
 sim::Task<std::uint64_t> MemoryMigrator::send_all_pages(
     vm::Domain& domain, MigStream& stream, net::TokenBucket* shaper,
     std::uint64_t* pages_sent) {
-  core::BlockBitmap all{domain.memory().page_count(), /*initially_set=*/true};
+  // Round-1 all-pages bitmap: per-migration setup, charged kOther.
+  const core::BlockBitmap all = [&] {
+    obs::ProfScope setup_prof{obs::ProfCategory::kOther};
+    return core::BlockBitmap{domain.memory().page_count(),
+                             /*initially_set=*/true};
+  }();
   co_return co_await send_pages(domain, all, stream, shaper,
                                 /*final_residual=*/false, pages_sent);
 }
@@ -86,7 +105,10 @@ sim::Task<MemoryMigrator::PrecopyResult> MemoryMigrator::precopy(
       }
       break;
     }
-    const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
+    const core::BlockBitmap snap = [&] {
+      obs::ProfScope snap_prof{obs::ProfCategory::kOther};
+      return domain.memory().take_dirty_and_reset();
+    }();
     const sim::TimePoint round_start = sim_.now();
     std::uint64_t sent = 0;
     const std::uint64_t round_bytes =
@@ -112,7 +134,10 @@ sim::Task<MemoryMigrator::ResidualResult> MemoryMigrator::send_residual(
     vm::Domain& domain, MigStream& stream) {
   ResidualResult res;
   const sim::TimePoint residual_start = sim_.now();
-  const core::BlockBitmap snap = domain.memory().take_dirty_and_reset();
+  const core::BlockBitmap snap = [&] {
+    obs::ProfScope snap_prof{obs::ProfCategory::kOther};
+    return domain.memory().take_dirty_and_reset();
+  }();
   res.pages = snap.count_set();
   // Residual is always sent unshaped: it happens inside the downtime.
   res.pages_bytes = co_await send_pages(domain, snap, stream, /*shaper=*/nullptr,

@@ -108,6 +108,9 @@ void FlightRecorder::disk_precopy_send(FlightMigId m, sim::TimePoint t,
                                        std::int32_t iter, std::uint64_t block,
                                        std::uint64_t count,
                                        std::uint64_t bytes) {
+  // note_sent below may grow the per-migration duplicate map; keep those
+  // allocations attributed to the recorder, not the caller's category.
+  ProfScope prof{ProfCategory::kRecorderEmit};
   MigStats* s = mig(m);
   if (s == nullptr) return;
   if (s->disk_iters.empty() || s->disk_iters.back().iter != iter) {

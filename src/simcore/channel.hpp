@@ -1,11 +1,12 @@
 #pragma once
 
+#include <bit>
 #include <cstddef>
-#include <deque>
 #include <limits>
 #include <optional>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "simcore/notifier.hpp"
 #include "simcore/task.hpp"
@@ -19,6 +20,12 @@ namespace vmig::sim {
 /// `recv` suspends while it is empty. `close()` wakes everyone: pending and
 /// future `recv`s drain remaining items then return nullopt; `send`s on a
 /// closed channel return false.
+///
+/// Storage is a power-of-two ring pre-reserved at construction. A deque
+/// would free and re-malloc its node blocks as a FIFO wraps, so a busy
+/// channel allocated forever; the ring makes steady-state send/recv
+/// allocation-free — it only grows (amortized doubling) when depth exceeds
+/// every previous high-water mark.
 template <typename T>
 class Channel {
   // GCC 12's coroutine ramp double-destroys an elided aggregate prvalue
@@ -36,47 +43,52 @@ class Channel {
   explicit Channel(Simulator& sim, std::size_t capacity = kUnbounded)
       : capacity_{capacity == 0 ? 1 : capacity},
         not_empty_{sim},
-        not_full_{sim} {}
+        not_full_{sim} {
+    // Reserve the ring up front (clamped for unbounded/huge capacities) so
+    // the construction site — per-migration setup — pays the allocation,
+    // not the first sends on the dispatch path.
+    const std::size_t want =
+        capacity_ == kUnbounded ? 64 : std::min<std::size_t>(capacity_, 64);
+    buf_.resize(std::bit_ceil(std::max<std::size_t>(want, 8)));
+  }
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
   /// Non-suspending send. Fails when full or closed.
   bool try_send(T v) {
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(v));
+    if (closed_ || count_ >= capacity_) return false;
+    push_item(std::move(v));
     not_empty_.notify_one();
     return true;
   }
 
   /// Suspending send; returns false if the channel was closed.
   Task<bool> send(T v) {
-    while (!closed_ && items_.size() >= capacity_) {
+    while (!closed_ && count_ >= capacity_) {
       co_await not_full_.wait();
     }
     if (closed_) co_return false;
-    items_.push_back(std::move(v));
+    push_item(std::move(v));
     not_empty_.notify_one();
     co_return true;
   }
 
   /// Non-suspending receive.
   std::optional<T> try_recv() {
-    if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> v{pop_item()};
     not_full_.notify_one();
     return v;
   }
 
   /// Suspending receive; nullopt means closed-and-drained.
   Task<std::optional<T>> recv() {
-    while (items_.empty()) {
+    while (count_ == 0) {
       if (closed_) co_return std::nullopt;
       co_await not_empty_.wait();
     }
-    T v = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> v{pop_item()};
     not_full_.notify_one();
     co_return v;
   }
@@ -89,13 +101,40 @@ class Channel {
   }
 
   bool closed() const noexcept { return closed_; }
-  bool empty() const noexcept { return items_.empty(); }
-  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  void push_item(T v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)].emplace(std::move(v));
+    ++count_;
+  }
+
+  T pop_item() {
+    T v = std::move(*buf_[head_]);
+    buf_[head_].reset();
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return v;
+  }
+
+  // Double the ring, re-linearizing FIFO order from head_. Hit only when
+  // depth exceeds every previous high-water mark (amortized growth). h2-ok
+  void grow() {
+    std::vector<std::optional<T>> next(buf_.size() * 2);  // h2-ok
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
   std::size_t capacity_;
-  std::deque<T> items_;
+  std::vector<std::optional<T>> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   Notifier not_empty_;
   Notifier not_full_;
   bool closed_ = false;

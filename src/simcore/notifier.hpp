@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 
@@ -94,6 +95,14 @@ class Gate {
   Task<void> wait() {
     if (open_) co_return;
     co_await n_.wait();
+  }
+
+  /// Recycle support (core::GatePool): back to the closed state. Only valid
+  /// with no queued waiter — after open() every waiter has been handed to
+  /// the simulator, so an opened gate can be reset immediately.
+  void reset() noexcept {
+    assert(n_.waiter_count() == 0);
+    open_ = false;
   }
 
  private:

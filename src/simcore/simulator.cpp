@@ -1,6 +1,7 @@
 #include "simcore/simulator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 #include "obs/profiler.hpp"
@@ -25,28 +26,43 @@ void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   scheduled_ = true;
 }
 
+Simulator::Simulator() { bucket_head_.assign(kBuckets, kNil); }
+
 Simulator::~Simulator() {
   tearing_down_ = true;
   // Destroy root frames first: their awaiter destructors may cancel timers,
-  // which touches handlers_, so roots_ must go before the timer structures.
+  // which touches the slot arena, so roots_ must go before the queue state.
   roots_.clear();
-  handlers_.clear();
-  heap_.clear();
 }
 
+// vmig-lint: hot-begin -- timer insert/cancel: every scheduled event passes
+// through here; steady state must reuse the slot arena and bucket storage
+// vmig-lint: h1-ok -- the callable is moved into a recycled slot, not copied
 Simulator::TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
   if (t < now_) t = now_;
-  const TimerId id = next_timer_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();  // vmig-lint: h2-ok -- arena growth: happens once
+                            // per high-water mark, then slots recycle
+  }
+  TimerSlot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  const TimerId id = (static_cast<TimerId>(slot) << 32) | s.gen;
   if (debug_trace_) {
     std::fprintf(stderr, "sim: schedule %llu at %.6f\n",
                  static_cast<unsigned long long>(id), t.to_seconds());
   }
-  heap_.push_back(HeapEntry{t, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
-  handlers_.emplace(id, std::move(fn));
+  place(Entry{t.ns(), next_seq_++, slot, s.gen});
+  ++live_count_;
   return id;
 }
 
+// vmig-lint: h1-ok -- forwarding move into schedule_at, no copy
 Simulator::TimerId Simulator::schedule_after(Duration d, std::function<void()> fn) {
   if (d < Duration::zero()) d = Duration::zero();
   return schedule_at(now_ + d, std::move(fn));
@@ -57,39 +73,203 @@ bool Simulator::cancel(TimerId id) {
     std::fprintf(stderr, "sim: cancel %llu\n",
                  static_cast<unsigned long long>(id));
   }
-  return handlers_.erase(id) > 0;
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (slot >= slots_.size()) return false;
+  TimerSlot& s = slots_[slot];
+  if (s.gen != gen || !s.armed) return false;
+  // Lazy cancellation: disarm the slot and recycle it now; the queue entry
+  // (wherever it sits — agenda, ring, or overflow) is detected stale by its
+  // generation when the calendar reaches it.
+  s.armed = false;
+  s.fn = nullptr;
+  release_slot(slot);
+  --live_count_;
+  return true;
 }
 
-// vmig-lint: hot-begin -- step dispatch: every simulated event funnels
-// through this loop, so it must not allocate per event
+std::uint32_t Simulator::alloc_node(const Entry& e) {
+  std::uint32_t n;
+  if (!free_nodes_.empty()) {
+    n = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    n = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();  // vmig-lint: h2-ok -- node-arena growth: once per
+                            // high-water mark, then nodes recycle
+  }
+  nodes_[n].e = e;
+  nodes_[n].next = kNil;
+  return n;
+}
+
+void Simulator::place(const Entry& e) {
+  const std::uint64_t b = bucket_of(e.t_ns);
+  if (b <= epoch_bucket_) {
+    // Due today (or in the past-clamped present): keep the agenda sorted
+    // descending so the global minimum stays at the back.
+    const auto pos =
+        std::upper_bound(agenda_.begin(), agenda_.end(), e, AgendaCmp{});
+    agenda_.insert(pos, e);  // vmig-lint: h2-ok -- within retained capacity
+                             // after warmup; the agenda drains every day
+  } else if (b - epoch_bucket_ < kBuckets) {
+    // Chain a pooled node onto the day's bucket: no allocation even for a
+    // bucket touched for the first time (the old vector-per-bucket layout
+    // cold-started every bucket's capacity).
+    const std::uint32_t n = alloc_node(e);
+    auto& head = bucket_head_[b & kBucketMask];
+    nodes_[n].next = head;
+    head = n;
+    ++ring_count_;
+  } else {
+    const std::uint32_t n = alloc_node(e);
+    nodes_[n].next = overflow_head_;
+    overflow_head_ = n;
+  }
+}
+
+void Simulator::place_node(std::uint32_t n) {
+  const Entry& e = nodes_[n].e;
+  const std::uint64_t b = bucket_of(e.t_ns);
+  if (b <= epoch_bucket_) {
+    const auto pos =
+        std::upper_bound(agenda_.begin(), agenda_.end(), e, AgendaCmp{});
+    agenda_.insert(pos, e);  // vmig-lint: h2-ok -- retained capacity
+    free_nodes_.push_back(n);  // vmig-lint: h2-ok -- retained capacity
+  } else if (b - epoch_bucket_ < kBuckets) {
+    auto& head = bucket_head_[b & kBucketMask];
+    nodes_[n].next = head;
+    head = n;
+    ++ring_count_;
+  } else {
+    nodes_[n].next = overflow_head_;
+    overflow_head_ = n;
+  }
+}
+// vmig-lint: hot-end
+
+void Simulator::release_slot(std::uint32_t slot) {
+  TimerSlot& s = slots_[slot];
+  if (++s.gen == 0) s.gen = 1;  // gen 0 is reserved so TimerId is never 0
+  free_slots_.push_back(slot);
+}
+
+// vmig-lint: hot-begin -- timer extract: the event loop's inner machinery;
+// must not allocate per event once bucket/agenda capacity is warm
+const Simulator::Entry* Simulator::peek_live() {
+  for (;;) {
+    while (!agenda_.empty()) {
+      if (entry_live(agenda_.back())) return &agenda_.back();
+      agenda_.pop_back();  // stale (cancelled) entry: lazy deletion
+    }
+    if (live_count_ == 0) return nullptr;
+    refill_agenda();
+  }
+}
+
+void Simulator::refill_agenda() {
+  // Precondition: agenda empty, at least one armed timer somewhere.
+  while (agenda_.empty()) {
+    if (ring_count_ == 0) {
+      // Everything pending lives beyond the ring: jump the epoch straight
+      // to the earliest overflow day instead of spinning the calendar.
+      assert(overflow_head_ != kNil);
+      // Pass 1: drop dead entries from the chain, find the earliest day.
+      std::uint64_t min_b = ~std::uint64_t{0};
+      std::uint32_t n = overflow_head_;
+      std::uint32_t prev = kNil;
+      while (n != kNil) {
+        const std::uint32_t next = nodes_[n].next;
+        if (entry_live(nodes_[n].e)) {
+          min_b = std::min(min_b, bucket_of(nodes_[n].e.t_ns));
+          prev = n;
+        } else {
+          if (prev == kNil) {
+            overflow_head_ = next;
+          } else {
+            nodes_[prev].next = next;
+          }
+          free_nodes_.push_back(n);  // vmig-lint: h2-ok -- retained capacity
+        }
+        n = next;
+      }
+      assert(overflow_head_ != kNil);
+      epoch_bucket_ = min_b;
+      // Pass 2: detach the chain and re-file every node against the new
+      // epoch (place_node may push far-out nodes back onto overflow_head_).
+      n = overflow_head_;
+      overflow_head_ = kNil;
+      while (n != kNil) {
+        const std::uint32_t next = nodes_[n].next;
+        place_node(n);
+        n = next;
+      }
+      continue;
+    }
+    ++epoch_bucket_;
+    if ((epoch_bucket_ & kBucketMask) == 0 && overflow_head_ != kNil) {
+      sweep_overflow();  // crossed into a new year: pull overflow forward
+    }
+    std::uint32_t n = bucket_head_[epoch_bucket_ & kBucketMask];
+    if (n == kNil) continue;
+    bucket_head_[epoch_bucket_ & kBucketMask] = kNil;
+    while (n != kNil) {
+      const std::uint32_t next = nodes_[n].next;
+      --ring_count_;
+      if (entry_live(nodes_[n].e)) {
+        agenda_.push_back(nodes_[n].e);  // vmig-lint: h2-ok -- retained
+                                         // capacity
+      }
+      free_nodes_.push_back(n);  // vmig-lint: h2-ok -- retained capacity
+      n = next;
+    }
+    std::sort(agenda_.begin(), agenda_.end(), AgendaCmp{});
+  }
+}
+
+void Simulator::sweep_overflow() {
+  std::uint32_t n = overflow_head_;
+  overflow_head_ = kNil;
+  while (n != kNil) {
+    const std::uint32_t next = nodes_[n].next;
+    if (entry_live(nodes_[n].e)) {
+      place_node(n);  // far entries re-chain onto overflow_head_
+    } else {
+      free_nodes_.push_back(n);  // vmig-lint: h2-ok -- retained capacity
+    }
+    n = next;
+  }
+}
+
 bool Simulator::step() {
   rethrow_pending();
-  for (;;) {
-    if (heap_.empty()) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
-    const HeapEntry e = heap_.back();
-    heap_.pop_back();
-    auto it = handlers_.find(e.id);
-    if (it == handlers_.end()) continue;  // cancelled: lazy deletion
-    auto fn = std::move(it->second);  // moved out, not copied: no allocation
-    handlers_.erase(it);
-    now_ = e.t;
-    ++events_processed_;
-    if (debug_trace_) {
-      std::fprintf(stderr, "sim: fire %llu at %.6f\n",
-                   static_cast<unsigned long long>(e.id), now_.to_seconds());
-    }
-    {
-      // The handler runs every coroutine it resumes to its next suspension,
-      // so nested probe scopes (bitmap scan, pull path, ...) land inside
-      // this one; dispatch overhead is the scope's *exclusive* time.
-      obs::ProfScope prof{obs::ProfCategory::kSimDispatch};
-      obs::prof_count(obs::ProfCategory::kSimDispatch);
-      fn();
-    }
-    rethrow_pending();
-    return true;
+  const Entry* pe = peek_live();
+  if (pe == nullptr) return false;
+  const Entry e = *pe;
+  agenda_.pop_back();
+  TimerSlot& s = slots_[e.slot];
+  auto fn = std::move(s.fn);
+  s.fn = nullptr;
+  s.armed = false;
+  release_slot(e.slot);
+  --live_count_;
+  now_ = TimePoint::from_ns(e.t_ns);
+  ++events_processed_;
+  if (debug_trace_) {
+    const TimerId id = (static_cast<TimerId>(e.slot) << 32) | e.gen;
+    std::fprintf(stderr, "sim: fire %llu at %.6f\n",
+                 static_cast<unsigned long long>(id), now_.to_seconds());
   }
+  {
+    // The handler runs every coroutine it resumes to its next suspension,
+    // so nested probe scopes (bitmap scan, pull path, ...) land inside
+    // this one; dispatch overhead is the scope's *exclusive* time.
+    obs::ProfScope prof{obs::ProfCategory::kSimDispatch};
+    obs::prof_count(obs::ProfCategory::kSimDispatch);
+    fn();
+  }
+  rethrow_pending();
+  return true;
 }
 // vmig-lint: hot-end
 
@@ -104,23 +284,8 @@ std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
   for (;;) {
     rethrow_pending();
-    // Peek at the earliest live event without firing it.
-    bool found = false;
-    TimePoint next{};
-    // The heap front is earliest but may be cancelled; scan by popping
-    // cancelled entries eagerly.
-    while (!heap_.empty()) {
-      const HeapEntry& top = heap_.front();
-      if (handlers_.find(top.id) == handlers_.end()) {
-        std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
-        heap_.pop_back();
-        continue;
-      }
-      next = top.t;
-      found = true;
-      break;
-    }
-    if (!found || next > t) break;
+    const Entry* pe = peek_live();
+    if (pe == nullptr || pe->t_ns > t.ns()) break;
     step();
     ++n;
   }
@@ -142,9 +307,12 @@ Task<void> Simulator::root_runner(Task<void> inner,
     }
   }
   st->done = true;
-  auto joiners = std::move(st->joiners);
-  st->joiners.clear();
-  for (auto h : joiners) h.resume();
+  const auto first = st->joiner0;
+  st->joiner0 = {};
+  auto extra = std::move(st->extra_joiners);
+  st->extra_joiners.clear();
+  if (first) first.resume();
+  for (auto h : extra) h.resume();
 }
 
 SpawnHandle Simulator::spawn(Task<void> task, std::string name) {
@@ -153,6 +321,11 @@ SpawnHandle Simulator::spawn(Task<void> task, std::string name) {
   // resumed inline by root_runner); destroying that frame mid-execution
   // would be UB. Reaping happens only from run()/run_until(), where no
   // coroutine is on the stack.
+  //
+  // Setup allocations (join state, root bookkeeping) are deliberate and
+  // attributed to kOther so the dispatch loop's alloc counter stays a
+  // steady-state signal.
+  obs::ProfScope prof{obs::ProfCategory::kOther};
   auto st = std::make_shared<detail::JoinState>();
   st->sim = this;
   st->name = std::move(name);

@@ -4,7 +4,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "simcore/task.hpp"
@@ -23,8 +22,19 @@ struct JoinState {
   bool done = false;
   std::exception_ptr error;
   // Join is implemented by polling + notification through the simulator's
-  // timer queue; see SpawnHandle::join.
-  std::vector<std::coroutine_handle<>> joiners;
+  // timer queue; see SpawnHandle::join. Nearly every spawn has at most one
+  // joiner, so the first is stored inline — a fresh vector would malloc on
+  // the dispatch path for every joined spawn.
+  std::coroutine_handle<> joiner0{};
+  std::vector<std::coroutine_handle<>> extra_joiners;
+
+  void add_joiner(std::coroutine_handle<> h) {
+    if (!joiner0) {
+      joiner0 = h;
+    } else {
+      extra_joiners.push_back(h);  // h2-ok
+    }
+  }
 };
 
 }  // namespace detail
@@ -46,7 +56,7 @@ class SpawnHandle {
     struct Awaiter {
       std::shared_ptr<detail::JoinState> st;
       bool await_ready() const noexcept { return !st || st->done; }
-      void await_suspend(std::coroutine_handle<> h) { st->joiners.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) { st->add_joiner(h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{st_};
@@ -86,11 +96,23 @@ class DelayAwaiter {
 /// Events fire in (time, insertion-order) order, so runs are exactly
 /// reproducible. Timers are cancellable; coroutine tasks are spawned as
 /// "root" processes whose frames the simulator owns until completion.
+///
+/// The pending-event set is a bucketed *calendar queue* (Brown '88) rather
+/// than a binary heap: time is divided into fixed-width buckets arranged in
+/// a ring of "days"; events beyond one ring revolution (a "year") wait in an
+/// overflow list. Insert is O(1) amortized (append to a day bucket), extract
+/// is pop-from-sorted-agenda; only the current day's handful of events is
+/// ever sorted. Cancellation is lazy — a generation-checked slot arena marks
+/// the timer dead and the queue entry is dropped when encountered — so
+/// cancel is O(1) and never rummages through buckets. All steady-state
+/// structures (slot arena, day buckets, agenda, overflow) recycle their
+/// storage, so schedule/fire/cancel cycles allocate nothing once warm.
+/// See docs/DETERMINISM.md for the (time, seq) ordering argument.
 class Simulator {
  public:
   using TimerId = std::uint64_t;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -113,8 +135,8 @@ class Simulator {
   /// Run events for the next `d` of simulated time.
   std::size_t run_for(Duration d);
 
-  bool has_pending() const noexcept { return !handlers_.empty(); }
-  std::size_t pending_count() const noexcept { return handlers_.size(); }
+  bool has_pending() const noexcept { return live_count_ > 0; }
+  std::size_t pending_count() const noexcept { return live_count_; }
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
   /// Launch a coroutine as a root process. The simulator owns the frame;
@@ -135,18 +157,47 @@ class Simulator {
   bool debug_trace() const noexcept { return debug_trace_; }
 
  private:
-  struct HeapEntry {
-    TimePoint t;
-    std::uint64_t seq;
-    TimerId id;
+  // Calendar geometry: 8192 buckets of 8.192 us each (one "year" = 67 ms of
+  // simulated time per ring revolution). Migration events cluster at
+  // us-to-ms horizons, so the ring absorbs nearly everything; multi-second
+  // timeouts sit in the overflow list and are swept in once per revolution.
+  static constexpr std::uint64_t kBucketShift = 13;  // 2^13 ns bucket width
+  static constexpr std::uint64_t kBuckets = 8192;    // power of two
+  static constexpr std::uint64_t kBucketMask = kBuckets - 1;
+
+  /// One armed (or recycled) timer. `gen` distinguishes a live timer from a
+  /// stale queue entry pointing at a recycled slot; it is never 0 so a
+  /// TimerId is never 0 (callers use 0 as "no timer").
+  struct TimerSlot {
+    std::function<void()> fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
   };
-  struct HeapCmp {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      // std::push_heap builds a max-heap; invert for earliest-first.
-      if (a.t != b.t) return a.t > b.t;
+
+  /// POD queue entry; (t_ns, seq) is the deterministic total order.
+  struct Entry {
+    std::int64_t t_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// Pooled chain link: ring buckets and the overflow list are intrusive
+  /// singly-linked chains through a shared node arena, so placing an event
+  /// in a bucket never allocates — even a bucket touched for the first
+  /// time. Chain order is arbitrary; refill_agenda sorts by (t, seq).
+  struct Node {
+    Entry e;
+    std::uint32_t next;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Descending (t, seq): the agenda is popped from the back.
+  struct AgendaCmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t_ns != b.t_ns) return a.t_ns > b.t_ns;
       return a.seq > b.seq;
     }
   };
+
   struct RootTask {
     Task<void> wrapper;
     std::shared_ptr<detail::JoinState> state;
@@ -156,11 +207,41 @@ class Simulator {
   void reap_finished_roots();
   void rethrow_pending();
 
+  static std::uint64_t bucket_of(std::int64_t t_ns) noexcept {
+    return static_cast<std::uint64_t>(t_ns) >> kBucketShift;
+  }
+  bool entry_live(const Entry& e) const noexcept {
+    const TimerSlot& s = slots_[e.slot];
+    return s.gen == e.gen && s.armed;
+  }
+  void place(const Entry& e);
+  /// Re-file an existing pooled node after an epoch move (agenda inserts
+  /// free the node; bucket/overflow placements re-link it).
+  void place_node(std::uint32_t n);
+  std::uint32_t alloc_node(const Entry& e);
+  void release_slot(std::uint32_t slot);
+  /// Earliest live entry (always agenda_.back() after this), or nullptr.
+  const Entry* peek_live();
+  /// Refill the agenda from the ring / overflow; pre: agenda empty, live > 0.
+  void refill_agenda();
+  /// Move overflow entries that now fall inside the ring year into place.
+  void sweep_overflow();
+
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
-  TimerId next_timer_ = 1;
-  std::vector<HeapEntry> heap_;
-  std::unordered_map<TimerId, std::function<void()>> handlers_;
+
+  // -- calendar queue state --
+  std::vector<TimerSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> agenda_;                 ///< current-day events, sorted desc
+  std::vector<Node> nodes_;                   ///< shared chain-node arena
+  std::vector<std::uint32_t> free_nodes_;     ///< recycled node indices
+  std::vector<std::uint32_t> bucket_head_;    ///< ring of future days (chains)
+  std::uint32_t overflow_head_ = kNil;        ///< events >= one year out
+  std::uint64_t epoch_bucket_ = 0;            ///< day the agenda was drawn from
+  std::size_t ring_count_ = 0;                ///< entries resident in buckets_
+  std::size_t live_count_ = 0;                ///< armed timers
+
   std::vector<RootTask> roots_;
   std::exception_ptr pending_error_;
   std::uint64_t events_processed_ = 0;

@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "simcore/frame_arena.hpp"
+
 namespace vmig::sim {
 
 template <typename T>
@@ -14,8 +16,21 @@ class Task;
 namespace detail {
 
 /// Shared promise machinery: continuation chaining with symmetric transfer.
+///
+/// Frames are pooled: the promise's operator new/delete route through
+/// FrameArena, so steady-state coroutine churn (a frame per pull, per delay
+/// hop, per channel send) recycles storage instead of hitting the heap.
 class TaskPromiseBase {
  public:
+  // vmig-lint: d5-begin -- promise allocation hooks, not call sites: they
+  // route frame storage through the FrameArena pool (which owns the blocks).
+  static void* operator new(std::size_t n) { return FrameArena::allocate(n); }
+  static void operator delete(void* p) noexcept { FrameArena::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FrameArena::deallocate(p);
+  }
+  // vmig-lint: d5-end
+
   std::suspend_always initial_suspend() noexcept { return {}; }
 
   struct FinalAwaiter {

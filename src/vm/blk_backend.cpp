@@ -97,6 +97,10 @@ core::DirtyBitmap BlkBackend::snapshot_dirty_and_reset() {
   return dirty_.take_and_reset();
 }
 
+void BlkBackend::snapshot_dirty_and_reset_into(core::DirtyBitmap& out) {
+  dirty_.take_and_reset_into(out);
+}
+
 core::DirtyBitmap BlkBackend::snapshot_dirty() const { return dirty_; }
 
 void BlkBackend::attach_obs(obs::Registry& registry, const std::string& prefix) {

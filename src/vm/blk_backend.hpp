@@ -71,6 +71,9 @@ class BlkBackend {
 
   /// Copy the bitmap out and reset it (blkd's per-iteration Proc read).
   core::DirtyBitmap snapshot_dirty_and_reset();
+  /// Same, into a caller-owned reused buffer — allocation-free once `out`
+  /// has the right shape (see DirtyBitmap::take_and_reset_into).
+  void snapshot_dirty_and_reset_into(core::DirtyBitmap& out);
   /// Copy the bitmap out without resetting.
   core::DirtyBitmap snapshot_dirty() const;
   std::uint64_t dirty_block_count() const {

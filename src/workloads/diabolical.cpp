@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace vmig::workload {
 
 using namespace vmig::sim::literals;
@@ -91,6 +93,9 @@ sim::Task<void> DiabolicalWorkload::run() {
   while (!stop_requested()) {
     sim::TimePoint mark = sim_.now();
     const auto lap = [&](const char* phase) {
+      // Per-phase accounting (map node insert on first touch of a phase
+      // name) is workload bookkeeping, not migration dispatch.
+      obs::ProfScope lap_prof{obs::ProfCategory::kOther};
       phase_times_[phase] += sim_.now() - mark;
       mark = sim_.now();
     };

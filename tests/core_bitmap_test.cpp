@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 #include <vector>
 
 #include "core/block_bitmap.hpp"
 #include "core/dirty_bitmap.hpp"
 #include "core/layered_bitmap.hpp"
+#include "core/three_level_bitmap.hpp"
 #include "simcore/rng.hpp"
 
 namespace vmig::core {
@@ -312,14 +314,18 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BitmapEquivalenceTest,
 TEST(DirtyBitmapTest, KindSelection) {
   DirtyBitmap flat{BitmapKind::kFlat, 1000};
   DirtyBitmap layered{BitmapKind::kLayered, 1000};
+  DirtyBitmap three{BitmapKind::kThreeLevel, 1000};
   EXPECT_EQ(flat.kind(), BitmapKind::kFlat);
   EXPECT_EQ(layered.kind(), BitmapKind::kLayered);
+  EXPECT_EQ(three.kind(), BitmapKind::kThreeLevel);
   EXPECT_EQ(flat.size(), 1000u);
   EXPECT_EQ(layered.size(), 1000u);
+  EXPECT_EQ(three.size(), 1000u);
 }
 
 TEST(DirtyBitmapTest, ForwardingOps) {
-  for (const auto kind : {BitmapKind::kFlat, BitmapKind::kLayered}) {
+  for (const auto kind :
+       {BitmapKind::kFlat, BitmapKind::kLayered, BitmapKind::kThreeLevel}) {
     DirtyBitmap bm{kind, 5000};
     bm.set(7);
     bm.set_range(100, 50);
@@ -360,6 +366,233 @@ TEST(DirtyBitmapTest, WireBytesLayeredAdvantage) {
   flat.set(12345);
   layered.set(12345);
   EXPECT_LT(layered.wire_bytes(), flat.wire_bytes());
+}
+
+TEST(ThreeLevelBitmapTest, BasicSetTestClear) {
+  ThreeLevelBitmap bm{100000};
+  EXPECT_FALSE(bm.test(54321));
+  bm.set(54321);
+  EXPECT_TRUE(bm.test(54321));
+  EXPECT_EQ(bm.count_set(), 1u);
+  bm.clear(54321);
+  EXPECT_FALSE(bm.test(54321));
+  EXPECT_EQ(bm.count_set(), 0u);
+  EXPECT_TRUE(bm.none());
+}
+
+TEST(ThreeLevelBitmapTest, InitiallySetRespectsTailBits) {
+  ThreeLevelBitmap bm{ThreeLevelBitmap::kBitsPerLine + 70, true};
+  EXPECT_EQ(bm.count_set(), ThreeLevelBitmap::kBitsPerLine + 70);
+  std::uint64_t seen = 0;
+  bm.for_each_set([&](std::uint64_t i) {
+    EXPECT_LT(i, ThreeLevelBitmap::kBitsPerLine + 70);
+    ++seen;
+  });
+  EXPECT_EQ(seen, ThreeLevelBitmap::kBitsPerLine + 70);
+}
+
+TEST(ThreeLevelBitmapTest, DirtyLinesTracksLines) {
+  ThreeLevelBitmap bm{1ull << 20};
+  EXPECT_EQ(bm.dirty_lines(), 0u);
+  bm.set(0);
+  bm.set(ThreeLevelBitmap::kBitsPerLine - 1);  // same line
+  EXPECT_EQ(bm.dirty_lines(), 1u);
+  bm.set(ThreeLevelBitmap::kBitsPerLine);  // next line
+  EXPECT_EQ(bm.dirty_lines(), 2u);
+  bm.set(5 * ThreeLevelBitmap::kBitsPerDirWord + 3);  // far region
+  EXPECT_EQ(bm.dirty_lines(), 3u);
+  bm.clear(ThreeLevelBitmap::kBitsPerLine);
+  EXPECT_EQ(bm.dirty_lines(), 2u);
+  bm.clear(0);
+  EXPECT_EQ(bm.dirty_lines(), 2u);  // line still dirty via its other bit
+  bm.clear(ThreeLevelBitmap::kBitsPerLine - 1);
+  EXPECT_EQ(bm.dirty_lines(), 1u);
+}
+
+TEST(ThreeLevelBitmapTest, NextSetSkipsAcrossAllLevels) {
+  // Big enough to span several summary words (one sum word covers
+  // 64 * kBitsPerDirWord bits).
+  const std::uint64_t size = 3 * 64 * ThreeLevelBitmap::kBitsPerDirWord;
+  ThreeLevelBitmap bm{size};
+  const std::uint64_t far = size - 7;
+  bm.set(100);
+  bm.set(far);
+  EXPECT_EQ(bm.next_set(0), std::optional<std::uint64_t>{100});
+  EXPECT_EQ(bm.next_set(100), std::optional<std::uint64_t>{100});
+  EXPECT_EQ(bm.next_set(101), std::optional<std::uint64_t>{far});
+  EXPECT_EQ(bm.next_set(far + 1), std::nullopt);
+  bm.clear(far);
+  EXPECT_EQ(bm.next_set(101), std::nullopt);
+}
+
+TEST(ThreeLevelBitmapTest, SetRangeAcrossDirWords) {
+  ThreeLevelBitmap bm{4 * ThreeLevelBitmap::kBitsPerDirWord};
+  const std::uint64_t start = ThreeLevelBitmap::kBitsPerDirWord - 100;
+  bm.set_range(start, 200);  // straddles a directory-word boundary
+  EXPECT_EQ(bm.count_set(), 200u);
+  EXPECT_FALSE(bm.test(start - 1));
+  EXPECT_TRUE(bm.test(start));
+  EXPECT_TRUE(bm.test(start + 199));
+  EXPECT_FALSE(bm.test(start + 200));
+  bm.clear_range(start, 200);
+  EXPECT_EQ(bm.count_set(), 0u);
+  EXPECT_EQ(bm.dirty_lines(), 0u);
+  EXPECT_EQ(bm.next_set(0), std::nullopt);
+}
+
+TEST(ThreeLevelBitmapTest, WireBytesSparseAdvantage) {
+  const std::uint64_t bits = 10ull * 1024 * 1024;  // 40 GiB disk at 4 KB
+  ThreeLevelBitmap tl{bits};
+  BlockBitmap fb{bits};
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    tl.set(500000 + i);
+    fb.set(500000 + i);
+  }
+  EXPECT_LT(tl.wire_bytes(), fb.wire_bytes() / 10);
+}
+
+// Property: all three DirtyBitmap kinds agree bit-for-bit under arbitrary
+// operation streams, probes, iteration order, and cross-kind word-wise
+// or_with/subtract.
+class DirtyBitmapDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirtyBitmapDifferentialTest, AllKindsAgree) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng{seed};
+  const std::uint64_t size = 1 + rng.uniform_u64(300000);
+  std::array<DirtyBitmap, 3> bms{
+      DirtyBitmap{BitmapKind::kFlat, size},
+      DirtyBitmap{BitmapKind::kLayered, size},
+      DirtyBitmap{BitmapKind::kThreeLevel, size},
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto what = rng.uniform_u64(6);
+    const std::uint64_t i = rng.uniform_u64(size);
+    const std::uint64_t n = std::min(size - i, rng.uniform_u64(600));
+    for (auto& bm : bms) {
+      switch (what) {
+        case 0:
+        case 1: bm.set(i); break;
+        case 2: bm.clear(i); break;
+        case 3: bm.set_range(i, n); break;
+        case 4: bm.clear_range(i, n); break;
+        case 5: ASSERT_EQ(bm.test(i), bms[0].test(i)) << "bit " << i; break;
+      }
+    }
+    ASSERT_EQ(bms[1].count_set(), bms[0].count_set()) << "op " << op;
+    ASSERT_EQ(bms[2].count_set(), bms[0].count_set()) << "op " << op;
+  }
+
+  // Full iteration agreement (value and order).
+  std::vector<std::uint64_t> ref;
+  bms[0].for_each_set([&](std::uint64_t i) { ref.push_back(i); });
+  for (std::size_t k = 1; k < bms.size(); ++k) {
+    std::vector<std::uint64_t> got;
+    bms[k].for_each_set([&](std::uint64_t i) { got.push_back(i); });
+    ASSERT_EQ(got, ref) << "kind " << to_string(bms[k].kind());
+  }
+
+  // Probe agreement: next_set / next_clear / run_length / next_set_run /
+  // windowed iteration at random positions.
+  for (int p = 0; p < 300; ++p) {
+    const std::uint64_t from = rng.uniform_u64(size);
+    const std::uint64_t cnt = std::min(size - from, rng.uniform_u64(5000));
+    const std::uint64_t cap = 1 + rng.uniform_u64(400);
+    std::vector<std::uint64_t> win_ref;
+    bms[0].for_each_set_in(from, cnt, [&](std::uint64_t i) {
+      win_ref.push_back(i);
+    });
+    for (std::size_t k = 1; k < bms.size(); ++k) {
+      ASSERT_EQ(bms[k].next_set(from), bms[0].next_set(from)) << from;
+      ASSERT_EQ(bms[k].next_clear(from), bms[0].next_clear(from)) << from;
+      ASSERT_EQ(bms[k].run_length(from, cap), bms[0].run_length(from, cap));
+      ASSERT_EQ(bms[k].next_set_run(from, from + cnt, cap),
+                bms[0].next_set_run(from, from + cnt, cap))
+          << "from " << from << " cnt " << cnt << " cap " << cap;
+      std::vector<std::uint64_t> win;
+      bms[k].for_each_set_in(from, cnt, [&](std::uint64_t i) {
+        win.push_back(i);
+      });
+      ASSERT_EQ(win, win_ref) << "window " << from << "+" << cnt;
+    }
+  }
+
+  // Cross-kind word-wise ops: union and subtraction of a differently-typed
+  // bitmap give the same result on every kind.
+  DirtyBitmap other{BitmapKind::kThreeLevel, size};
+  for (int b = 0; b < 100; ++b) other.set(rng.uniform_u64(size));
+  DirtyBitmap mask{BitmapKind::kLayered, size};
+  for (int b = 0; b < 100; ++b) mask.set(rng.uniform_u64(size));
+  for (auto& bm : bms) {
+    bm.or_with(other);
+    bm.subtract(mask);
+  }
+  ASSERT_EQ(bms[1].count_set(), bms[0].count_set());
+  ASSERT_EQ(bms[2].count_set(), bms[0].count_set());
+
+  // take_and_reset: snapshot matches, original drains, on every kind.
+  for (auto& bm : bms) {
+    const std::uint64_t before = bm.count_set();
+    DirtyBitmap snap = bm.take_and_reset();
+    EXPECT_EQ(snap.count_set(), before);
+    EXPECT_EQ(bm.count_set(), 0u);
+    EXPECT_EQ(bm.next_set(0), std::nullopt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirtyBitmapDifferentialTest,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17, 19, 23, 29));
+
+TEST(SetRunCursorTest, YieldsMaximalRunsCappedAtMaxLen) {
+  for (const auto kind :
+       {BitmapKind::kFlat, BitmapKind::kLayered, BitmapKind::kThreeLevel}) {
+    DirtyBitmap bm{kind, 10000};
+    bm.set_range(10, 5);     // short run
+    bm.set_range(100, 300);  // long run, will be split by max_len
+    bm.set(9999);            // single bit at the tail
+    SetRunCursor cur{bm};
+    auto r = cur.next(128);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 10u);
+    EXPECT_EQ(r->len, 5u);
+    r = cur.next(128);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 100u);
+    EXPECT_EQ(r->len, 128u);
+    r = cur.next(128);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 228u);
+    EXPECT_EQ(r->len, 128u);
+    r = cur.next(128);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 356u);
+    EXPECT_EQ(r->len, 44u);
+    r = cur.next(128);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 9999u);
+    EXPECT_EQ(r->len, 1u);
+    EXPECT_EQ(cur.next(128), std::nullopt);
+    EXPECT_EQ(cur.pos(), 10000u);
+  }
+}
+
+TEST(SetRunCursorTest, RespectsWindowBounds) {
+  DirtyBitmap bm{BitmapKind::kThreeLevel, 1000};
+  bm.set_range(0, 1000);
+  SetRunCursor cur{bm, 200, 500};
+  auto r = cur.next(1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->start, 200u);
+  EXPECT_EQ(r->len, 300u);  // clipped to [200, 500)
+  EXPECT_EQ(cur.next(1000), std::nullopt);
+}
+
+TEST(SetRunCursorTest, EmptyBitmapYieldsNothing) {
+  DirtyBitmap bm{BitmapKind::kThreeLevel, 1000};
+  SetRunCursor cur{bm};
+  EXPECT_EQ(cur.next(64), std::nullopt);
 }
 
 }  // namespace

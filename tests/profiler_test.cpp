@@ -309,5 +309,93 @@ TEST(ProfilerDeterminism, ChaosSeededFaultRunIsByteIdenticalUnderProfiling) {
   EXPECT_NE(off.find("\"status\":\"completed\""), std::string::npos);
 }
 
+// ------------------------------------------- zero-alloc steady state
+
+// Tentpole acceptance: once the pools are warm, the simulator dispatch loop
+// and the post-copy pull path allocate nothing. The first evacuation grows
+// every arena/ring/freelist to its high-water mark; the evacuation back must
+// then run allocation-free in the hot categories (per-migration setup is
+// control-plane work, explicitly scoped kOther at its sites).
+TEST(ProfilerSteadyState, SecondEvacuationAllocatesNothingInHotCategories) {
+  Profiler prof;
+  prof.activate();
+
+  sim::Simulator sim;
+  scenario::ClusterTestbedConfig bed;
+  bed.hosts = 3;
+  bed.vbd_mib = 16;
+  bed.guest_mem_mib = 4;
+  bed.disk.seq_read_mbps = 800.0;
+  bed.disk.seq_write_mbps = 700.0;
+  bed.disk.seek = 100_us;
+  bed.disk.request_overhead = 5_us;
+  bed.lan.bandwidth_mibps = 1000.0;
+  bed.lan.latency = 50_us;
+  scenario::ClusterTestbed tb{sim, bed};
+  std::vector<std::unique_ptr<workload::DiabolicalWorkload>> wls;
+  for (int i = 0; i < 2; ++i) {
+    vm::Domain& d = tb.add_vm("vm" + std::to_string(i), 0);
+    wls.push_back(
+        std::make_unique<workload::DiabolicalWorkload>(sim, d, 700 + i));
+  }
+  tb.prefill_disks();
+
+  auto cfg = core::MigrationConfig::build()
+                 .bitmap(core::BitmapKind::kThreeLevel)
+                 .disk_iterations(4, 64)
+                 .done();
+  cfg.postcopy_pull_timeout = 2_ms;
+  cfg.postcopy_recovery_interval = 500_us;
+  cfg.postcopy_freeze_deadline = 20_ms;
+
+  obs::FlightRecorder rec;
+  cluster::Orchestrator orch{
+      sim, tb.manager(),
+      {.caps = {.per_source = 2, .per_dest = 2, .per_link = 1},
+       .retry = {.max_attempts = 5,
+                 .initial_backoff = sim::Duration::millis(10)},
+       .recorder = &rec}};
+  for (auto& wl : wls) wl->start();
+
+  // The workloads never let the event queue go idle, so instead of drain()
+  // we time-slice run_for() until the orchestrator reports terminal.
+  const auto drive = [&] {
+    sim.spawn(orch.run());
+    while (!orch.all_terminal()) sim.run_for(1_ms);
+  };
+
+  // Warm-up: evacuate host 0; pools, rings and arenas reach their
+  // high-water marks (and allocate freely while doing so).
+  orch.submit_evacuation(tb.host(0), tb.hosts_except(0), cfg);
+  drive();
+  ASSERT_TRUE(orch.all_terminal());
+  ASSERT_GT(orch.jobs_completed(), 0u);
+
+  const auto& dispatch = prof.stats(ProfCategory::kSimDispatch);
+  const auto& pull = prof.stats(ProfCategory::kPostCopyPull);
+  const std::uint64_t dispatch_allocs0 = dispatch.allocs;
+  const std::uint64_t pull_allocs0 = pull.allocs;
+  const std::uint64_t pull_calls0 = pull.calls;
+  const std::uint64_t jobs0 = orch.jobs_completed();
+
+  // Steady state: evacuate everything back onto host 0.
+  orch.submit_evacuation(tb.host(1), {&tb.host(0)}, cfg);
+  orch.submit_evacuation(tb.host(2), {&tb.host(0)}, cfg);
+  drive();
+  ASSERT_TRUE(orch.all_terminal());
+  EXPECT_GT(orch.jobs_completed(), jobs0);
+
+  for (auto& wl : wls) wl->request_stop();
+  sim.run();
+  Profiler::deactivate();
+
+  // The second evacuation really did run hot-path work...
+  EXPECT_GT(dispatch.calls, 0u);
+  EXPECT_GT(pull.calls, pull_calls0);
+  // ...and allocated nothing on either hot path.
+  EXPECT_EQ(dispatch.allocs - dispatch_allocs0, 0u);
+  EXPECT_EQ(pull.allocs - pull_allocs0, 0u);
+}
+
 }  // namespace
 }  // namespace vmig

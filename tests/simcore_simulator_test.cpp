@@ -203,6 +203,162 @@ TEST(SimulatorTest, ManyEventsStressOrdering) {
   for (size_t i = 1; i < seen.size(); ++i) ASSERT_LE(seen[i - 1], seen[i]);
 }
 
+// -- calendar-queue edge cases --
+// The pending set is a ring of 8192 buckets x 8.192 us (one "year" = ~67 ms);
+// events beyond a year sit in an overflow list swept once per revolution.
+// These tests pin the behaviors that geometry could plausibly break.
+
+TEST(SimulatorCalendarTest, FarFutureTimersCrossTheYear) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(5_s, [&] { order.push_back(4); });     // many years out
+  sim.schedule_after(1_ms, [&] { order.push_back(1); });    // inside the ring
+  sim.schedule_after(100_ms, [&] { order.push_back(2); });  // next revolution
+  sim.schedule_after(200_ms, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_s);
+}
+
+TEST(SimulatorCalendarTest, YearBoundaryOrdering) {
+  // One ring revolution is 8192 buckets * 8192 ns = 2^26 ns.
+  constexpr std::int64_t kYearNs = std::int64_t{1} << 26;
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::nanos(kYearNs + 1), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::nanos(kYearNs), [&] { order.push_back(2); });
+  sim.schedule_after(Duration::nanos(kYearNs - 1), [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorCalendarTest, SameBucketDifferentTimes) {
+  // Distinct nanosecond times mapping to the same 8.192 us bucket must still
+  // fire in time order, not insertion order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::nanos(5000), [&] { order.push_back(2); });
+  sim.schedule_after(Duration::nanos(100), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::nanos(8000), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorCalendarTest, SameFarTimeFiresInInsertionOrder) {
+  // (time, seq) ordering must survive the overflow list and its sweeps.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(1_s, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorCalendarTest, CancelOverflowTimer) {
+  Simulator sim;
+  bool near_fired = false, far_fired = false;
+  sim.schedule_after(1_ms, [&] { near_fired = true; });
+  const auto id = sim.schedule_after(10_s, [&] { far_fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_TRUE(near_fired);
+  EXPECT_FALSE(far_fired);
+  // The cancelled overflow entry must not hold the clock hostage.
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 1_ms);
+}
+
+TEST(SimulatorCalendarTest, CancelStorm) {
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<Simulator::TimerId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    // Spread across the ring and into overflow.
+    const auto d = Duration::micros(static_cast<std::int64_t>(i) * 200);
+    ids.push_back(sim.schedule_after(d, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 1000; i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(sim.pending_count(), 500u);
+  sim.run();
+  ASSERT_EQ(fired.size(), 500u);
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+  }
+  EXPECT_EQ(sim.events_processed(), 500u);
+}
+
+TEST(SimulatorCalendarTest, InvalidAndStaleIdsAreSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));  // 0 is the "no timer" sentinel
+  EXPECT_FALSE(sim.cancel(~Simulator::TimerId{0}));  // out-of-range slot
+  const auto id = sim.schedule_after(1_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));  // fired: generation recycled
+  // A recycled slot must not be cancellable through the old id.
+  const auto id2 = sim.schedule_after(1_ms, [] {});
+  EXPECT_NE(id, id2);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_TRUE(sim.cancel(id2));
+}
+
+TEST(SimulatorCalendarTest, EpochJumpsAcrossIdleGap) {
+  // When the ring is empty the epoch must jump straight to the next event's
+  // day rather than stepping through thousands of empty buckets.
+  Simulator sim;
+  std::vector<std::int64_t> seen;
+  sim.schedule_after(1_ms, [&] {
+    seen.push_back(sim.now().ns());
+    // Nested far-future schedule from inside a fire.
+    sim.schedule_after(3_s, [&] { seen.push_back(sim.now().ns()); });
+  });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 1'000'000);
+  EXPECT_EQ(seen[1], 3'001'000'000);
+}
+
+TEST(SimulatorCalendarTest, RescheduleIntoCurrentBucketWhileFiring) {
+  // An event scheduled at the current time from inside a callback runs in
+  // the same run(), after the current event (seq order).
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(1_ms, [&] {
+    order.push_back(1);
+    sim.schedule_after(Duration::zero(), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorCalendarTest, ManyRevolutionsStress) {
+  // Chains of timers that repeatedly lap the ring: each hop is ~half a year,
+  // so the epoch crosses bucket 0 dozens of times.
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) sim.schedule_after(33_ms, hop);
+  };
+  sim.schedule_after(33_ms, hop);
+  sim.run();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(3300));
+}
+
+TEST(SimulatorCalendarTest, PendingCountWithOverflow) {
+  Simulator sim;
+  sim.schedule_after(1_ms, [] {});
+  const auto far = sim.schedule_after(10_s, [] {});
+  sim.schedule_after(20_s, [] {});
+  EXPECT_EQ(sim.pending_count(), 3u);
+  sim.cancel(far);
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_FALSE(sim.has_pending());
+}
+
 TEST(SimulatorTest, DeterministicAcrossRuns) {
   auto trace = [] {
     Simulator sim;

@@ -66,7 +66,7 @@ struct Options {
   std::uint64_t seed = 42;
   bool roundtrip = false;
   bool sparse = false;
-  bool flat_bitmap = false;
+  std::string bitmap = "layered";  // flat|layered|3level
   bool verbose = false;
   bool json = false;
   bool progress = false;
@@ -108,7 +108,8 @@ void usage(const char* argv0) {
       "  --dwell S        seconds at dest before IM back   (default 600)\n"
       "  --roundtrip      migrate out, dwell, migrate back incrementally\n"
       "  --sparse         skip never-written blocks (guest-assisted, §VII)\n"
-      "  --flat-bitmap    use the flat bitmap instead of layered\n"
+      "  --bitmap K       flat | layered | 3level          (default layered)\n"
+      "  --flat-bitmap    alias for --bitmap flat\n"
       "  --seed N         RNG seed                         (default 42)\n"
       "  --json           print the report as JSON instead of text\n"
       "  --progress       print migration phase transitions\n"
@@ -209,8 +210,10 @@ bool parse(int argc, char** argv, Options& o) {
       o.roundtrip = true;
     } else if (a == "--sparse") {
       o.sparse = true;
+    } else if (a == "--bitmap") {
+      o.bitmap = need("--bitmap");
     } else if (a == "--flat-bitmap") {
-      o.flat_bitmap = true;
+      o.bitmap = "flat";
     } else if (a == "--json") {
       o.json = true;
     } else if (a == "--progress") {
@@ -230,6 +233,12 @@ bool parse(int argc, char** argv, Options& o) {
   return true;
 }
 
+core::BitmapKind parse_bitmap(const std::string& k) {
+  if (k == "flat") return core::BitmapKind::kFlat;
+  if (k == "3level") return core::BitmapKind::kThreeLevel;
+  return core::BitmapKind::kLayered;
+}
+
 /// Every cross-flag rule in one place, run before any simulation work.
 /// Exits 2 on violation: bad combinations and unwritable output paths fail
 /// fast instead of being discovered (or silently ignored) after the run.
@@ -239,6 +248,9 @@ void validate_or_die(const Options& o) {
     std::exit(2);
   };
   if (!(o.metrics_interval_s > 0.0)) die("--metrics-interval must be > 0");
+  if (o.bitmap != "flat" && o.bitmap != "layered" && o.bitmap != "3level") {
+    die("--bitmap must be flat, layered, or 3level");
+  }
   if (o.workload == "trace" && o.trace_file.empty()) {
     die("--workload trace requires --replay FILE");
   }
@@ -406,7 +418,7 @@ int run_cluster(const Options& o) {
 
   auto cfg = tb.paper_migration_config();
   cfg.rate_limit_mibps = o.rate_limit;
-  if (o.flat_bitmap) cfg.bitmap_kind = core::BitmapKind::kFlat;
+  cfg.bitmap_kind = parse_bitmap(o.bitmap);
 
   cluster::OrchestratorConfig ocfg;
   ocfg.caps = {.per_source = 2, .per_dest = 2, .per_link = 1, .total = 8};
@@ -544,7 +556,7 @@ int main(int argc, char** argv) {
   auto cfg = tb.paper_migration_config();
   cfg.rate_limit_mibps = o.rate_limit;
   cfg.skip_unused_blocks = o.sparse;
-  if (o.flat_bitmap) cfg.bitmap_kind = core::BitmapKind::kFlat;
+  cfg.bitmap_kind = parse_bitmap(o.bitmap);
 
   // Observability is opt-in: without any of --trace/--metrics/--timeline the
   // engine's obs pointers stay null and the hot paths pay a single branch.

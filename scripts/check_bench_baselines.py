@@ -59,8 +59,15 @@ def load(path, baseline=False):
     return data
 
 
-def gate(base, meas, default_tolerance):
-    """Return (report_lines, failure_lines)."""
+def gate(base, meas, default_tolerance, fmt="text"):
+    """Return (report_lines, failure_lines).
+
+    fmt="github" renders report_lines as GitHub Actions workflow commands
+    (::error for out-of-band metrics and missing metrics, ::warning for
+    metrics measured but absent from the baseline), so regressions surface
+    as annotations on the workflow run. failure_lines are unchanged — exit
+    status and the stderr summary are format-independent.
+    """
     lines, failures = [], []
     for key, spec in sorted(base.items()):
         if isinstance(spec, dict):
@@ -74,6 +81,11 @@ def gate(base, meas, default_tolerance):
 
         if key not in meas:
             failures.append(f"{key}: missing from measured output")
+            if fmt == "github":
+                lines.append(
+                    f"::error title=bench metric missing::{key}: "
+                    "expected by baseline but missing from measured output"
+                )
             continue
         got = meas[key]
         if abs(expect) < ABS_EPSILON:
@@ -90,13 +102,29 @@ def gate(base, meas, default_tolerance):
         else:
             ok = abs(got - expect) / abs(expect) <= tol
             band = f"±{tol:.0%} of {expect:g}"
-        mark = "ok  " if ok else "FAIL"
-        lines.append(f"  {mark} {key}: measured={got:g} (baseline {band})")
+        if fmt == "github":
+            if not ok:
+                lines.append(
+                    f"::error title=bench regression::{key}: "
+                    f"measured={got:g}, band {band}"
+                )
+            else:
+                lines.append(f"  ok   {key}: measured={got:g} (baseline {band})")
+        else:
+            mark = "ok  " if ok else "FAIL"
+            lines.append(f"  {mark} {key}: measured={got:g} (baseline {band})")
         if not ok:
             failures.append(f"{key}: measured={got:g} expected {band}")
 
     for key in sorted(set(meas) - set(base)):
-        lines.append(f"  new  {key}: measured={meas[key]:g} (not in baseline)")
+        if fmt == "github":
+            lines.append(
+                f"::warning title=bench metric ungated::{key}: "
+                f"measured={meas[key]:g} but not in baseline; regenerate the "
+                "baseline to gate it"
+            )
+        else:
+            lines.append(f"  new  {key}: measured={meas[key]:g} (not in baseline)")
     return lines, failures
 
 
@@ -140,6 +168,33 @@ def self_test():
             bad += 1
         print(f"  {mark} self-test: {name}")
 
+    # --format github must render regressions/missing metrics as ::error
+    # annotations (with metric, band, observed value), ungated extras as
+    # ::warning, and leave the failure verdict identical to text mode.
+    gh_cases = [
+        ("github regression annotated",
+         {"m": {"value": 100, "higher_is_better": True, "tolerance": 0.5}},
+         {"m": 40}, "::error", ["m", "measured=40", "band >= 50"]),
+        ("github missing annotated", {"m": 100}, {},
+         "::error", ["m", "missing from measured output"]),
+        ("github extra warned", {}, {"n": 7},
+         "::warning", ["n", "measured=7", "not in baseline"]),
+    ]
+    for name, base, meas, want_cmd, want_parts in gh_cases:
+        gh_lines, gh_failures = gate(base, meas, 0.15, fmt="github")
+        _, text_failures = gate(base, meas, 0.15)
+        hits = [l for l in gh_lines if l.startswith(want_cmd)]
+        ok = (
+            len(hits) == 1
+            and all(p in hits[0] for p in want_parts)
+            and gh_failures == text_failures
+        )
+        mark = "ok  " if ok else "FAIL"
+        if not ok:
+            bad += 1
+        print(f"  {mark} self-test: {name}")
+    cases += gh_cases
+
     # The loader must accept both entry forms and reject malformed specs.
     with tempfile.TemporaryDirectory() as d:
         good = os.path.join(d, "good.json")
@@ -164,6 +219,11 @@ def main():
         help="default relative deviation when a metric has none (0.15 = ±15%%)",
     )
     ap.add_argument(
+        "--format", choices=["text", "github"], default="text",
+        help="report style: 'github' emits ::error/::warning workflow "
+             "commands so CI annotates regressions inline",
+    )
+    ap.add_argument(
         "--self-test", action="store_true",
         help="run the built-in gating self-test and exit",
     )
@@ -177,7 +237,7 @@ def main():
     base = load(args.baseline, baseline=True)
     meas = load(args.measured)
 
-    lines, failures = gate(base, meas, args.tolerance)
+    lines, failures = gate(base, meas, args.tolerance, fmt=args.format)
     for line in lines:
         print(line)
 

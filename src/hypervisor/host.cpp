@@ -74,23 +74,33 @@ bool Host::hosts_domain(const vm::Domain& d) const {
   return std::find(domains_.begin(), domains_.end(), &d) != domains_.end();
 }
 
-net::Link& Host::connect_to(Host& peer, net::LinkParams params) {
+net::Link& Host::materialize_link(const Host& peer, net::LinkParams params) {
   auto& slot = links_[&peer];
   slot = std::make_unique<net::Link>(sim_, params);
+  // Conservative cross-shard synchronization: the delivery event of every
+  // transmission on this link is filed into the receiving host's shard.
+  slot->set_delivery_shard(peer.shard());
+  if (link_created_) link_created_(*slot, peer);
   return *slot;
+}
+
+net::Link& Host::connect_to(Host& peer, net::LinkParams params) {
+  return materialize_link(peer, params);
 }
 
 net::Link& Host::link_to(const Host& peer) {
   const auto it = links_.find(&peer);
-  if (it == links_.end()) {
-    throw std::out_of_range("Host '" + name_ + "' has no link to '" +
-                            peer.name() + "'");
+  if (it != links_.end()) return *it->second;
+  if (mesh_oracle_ && mesh_oracle_(peer)) {
+    return materialize_link(peer, mesh_params_);
   }
-  return *it->second;
+  throw std::out_of_range("Host '" + name_ + "' has no link to '" +
+                          peer.name() + "'");
 }
 
 bool Host::connected_to(const Host& peer) const {
-  return links_.contains(&peer);
+  if (links_.contains(&peer)) return true;
+  return mesh_oracle_ && &peer != this && mesh_oracle_(peer);
 }
 
 void Host::interconnect(Host& a, Host& b, net::LinkParams params) {

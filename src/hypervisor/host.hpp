@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -68,14 +69,46 @@ class Host {
 
   /// Create the directed link this -> peer.
   net::Link& connect_to(Host& peer, net::LinkParams params = {});
-  /// Directed link to peer; throws std::out_of_range if not connected.
+  /// Directed link to peer. Materializes the link from the lazy mesh if an
+  /// oracle admits the peer; throws std::out_of_range otherwise.
   net::Link& link_to(const Host& peer);
   bool connected_to(const Host& peer) const;
+  /// The directed link to `peer` if it has been materialized; null otherwise.
+  /// Never materializes — the lazy-safe query for sweeps like obs attach.
+  net::Link* find_link(const Host& peer) const {
+    const auto it = links_.find(&peer);
+    return it != links_.end() ? it->second.get() : nullptr;
+  }
 
   /// Create both directions between a and b with the same parameters.
   static void interconnect(Host& a, Host& b, net::LinkParams params = {});
 
+  /// Declare a *lazy mesh*: this host is considered connected to every peer
+  /// the oracle admits, but the directed Link object is only materialized on
+  /// first `link_to` — a 10k-host full mesh never allocates its 10^8 links.
+  /// Admission is observable through `connected_to`, which is what keeps
+  /// placement logic (cluster::EvacuationPlanner) oblivious to laziness.
+  void set_lazy_mesh(std::function<bool(const Host&)> oracle,
+                     net::LinkParams params) {
+    mesh_oracle_ = std::move(oracle);
+    mesh_params_ = params;
+  }
+  /// Observer for every link this host materializes (eager or lazy); the
+  /// testbed uses it to attach obs instruments to lazily-created links.
+  void set_link_created_hook(std::function<void(net::Link&, const Host&)> fn) {
+    link_created_ = std::move(fn);
+  }
+
+  // ---- Sharded scheduling ----
+
+  /// Calendar shard this host's events belong to (see Simulator shards).
+  /// Links created after this point file their delivery events into the
+  /// *peer's* shard — the conservative handoff at the link boundary.
+  void set_shard(std::uint32_t s) noexcept { shard_ = s; }
+  std::uint32_t shard() const noexcept { return shard_; }
+
  private:
+  net::Link& materialize_link(const Host& peer, net::LinkParams params);
   vm::BlkBackend* ensure_default_backend();
 
   sim::Simulator& sim_;
@@ -92,6 +125,10 @@ class Host {
   std::vector<std::unique_ptr<vm::BlkBackend>> backends_;
   std::vector<vm::Domain*> domains_;
   std::unordered_map<const Host*, std::unique_ptr<net::Link>> links_;
+  std::function<bool(const Host&)> mesh_oracle_;  ///< lazy-mesh admission
+  net::LinkParams mesh_params_{};                 ///< params for lazy links
+  std::function<void(net::Link&, const Host&)> link_created_;
+  std::uint32_t shard_ = 0;
 };
 
 }  // namespace vmig::hv

@@ -1,5 +1,7 @@
 #include "vm/blk_backend.hpp"
 
+#include <cassert>
+
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
@@ -85,23 +87,88 @@ sim::Task<void> BlkBackend::submit(DomainId domain, storage::IoOp op,
   }
 }
 
+void BlkBackend::note_guest_write(storage::BlockRange range) {
+  if (tracking_) {
+    // vmig-lint: hot-begin -- modeled dirty-mark: the ticked execution of a
+    // dirty-rate model runs this once per tick
+    {
+      obs::ProfScope prof{obs::ProfCategory::kBitmapMark};
+      obs::prof_count(obs::ProfCategory::kBitmapMark, range.count);
+      dirty_.set_range(range.start, range.count);
+      marks_total_ += range.count;
+    }
+    // vmig-lint: hot-end
+    if (obs_dirty_marks_ != nullptr) obs_dirty_marks_->add(range.count);
+    if (redirty_hook_) redirty_hook_(range);
+  }
+  ++writes_;
+  write_bytes_ += range.bytes(disk_.geometry().block_size);
+  if (obs_write_ops_ != nullptr) {
+    obs_write_ops_->add(1.0);
+    obs_write_bytes_->add(
+        static_cast<double>(range.bytes(disk_.geometry().block_size)));
+  }
+  if (write_observer_) write_observer_(range);
+}
+
+void BlkBackend::note_guest_writes_bulk(const storage::BlockRange* ranges,
+                                        std::size_t n_ranges,
+                                        std::uint64_t writes,
+                                        std::uint64_t blocks) {
+  // Per-event consumers cannot be replayed in bulk; the DirtySource must
+  // have switched to live ticking before one was installed.
+  assert(!fidelity_required());
+  if (tracking_) {
+    obs::ProfScope prof{obs::ProfCategory::kBitmapMark};
+    obs::prof_count(obs::ProfCategory::kBitmapMark, blocks);
+    for (std::size_t i = 0; i < n_ranges; ++i) {
+      dirty_.set_range(ranges[i].start, ranges[i].count);
+    }
+    marks_total_ += blocks;
+    if (obs_dirty_marks_ != nullptr) {
+      obs_dirty_marks_->add(static_cast<double>(blocks));
+    }
+  }
+  writes_ += writes;
+  const std::uint64_t bytes = blocks * disk_.geometry().block_size;
+  write_bytes_ += bytes;
+  if (obs_write_ops_ != nullptr) {
+    obs_write_ops_->add(static_cast<double>(writes));
+    obs_write_bytes_->add(static_cast<double>(bytes));
+  }
+}
+
 void BlkBackend::start_write_tracking(core::BitmapKind kind) {
+  // Settle first so modeled writes before this instant land in the *old*
+  // bitmap (the ticked execution's tick events fire before same-time
+  // control events — see docs/SCALE.md tie-break conventions).
+  settle_source();
   dirty_ = core::DirtyBitmap{kind, disk_.geometry().block_count};
   marks_total_ = 0;
   tracking_ = true;
+  if (dirty_source_ != nullptr) dirty_source_->on_tracking(true);
 }
 
-void BlkBackend::stop_write_tracking() { tracking_ = false; }
+void BlkBackend::stop_write_tracking() {
+  settle_source();
+  tracking_ = false;
+  if (dirty_source_ != nullptr) dirty_source_->on_tracking(false);
+}
 
 core::DirtyBitmap BlkBackend::snapshot_dirty_and_reset() {
+  settle_source();
   return dirty_.take_and_reset();
 }
 
 void BlkBackend::snapshot_dirty_and_reset_into(core::DirtyBitmap& out) {
+  settle_source();
   dirty_.take_and_reset_into(out);
 }
 
-core::DirtyBitmap BlkBackend::snapshot_dirty() const { return dirty_; }
+core::DirtyBitmap BlkBackend::snapshot_dirty() const {
+  settle_source();
+  return dirty_;
+}
 
 void BlkBackend::attach_obs(obs::Registry& registry, const std::string& prefix) {
   obs_read_ops_ = &registry.counter(prefix + ".read_ops");

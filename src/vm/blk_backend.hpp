@@ -31,6 +31,30 @@ class IoInterceptor {
                                      storage::BlockRange range) = 0;
 };
 
+/// A lazily-settled producer of dirty state (the fast-forward contract).
+///
+/// A fast-forward workload model (workloads::SteadyWriter) registers one of
+/// these on the backend it writes through. While no per-event consumer needs
+/// tick-by-tick fidelity, the source stays dormant — no simulator events at
+/// all — and the backend calls `settle()` at every *observation point*
+/// (bitmap snapshot/scan, mark-counter read, tracking transition) so the
+/// source can advance its closed-form write model and apply the marks in
+/// bulk. The invariant, pinned by A/B tests: the dirty bitmap and the
+/// cumulative mark counter at every observation point are bit-identical to
+/// the per-tick execution. See docs/SCALE.md.
+class DirtySource {
+ public:
+  virtual ~DirtySource() = default;
+  /// Bring the backend's dirty state up to date with simulated `now`.
+  virtual void settle() = 0;
+  /// Tracking started (true) / stopped (false) on the backend. Fired after
+  /// the backend settled the old state and flipped the flag.
+  virtual void on_tracking(bool on) = 0;
+  /// A per-event consumer (interceptor, redirty hook, write observer) was
+  /// installed or removed; the source must go live while one is present.
+  virtual void on_fidelity_change() = 0;
+};
+
 /// The Domain0 half of the Xen split block driver (`blkback`).
 ///
 /// Every I/O request a guest submits to its virtual block device passes
@@ -61,6 +85,43 @@ class BlkBackend {
   sim::Task<void> submit_write_bytes(DomainId domain, storage::BlockRange range,
                                      std::span<const std::byte> bytes);
 
+  // ---- Modeled guest writes (dirty-rate models / fast-forward) ----
+
+  /// One instantaneous modeled write from the served domain: marks the
+  /// bitmap, fires the redirty hook and write observer, and accounts write
+  /// stats — but performs no disk I/O and pays no interception or tracking
+  /// delay. This is the per-tick primitive of blkback-level dirty-rate
+  /// models (workloads::SteadyWriter); because both the ticked and the
+  /// fast-forward execution use it, the two stay bit-identical.
+  void note_guest_write(storage::BlockRange range);
+
+  /// Bulk closed-form advancement: apply `writes` modeled writes covering
+  /// `ranges` (their union, as maximal runs) and `blocks` total marked
+  /// blocks. Only legal while no per-event consumer is installed
+  /// (fidelity_required() is false) — per-event hooks cannot be replayed in
+  /// bulk. Used by DirtySource::settle to fold an idle stretch of ticks
+  /// into run-level bitmap marks.
+  void note_guest_writes_bulk(const storage::BlockRange* ranges,
+                              std::size_t n_ranges, std::uint64_t writes,
+                              std::uint64_t blocks);
+
+  /// True while a per-event consumer (post-copy interceptor, redirty hook,
+  /// write observer, nonzero tracking overhead) needs tick-by-tick events;
+  /// a DirtySource must run live instead of settling in bulk.
+  bool fidelity_required() const noexcept {
+    return interceptor_ != nullptr || static_cast<bool>(redirty_hook_) ||
+           static_cast<bool>(write_observer_) ||
+           tracking_overhead_ > sim::Duration::zero();
+  }
+
+  /// Register the (single) lazily-settled dirty source feeding this
+  /// backend. The backend settles it at every observation point.
+  void attach_dirty_source(DirtySource* s) noexcept { dirty_source_ = s; }
+  void detach_dirty_source(DirtySource* s) noexcept {
+    if (dirty_source_ == s) dirty_source_ = nullptr;
+  }
+  DirtySource* dirty_source() const noexcept { return dirty_source_; }
+
   // ---- Write tracking (the paper's blkback modification) ----
 
   /// Begin recording every write from the served domain into a fresh
@@ -77,40 +138,68 @@ class BlkBackend {
   /// Copy the bitmap out without resetting.
   core::DirtyBitmap snapshot_dirty() const;
   std::uint64_t dirty_block_count() const {
+    settle_source();
     return tracking_ ? dirty_.count_set() : 0;
   }
   /// Cumulative blocks marked in the bitmap since tracking began — unlike
   /// dirty_block_count(), rewriting an already-dirty block still counts, so
   /// deltas of this value give the domain's true write (re-dirty) rate.
   /// Survives snapshot_dirty_and_reset(); reset by start_write_tracking().
-  std::uint64_t dirty_marks_total() const noexcept { return marks_total_; }
+  std::uint64_t dirty_marks_total() const {
+    settle_source();
+    return marks_total_;
+  }
 
   /// CPU cost charged per tracked write (Table III overhead model).
-  void set_tracking_overhead(sim::Duration d) noexcept { tracking_overhead_ = d; }
+  void set_tracking_overhead(sim::Duration d) {
+    settle_source();
+    tracking_overhead_ = d;
+    notify_fidelity();
+  }
   sim::Duration tracking_overhead() const noexcept { return tracking_overhead_; }
 
   // ---- Post-copy interception ----
 
-  void install_interceptor(IoInterceptor* i) noexcept { interceptor_ = i; }
-  void remove_interceptor() noexcept { interceptor_ = nullptr; }
+  void install_interceptor(IoInterceptor* i) {
+    settle_source();
+    interceptor_ = i;
+    notify_fidelity();
+  }
+  void remove_interceptor() {
+    settle_source();
+    interceptor_ = nullptr;
+    notify_fidelity();
+  }
   bool intercepting() const noexcept { return interceptor_ != nullptr; }
 
   /// Observer invoked after each served-domain write completes on disk —
   /// the tap a delta-forwarding scheme (Bradford et al., VEE'07) uses to
   /// capture the written data for forwarding.
   void set_write_observer(std::function<void(storage::BlockRange)> fn) {
+    settle_source();
     write_observer_ = std::move(fn);
+    notify_fidelity();
   }
-  void clear_write_observer() { write_observer_ = nullptr; }
+  void clear_write_observer() {
+    settle_source();
+    write_observer_ = nullptr;
+    notify_fidelity();
+  }
 
   /// Hook invoked whenever a tracked write marks the dirty bitmap — the
   /// flight recorder's `redirty` tap. Fires only while tracking is on (so it
   /// self-disables at freeze) and only for the served domain. The installer
   /// must clear it before the owning migration object is destroyed.
   void set_redirty_hook(std::function<void(storage::BlockRange)> fn) {
+    settle_source();
     redirty_hook_ = std::move(fn);
+    notify_fidelity();
   }
-  void clear_redirty_hook() { redirty_hook_ = nullptr; }
+  void clear_redirty_hook() {
+    settle_source();
+    redirty_hook_ = nullptr;
+    notify_fidelity();
+  }
 
   // ---- Stats ----
   std::uint64_t guest_reads() const noexcept { return reads_; }
@@ -127,6 +216,16 @@ class BlkBackend {
   void attach_obs(obs::Registry& registry, const std::string& prefix);
 
  private:
+  /// Observation-point settle. Logically const: the source folds modeled
+  /// writes that already happened (in simulated time) into the backend
+  /// state a const reader is about to look at.
+  void settle_source() const {
+    if (dirty_source_ != nullptr) dirty_source_->settle();
+  }
+  void notify_fidelity() {
+    if (dirty_source_ != nullptr) dirty_source_->on_fidelity_change();
+  }
+
   sim::Simulator& sim_;
   storage::VirtualDisk& disk_;
   DomainId served_;
@@ -135,6 +234,7 @@ class BlkBackend {
   std::uint64_t marks_total_ = 0;
   sim::Duration tracking_overhead_{};
   IoInterceptor* interceptor_ = nullptr;
+  DirtySource* dirty_source_ = nullptr;
   std::function<void(storage::BlockRange)> write_observer_;
   std::function<void(storage::BlockRange)> redirty_hook_;
   std::uint64_t reads_ = 0;

@@ -6,6 +6,7 @@ void Domain::suspend() {
   if (state_ == State::kSuspended) return;
   state_ = State::kSuspended;
   suspended_at_ = sim_.now();
+  if (state_hook_) state_hook_(false);
 }
 
 void Domain::resume() {
@@ -13,6 +14,7 @@ void Domain::resume() {
   state_ = State::kRunning;
   suspended_total_ += sim_.now() - suspended_at_;
   cpu_.touch();  // context restore
+  if (state_hook_) state_hook_(true);
   resume_notifier_.notify_all();
 }
 

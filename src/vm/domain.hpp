@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cassert>
+#include <functional>
 #include <string>
 
 #include "simcore/notifier.hpp"
@@ -21,10 +22,25 @@ class BlkFrontend {
  public:
   explicit BlkFrontend(DomainId owner) : owner_{owner} {}
 
-  void connect(BlkBackend* be) noexcept { backend_ = be; }
-  void disconnect() noexcept { backend_ = nullptr; }
+  void connect(BlkBackend* be) {
+    backend_ = be;
+    if (rebind_hook_) rebind_hook_(be);
+  }
+  void disconnect() {
+    backend_ = nullptr;
+    if (rebind_hook_) rebind_hook_(nullptr);
+  }
   bool connected() const noexcept { return backend_ != nullptr; }
   BlkBackend* backend() const noexcept { return backend_; }
+
+  /// Invoked after every connect/disconnect with the new backend (null on
+  /// disconnect). A dirty-rate model (workloads::SteadyWriter) follows the
+  /// domain across migrations with this: it settles and detaches from the
+  /// old backend, then attaches to the new one.
+  void set_rebind_hook(std::function<void(BlkBackend*)> fn) {
+    rebind_hook_ = std::move(fn);
+  }
+  void clear_rebind_hook() { rebind_hook_ = nullptr; }
 
   sim::Task<void> submit(storage::IoOp op, storage::BlockRange range) {
     assert(backend_ != nullptr && "frontend not connected to a backend");
@@ -40,6 +56,7 @@ class BlkFrontend {
  private:
   DomainId owner_;
   BlkBackend* backend_ = nullptr;
+  std::function<void(BlkBackend*)> rebind_hook_;
 };
 
 /// An unprivileged guest VM (Xen DomainU): vCPU + memory + virtual disk
@@ -81,6 +98,16 @@ class Domain {
   /// Unfreeze (resume on the destination — or abort back on the source).
   void resume();
 
+  /// Invoked on every suspend/resume transition with the *new* running
+  /// state, after the domain settled any attached dirty-rate model — the
+  /// fast-forward settle point that keeps modeled writes exact across
+  /// freeze windows (ticks up to the transition instant apply under the old
+  /// state; see docs/SCALE.md).
+  void set_state_hook(std::function<void(bool running)> fn) {
+    state_hook_ = std::move(fn);
+  }
+  void clear_state_hook() { state_hook_ = nullptr; }
+
   /// Wall-clock the guest has spent frozen (downtime accounting cross-check).
   sim::Duration total_suspended_time() const;
 
@@ -106,6 +133,7 @@ class Domain {
   VCpuState cpu_;
   BlkFrontend frontend_;
   State state_ = State::kRunning;
+  std::function<void(bool)> state_hook_;
   sim::Notifier resume_notifier_;
   sim::TimePoint suspended_at_{};
   sim::Duration suspended_total_{};

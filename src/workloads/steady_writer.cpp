@@ -1,0 +1,176 @@
+#include "workloads/steady_writer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmig::workload {
+
+SteadyWriter::SteadyWriter(sim::Simulator& sim, vm::Domain& domain,
+                           SteadyWriterConfig cfg)
+    : sim_{sim},
+      domain_{domain},
+      cfg_{cfg},
+      alive_{std::make_shared<bool>(true)} {}
+
+SteadyWriter::~SteadyWriter() {
+  *alive_ = false;  // a live coroutine frame may outlast us inside the sim
+  if (started_) {
+    domain_.frontend().clear_rebind_hook();
+    domain_.clear_state_hook();
+  }
+  if (be_ != nullptr) be_->detach_dirty_source(this);
+}
+
+void SteadyWriter::start() {
+  assert(!started_);
+  started_ = true;
+  if (cfg_.auto_phase) {
+    // Per-domain phase: keeps any two writers' grids disjoint so same-time
+    // cross-VM writes (whose relative order is arming-history-dependent and
+    // thus mode-dependent) cannot occur. See SteadyWriterConfig::auto_phase.
+    const std::int64_t p = cfg_.period.ns();
+    const std::int64_t phase =
+        (static_cast<std::int64_t>(domain_.id()) * 61009) % p;
+    cfg_.start = cfg_.start + sim::Duration::nanos(phase);
+  }
+  guest_running_ = domain_.running();
+  vm::BlkBackend* be = domain_.frontend().backend();
+  std::uint64_t disk_blocks = cfg_.region_blocks;
+  if (be != nullptr) disk_blocks = be->disk().geometry().block_count;
+  region_ = std::min(cfg_.region_blocks, disk_blocks);
+  region_ -= region_ % std::max<std::uint64_t>(cfg_.blocks_per_tick, 1);
+  assert(region_ >= cfg_.blocks_per_tick && "region too small for one tick");
+
+  domain_.frontend().set_rebind_hook(
+      [this](vm::BlkBackend* nbe) { rebind(nbe); });
+  domain_.set_state_hook([this](bool running) {
+    // Settle under the OLD running state: ticks at t <= the transition
+    // instant fire before the same-time suspend/resume control event in the
+    // ticked execution (their timers were armed a full period earlier).
+    settle();
+    guest_running_ = running;
+  });
+  rebind(be);
+  if (!sim_.fast_forward() || fidelity_now()) ensure_live();
+}
+
+bool SteadyWriter::fidelity_now() const {
+  vm::BlkBackend* be = domain_.frontend().backend();
+  return be != nullptr && be->fidelity_required();
+}
+
+void SteadyWriter::rebind(vm::BlkBackend* nbe) {
+  if (be_ == nbe) return;
+  if (be_ != nullptr) {
+    // Ticks up to the rebind instant wrote through the old backend.
+    settle();
+    be_->detach_dirty_source(this);
+  }
+  be_ = nbe;
+  if (be_ != nullptr) {
+    be_->attach_dirty_source(this);
+    if (started_ && (!sim_.fast_forward() || fidelity_now())) ensure_live();
+  }
+}
+
+void SteadyWriter::ensure_live() {
+  if (live_active_) return;
+  live_active_ = true;
+  sim_.spawn(run_live(alive_), "steady_writer:" + domain_.name());
+}
+
+void SteadyWriter::on_tracking(bool /*on*/) {
+  // The backend settled us before flipping the flag; the tick cursor is
+  // already exact at the transition instant. Nothing else to do.
+}
+
+void SteadyWriter::on_fidelity_change() {
+  // The backend settled us before installing/removing the consumer. A newly
+  // required consumer needs live ticks from this instant on; a removed one
+  // lets the live loop park itself at its next wake-up.
+  if (started_ && fidelity_now()) ensure_live();
+}
+
+void SteadyWriter::settle() {
+  // While a live coroutine owns the tick stream (ticked mode or fidelity
+  // fallback), every tick is applied at its own event; bulk-settling here
+  // would double-apply.
+  if (!started_ || live_active_ || be_ == nullptr) return;
+  // Ticks with t_k <= now and t_k < until are due (the observation-point
+  // convention: a tick timer armed a period before an observation at the
+  // same timestamp fires first in the ticked execution). Closed form — a
+  // dormant stretch may cover millions of ticks.
+  const std::int64_t first_ns = tick_time(k_next_).ns();
+  const std::int64_t limit_ns =
+      std::min(sim_.now().ns(), cfg_.until.ns() - 1);
+  if (first_ns > limit_ns) return;
+  const std::uint64_t n =
+      static_cast<std::uint64_t>((limit_ns - first_ns) / cfg_.period.ns()) + 1;
+  k_next_ += n;
+  if (!guest_running_) {
+    ticks_skipped_ += n;  // frozen guests write nothing; the cursor holds
+    return;
+  }
+  ++bulk_settles_;
+  ticks_applied_ += n;
+  const std::uint64_t blocks = n * cfg_.blocks_per_tick;
+  storage::BlockRange runs[2];
+  std::size_t n_runs = 0;
+  // Run counts are bounded by region_, which fits BlockRange::count.
+  if (blocks >= region_) {
+    runs[n_runs++] =
+        storage::BlockRange{0, static_cast<std::uint32_t>(region_)};
+  } else {
+    const std::uint64_t tail = region_ - cursor_;
+    if (blocks <= tail) {
+      runs[n_runs++] =
+          storage::BlockRange{cursor_, static_cast<std::uint32_t>(blocks)};
+    } else {
+      runs[n_runs++] =
+          storage::BlockRange{cursor_, static_cast<std::uint32_t>(tail)};
+      runs[n_runs++] =
+          storage::BlockRange{0, static_cast<std::uint32_t>(blocks - tail)};
+    }
+  }
+  // Every tick counts toward the mark total (rewriting an already-dirty
+  // block still counts), exactly like n note_guest_write calls would.
+  be_->note_guest_writes_bulk(runs, n_runs, n, blocks);
+  cursor_ = (cursor_ + blocks) % region_;
+}
+
+sim::Task<void> SteadyWriter::run_live(std::shared_ptr<const bool> alive) {
+  for (;;) {
+    if (!*alive) co_return;
+    const std::uint64_t k = k_next_;
+    const sim::TimePoint t_k = tick_time(k);
+    if (t_k >= cfg_.until) break;
+    if (sim_.now() < t_k) {
+      co_await sim_.delay(t_k - sim_.now());
+      if (!*alive) co_return;
+    }
+    if (sim_.fast_forward() && !fidelity_now()) break;  // park: settle mode
+    vm::BlkBackend* be = domain_.frontend().backend();
+    const storage::BlockRange r = next_range();
+    if (be != nullptr && be->fidelity_required()) {
+      // Fidelity fallback: the full guest write path (barrier, post-copy
+      // interception, real disk time). Identical in ticked and
+      // fast-forward runs, so byte-identity is trivial here.
+      k_next_ = k + 1;
+      co_await domain_.disk_write(r);
+      if (!*alive) co_return;
+      cursor_ = (cursor_ + cfg_.blocks_per_tick) % region_;
+      ++ticks_applied_;
+    } else if (be != nullptr && domain_.running()) {
+      k_next_ = k + 1;
+      be->note_guest_write(r);
+      cursor_ = (cursor_ + cfg_.blocks_per_tick) % region_;
+      ++ticks_applied_;
+    } else {
+      k_next_ = k + 1;  // suspended or detached: the tick is skipped
+      ++ticks_skipped_;
+    }
+  }
+  live_active_ = false;
+}
+
+}  // namespace vmig::workload

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simcore/simulator.hpp"
+#include "simcore/task.hpp"
+#include "vm/domain.hpp"
+
+namespace vmig::workload {
+
+/// Configuration for a SteadyWriter dirty-rate model.
+struct SteadyWriterConfig {
+  /// Blocks written per tick (one contiguous run).
+  std::uint64_t blocks_per_tick = 64;
+  /// Cyclic write window at the start of the VBD; the cursor wraps inside
+  /// it, so the steady-state dirty set is bounded by this many blocks.
+  std::uint64_t region_blocks = 8192;
+  /// Tick period. The default is a prime microsecond count on purpose: a
+  /// round period phase-locks with round-period observers (the
+  /// orchestrator's rate-sampling poll), and a tick landing at *exactly* an
+  /// observation's timestamp is the one case where the fast-forward settle
+  /// convention (ticks at t <= observation apply first) could disagree with
+  /// the ticked execution's (time, seq) interleaving. A prime period keeps
+  /// the two grids from ever coinciding. See docs/SCALE.md.
+  sim::Duration period = sim::Duration::micros(1009);
+  /// First tick fires at `start` (plus the per-domain phase, see
+  /// `auto_phase`); ticks stop at the first t_k >= until.
+  sim::TimePoint start{};
+  sim::TimePoint until{};
+  /// De-phase this writer's tick grid by its domain id:
+  /// start += (id * 61009 ns) mod period. Two writers on a shared resource
+  /// (same host disk) that tick at the *same instant* are ordered by event
+  /// seq, and seq depends on when each writer's timer was armed — which is
+  /// exactly what fast-forward changes (dormant writers arm on fidelity
+  /// transitions, ticked writers arm at spawn). Distinct phases make such
+  /// cross-VM ties impossible, so the A/B byte-identity contract covers the
+  /// whole cluster, not just each VM in isolation. 61009 = 169*361 is
+  /// coprime to the default period, so phases stay distinct for any two
+  /// domain ids. Disable only for single-writer setups that need exact
+  /// absolute phases.
+  bool auto_phase = true;
+};
+
+/// Blkback-level guest write model with fast-forward support — the
+/// cluster-scale replacement for per-VM "write a chunk every millisecond"
+/// coroutines (modeled on Virtuoso's FastForwardPerformanceManager: skip
+/// simulated time between performance-relevant events).
+///
+/// The model writes `blocks_per_tick` blocks at a cyclically advancing
+/// cursor every `period`, at fixed absolute phases t_k = start + k*period.
+/// Three execution regimes, all producing identical dirty state:
+///
+/// - **Ticked** (`Simulator::fast_forward()` off): a live coroutine applies
+///   each tick as an instantaneous `BlkBackend::note_guest_write` event at
+///   exactly t_k (skipped while the guest is suspended).
+/// - **Fast-forward, dormant**: no events at all. The writer registers as a
+///   `vm::DirtySource` on the backend the domain's frontend is bound to;
+///   the backend settles it at every observation point (bitmap snapshot,
+///   mark-counter read, tracking transition, suspend/resume), folding the
+///   elapsed ticks into run-level `set_range` marks in bulk.
+/// - **Fidelity fallback**: whenever a per-event consumer is present
+///   (post-copy interceptor, flight-recorder redirty hook, write observer,
+///   tracked-write overhead), ticks run live through the full
+///   `Domain::disk_write` path — real disk I/O, interception, and barrier —
+///   in BOTH modes, so byte-identity is preserved trivially and post-copy
+///   semantics stay exact.
+///
+/// The writer follows the domain across migrations via the frontend rebind
+/// hook, settling against the old backend before attaching to the new one.
+/// A/B byte-identity of migration reports and flight records is pinned by
+/// tests/scale_test.cpp.
+class SteadyWriter final : public vm::DirtySource {
+ public:
+  SteadyWriter(sim::Simulator& sim, vm::Domain& domain,
+               SteadyWriterConfig cfg);
+  ~SteadyWriter() override;
+  SteadyWriter(const SteadyWriter&) = delete;
+  SteadyWriter& operator=(const SteadyWriter&) = delete;
+
+  /// Install hooks and begin. In ticked mode (or when fidelity is already
+  /// required) this spawns the live coroutine; in fast-forward mode the
+  /// writer starts dormant.
+  void start();
+
+  // ---- vm::DirtySource ----
+  void settle() override;
+  void on_tracking(bool on) override;
+  void on_fidelity_change() override;
+
+  // ---- Introspection (tests / benches) ----
+  std::uint64_t ticks_applied() const noexcept { return ticks_applied_; }
+  std::uint64_t ticks_skipped() const noexcept { return ticks_skipped_; }
+  std::uint64_t bulk_settles() const noexcept { return bulk_settles_; }
+  bool live() const noexcept { return live_active_; }
+
+ private:
+  sim::Task<void> run_live(std::shared_ptr<const bool> alive);
+  void ensure_live();
+  bool fidelity_now() const;
+  void rebind(vm::BlkBackend* be);
+  sim::TimePoint tick_time(std::uint64_t k) const {
+    return sim::TimePoint::from_ns(cfg_.start.ns() +
+                                   static_cast<std::int64_t>(k) *
+                                       cfg_.period.ns());
+  }
+  /// The run the next applied tick writes. `region_` is rounded down to a
+  /// multiple of blocks_per_tick at start(), so runs never straddle the
+  /// wrap point.
+  storage::BlockRange next_range() const {
+    return storage::BlockRange{
+        cursor_, static_cast<std::uint32_t>(cfg_.blocks_per_tick)};
+  }
+
+  sim::Simulator& sim_;
+  vm::Domain& domain_;
+  SteadyWriterConfig cfg_;
+  std::uint64_t region_ = 0;       ///< effective cyclic window (clamped)
+  vm::BlkBackend* be_ = nullptr;   ///< backend the source is attached to
+  std::uint64_t k_next_ = 0;       ///< next tick index not yet accounted
+  std::uint64_t cursor_ = 0;       ///< next write start within the region
+  bool guest_running_ = true;      ///< mirror of domain state for settles
+  bool started_ = false;
+  bool live_active_ = false;
+  std::uint64_t ticks_applied_ = 0;
+  std::uint64_t ticks_skipped_ = 0;
+  std::uint64_t bulk_settles_ = 0;
+  std::shared_ptr<bool> alive_;    ///< outlives `this` inside the coroutine
+};
+
+}  // namespace vmig::workload

@@ -78,6 +78,7 @@ struct Options {
   double metrics_interval_s = 1.0;
   // --cluster: orchestrated evacuation on the N-host testbed.
   bool cluster = false;
+  bool fast_forward = false;  // --fast-forward: settle idle dirty-rate models
   int cluster_hosts = 3;
   int cluster_vms = 4;
   std::string cluster_policy = "fifo";  // fifo|smallest-dirty|workload-cycle
@@ -128,6 +129,8 @@ void usage(const char* argv0) {
       "  --cluster-vms N      guests to evacuate off host0 (default 4)\n"
       "  --cluster-policy P   fifo | smallest-dirty | workload-cycle\n"
       "  --cluster-outage S   fail host0->host1 for S seconds at t=1s\n"
+      "  --fast-forward       fold idle dirty-rate model ticks into bulk\n"
+      "                       settles (cluster mode; see docs/SCALE.md)\n"
       "  --fault SPEC     inject faults on the migration path; SPEC is\n"
       "                   ';'-separated clauses (see docs/FAULTS.md):\n"
       "                     outage@<at>+<dur>       degrade@<at>+<dur>:<f>\n"
@@ -185,6 +188,9 @@ bool parse(int argc, char** argv, Options& o) {
       o.seed = std::strtoull(need("--seed"), nullptr, 10);
     } else if (a == "--cluster") {
       o.cluster = true;
+    } else if (a == "--fast-forward") {
+      o.fast_forward = true;
+      o.cluster_flags_used = true;
     } else if (a == "--cluster-hosts") {
       o.cluster_hosts = static_cast<int>(std::strtol(need("--cluster-hosts"), nullptr, 10));
       o.cluster_flags_used = true;
@@ -262,7 +268,7 @@ void validate_or_die(const Options& o) {
     die("--scheme only applies to the two-host testbed, not --cluster");
   }
   if (o.cluster_flags_used && !o.cluster) {
-    die("--cluster-* options require --cluster");
+    die("--cluster-* and --fast-forward options require --cluster");
   }
   if (o.cluster && o.cluster_hosts < 2) die("--cluster-hosts must be >= 2");
   if (o.cluster && o.cluster_vms < 1) die("--cluster-vms must be >= 1");
@@ -389,6 +395,7 @@ bool dump_obs(const Options& o, const obs::Registry* registry,
 
 int run_cluster(const Options& o) {
   sim::Simulator sim;
+  sim.set_fast_forward(o.fast_forward);
   scenario::ClusterTestbedConfig bed;
   bed.hosts = o.cluster_hosts;
   // The two-host default (the paper's 40 GB device) is outsized for a

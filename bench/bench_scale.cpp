@@ -16,6 +16,7 @@
 //
 // Usage: bench_scale [--quick] [--points N,M,...] [--no-fast-forward]
 //                    [--budget-wall-ms MS] [--json FILE] [--profile-out FILE]
+//                    [--fleet] [--fleet-out FILE] [--flight-budget BYTES]
 //   --quick            64-host point only (CI smoke; the committed baseline
 //                      bench/baselines/BENCH_scale.json holds exactly this)
 //   --points N,M,...   run exactly these host counts (CI scale matrix legs)
@@ -25,18 +26,36 @@
 //                      exceeds MS (the 10k leg's <60 s acceptance gate)
 //   --json FILE        flat metrics JSON for the baseline gate
 //   --profile-out      self-profile the runs, write a collapsed-stack file
+//   --fleet            A/B every point: observability off, then twice with
+//                      the fleet rollup + a byte-budgeted flight recorder
+//                      attached. Reports obs-on throughput and the obs-on
+//                      vs obs-off events/sec delta (the cost of telemetry,
+//                      fidelity fallback included), replay divergence
+//                      across the two obs-on runs (must be 0: job reports
+//                      and the fleet export are byte-identical on replay),
+//                      and flight-record budget overrun (must be 0).
+//                      Gated via bench/baselines/BENCH_fleet.json.
+//   --fleet-out FILE   write the largest point's fleet rollup CSV (CI
+//                      artifact; `vmig_top FILE` renders it)
+//   --flight-budget B  flight-recorder event-section byte budget for the
+//                      obs-on runs (default 65536)
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/orchestrator.hpp"
+#include "core/report_io.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
+#include "obs/rollup.hpp"
 #include "scenario/cluster_testbed.hpp"
 #include "workloads/steady_writer.hpp"
 
@@ -46,6 +65,12 @@ using namespace vmig::sim::literals;
 namespace {
 
 bool g_fast_forward = true;
+
+/// --fleet mode: A/B each point with the obs stack attached.
+struct FleetOpts {
+  bool enabled = false;
+  std::uint64_t flight_budget = 65536;  ///< event-section byte budget
+};
 
 struct Row {
   int hosts = 0;
@@ -60,6 +85,22 @@ struct Row {
   double wall_ms_per_sim_min = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+
+  // --fleet columns (obs-on re-run of the same point).
+  bool fleet = false;
+  double obs_wall_ms = 0;
+  double obs_events_per_sec = 0;
+  /// Replay divergence: jobs whose terminal MigrationReport JSON differs
+  /// between two obs-on runs of the identical point, +1 if the fleet
+  /// rollup exports differ. Telemetry must be deterministic, so the
+  /// committed baseline gates this at exactly 0.
+  std::uint64_t report_divergence = 0;
+  /// max(0, serialized flight-record event-section bytes - budget); the
+  /// budgeted recorder's contract, gated at exactly 0.
+  std::uint64_t flight_over_budget_bytes = 0;
+  /// Obs-on run's fleet rollup export (bounded; --fleet-out writes the
+  /// largest point's).
+  std::string fleet_csv;
 };
 
 constexpr int kColdVmsPerHost = 10;
@@ -69,7 +110,12 @@ constexpr std::size_t kMaxDestinations = 64;
 // mesh. The evacuated-VM count grows with the cluster so the event volume
 // scales too; disks shrink at the biggest points so the 10k-host run stays
 // inside a laptop's memory and a CI minute.
-Row run_size(int hosts) {
+//
+// `obs` non-null attaches the fleet telemetry stack (rollup + budgeted
+// flight recorder) for the --fleet A/B; `reports` non-null collects every
+// job's terminal MigrationReport as JSON for the divergence check.
+Row run_once(int hosts, const FleetOpts* obs,
+             std::vector<std::string>* reports) {
   Row r;
   r.hosts = hosts;
   r.vms = hosts / 8;
@@ -109,10 +155,23 @@ Row run_size(int hosts) {
     writers.back()->start();
   }
 
+  std::unique_ptr<obs::Rollup> rollup;
+  std::unique_ptr<obs::FlightRecorder> recorder;
   cluster::OrchestratorConfig cfg;
   cfg.caps = {.per_source = 4, .per_dest = 2, .per_link = 1, .total = 16};
   cfg.policy = cluster::SchedulePolicyKind::kFifo;
   cfg.poll_interval = 50_ms;
+  if (obs != nullptr) {
+    obs::RollupConfig rcfg;
+    rcfg.hosts = static_cast<std::size_t>(hosts);
+    rollup = std::make_unique<obs::Rollup>(sim, rcfg);
+    tb.attach_rollup(rollup.get());
+    rollup->start_sampling();
+    recorder = std::make_unique<obs::FlightRecorder>();
+    recorder->set_byte_budget(obs->flight_budget);
+    cfg.rollup = rollup.get();
+    cfg.recorder = recorder.get();
+  }
   cluster::Orchestrator orch{sim, tb.manager(), cfg};
   orch.submit_evacuation(
       tb.host(0),
@@ -135,6 +194,68 @@ Row run_size(int hosts) {
   if (wall_s > 0) r.events_per_sec = static_cast<double>(r.events) / wall_s;
   const double sim_min = r.sim_s / 60.0;
   if (sim_min > 0) r.wall_ms_per_sim_min = r.wall_ms / sim_min;
+
+  if (reports != nullptr) {
+    reports->reserve(orch.job_count());
+    for (std::size_t id = 0; id < orch.job_count(); ++id) {
+      reports->push_back(core::to_json(
+          orch.job(static_cast<cluster::JobId>(id)).outcome.report));
+    }
+  }
+  if (obs != nullptr) {
+    rollup->sample_now();  // terminal fleet state
+    std::ostringstream csv;
+    rollup->write_csv(csv);
+    r.fleet_csv = csv.str();
+    // Event-section size of the serialized record vs the byte budget.
+    std::ostringstream rec;
+    obs::write_flight_record(rec, *recorder);
+    const std::string text = rec.str();
+    std::uint64_t event_bytes = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size() - 1;
+      if (text.compare(pos, 6, "{\"k\":\"") == 0) {
+        event_bytes += nl + 1 - pos;
+      }
+      pos = nl + 1;
+    }
+    r.flight_over_budget_bytes =
+        event_bytes > obs->flight_budget ? event_bytes - obs->flight_budget
+                                         : 0;
+  }
+  return r;
+}
+
+// One table row: the plain run, plus — under --fleet — two obs-on replays
+// of the identical point. Obs-on vs obs-off yields the telemetry cost
+// columns (the delta includes the fidelity fallback: with a redirty hook
+// attached, writer ticks run live through the full disk_write path, so the
+// simulated run itself is allowed to differ from the obs-off one). The two
+// obs-on replays yield the exactness columns: replaying one configuration
+// must reproduce every job report and the fleet export byte-for-byte.
+Row run_size(int hosts, const FleetOpts& fleet) {
+  Row r = run_once(hosts, nullptr, nullptr);
+  if (!fleet.enabled) return r;
+
+  std::vector<std::string> rep1;
+  std::vector<std::string> rep2;
+  Row o1 = run_once(hosts, &fleet, &rep1);
+  Row o2 = run_once(hosts, &fleet, &rep2);
+  r.fleet = true;
+  r.obs_wall_ms = o1.wall_ms;
+  r.obs_events_per_sec = o1.events_per_sec;
+  r.flight_over_budget_bytes =
+      std::max(o1.flight_over_budget_bytes, o2.flight_over_budget_bytes);
+  const std::size_t n = std::max(rep1.size(), rep2.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= rep1.size() || i >= rep2.size() || rep1[i] != rep2[i]) {
+      ++r.report_divergence;
+    }
+  }
+  if (o1.fleet_csv != o2.fleet_csv) ++r.report_divergence;
+  r.fleet_csv = std::move(o1.fleet_csv);
   return r;
 }
 
@@ -166,6 +287,8 @@ bool parse_points(std::string_view s, std::vector<int>* out) {
 int main(int argc, char** argv) {
   std::string json_out;
   std::string profile_out;
+  std::string fleet_out;
+  FleetOpts fleet;
   std::vector<int> sizes{64, 256, 1024, 4096, 10000};
   double budget_wall_ms = 0;  // 0 = no budget
   for (int i = 1; i < argc; ++i) {
@@ -185,10 +308,19 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (a == "--profile-out" && i + 1 < argc) {
       profile_out = argv[++i];
+    } else if (a == "--fleet") {
+      fleet.enabled = true;
+    } else if (a == "--fleet-out" && i + 1 < argc) {
+      fleet_out = argv[++i];
+      fleet.enabled = true;
+    } else if (a == "--flight-budget" && i + 1 < argc) {
+      fleet.flight_budget = std::strtoull(argv[++i], nullptr, 10);
+      fleet.enabled = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--points N,M,...] [--no-fast-forward]"
-                   " [--budget-wall-ms MS] [--json FILE] [--profile-out FILE]\n",
+                   " [--budget-wall-ms MS] [--json FILE] [--profile-out FILE]"
+                   " [--fleet] [--fleet-out FILE] [--flight-budget BYTES]\n",
                    argv[0]);
       return 2;
     }
@@ -200,12 +332,16 @@ int main(int argc, char** argv) {
   bench::header("simulator scale",
                 "wall-clock throughput of cluster evacuations");
   std::printf("  fast-forward: %s\n", g_fast_forward ? "on" : "off (ticked)");
+  if (fleet.enabled) {
+    std::printf("  fleet A/B: on (flight budget %llu bytes)\n",
+                static_cast<unsigned long long>(fleet.flight_budget));
+  }
 
   std::vector<Row> rows;
   for (const int n : sizes) {
     std::printf("  running %d hosts...\n", n);
     std::fflush(stdout);
-    rows.push_back(run_size(n));
+    rows.push_back(run_size(n, fleet));
   }
 
   std::printf("\n%-7s %6s %9s %7s %10s %10s %9s %12s %13s %14s\n", "hosts",
@@ -224,13 +360,51 @@ int main(int argc, char** argv) {
     if (r.failed != 0 || r.completed != static_cast<std::uint64_t>(r.vms)) {
       all_ok = false;
     }
-    if (budget_wall_ms > 0 && r.wall_ms > budget_wall_ms) in_budget = false;
+    if (budget_wall_ms > 0 &&
+        std::max(r.wall_ms, r.obs_wall_ms) > budget_wall_ms) {
+      in_budget = false;
+    }
   }
+
+  bool fleet_exact = true;
+  if (fleet.enabled) {
+    std::printf("\n%-7s %13s %13s %8s %10s %12s\n", "hosts", "off-ev/s",
+                "obs-ev/s", "delta%", "rep-diverg", "over-budget");
+    for (const auto& r : rows) {
+      const double delta =
+          r.events_per_sec > 0
+              ? 100.0 * (r.obs_events_per_sec - r.events_per_sec) /
+                    r.events_per_sec
+              : 0.0;
+      std::printf("%-7d %13.0f %13.0f %+7.1f%% %10llu %12llu\n", r.hosts,
+                  r.events_per_sec, r.obs_events_per_sec, delta,
+                  static_cast<unsigned long long>(r.report_divergence),
+                  static_cast<unsigned long long>(r.flight_over_budget_bytes));
+      if (r.report_divergence != 0 || r.flight_over_budget_bytes != 0) {
+        fleet_exact = false;
+      }
+    }
+  }
+
   bench::section("claims checked");
   std::printf("  every evacuation completes:  %s\n", all_ok ? "yes" : "NO");
   if (budget_wall_ms > 0) {
     std::printf("  all points within %.0f ms wall budget:  %s\n",
                 budget_wall_ms, in_budget ? "yes" : "NO");
+  }
+  if (fleet.enabled) {
+    std::printf("  fleet telemetry replays byte-identically and the flight\n"
+                "  record stays inside its byte budget:  %s\n",
+                fleet_exact ? "yes" : "NO");
+  }
+
+  if (!fleet_out.empty() && !rows.empty()) {
+    if (!write_text(fleet_out.c_str(), rows.back().fleet_csv)) {
+      std::fprintf(stderr, "error: cannot write %s\n", fleet_out.c_str());
+      return 2;
+    }
+    std::printf("  fleet rollup (h%d) -> %s\n", rows.back().hosts,
+                fleet_out.c_str());
   }
 
   if (!profile_out.empty()) {
@@ -253,6 +427,15 @@ int main(int argc, char** argv) {
       kv.emplace_back(p + "events_per_sec", r.events_per_sec);
       kv.emplace_back(p + "wall_ms_per_sim_min", r.wall_ms_per_sim_min);
       kv.emplace_back(p + "setup_ms", r.setup_ms);  // reported, never gated
+      if (r.fleet) {
+        const std::string f = "fleet.h" + std::to_string(r.hosts) + ".";
+        kv.emplace_back(f + "obs_events_per_sec", r.obs_events_per_sec);
+        // Exact-zero contracts (absolute gate in check_bench_baselines.py).
+        kv.emplace_back(f + "report_divergence",
+                        static_cast<double>(r.report_divergence));
+        kv.emplace_back(f + "flight_over_budget_bytes",
+                        static_cast<double>(r.flight_over_budget_bytes));
+      }
     }
     if (!bench::write_flat_json(json_out.c_str(), kv)) {
       std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
@@ -260,5 +443,5 @@ int main(int argc, char** argv) {
     }
     std::printf("  metrics -> %s\n", json_out.c_str());
   }
-  return (all_ok && in_budget) ? 0 : 1;
+  return (all_ok && in_budget && fleet_exact) ? 0 : 1;
 }

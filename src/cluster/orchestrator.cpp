@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/rollup.hpp"
 #include "obs/tracer.hpp"
 #include "vm/blk_backend.hpp"
 #include "vm/domain.hpp"
@@ -85,6 +86,7 @@ JobId Orchestrator::submit(core::MigrationRequest req) {
   }
 
   if (m_submitted_ != nullptr) m_submitted_->add(1.0);
+  if (cfg_.rollup != nullptr) cfg_.rollup->job_submitted();
   if (m_pending_ != nullptr) {
     m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
   }
@@ -183,6 +185,9 @@ void Orchestrator::on_finished(JobId id, core::MigrationOutcome outcome) {
   MigrationJob& j = jobs_[id];
   admission_.release(*j.request.from, *j.request.to);
   --running_;
+  if (cfg_.rollup != nullptr) {
+    cfg_.rollup->attempt_finished(j.request.from, j.request.to);
+  }
   outcome.attempts = j.attempts;
   j.outcome = std::move(outcome);
 
@@ -212,6 +217,7 @@ void Orchestrator::on_finished(JobId id, core::MigrationOutcome outcome) {
     j.next_eligible = sim_.now() + cfg_.retry.backoff_after(j.attempts);
     ++retries_;
     if (m_retries_ != nullptr) m_retries_->add(1.0);
+    if (cfg_.rollup != nullptr) cfg_.rollup->job_retry(j.request.from);
     if (tracer_ != nullptr) {
       tracer_->instant(trk_, "job_retry_scheduled",
                        "\"job\":" + std::to_string(id) + ",\"attempt\":" +
@@ -249,6 +255,7 @@ bool Orchestrator::launch_ready() {
       for (const JobView& v : eligible) ++jobs_[v.job->id].deferrals;
       ++deferrals_;
       if (m_deferrals_ != nullptr) m_deferrals_->add(1.0);
+      if (cfg_.rollup != nullptr) cfg_.rollup->deferral();
       return true;
     }
 
@@ -258,6 +265,9 @@ bool Orchestrator::launch_ready() {
     ++j.attempts;
     ++running_;
     peak_running_ = std::max(peak_running_, running_);
+    if (cfg_.rollup != nullptr) {
+      cfg_.rollup->attempt_started(j.request.from, j.request.to);
+    }
     if (m_running_ != nullptr) m_running_->set(running_);
     if (m_pending_ != nullptr) {
       m_pending_->set(static_cast<double>(jobs_.size() - terminal_) - running_);
@@ -367,6 +377,21 @@ void Orchestrator::mark_terminal(MigrationJob& j, JobState state) {
                      "\"job\":" + std::to_string(j.id) + ",\"state\":\"" +
                          to_string(j.state) + "\",\"status\":\"" +
                          core::to_string(j.outcome.status) + "\"");
+  }
+  if (cfg_.rollup != nullptr) {
+    obs::RollupJobClose close;
+    close.completed = state == JobState::kCompleted;
+    // Exactly vmig_analyze's SLO predicate: a deadline of zero means no SLO;
+    // otherwise the job must complete within it.
+    const std::int64_t deadline_ns = j.request.deadline.ns();
+    const std::int64_t total_ns = (j.finished - j.submitted).ns();
+    close.slo_miss =
+        deadline_ns > 0 && !(close.completed && total_ns <= deadline_ns);
+    close.bytes = j.outcome.report.total_bytes();
+    close.downtime_ns = j.outcome.report.downtime().ns();
+    close.dirty_blocks = j.outcome.report.blocks_retransferred +
+                         j.outcome.report.residual_dirty_blocks;
+    cfg_.rollup->job_terminal(j.request.from, j.request.to, close);
   }
   if (cfg_.recorder != nullptr) {
     obs::JobRecord rec;

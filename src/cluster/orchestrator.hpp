@@ -20,6 +20,7 @@ class Counter;
 class FlightRecorder;
 class Gauge;
 class Registry;
+class Rollup;
 class Tracer;
 }  // namespace vmig::obs
 
@@ -46,6 +47,12 @@ struct OrchestratorConfig {
   /// engine events land in one flight record) and fed a terminal JobRecord
   /// per job — the per-job SLO rows of `vmig_analyze`.
   obs::FlightRecorder* recorder = nullptr;
+  /// When set, fed the fleet-rollup job lifecycle: submissions, attempt
+  /// start/finish per host pair, retries, deferrals, and a terminal close
+  /// (bytes, downtime, SLO verdict, dirty blocks) per job. Hosts must be
+  /// registered with the rollup (ClusterTestbed::attach_rollup does this)
+  /// before their jobs reach a terminal state.
+  obs::Rollup* rollup = nullptr;
 };
 
 /// Cluster migration orchestrator: accepts a queue of MigrationRequests and

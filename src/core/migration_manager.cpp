@@ -33,6 +33,7 @@ obs::MigrationClose close_of(const MigrationReport& rep) {
   c.bytes_postcopy_pull = rep.bytes_postcopy_pull;
   c.bytes_control = rep.bytes_control;
   c.residual_dirty_blocks = rep.residual_dirty_blocks;
+  c.blocks_retransferred = rep.blocks_retransferred;
   c.blocks_pushed = rep.blocks_pushed;
   c.blocks_pulled = rep.blocks_pulled;
   c.blocks_dropped = rep.blocks_dropped;

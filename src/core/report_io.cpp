@@ -1,6 +1,7 @@
 #include "core/report_io.hpp"
 
 #include <cstdio>
+#include <ostream>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -106,24 +107,23 @@ std::string to_csv(const sim::TimeSeries& ts) {
   return out;
 }
 
-std::string to_csv(const obs::Registry& registry) {
-  std::string out = "t_seconds,metric,value\n";
+void write_csv(std::ostream& out, const obs::Registry& registry) {
+  out << "t_seconds,metric,value\n";
   char buf[96];
   for (const auto& s : registry.series()) {
     for (const auto& p : s.data->points()) {
       std::snprintf(buf, sizeof buf, "%.6f,", p.t.to_seconds());
-      out += buf;
-      out += s.name;
+      out << buf << s.name;
       std::snprintf(buf, sizeof buf, ",%.9g\n", p.value);
-      out += buf;
+      out << buf;
     }
   }
   // Histograms never sample into series; export one end-of-run summary row
   // per statistic instead, stamped with the last sample time so the rows
   // sort after the series they summarize.
-  std::snprintf(buf, sizeof buf, "%.6f,",
+  char stamp[96];
+  std::snprintf(stamp, sizeof stamp, "%.6f,",
                 registry.last_sample_time().to_seconds());
-  const std::string stamp{buf};
   for (const auto& [name, h] : registry.histograms()) {
     const std::pair<const char*, double> stats[] = {
         {".count", static_cast<double>(h->count())},
@@ -133,14 +133,17 @@ std::string to_csv(const obs::Registry& registry) {
         {".p99", h->quantile(0.99)},
     };
     for (const auto& [suffix, v] : stats) {
-      out += stamp;
-      out += name;
-      out += suffix;
+      out << stamp << name << suffix;
       std::snprintf(buf, sizeof buf, ",%.9g\n", v);
-      out += buf;
+      out << buf;
     }
   }
-  return out;
+}
+
+std::string to_csv(const obs::Registry& registry) {
+  std::ostringstream os;
+  write_csv(os, registry);
+  return os.str();
 }
 
 }  // namespace vmig::core

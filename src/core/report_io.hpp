@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "core/migration_metrics.hpp"
@@ -32,5 +33,12 @@ std::string to_csv(const sim::TimeSeries& ts);
 /// summary rows each — "<name>.count/.sum/.p50/.p95/.p99" — stamped with
 /// the registry's last sample time.
 std::string to_csv(const obs::Registry& registry);
+
+/// Streaming variant of `to_csv(const obs::Registry&)`: writes the same
+/// bytes row by row into `out` instead of building the whole document in
+/// memory, so exporting a fleet-scale registry needs O(1 row) of buffer on
+/// top of the stream's own. `to_csv` is a thin wrapper over this; the two
+/// are byte-identical by construction (pinned by tests/report_io_test.cpp).
+void write_csv(std::ostream& out, const obs::Registry& registry);
 
 }  // namespace vmig::core

@@ -156,11 +156,15 @@ void Registry::sample_now() {
 }
 
 void Registry::tick() {
+  sim_.note_observer_tick_fired();
   sample_now();
-  // Park when nothing else is pending: a migration experiment drives the
-  // queue until it completes; rescheduling unconditionally would keep
-  // Simulator::run spinning forever.
-  if (sim_.has_pending()) {
+  // Park when nothing but observer ticks is pending: a migration experiment
+  // drives the queue until it completes; rescheduling unconditionally would
+  // keep Simulator::run spinning forever, and counting other observers'
+  // ticks as work would let two samplers (e.g. this and an obs::Rollup)
+  // keep each other alive the same way.
+  if (sim_.pending_count() > sim_.observer_ticks()) {
+    sim_.note_observer_tick_armed();
     sim_.schedule_after(interval_, [this] { tick(); });
   } else {
     sampling_ = false;
@@ -176,6 +180,7 @@ void Registry::start_sampling() {
   if (sampling_) return;
   sampling_ = true;
   sample_now();
+  sim_.note_observer_tick_armed();
   sim_.schedule_after(interval_, [this] { tick(); });
 }
 

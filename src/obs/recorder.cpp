@@ -58,6 +58,10 @@ void FlightRecorder::push(const Event& e) {
   ProfScope prof{ProfCategory::kRecorderEmit};
   prof_count(ProfCategory::kRecorderEmit);
   ++recorded_;
+  if (budgeted_) {
+    push_budgeted(e);  // amortized O(1); decimation halves the kept set
+    return;
+  }
   if (ring_.size() < cap_) {
     // vmig-lint: h2-ok -- fills capacity reserved by ctor, no realloc
     ring_.push_back(e);
@@ -68,6 +72,69 @@ void FlightRecorder::push(const Event& e) {
   ++dropped_;
 }
 // vmig-lint: hot-end
+
+void FlightRecorder::push_budgeted(const Event& e) {
+  // Per-migration emit index: the thinning is a property of each
+  // migration's own event stream, so every migration keeps a uniform
+  // subsample (its first emit is index 0 and always passes the stride
+  // test) regardless of how the global interleaving looks.
+  MigStats* s = mig(e.mig);
+  const std::uint64_t idx = s != nullptr ? s->ev_emitted_++ : 0;
+  if (idx % stride_ != 0) {
+    ++sampled_out_;
+    return;
+  }
+  if (ring_.size() >= budget_cap_) decimate();
+  if (idx % stride_ != 0 || ring_.size() >= budget_cap_) {
+    // The doubled stride now excludes this emit, or the kept set is pinned
+    // at the cap by per-migration anchor events (index 0 survives every
+    // decimation). Either way the budget wins.
+    ++sampled_out_;
+    return;
+  }
+  Event kept = e;
+  kept.seq = idx;
+  // Within the capacity reserved by the ctor (budget_cap_ <= cap_).
+  ring_.push_back(kept);
+}
+
+void FlightRecorder::decimate() {
+  // Double the stride and drop kept events the new stride excludes. Each
+  // pass halves the survivors (index-0 anchors aside), so the loop below
+  // almost always runs once; the stride check bails out of the pathological
+  // all-anchors case instead of spinning.
+  while (ring_.size() >= budget_cap_ && stride_ < (std::uint64_t{1} << 62)) {
+    stride_ *= 2;
+    std::size_t w = 0;
+    for (const Event& ev : ring_) {
+      if (ev.seq % stride_ == 0) ring_[w++] = ev;
+    }
+    if (w == ring_.size()) break;  // nothing excluded; cap enforced by caller
+    sampled_out_ += ring_.size() - w;
+    ring_.resize(w);
+  }
+}
+
+void FlightRecorder::set_byte_budget(std::uint64_t bytes) {
+  // ~160 B covers the widest serialized event line (pull with latency);
+  // the floor keeps a minimal evidence trail even under an absurd budget.
+  constexpr std::uint64_t kEventLineBytes = 160;
+  budgeted_ = true;
+  byte_budget_ = bytes;
+  std::uint64_t cap = bytes / kEventLineBytes;
+  if (cap < 16) cap = 16;
+  if (cap > cap_) cap = cap_;
+  budget_cap_ = static_cast<std::size_t>(cap);
+  if (head_ != 0) {
+    // Entered budgeted mode after the classic ring wrapped: restore
+    // oldest-first order so the no-wrap invariant of budgeted mode holds.
+    std::vector<Event> ordered = events();
+    ring_ = std::move(ordered);
+    ring_.reserve(cap_);  // re-establish the ctor's no-realloc guarantee
+    head_ = 0;
+  }
+  if (ring_.size() >= budget_cap_) decimate();
+}
 
 std::vector<FlightRecorder::Event> FlightRecorder::events() const {
   std::vector<Event> out;
@@ -510,6 +577,7 @@ void append_summary(std::string& out, FlightMigId id,
   kv_u(out, "bytes_postcopy_pull", c.bytes_postcopy_pull);
   kv_u(out, "bytes_control", c.bytes_control);
   kv_u(out, "residual_dirty_blocks", c.residual_dirty_blocks);
+  kv_u(out, "blocks_retransferred", c.blocks_retransferred);
   kv_u(out, "blocks_pushed", c.blocks_pushed);
   kv_u(out, "blocks_pulled", c.blocks_pulled);
   kv_u(out, "blocks_dropped", c.blocks_dropped);
@@ -549,6 +617,10 @@ void write_flight_record(std::ostream& out, const FlightRecorder& rec) {
   buf.reserve(256);
   buf += "{\"vmig_flight_record\":{\"version\":1";
   kv_u(buf, "capacity", rec.capacity());
+  if (rec.budgeted()) {
+    kv_u(buf, "byte_budget", rec.byte_budget());
+    kv_u(buf, "stride", rec.sample_stride());
+  }
   buf += "}}\n";
   out << buf;
 
@@ -587,6 +659,7 @@ void write_flight_record(std::ostream& out, const FlightRecorder& rec) {
   buf += "{\"end\":{\"recorded\":";
   buf += std::to_string(rec.recorded());
   kv_u(buf, "dropped", rec.dropped());
+  if (rec.budgeted()) kv_u(buf, "sampled_out", rec.sampled_out());
   kv_u(buf, "events", rec.event_count());
   kv_u(buf, "migrations", rec.migration_count());
   kv_u(buf, "jobs", rec.jobs().size());

@@ -35,6 +35,7 @@ struct MigrationClose {
   std::uint64_t bytes_postcopy_pull = 0;
   std::uint64_t bytes_control = 0;
   std::uint64_t residual_dirty_blocks = 0;
+  std::uint64_t blocks_retransferred = 0;
   std::uint64_t blocks_pushed = 0;
   std::uint64_t blocks_pulled = 0;
   std::uint64_t blocks_dropped = 0;
@@ -106,6 +107,9 @@ class FlightRecorder {
     std::uint64_t applied = 0;   ///< push/pull: blocks actually applied
     std::uint64_t bytes = 0;     ///< wire bytes (cancel: payload bytes saved)
     std::int64_t aux_ns = -1;    ///< pull latency / stall duration; -1 n/a
+    /// Per-migration emit index (budgeted mode only; 0 otherwise). Not
+    /// serialized — it drives the deterministic stride decimation.
+    std::uint64_t seq = 0;
   };
 
   struct IterStat {
@@ -185,6 +189,7 @@ class FlightRecorder {
     std::vector<std::uint64_t> sent_words_;
     std::map<std::uint64_t, std::uint32_t> multi_;
     std::uint64_t sent_blocks_ = 0;
+    std::uint64_t ev_emitted_ = 0;  ///< events emitted (budgeted sampling)
   };
 
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
@@ -241,6 +246,29 @@ class FlightRecorder {
 
   void job_record(JobRecord rec) { jobs_.push_back(std::move(rec)); }
 
+  // ---- Budgeted flight recording (fleet scale) ----
+  //
+  // `set_byte_budget(B)` caps the serialized *event* section at ~B bytes by
+  // capping the kept-event count at B / 160 (a conservative per-line bound,
+  // floored at 16 events). Instead of the default drop-oldest ring wrap,
+  // budgeted mode keeps a deterministic per-migration reservoir: each
+  // migration's events are thinned to every `sample_stride()`-th emit (the
+  // first emit of every migration is always kept), and when the kept set
+  // reaches the cap the stride doubles and the set is decimated in place —
+  // uniform temporal coverage per migration, no RNG, byte-identical across
+  // replays. Events not kept count in `sampled_out()`.
+  //
+  // The exact tier is untouched: per-migration aggregates are updated by
+  // every emitter *before* the keep/drop decision, and summary / job /
+  // migration lines are always serialized in full — terminal and abort
+  // state is never sampled away, so `vmig_analyze` reconciliation holds on
+  // a budgeted record exactly as on an unbudgeted one.
+  void set_byte_budget(std::uint64_t bytes);
+  bool budgeted() const noexcept { return budgeted_; }
+  std::uint64_t byte_budget() const noexcept { return byte_budget_; }
+  std::uint64_t sample_stride() const noexcept { return stride_; }
+  std::uint64_t sampled_out() const noexcept { return sampled_out_; }
+
   std::size_t migration_count() const noexcept { return migs_.size(); }
   const MigStats& stats(FlightMigId m) const { return migs_.at(m); }
   const std::vector<JobRecord>& jobs() const noexcept { return jobs_; }
@@ -256,6 +284,8 @@ class FlightRecorder {
     return m < migs_.size() ? &migs_[m] : nullptr;
   }
   void push(const Event& e);
+  void push_budgeted(const Event& e);
+  void decimate();
 
   std::size_t cap_;
   std::vector<Event> ring_;
@@ -264,6 +294,13 @@ class FlightRecorder {
   std::uint64_t dropped_ = 0;
   std::vector<MigStats> migs_;
   std::vector<JobRecord> jobs_;
+
+  // Budgeted mode (off by default; see set_byte_budget).
+  bool budgeted_ = false;
+  std::uint64_t byte_budget_ = 0;
+  std::size_t budget_cap_ = 0;     ///< kept-event cap derived from the budget
+  std::uint64_t stride_ = 1;       ///< keep every stride-th emit per migration
+  std::uint64_t sampled_out_ = 0;  ///< emits not kept (thinned or decimated)
 };
 
 const char* to_string(FlightRecorder::EventKind k) noexcept;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
 
 namespace vmig::scenario {
 
@@ -69,6 +70,9 @@ hv::Host& ClusterTestbed::materialize_host(std::size_t i) {
     }
   });
   host_index_.emplace(hp, i);
+  if (rollup_ != nullptr) {
+    rollup_->register_host(hp, static_cast<std::uint32_t>(i));
+  }
   ++materialized_hosts_;
   return *hp;
 }
@@ -181,6 +185,19 @@ void ClusterTestbed::attach_obs(obs::Registry* registry) {
       if (net::Link* l = a->find_link(*b)) {
         l->attach_obs(reg, "net." + a->name() + "->" + b->name());
       }
+    }
+  }
+}
+
+void ClusterTestbed::attach_rollup(obs::Rollup* rollup) {
+  rollup_ = rollup;
+  if (rollup == nullptr) return;
+  // Slot order (== testbed index), not host_index_ iteration order: the
+  // reverse index is unordered, and registration must not depend on it.
+  for (std::size_t i = 0; i < host_slots_.size(); ++i) {
+    if (host_slots_[i] != nullptr) {
+      rollup->register_host(host_slots_[i].get(),
+                            static_cast<std::uint32_t>(i));
     }
   }
 }

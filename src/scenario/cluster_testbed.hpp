@@ -15,6 +15,7 @@
 
 namespace vmig::obs {
 class Registry;
+class Rollup;
 }  // namespace vmig::obs
 
 namespace vmig::scenario {
@@ -124,6 +125,12 @@ class ClusterTestbed {
   /// per-backend series are scenario-specific. No-op on null.
   void attach_obs(obs::Registry* registry);
 
+  /// Bind a fleet rollup: every already-materialized host registers now
+  /// under its stable testbed index, and hosts materialized later register
+  /// on first touch — so lazy and eager runs feed identical cells. The
+  /// rollup must be sized for at least host_count() hosts. No-op on null.
+  void attach_rollup(obs::Rollup* rollup);
+
  private:
   struct VmRecord {
     vm::DomainId id;
@@ -150,6 +157,7 @@ class ClusterTestbed {
   std::size_t materialized_vms_ = 0;
   bool prefill_ = false;
   obs::Registry* registry_ = nullptr;
+  obs::Rollup* rollup_ = nullptr;
   core::MigrationManager manager_;
 };
 

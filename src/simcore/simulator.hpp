@@ -162,6 +162,18 @@ class Simulator {
   std::size_t pending_count() const noexcept { return live_count_; }
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  // ---- Observer-tick census ----
+  // Self-re-arming observer timers (the Registry and Rollup samplers) park
+  // when the queue drains so they never wedge run(). "Drained" must not
+  // count *other* observers' ticks, or two samplers keep each other alive
+  // forever: each one's park test would see the other's pending tick.
+  // Observers increment when arming their tick, decrement when it fires,
+  // and park unless `pending_count() > observer_ticks()` — i.e. unless
+  // something other than observer ticks is still queued.
+  void note_observer_tick_armed() noexcept { ++observer_ticks_; }
+  void note_observer_tick_fired() noexcept { --observer_ticks_; }
+  std::size_t observer_ticks() const noexcept { return observer_ticks_; }
+
   /// Launch a coroutine as a root process. The simulator owns the frame;
   /// uncaught exceptions are rethrown from run()/step().
   SpawnHandle spawn(Task<void> task, std::string name = {});
@@ -219,6 +231,44 @@ class Simulator {
   /// is what makes the A/B byte-identity pin (docs/SCALE.md) meaningful.
   void set_fast_forward(bool on) noexcept { fast_forward_ = on; }
   bool fast_forward() const noexcept { return fast_forward_; }
+
+  // ---- Per-shard telemetry (fleet rollup / vmig_top) ----
+  //
+  // Read-only occupancy probes over the calendar shards. Values are exact
+  // at the instant of the call and replay-stable, but they describe the
+  // shard *layout* — two runs with different shard counts report different
+  // per-shard rows even though their fired event sequence is byte-identical
+  // (which is why the fleet rollup exports them outside its cross-shard
+  // byte-identity contract; see obs::Rollup).
+
+  /// Armed timers currently filed into shard `i`.
+  std::size_t shard_live(std::uint32_t i) const noexcept {
+    return i < shards_.size() ? shards_[i].live : 0;
+  }
+  /// Calendar occupancy of shard `i`: current-day agenda entries plus
+  /// entries resident in ring buckets (both may include lazily-cancelled
+  /// stale entries; overflow-list entries count toward shard_live only).
+  std::size_t shard_queued(std::uint32_t i) const noexcept {
+    return i < shards_.size() ? shards_[i].agenda.size() + shards_[i].ring_count
+                              : 0;
+  }
+  /// How far ahead of `now` shard `i`'s registered head key sits (its next
+  /// candidate dispatch), or 0 when the shard is empty / unregistered. A
+  /// persistent large lag marks a shard whose work sits far in the future.
+  std::int64_t shard_head_lag_ns(std::uint32_t i) const noexcept {
+    if (i >= shards_.size()) return 0;
+    const Shard& sh = shards_[i];
+    if (!sh.key_registered || sh.live == 0) return 0;
+    const std::int64_t lag = sh.key_t - now_.ns();
+    return lag > 0 ? lag : 0;
+  }
+
+  /// Fast-forward bulk-settle accounting: workload models that fold dormant
+  /// stretches into closed-form advancement (workloads::SteadyWriter) note
+  /// each bulk settle here, so fleet telemetry can report how much of a run
+  /// was fast-forwarded without reaching into every writer.
+  void note_ff_settle() noexcept { ++ff_settles_; }
+  std::uint64_t ff_settles() const noexcept { return ff_settles_; }
 
   /// Number of live (unfinished) root tasks.
   std::size_t live_root_count() const;
@@ -362,10 +412,12 @@ class Simulator {
   std::vector<HeapKey> heads_;                ///< lazy per-shard head keys
   std::uint64_t key_epoch_counter_ = 0;
   std::size_t live_count_ = 0;                ///< armed timers, all shards
+  std::size_t observer_ticks_ = 0;            ///< armed parkable sampler ticks
 
   std::vector<RootTask> roots_;
   std::exception_ptr pending_error_;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t ff_settles_ = 0;
   bool tearing_down_ = false;
   bool debug_trace_ = false;
 };

@@ -112,6 +112,7 @@ void SteadyWriter::settle() {
     return;
   }
   ++bulk_settles_;
+  sim_.note_ff_settle();  // fleet telemetry: fast-forward settle count
   ticks_applied_ += n;
   const std::uint64_t blocks = n * cfg_.blocks_per_tick;
   storage::BlockRange runs[2];

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "simcore/simulator.hpp"
+
 namespace vmig::core {
 namespace {
 
@@ -75,6 +81,49 @@ TEST(ReportIoTest, TimeSeriesCsv) {
 TEST(ReportIoTest, EmptySeriesCsvIsJustHeader) {
   sim::TimeSeries ts;
   EXPECT_EQ(to_csv(ts), "t_seconds,value\n");
+}
+
+// The streaming registry export must produce exactly the bytes of the
+// string-building one: `vmig_sim --metrics` switched to write_csv for
+// bounded memory at fleet scale, and downstream diffing relies on the
+// output not changing.
+TEST(ReportIoTest, RegistryStreamingCsvMatchesStringCsv) {
+  sim::Simulator sim;
+  obs::Registry reg{sim};
+  obs::Counter& c = reg.counter("migrations.bytes");
+  obs::Gauge& g = reg.gauge("cluster.jobs_running");
+  reg.probe("sim.pending_events", [] { return 7.25; });
+  obs::Histogram& h = reg.histogram("postcopy.read_stall_ns");
+
+  // A few samples with oddly-shaped values: rounding must match too.
+  for (int i = 1; i <= 3; ++i) {
+    c.add(1234567 * i);
+    g.set(i * 0.333333);
+    h.observe(i * 1e6 + 0.5);
+    reg.sample_now();
+    sim.spawn(
+        [](sim::Simulator& s) -> sim::Task<void> {
+          co_await s.delay(sim::Duration::millis(333));
+        }(sim),
+        "advance");
+    sim.run();
+  }
+
+  const std::string built = to_csv(reg);
+  std::ostringstream streamed;
+  write_csv(streamed, reg);
+  EXPECT_EQ(streamed.str(), built);
+  EXPECT_EQ(built.find("t_seconds,metric,value\n"), 0u);
+  EXPECT_NE(built.find("postcopy.read_stall_ns.p95"), std::string::npos);
+}
+
+TEST(ReportIoTest, RegistryStreamingCsvEmptyRegistry) {
+  sim::Simulator sim;
+  obs::Registry reg{sim};
+  std::ostringstream streamed;
+  write_csv(streamed, reg);
+  EXPECT_EQ(streamed.str(), to_csv(reg));
+  EXPECT_EQ(streamed.str(), "t_seconds,metric,value\n");
 }
 
 }  // namespace

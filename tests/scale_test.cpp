@@ -14,7 +14,9 @@
 
 #include "cluster/orchestrator.hpp"
 #include "core/report_io.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/rollup.hpp"
 #include "scenario/cluster_testbed.hpp"
 #include "workloads/steady_writer.hpp"
 
@@ -156,6 +158,8 @@ struct ScaleRun {
   std::vector<std::string> outcomes;     // "<status>/<attempts>"
   std::vector<std::string> report_json;  // core::to_json per job, id order
   std::string flight_jsonl;
+  std::string fleet_csv_full;       // rollup export incl. shard<i>.* rows
+  std::string fleet_csv_noshards;   // the cross-shard-count invariant view
   std::uint64_t retries = 0;
   std::uint64_t writer_ticks = 0;  // live ticks actually fired (diagnostic)
   std::uint64_t writer_settles = 0;
@@ -165,8 +169,10 @@ struct ScaleRun {
 
 /// One evacuation of `vms` steadily-writing guests out of host0 in an
 /// N-host lazy mesh, with every knob of the scale machinery parameterized.
+/// `with_rollup` attaches a fleet rollup (obs::Rollup) and captures both
+/// export views.
 ScaleRun run_scale(int hosts, int vms, bool fast_forward, int shards,
-                   bool lazy, bool inject_fault) {
+                   bool lazy, bool inject_fault, bool with_rollup = false) {
   sim::Simulator sim;
   sim.set_fast_forward(fast_forward);
   ClusterTestbedConfig bed = fast_cluster(hosts);
@@ -195,11 +201,22 @@ ScaleRun run_scale(int hosts, int vms, bool fast_forward, int shards,
   auto cfg = quick_config();
   cfg.obs_recorder = &rec;
 
+  std::unique_ptr<obs::Rollup> rollup;
+  if (with_rollup) {
+    obs::RollupConfig rcfg;
+    rcfg.hosts = static_cast<std::size_t>(hosts);
+    rcfg.sample_interval = sim::Duration::millis(100);
+    rollup = std::make_unique<obs::Rollup>(sim, rcfg);
+    tb.attach_rollup(rollup.get());
+    rollup->start_sampling();
+  }
+
   cluster::Orchestrator orch{
       sim, tb.manager(),
       {.caps = {.per_source = 4, .per_dest = 2, .per_link = 1},
        .retry = {.max_attempts = 3,
-                 .initial_backoff = sim::Duration::millis(20)}}};
+                 .initial_backoff = sim::Duration::millis(20)},
+       .rollup = rollup.get()}};
   orch.submit_evacuation(
       tb.host(0),
       tb.pick_destinations(0, std::min<std::size_t>(
@@ -224,6 +241,11 @@ ScaleRun run_scale(int hosts, int vms, bool fast_forward, int shards,
   std::ostringstream out;
   obs::write_flight_record(out, rec);
   r.flight_jsonl = out.str();
+  if (rollup != nullptr) {
+    rollup->sample_now();  // terminal fleet state
+    r.fleet_csv_full = rollup->to_csv(/*include_shards=*/true);
+    r.fleet_csv_noshards = rollup->to_csv(/*include_shards=*/false);
+  }
   r.retries = orch.retries();
   for (const auto& w : writers) {
     r.writer_ticks += w->ticks_applied();
@@ -313,6 +335,105 @@ TEST(LazyClusterTest, LazyAndEagerRunsAreByteIdentical) {
                                    /*lazy=*/false, /*inject_fault=*/true);
   EXPECT_TRUE(lazy.all_ok);
   expect_same_bytes(lazy, eager);
+}
+
+// ------------------------------------------------------- fleet rollup pins
+
+TEST(ShardScaleTest, RollupExportIsShardCountInvariant) {
+  const ScaleRun one = run_scale(128, 8, /*fast_forward=*/true, /*shards=*/1,
+                                 /*lazy=*/true, /*inject_fault=*/false,
+                                 /*with_rollup=*/true);
+  const ScaleRun eight = run_scale(128, 8, /*fast_forward=*/true, /*shards=*/8,
+                                   /*lazy=*/true, /*inject_fault=*/false,
+                                   /*with_rollup=*/true);
+  EXPECT_TRUE(one.all_ok);
+  ASSERT_FALSE(one.fleet_csv_noshards.empty());
+  // Everything but the shard<i>.* rows is byte-identical across shard
+  // counts; the full export differs only in those rows by construction.
+  EXPECT_EQ(one.fleet_csv_noshards, eight.fleet_csv_noshards);
+  EXPECT_NE(one.fleet_csv_full, eight.fleet_csv_full);
+  // Attaching the rollup perturbs nothing the existing pins cover.
+  expect_same_bytes(one, eight);
+}
+
+TEST(ShardScaleTest, RollupExportShardInvariantUnderChaosFault) {
+  const ScaleRun one = run_scale(128, 8, /*fast_forward=*/false, /*shards=*/1,
+                                 /*lazy=*/true, /*inject_fault=*/true,
+                                 /*with_rollup=*/true);
+  const ScaleRun eight = run_scale(128, 8, /*fast_forward=*/false,
+                                   /*shards=*/8, /*lazy=*/true,
+                                   /*inject_fault=*/true, /*with_rollup=*/true);
+  // The outage must bite — retries and SLO accounting flow into the rollup.
+  EXPECT_GT(one.retries, 0u);
+  EXPECT_EQ(one.fleet_csv_noshards, eight.fleet_csv_noshards);
+}
+
+TEST(ShardScaleTest, RollupReplaysByteIdentically) {
+  const ScaleRun a = run_scale(64, 8, true, 4, true, true, true);
+  const ScaleRun b = run_scale(64, 8, true, 4, true, true, true);
+  EXPECT_EQ(a.fleet_csv_full, b.fleet_csv_full);
+  expect_same_bytes(a, b);
+}
+
+TEST(LazyClusterTest, RollupExportLazyEagerIdentical) {
+  const ScaleRun lazy = run_scale(16, 8, /*fast_forward=*/true, /*shards=*/1,
+                                  /*lazy=*/true, /*inject_fault=*/true,
+                                  /*with_rollup=*/true);
+  const ScaleRun eager = run_scale(16, 8, /*fast_forward=*/true, /*shards=*/1,
+                                   /*lazy=*/false, /*inject_fault=*/true,
+                                   /*with_rollup=*/true);
+  // Eager registers every host cell up front, lazy on first touch — the
+  // untouched cells are zero either way, so even the full export matches.
+  EXPECT_EQ(lazy.fleet_csv_full, eager.fleet_csv_full);
+}
+
+// -------------------------------------------- link series stay proportional
+
+TEST(LazyClusterTest, LinkSeriesExistOnlyForMaterializedLinks) {
+  // A 10k-host lazy mesh holds ~10^8 potential directed links; the registry
+  // must only ever see the handful the evacuation traverses (4 instruments
+  // per link: bytes, messages, utilization, backlog).
+  sim::Simulator sim;
+  sim.set_fast_forward(true);
+  ClusterTestbed tb{sim, fast_cluster(10000)};
+  obs::Registry reg{sim};
+  tb.attach_obs(&reg);
+  const std::size_t base = reg.instrument_count();  // the sim.* probes
+  EXPECT_EQ(base, 3u);
+
+  for (int i = 0; i < 8; ++i) tb.add_vm("vm" + std::to_string(i), 0);
+  for (int h = 1; h < 10000; ++h) {
+    tb.register_vm("cold" + std::to_string(h), static_cast<std::size_t>(h));
+  }
+  // Cold registrations shape placement but create no links and no series.
+  EXPECT_EQ(reg.instrument_count(), base);
+  tb.prefill_disks();
+
+  cluster::Orchestrator orch{
+      sim, tb.manager(),
+      {.caps = {.per_source = 4, .per_dest = 2, .per_link = 1}}};
+  orch.submit_evacuation(tb.host(0), tb.pick_destinations(0, 8),
+                         quick_config());
+  orch.drain();
+  EXPECT_TRUE(orch.all_terminal());
+  EXPECT_EQ(orch.jobs_failed(), 0u);
+
+  // Only host0 and its destinations materialized...
+  std::vector<std::size_t> mat;
+  for (std::size_t i = 0; i < tb.host_count(); ++i) {
+    if (tb.host_materialized(i)) mat.push_back(i);
+  }
+  ASSERT_LE(mat.size(), 9u);
+  // ...and the instrument count is exactly 4 per link that actually exists
+  // between them, not a function of the 10k-host mesh.
+  std::size_t links = 0;
+  for (const std::size_t a : mat) {
+    for (const std::size_t b : mat) {
+      if (a != b && tb.host(a).find_link(tb.host(b)) != nullptr) ++links;
+    }
+  }
+  EXPECT_GT(links, 0u);
+  EXPECT_EQ(reg.instrument_count(), base + 4 * links);
 }
 
 }  // namespace

@@ -698,6 +698,145 @@ void cross_check_metrics(std::ostream& out, Checks& ck, const Record& rec,
            post.d("stall_hist_p99_ns"), csv_p99);
 }
 
+// ---------------------------------------------------------------------------
+// --fleet: record-derived fleet rollup + exact per-job reconciliation.
+// ---------------------------------------------------------------------------
+
+/// MigrationReport::total_bytes() over a summary's "report" section.
+std::uint64_t report_bytes(const Value& rep) {
+  return rep.u("bytes_disk_first_pass") + rep.u("bytes_disk_retransfer") +
+         rep.u("bytes_memory_precopy") + rep.u("bytes_freeze_residual") +
+         rep.u("bytes_bitmap") + rep.u("bytes_postcopy_push") +
+         rep.u("bytes_postcopy_pull") + rep.u("bytes_control");
+}
+
+/// Fleet totals derived purely from the flight record, mirroring what
+/// obs::Rollup accumulates orchestrator-side. Each job's terminal attempt is
+/// found positionally: migration summaries appear in begin order and jobs on
+/// one (domain, from, to) route run one at a time, so walking the jobs in
+/// record order and consuming `attempts` summaries per job from its route
+/// group assigns every attempt to its job — the last consumed one is the
+/// terminal attempt whose MigrationReport the rollup folded in.
+void print_fleet(std::ostream& out, Checks& ck, const Record& rec,
+                 const std::string& metrics_path, std::ostream& err) {
+  out << "fleet rollup (derived from record):\n";
+
+  std::map<std::string, std::vector<const Value*>> by_route;
+  for (const Migration& m : rec.migs) {
+    const std::string key = m.summary.s("domain") + "\x1f" +
+                            m.summary.s("from") + "\x1f" + m.summary.s("to");
+    by_route[key].push_back(&m.summary);
+  }
+
+  std::map<std::string, std::size_t> consumed;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t slo_miss = 0;
+  std::uint64_t bytes_total = 0;
+  std::int64_t downtime_total = 0;
+  std::uint64_t dirty_total = 0;
+  std::uint64_t unmapped = 0;        ///< jobs whose attempts outran summaries
+  std::uint64_t downtime_mismatch = 0;
+  for (const Value& j : rec.jobs) {
+    const std::string status = j.s("status");
+    const bool is_completed = status == "completed";
+    const std::uint64_t attempts = j.u("attempts");
+    if (is_completed) {
+      ++completed;
+    } else {
+      ++failed;
+    }
+    // Every non-terminal attempt went back through the backoff queue; a
+    // deadline-expired job's *last* attempt was requeued too (expiry fires
+    // in the pending state), so all of its attempts count.
+    if (status == "deadline-expired") {
+      retries += attempts;
+    } else if (attempts > 0) {
+      retries += attempts - 1;
+    }
+    const std::int64_t deadline = j.i("deadline_ns");
+    const std::int64_t total = j.i("total_ns");
+    if (deadline > 0 && !(is_completed && total <= deadline)) ++slo_miss;
+    downtime_total += j.i("downtime_ns");
+
+    const std::string key =
+        j.s("domain") + "\x1f" + j.s("from") + "\x1f" + j.s("to");
+    const Value* terminal = nullptr;
+    auto route = by_route.find(key);
+    std::size_t& used = consumed[key];
+    if (route != by_route.end() && used + attempts <= route->second.size()) {
+      used += attempts;
+      if (attempts > 0) terminal = route->second[used - 1];
+    } else if (attempts > 0) {
+      ++unmapped;
+      continue;
+    }
+    if (terminal == nullptr) continue;  // zero attempts: default report
+    const Value& trep = section(*terminal, "report");
+    bytes_total += report_bytes(trep);
+    dirty_total +=
+        trep.u("blocks_retransferred") + trep.u("residual_dirty_blocks");
+    // Per-job exact check, aggregated so the section stays bounded at fleet
+    // scale: the job line's downtime must be the terminal attempt's.
+    // downtime() is resumed - suspended even on an abort (where it can be
+    // negative or zero) — mirror the engine, don't special-case.
+    const std::int64_t trep_down =
+        trep.flag("closed") ? trep.i("resumed_ns") - trep.i("suspended_ns")
+                            : 0;
+    if (trep_down != j.i("downtime_ns")) ++downtime_mismatch;
+  }
+
+  out << fmt("    jobs: %llu submitted, %llu completed, %llu failed, "
+             "%llu retries, %llu slo_miss\n",
+             static_cast<unsigned long long>(rec.jobs.size()),
+             static_cast<unsigned long long>(completed),
+             static_cast<unsigned long long>(failed),
+             static_cast<unsigned long long>(retries),
+             static_cast<unsigned long long>(slo_miss));
+  out << fmt("    bytes_total=%llu downtime_ns_total=%lld "
+             "dirty_blocks_total=%llu\n",
+             static_cast<unsigned long long>(bytes_total),
+             static_cast<long long>(downtime_total),
+             static_cast<unsigned long long>(dirty_total));
+  ck.eq("jobs with no matching attempt summaries", unmapped, 0);
+  ck.eq("jobs whose downtime != terminal attempt's", downtime_mismatch, 0);
+
+  if (metrics_path.empty()) return;
+  out << "  rollup CSV cross-check (" << metrics_path << "):\n";
+  std::ifstream in{metrics_path};
+  if (!in) {
+    err << "vmig_analyze: cannot open fleet CSV '" << metrics_path << "'\n";
+    ck.fail("fleet CSV unreadable");
+    return;
+  }
+  // Terminal-snapshot totals vs the record. Both sides are exact integers
+  // (the rollup prints them undoctored), so every check is eq, not close.
+  const struct {
+    const char* metric;
+    std::uint64_t want;
+  } checks[] = {
+      {"fleet.jobs_submitted", rec.jobs.size()},
+      {"fleet.jobs_completed", completed},
+      {"fleet.jobs_failed", failed},
+      {"fleet.retries", retries},
+      {"fleet.slo_miss", slo_miss},
+      {"fleet.bytes_total", bytes_total},
+      {"fleet.downtime_ns_total", static_cast<std::uint64_t>(downtime_total)},
+      {"fleet.dirty_blocks_total", dirty_total},
+  };
+  for (const auto& c : checks) {
+    in.clear();
+    in.seekg(0);
+    double got = 0.0;
+    if (!last_metric(in, c.metric, got)) {
+      ck.fail(std::string{"fleet CSV has no "} + c.metric + " rows");
+      continue;
+    }
+    ck.eq(c.metric, static_cast<std::uint64_t>(std::llround(got)), c.want);
+  }
+}
+
 }  // namespace
 
 int run(const Options& opt, std::ostream& out, std::ostream& err) {
@@ -738,6 +877,10 @@ int run(const Options& opt, std::ostream& out, std::ostream& err) {
   }
   if (!opt.metrics_path.empty()) {
     cross_check_metrics(out, ck, rec, opt.metrics_path, err);
+    out << "\n";
+  }
+  if (opt.fleet || !opt.fleet_metrics_path.empty()) {
+    print_fleet(out, ck, rec, opt.fleet_metrics_path, err);
     out << "\n";
   }
 

@@ -19,6 +19,15 @@ struct Options {
   std::string metrics_path;
   /// Hottest-blocks rows to print in the pre-copy waste section.
   std::size_t top_k = 8;
+  /// `--fleet`: derive fleet totals (jobs, bytes, downtime, dirty blocks,
+  /// SLO misses) from the record's job and migration lines and reconcile
+  /// each job against its terminal attempt's MigrationReport — exact
+  /// integer checks, aggregated so the output stays bounded at fleet scale.
+  bool fleet = false;
+  /// Optional `--fleet-metrics` rollup CSV (`vmig_sim --fleet-metrics`,
+  /// obs::Rollup::write_csv): cross-checks the record-derived fleet totals
+  /// against the rollup's terminal snapshot, exactly. Implies `fleet`.
+  std::string fleet_metrics_path;
 };
 
 /// Analyze `opt.record_path` and print the report to `out` (diagnostics to

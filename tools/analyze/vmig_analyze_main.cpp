@@ -22,7 +22,12 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s RECORD.jsonl [options]\n"
       "  --metrics FILE   cross-check against the run's --metrics CSV\n"
-      "  --top K          hottest-blocks rows to print (default 8)\n",
+      "  --top K          hottest-blocks rows to print (default 8)\n"
+      "  --fleet          derive fleet totals and reconcile every job\n"
+      "                   against its terminal attempt's MigrationReport\n"
+      "  --fleet-metrics FILE\n"
+      "                   also cross-check the totals against the run's\n"
+      "                   --fleet-metrics rollup CSV (implies --fleet)\n",
       argv0);
 }
 
@@ -41,6 +46,10 @@ int main(int argc, char** argv) {
     };
     if (a == "--metrics") {
       opt.metrics_path = need("--metrics");
+    } else if (a == "--fleet") {
+      opt.fleet = true;
+    } else if (a == "--fleet-metrics") {
+      opt.fleet_metrics_path = need("--fleet-metrics");
     } else if (a == "--top") {
       opt.top_k = std::strtoull(need("--top"), nullptr, 10);
     } else if (a == "--help" || a == "-h") {

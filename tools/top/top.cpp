@@ -1,0 +1,261 @@
+#include "top.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vmig::top {
+
+namespace {
+
+/// One parsed CSV row: "<t>,<metric>,<value>".
+struct Row {
+  std::string t;
+  std::string metric;
+  std::string value;
+};
+
+/// One snapshot = the run of rows sharing a timestamp token. The rollup
+/// writes snapshots in time order with every row of a snapshot contiguous,
+/// so grouping by the raw token (no float parsing) preserves both order and
+/// the exact seconds text for the header line.
+struct Snapshot {
+  std::string t;
+  std::vector<Row> rows;
+};
+
+bool split_row(const std::string& line, Row& r) {
+  const std::size_t c1 = line.find(',');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = line.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  r.t = line.substr(0, c1);
+  r.metric = line.substr(c1 + 1, c2 - c1 - 1);
+  r.value = line.substr(c2 + 1);
+  return !r.t.empty() && !r.metric.empty() && !r.value.empty();
+}
+
+/// "<prefix><digits>.<field>" -> (id, field); npos-safe.
+bool match_indexed(const std::string& metric, const char* prefix,
+                   std::string& id, std::string& field) {
+  const std::size_t plen = std::char_traits<char>::length(prefix);
+  if (metric.compare(0, plen, prefix) != 0) return false;
+  std::size_t i = plen;
+  while (i < metric.size() && metric[i] >= '0' && metric[i] <= '9') ++i;
+  if (i == plen || i >= metric.size() || metric[i] != '.') return false;
+  id = metric.substr(plen, i - plen);
+  field = metric.substr(i + 1);
+  return true;
+}
+
+/// Ordered (id -> field -> value) accumulator for rack/shard/hot tables:
+/// ids render in first-appearance order, which the rollup already emits
+/// ascending, so no resorting (and no numeric parsing) is needed.
+class IndexedTable {
+ public:
+  void add(const std::string& id, const std::string& field,
+           const std::string& value) {
+    for (auto& [gid, fields] : groups_) {
+      if (gid == id) {
+        fields.emplace_back(field, value);
+        return;
+      }
+    }
+    groups_.emplace_back(id,
+                         std::vector<std::pair<std::string, std::string>>{
+                             {field, value}});
+  }
+  bool empty() const { return groups_.empty(); }
+  const auto& groups() const { return groups_; }
+  const std::string* find(const std::string& id, const std::string& field) const {
+    for (const auto& [gid, fields] : groups_) {
+      if (gid != id) continue;
+      for (const auto& [f, v] : fields) {
+        if (f == field) return &v;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, std::string>>>>
+      groups_;
+};
+
+void pad(std::ostream& out, const std::string& s, std::size_t width) {
+  out << s;
+  for (std::size_t i = s.size(); i < width; ++i) out << ' ';
+}
+
+void render_hot(std::ostream& out, const char* title, const char* value_field,
+                const IndexedTable& t) {
+  if (t.empty()) return;
+  out << "  " << title << ":";
+  for (const auto& [id, fields] : t.groups()) {
+    const std::string* host = t.find(id, "host");
+    const std::string* v = t.find(id, value_field);
+    if (host == nullptr || v == nullptr) continue;
+    out << " host" << *host << "=" << *v;
+  }
+  out << "\n";
+}
+
+void render(std::ostream& out, const Snapshot& s) {
+  // Bucket the snapshot's rows. Unknown metrics are carried through in a
+  // trailing "other" section rather than dropped: a newer rollup must stay
+  // viewable with an older vmig_top.
+  std::vector<std::pair<std::string, std::string>> fleet;
+  std::vector<std::pair<std::string, std::string>> sched;
+  std::vector<std::pair<std::string, std::string>> other;
+  IndexedTable racks;
+  IndexedTable shards;
+  IndexedTable hot_dirty;
+  IndexedTable hot_bytes;
+  IndexedTable hot_slo;
+  std::string id;
+  std::string field;
+  for (const Row& r : s.rows) {
+    if (r.metric.rfind("fleet.", 0) == 0) {
+      fleet.emplace_back(r.metric.substr(6), r.value);
+    } else if (r.metric.rfind("sched.", 0) == 0) {
+      sched.emplace_back(r.metric.substr(6), r.value);
+    } else if (match_indexed(r.metric, "rack", id, field)) {
+      racks.add(id, field, r.value);
+    } else if (match_indexed(r.metric, "shard", id, field)) {
+      shards.add(id, field, r.value);
+    } else if (match_indexed(r.metric, "hot_dirty", id, field)) {
+      hot_dirty.add(id, field, r.value);
+    } else if (match_indexed(r.metric, "hot_bytes", id, field)) {
+      hot_bytes.add(id, field, r.value);
+    } else if (match_indexed(r.metric, "hot_slo", id, field)) {
+      hot_slo.add(id, field, r.value);
+    } else {
+      other.emplace_back(r.metric, r.value);
+    }
+  }
+
+  out << "== fleet @ " << s.t << "s ==\n";
+  if (!fleet.empty()) {
+    out << "  fleet:";
+    for (const auto& [k, v] : fleet) out << " " << k << "=" << v;
+    out << "\n";
+  }
+  if (!sched.empty()) {
+    out << "  sched:";
+    for (const auto& [k, v] : sched) out << " " << k << "=" << v;
+    out << "\n";
+  }
+  if (!racks.empty()) {
+    static const char* const kCols[] = {
+        "bytes_out",      "bytes_in",    "dirty_blocks", "jobs_completed",
+        "jobs_failed",    "slo_miss",    "in_flight"};
+    out << "  racks (" << racks.groups().size() << " active):\n";
+    out << "    ";
+    pad(out, "rack", 8);
+    for (const char* c : kCols) pad(out, c, 16);
+    out << "\n";
+    for (const auto& [rid, fields] : racks.groups()) {
+      (void)fields;
+      out << "    ";
+      pad(out, rid, 8);
+      for (const char* c : kCols) {
+        const std::string* v = racks.find(rid, c);
+        pad(out, v != nullptr ? *v : std::string{"-"}, 16);
+      }
+      out << "\n";
+    }
+  }
+  render_hot(out, "hot dirty_blocks", "blocks", hot_dirty);
+  render_hot(out, "hot bytes", "bytes", hot_bytes);
+  render_hot(out, "hot slo_miss", "miss", hot_slo);
+  if (!shards.empty()) {
+    out << "  shards:";
+    for (const auto& [sid, fields] : shards.groups()) {
+      (void)fields;
+      const std::string* live = shards.find(sid, "live");
+      const std::string* queued = shards.find(sid, "queued");
+      const std::string* lag = shards.find(sid, "head_lag_ns");
+      out << " s" << sid << "[live=" << (live != nullptr ? *live : "-")
+          << " q=" << (queued != nullptr ? *queued : "-")
+          << " lag_ns=" << (lag != nullptr ? *lag : "-") << "]";
+    }
+    out << "\n";
+  }
+  if (!other.empty()) {
+    out << "  other:";
+    for (const auto& [k, v] : other) out << " " << k << "=" << v;
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+int run_stream(std::istream& in, const Options& opt, std::ostream& out,
+               std::ostream& err) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    err << "vmig_top: empty input\n";
+    return 2;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != "t_seconds,metric,value") {
+    err << "vmig_top: not a rollup CSV (bad header '" << line << "')\n";
+    return 2;
+  }
+
+  std::vector<Snapshot> snaps;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Row r;
+    if (!split_row(line, r)) {
+      err << "vmig_top: malformed row at line " << lineno << "\n";
+      return 2;
+    }
+    // A new snapshot starts on a timestamp change — or on seeing the current
+    // group's first metric again, since two consecutive snapshots can share
+    // a timestamp (the sampler's final tick and the post-drain terminal
+    // sample land on the same instant).
+    if (snaps.empty() || snaps.back().t != r.t ||
+        (!snaps.back().rows.empty() &&
+         snaps.back().rows.front().metric == r.metric)) {
+      snaps.push_back(Snapshot{r.t, {}});
+    }
+    snaps.back().rows.push_back(std::move(r));
+  }
+
+  if (snaps.empty()) {
+    out << "(no snapshots)\n";
+    return 0;
+  }
+  if (opt.last_only) {
+    render(out, snaps.back());
+  } else {
+    for (const Snapshot& s : snaps) render(out, s);
+  }
+  out << "(" << snaps.size() << " snapshot" << (snaps.size() == 1 ? "" : "s")
+      << ")\n";
+  return 0;
+}
+
+int run(const Options& opt, std::ostream& out, std::ostream& err) {
+  if (opt.input == "-") {
+    return run_stream(std::cin, opt, out, err);
+  }
+  std::ifstream in{opt.input};
+  if (!in) {
+    err << "vmig_top: cannot open '" << opt.input << "'\n";
+    return 2;
+  }
+  return run_stream(in, opt, out, err);
+}
+
+}  // namespace vmig::top

@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/rollup.hpp"
 #include "obs/tracer.hpp"
 #include "scenario/cluster_testbed.hpp"
 #include "scenario/testbed.hpp"
@@ -76,6 +77,11 @@ struct Options {
   std::string timeline;      // --timeline: human-readable span list
   std::string flight_record; // --flight-record: JSONL event log (vmig_analyze)
   double metrics_interval_s = 1.0;
+  // --flight-budget: byte-budgeted event sampling for the flight recorder
+  // (aggregates/summaries stay exact; 0 = unbudgeted).
+  std::uint64_t flight_budget = 0;
+  // --fleet-metrics: fleet rollup CSV (cluster mode; docs/OBSERVABILITY.md).
+  std::string fleet_metrics;
   // --cluster: orchestrated evacuation on the N-host testbed.
   bool cluster = false;
   bool fast_forward = false;  // --fast-forward: settle idle dirty-rate models
@@ -122,6 +128,12 @@ void usage(const char* argv0) {
       "  --timeline FILE  write a human-readable span timeline\n"
       "  --flight-record FILE  write the migration flight record as JSONL\n"
       "                   (post-mortem input for vmig_analyze)\n"
+      "  --flight-budget BYTES  cap the flight record's event section by\n"
+      "                   deterministic per-migration sampling (terminal\n"
+      "                   records and exact aggregates always kept)\n"
+      "  --fleet-metrics FILE  write the fleet rollup (racks, hot hosts,\n"
+      "                   shard occupancy) as CSV; view with vmig_top and\n"
+      "                   reconcile with vmig_analyze --fleet (cluster mode)\n"
       "  --cluster        evacuate host0 of an N-host cluster through the\n"
       "                   migration orchestrator (disk/mem sizes are per VM;\n"
       "                   the default VBD shrinks to 1024 MiB in this mode)\n"
@@ -168,6 +180,11 @@ bool parse(int argc, char** argv, Options& o) {
       o.timeline = need("--timeline");
     } else if (a == "--flight-record") {
       o.flight_record = need("--flight-record");
+    } else if (a == "--flight-budget") {
+      o.flight_budget = std::strtoull(need("--flight-budget"), nullptr, 10);
+    } else if (a == "--fleet-metrics") {
+      o.fleet_metrics = need("--fleet-metrics");
+      o.cluster_flags_used = true;
     } else if (a == "--scheme") {
       o.scheme = need("--scheme");
     } else if (a == "--disk-mib") {
@@ -254,6 +271,9 @@ void validate_or_die(const Options& o) {
     std::exit(2);
   };
   if (!(o.metrics_interval_s > 0.0)) die("--metrics-interval must be > 0");
+  if (o.flight_budget > 0 && o.flight_record.empty()) {
+    die("--flight-budget requires --flight-record");
+  }
   if (o.bitmap != "flat" && o.bitmap != "layered" && o.bitmap != "3level") {
     die("--bitmap must be flat, layered, or 3level");
   }
@@ -287,6 +307,7 @@ void validate_or_die(const Options& o) {
   check_writable(o.metrics_csv, "--metrics");
   check_writable(o.timeline, "--timeline");
   check_writable(o.flight_record, "--flight-record");
+  check_writable(o.fleet_metrics, "--fleet-metrics");
   check_writable(o.profile_out, "--profile-out");
 }
 
@@ -421,6 +442,16 @@ int run_cluster(const Options& o) {
   std::unique_ptr<obs::FlightRecorder> recorder;
   if (!o.flight_record.empty()) {
     recorder = std::make_unique<obs::FlightRecorder>();
+    if (o.flight_budget > 0) recorder->set_byte_budget(o.flight_budget);
+  }
+  std::unique_ptr<obs::Rollup> rollup;
+  if (!o.fleet_metrics.empty()) {
+    obs::RollupConfig rcfg;
+    rcfg.hosts = static_cast<std::size_t>(o.cluster_hosts);
+    rcfg.sample_interval = sim::Duration::from_seconds(o.metrics_interval_s);
+    rollup = std::make_unique<obs::Rollup>(sim, rcfg);
+    tb.attach_rollup(rollup.get());
+    rollup->start_sampling();
   }
 
   auto cfg = tb.paper_migration_config();
@@ -433,6 +464,7 @@ int run_cluster(const Options& o) {
   ocfg.registry = registry.get();
   ocfg.tracer = tracer.get();
   ocfg.recorder = recorder.get();
+  ocfg.rollup = rollup.get();
   cluster::Orchestrator orch{sim, tb.manager(), ocfg};
   orch.submit_evacuation(tb.host(0), tb.hosts_except(0), cfg);
   const fault::FaultSpec fspec = parse_fault_or_die(o);
@@ -467,6 +499,18 @@ int run_cluster(const Options& o) {
               static_cast<unsigned long long>(orch.retries()),
               orch.peak_running(), sim.now().to_seconds());
 
+  if (rollup != nullptr) {
+    // One more snapshot after the drain so the export ends on the terminal
+    // fleet state (the in-run sampler parked when the calendar emptied).
+    rollup->sample_now();
+    std::ofstream out{o.fleet_metrics};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   o.fleet_metrics.c_str());
+      return 2;
+    }
+    rollup->write_csv(out);
+  }
   if (!dump_obs(o, registry.get(), tracer.get(), recorder.get())) return 2;
   return ok ? 0 : 1;
 }
@@ -584,6 +628,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::FlightRecorder> recorder;
   if (!o.flight_record.empty()) {
     recorder = std::make_unique<obs::FlightRecorder>();
+    if (o.flight_budget > 0) recorder->set_byte_budget(o.flight_budget);
     cfg.obs_recorder = recorder.get();
   }
 
